@@ -1,0 +1,78 @@
+// Command diehard runs a benchmark application under the replicated
+// DieHard runtime, mirroring the paper's `diehard <replicas> <app>`
+// launcher (§5): input is broadcast to every replica, each replica gets
+// an independently randomized heap, and output is committed only when
+// replicas agree.
+//
+// Usage:
+//
+//	diehard -app espresso -replicas 3 [-scale 1] [-seed 0] [-heap 402653184]
+//	diehard -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"diehard/internal/apps"
+	"diehard/internal/replicate"
+)
+
+func main() {
+	var (
+		appName  = flag.String("app", "espresso", "benchmark application to run (see -list)")
+		replicas = flag.Int("replicas", 3, "number of replicas (1 or >= 3)")
+		scale    = flag.Int("scale", 1, "input scale factor")
+		seed     = flag.Uint64("seed", 0, "master seed (0 = true random)")
+		heapSize = flag.Int("heap", 0, "per-replica heap size in bytes (0 = paper default 384 MB)")
+		list     = flag.Bool("list", false, "list available applications")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, a := range apps.Registry() {
+			fmt.Printf("%-14s %s\n", a.Name, a.Kind)
+		}
+		return
+	}
+	app, ok := apps.Get(*appName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "diehard: unknown app %q (use -list)\n", *appName)
+		os.Exit(2)
+	}
+	input := app.Input(*scale)
+	prog := func(ctx *replicate.Context) error {
+		rt := &apps.Runtime{Alloc: ctx.Alloc, Mem: ctx.Mem, Input: ctx.Input, Out: ctx.Out}
+		return app.Run(rt)
+	}
+	res, err := replicate.Run(prog, input, replicate.Options{
+		Replicas: *replicas,
+		HeapSize: *heapSize,
+		Seed:     *seed,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "diehard: %v\n", err)
+		os.Exit(1)
+	}
+	os.Stdout.Write(res.Output)
+	fmt.Fprintf(os.Stderr, "diehard: replicas=%d survivors=%d agreed=%v rounds=%d\n",
+		*replicas, res.Survivors, res.Agreed, res.Rounds)
+	for i, r := range res.Replicas {
+		status := "completed"
+		switch {
+		case r.Killed:
+			status = "killed (disagreed)"
+		case r.Err != nil:
+			status = fmt.Sprintf("crashed: %v", r.Err)
+		}
+		fmt.Fprintf(os.Stderr, "  replica %d seed=%#x %s\n", i, r.Seed, status)
+	}
+	if res.UninitSuspected {
+		fmt.Fprintln(os.Stderr, "diehard: uninitialized read detected: no two replicas agree; terminated")
+		os.Exit(1)
+	}
+	if res.Survivors == 0 {
+		os.Exit(1)
+	}
+}

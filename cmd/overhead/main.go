@@ -1,0 +1,72 @@
+// Command overhead reproduces Figure 5 (normalized runtime across the
+// benchmark suites) and the §7.2.3 replicated-scaling measurement.
+//
+// Usage:
+//
+//	overhead -platform linux     # Figure 5(a): malloc vs GC vs DieHard
+//	overhead -platform windows   # Figure 5(b): default heap vs DieHard
+//	overhead -replicas 16 -app espresso   # §7.2.3 scaling
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"diehard/internal/apps"
+	"diehard/internal/exps"
+)
+
+func main() {
+	var (
+		platform = flag.String("platform", "linux", "figure 5 platform: linux or windows")
+		scale    = flag.Int("scale", 1, "input scale factor")
+		seed     = flag.Uint64("seed", 0x5eed, "DieHard seed")
+		replicas = flag.Int("replicas", 0, "run the replicated-scaling experiment at this count instead")
+		appName  = flag.String("app", "espresso", "application for the scaling experiment")
+	)
+	flag.Parse()
+
+	if *replicas > 0 {
+		points, err := exps.RunReplicatedScaling(*appName, []int{1, *replicas}, *scale, 0, *seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "overhead: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("# §7.2.3 replicated scaling: %s\n", *appName)
+		fmt.Println("# replicas wall survivors agreed relative-to-one")
+		for _, p := range points {
+			fmt.Printf("%-9d %-12v %-9d %-6v %.2fx\n",
+				p.Replicas, p.Wall.Round(1e6), p.Survivors, p.Agreed, p.RelativeToOne)
+		}
+		return
+	}
+
+	report, err := exps.RunOverhead(exps.Platform(*platform), *scale, 0, *seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "overhead: %v\n", err)
+		os.Exit(1)
+	}
+	kinds := exps.Platform(*platform).Allocators()
+	fmt.Printf("# Figure 5 (%s): normalized runtime (baseline = %s)\n", *platform, kinds[0])
+	fmt.Printf("%-14s %-16s", "benchmark", "suite")
+	for _, k := range kinds {
+		fmt.Printf(" %10s", k)
+	}
+	fmt.Println()
+	for _, row := range report.Rows {
+		fmt.Printf("%-14s %-16s", row.Benchmark, row.Kind)
+		for _, k := range kinds {
+			fmt.Printf(" %10.3f", row.Normalized[k])
+		}
+		fmt.Println()
+	}
+	for _, suite := range []string{"alloc-intensive", "general-purpose"} {
+		fmt.Printf("%-14s %-16s", "GEOMEAN", suite)
+		for _, k := range kinds {
+			fmt.Printf(" %10.3f", report.GeoMean[suite+"/"+k])
+		}
+		fmt.Println()
+	}
+	_ = apps.Registry
+}

@@ -1,0 +1,82 @@
+// Command probplot prints the data series of the paper's probability
+// figures: Figure 4(a) (masking buffer overflows), Figure 4(b) (masking
+// dangling pointers), and the §6.3 uninitialized-read detection curves,
+// each with the closed-form value, the abstract Monte Carlo estimate,
+// and (where cheap) the measurement on the real allocator.
+//
+// Usage:
+//
+//	probplot -fig 4a
+//	probplot -fig 4b
+//	probplot -fig uninit
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"diehard/internal/analysis"
+	"diehard/internal/exps"
+)
+
+func main() {
+	fig := flag.String("fig", "4a", "figure to print: 4a, 4b, uninit")
+	trials := flag.Int("trials", 20000, "Monte Carlo trials per point")
+	flag.Parse()
+
+	switch *fig {
+	case "4a":
+		fig4a(*trials)
+	case "4b":
+		fig4b(*trials)
+	case "uninit":
+		uninit(*trials)
+	default:
+		fmt.Fprintf(os.Stderr, "probplot: unknown figure %q\n", *fig)
+		os.Exit(2)
+	}
+}
+
+func fig4a(trials int) {
+	fmt.Println("# Figure 4(a): probability of masking a single-object buffer overflow")
+	fmt.Println("# fullness replicas theorem1 montecarlo empirical(real allocator)")
+	for _, f := range []float64{1.0 / 8, 1.0 / 4, 1.0 / 2} {
+		for _, k := range []int{1, 3, 4, 5, 6} {
+			formula := analysis.OverflowMaskProb(f, 1, k)
+			mc := analysis.SimOverflowMask(trials, 4096, 1, k, f, 42)
+			emp, err := exps.EmpiricalOverflowMask(f, k, trials/10, 3<<20, 7)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "probplot: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("%-8.3f %-8d %-9.4f %-10.4f %-9.4f\n", f, k, formula, mc, emp)
+		}
+	}
+}
+
+func fig4b(trials int) {
+	fmt.Println("# Figure 4(b): probability of masking a dangling pointer error")
+	fmt.Println("# (stand-alone DieHard, default configuration: 384MB heap, M=2)")
+	fmt.Println("# size allocs theorem2 montecarlo")
+	for _, a := range []int{100, 1000, 10000} {
+		for _, s := range []int{8, 16, 32, 64, 128, 256} {
+			formula := analysis.DanglingMaskProb(a, s, analysis.DefaultClassFreeBytes, 1)
+			q := analysis.DefaultClassFreeBytes / s
+			mc := analysis.SimDanglingMask(trials, q, a, 1, 11)
+			fmt.Printf("%-5d %-7d %-9.5f %-9.5f\n", s, a, formula, mc)
+		}
+	}
+}
+
+func uninit(trials int) {
+	fmt.Println("# Theorem 3: probability of detecting an uninitialized read of B bits")
+	fmt.Println("# bits replicas theorem3 montecarlo")
+	for _, k := range []int{3, 4, 5} {
+		for _, b := range []int{1, 2, 4, 8, 16} {
+			formula := analysis.UninitDetectProb(b, k)
+			mc := analysis.SimUninitDetect(trials, b, k, 13)
+			fmt.Printf("%-5d %-8d %-9.5f %-9.5f\n", b, k, formula, mc)
+		}
+	}
+}

@@ -1,0 +1,239 @@
+// Package diehard is the public API of a complete reproduction of
+// Berger & Zorn, "DieHard: Probabilistic Memory Safety for Unsafe
+// Languages" (PLDI 2006).
+//
+// DieHard tolerates the memory errors of unsafe languages — buffer
+// overflows, dangling pointers, invalid and double frees, uninitialized
+// reads — by approximating an infinite heap: objects are placed
+// uniformly at random in a heap M times larger than needed, heap
+// metadata is fully segregated, and (in replicated mode) several
+// replicas with independently randomized heaps vote on output.
+//
+// Because Go is garbage-collected, the whole system runs on a simulated
+// virtual address space: the allocator hands out simulated pointers and
+// programs access memory through them, so memory errors have their
+// native consequences (see DESIGN.md). The package exposes:
+//
+//   - Heap: the randomized allocator (stand-alone mode);
+//   - Run: the replicated runtime with output voting;
+//   - Strcpy/Strncpy replacements that cannot overflow (§4.4);
+//   - the analytical guarantees of §6 (Theorems 1-3).
+//
+// A minimal session:
+//
+//	h, _ := diehard.NewHeap(diehard.HeapOptions{})
+//	p, _ := h.Malloc(64)
+//	_ = h.Mem().Store64(p, 42)
+//	v, _ := h.Mem().Load64(p)   // 42
+//	_ = h.Free(p)
+//	_ = h.Free(p)               // double free: detected and ignored
+package diehard
+
+import (
+	"io"
+
+	"diehard/internal/analysis"
+	"diehard/internal/core"
+	"diehard/internal/heap"
+	"diehard/internal/libc"
+	"diehard/internal/replicate"
+	"diehard/internal/vmem"
+)
+
+// Ptr is a simulated pointer into a Heap's address space. The zero
+// value is the null pointer.
+type Ptr = heap.Ptr
+
+// Memory is the data-access interface of a simulated address space.
+type Memory = heap.Memory
+
+// HeapOptions configures a DieHard heap. The zero value selects the
+// paper's defaults: a 384 MB heap of which at most 1/M may be live,
+// M = 2, and a true-random seed.
+type HeapOptions struct {
+	// HeapSize is the total small-object heap size in bytes.
+	HeapSize int
+	// M is the heap expansion factor (how many times larger the heap is
+	// than the maximum live size it will serve). Must exceed 1.
+	M float64
+	// Seed fixes the randomized layout for reproduction; 0 draws a true
+	// random seed.
+	Seed uint64
+	// ReplicatedMode fills the heap and every allocation with random
+	// values, as the replicated runtime requires (§4.1).
+	ReplicatedMode bool
+	// Adaptive grows size-class regions on demand (the paper's §9
+	// future-work extension).
+	Adaptive bool
+}
+
+// Heap is a DieHard randomized heap. It is not safe for concurrent use;
+// give each simulated process its own Heap.
+type Heap struct {
+	h *core.Heap
+}
+
+// NewHeap creates a DieHard heap.
+func NewHeap(opts HeapOptions) (*Heap, error) {
+	h, err := core.New(core.Options{
+		HeapSize:   opts.HeapSize,
+		M:          opts.M,
+		Seed:       opts.Seed,
+		RandomFill: opts.ReplicatedMode,
+		Adaptive:   opts.Adaptive,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Heap{h: h}, nil
+}
+
+// Malloc allocates size bytes at a uniformly random heap location and
+// returns the simulated address.
+func (h *Heap) Malloc(size int) (Ptr, error) { return h.h.Malloc(size) }
+
+// Free releases an allocation. Invalid, misaligned, and double frees
+// are detected and ignored — they can never corrupt the heap (§4.3).
+func (h *Heap) Free(p Ptr) error { return h.h.Free(p) }
+
+// Calloc allocates zeroed memory for n objects of size bytes.
+func (h *Heap) Calloc(n, size int) (Ptr, error) { return heap.Calloc(h.h, n, size) }
+
+// Realloc resizes an allocation, preserving contents.
+func (h *Heap) Realloc(p Ptr, size int) (Ptr, error) { return heap.Realloc(h.h, p, size) }
+
+// Mem returns the heap's simulated memory, used for all data access.
+func (h *Heap) Mem() *vmem.Space { return h.h.Mem() }
+
+// SizeOf reports the usable size of a live allocation.
+func (h *Heap) SizeOf(p Ptr) (int, bool) { return h.h.SizeOf(p) }
+
+// Seed returns the seed of the heap's random stream, recorded so any
+// run can be reproduced exactly.
+func (h *Heap) Seed() uint64 { return h.h.Seed() }
+
+// Stats reports allocator activity counters.
+func (h *Heap) Stats() heap.Stats { return *h.h.Stats() }
+
+// Strcpy is DieHard's checked replacement for strcpy (§4.4): the copy
+// is capped at the destination object's remaining capacity, so it can
+// never overflow the heap. It returns the number of payload bytes
+// copied.
+func (h *Heap) Strcpy(dst, src Ptr) (int, error) {
+	return libc.SafeStrcpy(h.h, h.Mem(), dst, src)
+}
+
+// Strncpy is DieHard's checked replacement for strncpy (§4.4): the
+// programmer's length argument is honored only up to the destination
+// object's real capacity.
+func (h *Heap) Strncpy(dst, src Ptr, n int) (int, error) {
+	return libc.SafeStrncpy(h.h, h.Mem(), dst, src, n)
+}
+
+// Strcat is DieHard's checked replacement for strcat: the append is
+// capped at the destination object's remaining capacity.
+func (h *Heap) Strcat(dst, src Ptr) (int, error) {
+	return libc.SafeStrcat(h.h, h.Mem(), dst, src)
+}
+
+// Strdup allocates a copy of the NUL-terminated string at src.
+func (h *Heap) Strdup(src Ptr) (Ptr, error) {
+	return libc.Strdup(h.h, h.Mem(), src)
+}
+
+// Program is a deterministic application runnable under replication.
+// It must write all observable output through ctx.Out.
+type Program = replicate.Program
+
+// Context is a replica's view of the world.
+type Context = replicate.Context
+
+// RunOptions configures a replicated execution.
+type RunOptions struct {
+	// Replicas is the number of replicas (1, or at least 3 so the voter
+	// can adjudicate). Defaults to 3.
+	Replicas int
+	// HeapSize and M configure each replica's heap.
+	HeapSize int
+	M        float64
+	// Seed fixes the per-replica seed derivation; 0 draws true
+	// randomness.
+	Seed uint64
+}
+
+// Result reports a replicated execution: the voted output, whether
+// every committed chunk had a quorum, and whether an uninitialized read
+// was detected (all replicas disagreeing).
+type Result = replicate.Result
+
+// Run executes prog under the replicated runtime (§5): each replica has
+// an independently randomized, randomly-filled heap; input is broadcast;
+// output is committed only when replicas agree. A program whose output
+// depends on uninitialized memory is detected (Result.UninitSuspected)
+// and terminated.
+func Run(prog Program, input []byte, opts RunOptions) (*Result, error) {
+	return replicate.Run(prog, input, replicate.Options{
+		Replicas: opts.Replicas,
+		HeapSize: opts.HeapSize,
+		M:        opts.M,
+		Seed:     opts.Seed,
+	})
+}
+
+// OverflowMaskProbability is Theorem 1: the probability that a buffer
+// overflow of `objects` object-widths overwrites no live data in at
+// least one of k replicas, at the given heap fullness.
+func OverflowMaskProbability(fullness float64, objects, replicas int) float64 {
+	return analysis.OverflowMaskProb(fullness, objects, replicas)
+}
+
+// DanglingMaskProbability is Theorem 2: a lower bound on the
+// probability that an object of size `size`, freed `allocs` allocations
+// too early, is intact when its real free would occur, given freeBytes
+// of free space in its size class and k replicas.
+func DanglingMaskProbability(allocs, size, freeBytes, replicas int) float64 {
+	return analysis.DanglingMaskProb(allocs, size, freeBytes, replicas)
+}
+
+// UninitDetectProbability is Theorem 3: the probability that k replicas
+// detect an uninitialized read of `bits` bits.
+func UninitDetectProbability(bits, replicas int) float64 {
+	return analysis.UninitDetectProb(bits, replicas)
+}
+
+// WriteString stores a Go string into simulated memory, NUL-terminated.
+func WriteString(m Memory, dst Ptr, s string) error { return libc.WriteString(m, dst, s) }
+
+// ReadString reads a NUL-terminated string from simulated memory.
+func ReadString(m Memory, src Ptr, maxLen int) (string, error) {
+	return libc.ReadString(m, src, maxLen)
+}
+
+var _ io.Writer = (*nullWriter)(nil)
+
+type nullWriter struct{}
+
+func (nullWriter) Write(p []byte) (int, error) { return len(p), nil }
+
+// Discard is an io.Writer that drops output; convenient for programs
+// run only for their side effects in examples and tests.
+var Discard io.Writer = nullWriter{}
+
+// ObjectRecord is one live object's identity and contents hash in a
+// heap snapshot.
+type ObjectRecord = core.ObjectRecord
+
+// Divergence reports one object whose state differs between two
+// snapshots.
+type Divergence = core.Divergence
+
+// Snapshot records every live object's location and contents hash. Two
+// identically seeded heaps running the same deterministic program
+// produce identical snapshots; see DiffSnapshots.
+func (h *Heap) Snapshot() ([]ObjectRecord, error) { return h.h.Snapshot() }
+
+// DiffSnapshots compares snapshots from identically seeded heaps and
+// returns the objects that diverge, pinpointing memory corruption — the
+// heap-differencing debugger the paper sketches in §9 ("report these as
+// part of a crash dump without the crash").
+func DiffSnapshots(a, b []ObjectRecord) []Divergence { return core.DiffSnapshots(a, b) }

@@ -1,0 +1,230 @@
+package diehard
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestPublicHeapLifecycle(t *testing.T) {
+	h, err := NewHeap(HeapOptions{HeapSize: 12 << 20, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := h.Malloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Mem().Store64(p, 42); err != nil {
+		t.Fatal(err)
+	}
+	v, err := h.Mem().Load64(p)
+	if err != nil || v != 42 {
+		t.Fatalf("round trip %d %v", v, err)
+	}
+	if size, ok := h.SizeOf(p); !ok || size != 64 {
+		t.Fatalf("SizeOf %d %v", size, ok)
+	}
+	if err := h.Free(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Free(p); err != nil { // double free: ignored
+		t.Fatal(err)
+	}
+	st := h.Stats()
+	if st.IgnoredFrees != 1 {
+		t.Fatalf("IgnoredFrees = %d", st.IgnoredFrees)
+	}
+}
+
+func TestPublicCallocRealloc(t *testing.T) {
+	h, err := NewHeap(HeapOptions{HeapSize: 12 << 20, Seed: 2, ReplicatedMode: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := h.Calloc(8, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := h.Mem().Load64(p)
+	if v != 0 {
+		t.Fatalf("calloc not zeroed: %#x", v)
+	}
+	if err := WriteString(h.Mem(), p, "persist"); err != nil {
+		t.Fatal(err)
+	}
+	q, err := h.Realloc(p, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := ReadString(h.Mem(), q, 32)
+	if err != nil || s != "persist" {
+		t.Fatalf("realloc lost data: %q %v", s, err)
+	}
+}
+
+func TestPublicCheckedStrcpy(t *testing.T) {
+	h, err := NewHeap(HeapOptions{HeapSize: 12 << 20, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, _ := h.Malloc(128)
+	dst, _ := h.Malloc(16)
+	if err := WriteString(h.Mem(), src, strings.Repeat("Z", 100)); err != nil {
+		t.Fatal(err)
+	}
+	n, err := h.Strcpy(dst, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 15 {
+		t.Fatalf("checked strcpy copied %d, want 15", n)
+	}
+	n, err = h.Strncpy(dst, src, 1000) // wrong length, capped
+	if err != nil || n != 15 {
+		t.Fatalf("checked strncpy copied %d, %v", n, err)
+	}
+}
+
+func TestPublicReplicatedRun(t *testing.T) {
+	prog := func(ctx *Context) error {
+		buf, err := ctx.Alloc.Malloc(len(ctx.Input))
+		if err != nil {
+			return err
+		}
+		if err := ctx.Mem.WriteBytes(buf, ctx.Input); err != nil {
+			return err
+		}
+		out := make([]byte, len(ctx.Input))
+		if err := ctx.Mem.ReadBytes(buf, out); err != nil {
+			return err
+		}
+		_, err = ctx.Out.Write(out)
+		return err
+	}
+	res, err := Run(prog, []byte("replicated hello"), RunOptions{Replicas: 3, HeapSize: 12 << 20, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(res.Output) != "replicated hello" || !res.Agreed {
+		t.Fatalf("%q %+v", res.Output, res)
+	}
+}
+
+func TestPublicUninitDetection(t *testing.T) {
+	prog := func(ctx *Context) error {
+		p, err := ctx.Alloc.Malloc(64)
+		if err != nil {
+			return err
+		}
+		v, err := ctx.Mem.Load64(p) // uninitialized read
+		if err != nil {
+			return err
+		}
+		_, err = fmt.Fprintf(ctx.Out, "%d", v)
+		return err
+	}
+	res, err := Run(prog, nil, RunOptions{Replicas: 3, HeapSize: 12 << 20, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.UninitSuspected {
+		t.Fatal("uninitialized read not detected")
+	}
+}
+
+func TestPublicTheorems(t *testing.T) {
+	if p := OverflowMaskProbability(1.0/8, 1, 1); math.Abs(p-0.875) > 1e-12 {
+		t.Fatalf("Theorem 1: %v", p)
+	}
+	if p := DanglingMaskProbability(10000, 8, (384<<20)/12/2, 1); p <= 0.995 {
+		t.Fatalf("Theorem 2 worked example: %v", p)
+	}
+	if p := UninitDetectProbability(4, 3); math.Abs(p-0.8203) > 0.001 {
+		t.Fatalf("Theorem 3: %v", p)
+	}
+}
+
+func TestSeedReproducesLayout(t *testing.T) {
+	a, _ := NewHeap(HeapOptions{HeapSize: 12 << 20, Seed: 7})
+	b, _ := NewHeap(HeapOptions{HeapSize: 12 << 20, Seed: a.Seed()})
+	for i := 0; i < 50; i++ {
+		pa, _ := a.Malloc(32)
+		pb, _ := b.Malloc(32)
+		if pa != pb {
+			t.Fatal("recorded seed did not reproduce layout")
+		}
+	}
+}
+
+func TestDiscardWriter(t *testing.T) {
+	n, err := Discard.Write([]byte("ignored"))
+	if err != nil || n != 7 {
+		t.Fatalf("%d %v", n, err)
+	}
+}
+
+func TestPublicHeapDifferencing(t *testing.T) {
+	build := func(h *Heap) Ptr {
+		var last Ptr
+		for i := 0; i < 50; i++ {
+			p, err := h.Malloc(64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := h.Mem().Store64(p, uint64(i)); err != nil {
+				t.Fatal(err)
+			}
+			last = p
+		}
+		return last
+	}
+	a, _ := NewHeap(HeapOptions{HeapSize: 12 << 20, Seed: 0xD1FF})
+	b, _ := NewHeap(HeapOptions{HeapSize: 12 << 20, Seed: 0xD1FF})
+	build(a)
+	victim := build(b)
+	// The "incorrect execution" scribbles on one object.
+	if err := b.Mem().Store64(victim, 0xBAD); err != nil {
+		t.Fatal(err)
+	}
+	sa, err := a.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := b.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffs := DiffSnapshots(sa, sb)
+	if len(diffs) != 1 || diffs[0].Ptr != victim {
+		t.Fatalf("differencing did not pinpoint the corruption: %v", diffs)
+	}
+}
+
+func TestPublicStrcatStrdup(t *testing.T) {
+	h, _ := NewHeap(HeapOptions{HeapSize: 12 << 20, Seed: 6})
+	dst, _ := h.Malloc(16)
+	src, _ := h.Malloc(64)
+	if err := WriteString(h.Mem(), dst, "prob"); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteString(h.Mem(), src, strings.Repeat("y", 50)); err != nil {
+		t.Fatal(err)
+	}
+	n, err := h.Strcat(dst, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 11 { // 16-byte object: "prob" + 11 + NUL
+		t.Fatalf("checked strcat appended %d, want 11", n)
+	}
+	dup, err := h.Strdup(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := ReadString(h.Mem(), dup, 32)
+	if s != "prob"+strings.Repeat("y", 11) {
+		t.Fatalf("strdup got %q", s)
+	}
+}

@@ -1,0 +1,236 @@
+// Package analysis implements the closed-form probabilistic guarantees
+// of DieHard (§6 of the paper: Theorems 1-3) together with Monte Carlo
+// estimators that validate them against the abstract model. The Figure 4
+// data series are generated here; internal/exps additionally validates
+// the formulas against the real allocator.
+package analysis
+
+import (
+	"fmt"
+	"math"
+
+	"diehard/internal/rng"
+)
+
+// OverflowMaskProb is Theorem 1: the probability that a buffer overflow
+// of objects object-widths is masked (overwrites only free space) in at
+// least one of k replicas, when the heap is `fullness` full (L/H).
+//
+//	P(OverflowedObjects = 0) = 1 - (1 - (F/H)^O)^k
+func OverflowMaskProb(fullness float64, objects, replicas int) float64 {
+	if fullness < 0 || fullness > 1 {
+		panic(fmt.Sprintf("analysis: fullness %v out of [0,1]", fullness))
+	}
+	if objects < 0 || replicas < 1 {
+		panic("analysis: objects must be >= 0 and replicas >= 1")
+	}
+	free := 1 - fullness
+	pOne := math.Pow(free, float64(objects)) // single replica masks
+	return 1 - math.Pow(1-pOne, float64(replicas))
+}
+
+// DanglingMaskProb is Theorem 2: a lower bound on the probability that
+// an object of size size, freed allocs allocations too early, is still
+// intact when its real free would have happened, given freeBytes of free
+// heap in its size class and k replicas.
+//
+//	P(Overwrites = 0) >= 1 - (A/(F/S))^k
+func DanglingMaskProb(allocs, size, freeBytes, replicas int) float64 {
+	if allocs < 0 || size <= 0 || freeBytes <= 0 || replicas < 1 {
+		panic("analysis: bad dangling parameters")
+	}
+	q := float64(freeBytes) / float64(size) // free slots
+	frac := float64(allocs) / q
+	if frac > 1 {
+		frac = 1
+	}
+	return 1 - math.Pow(frac, float64(replicas))
+}
+
+// UninitDetectProb is Theorem 3: the probability that an uninitialized
+// read of bits bits is detected by k replicas (k > 2) in a
+// non-narrowing, non-widening computation — i.e. that all replicas fill
+// the region with pairwise-distinct values.
+//
+//	P = (2^B)! / ((2^B - k)! * 2^(B*k))
+//
+// Computed in log space so large B is exact to double precision.
+func UninitDetectProb(bits, replicas int) float64 {
+	if bits < 1 || replicas < 1 {
+		panic("analysis: bad uninit parameters")
+	}
+	n := math.Pow(2, float64(bits))
+	if float64(replicas) > n {
+		return 0 // pigeonhole: some pair must collide
+	}
+	logP := 0.0
+	for i := 0; i < replicas; i++ {
+		logP += math.Log(n - float64(i))
+	}
+	logP -= float64(replicas) * float64(bits) * math.Ln2
+	return math.Exp(logP)
+}
+
+// Series is one labeled curve of a figure.
+type Series struct {
+	Label string
+	X     []float64
+	Y     []float64
+}
+
+// Figure4a generates the data of Figure 4(a): probability of masking a
+// single-object buffer overflow, for 1, 3, 4, 5, 6 replicas at heap
+// fullness 1/8, 1/4, and 1/2.
+func Figure4a() []Series {
+	replicas := []int{1, 3, 4, 5, 6}
+	fullness := []struct {
+		label string
+		f     float64
+	}{
+		{"1/8 full", 1.0 / 8},
+		{"1/4 full", 1.0 / 4},
+		{"1/2 full", 1.0 / 2},
+	}
+	out := make([]Series, 0, len(fullness))
+	for _, fu := range fullness {
+		s := Series{Label: fu.label}
+		for _, k := range replicas {
+			s.X = append(s.X, float64(k))
+			s.Y = append(s.Y, OverflowMaskProb(fu.f, 1, k))
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// DefaultClassFreeBytes is the worst-case free space per size class in
+// the paper's default configuration (384 MB heap, 12 classes, M = 2):
+// each 32 MB region holds at most 16 MB live, leaving F = 16 MB.
+const DefaultClassFreeBytes = (384 << 20) / 12 / 2
+
+// Figure4b generates the data of Figure 4(b): probability of masking a
+// dangling pointer error with the stand-alone version (k = 1) in the
+// default configuration, for object sizes 8..256 and 100/1000/10000
+// intervening allocations.
+func Figure4b() []Series {
+	sizes := []int{8, 16, 32, 64, 128, 256}
+	allocs := []struct {
+		label string
+		a     int
+	}{
+		{"100 allocs", 100},
+		{"1000 allocs", 1000},
+		{"10,000 allocs", 10000},
+	}
+	out := make([]Series, 0, len(allocs))
+	for _, al := range allocs {
+		s := Series{Label: al.label}
+		for _, size := range sizes {
+			s.X = append(s.X, float64(size))
+			s.Y = append(s.Y, DanglingMaskProb(al.a, size, DefaultClassFreeBytes, 1))
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// UninitSeries generates detection-probability curves for Theorem 3
+// (discussed in §6.3): X is the number of uninitialized bits read, one
+// series per replica count.
+func UninitSeries(maxBits int, replicaCounts []int) []Series {
+	out := make([]Series, 0, len(replicaCounts))
+	for _, k := range replicaCounts {
+		s := Series{Label: fmt.Sprintf("%d replicas", k)}
+		for b := 1; b <= maxBits; b++ {
+			s.X = append(s.X, float64(b))
+			s.Y = append(s.Y, UninitDetectProb(b, k))
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// SimOverflowMask is the Monte Carlo counterpart of Theorem 1 on the
+// abstract model: each trial scatters live objects uniformly over slots
+// slots at the given fullness in each of k replicas, lands objects
+// overflow writes uniformly, and counts the trial masked if at least one
+// replica's writes all landed on free slots.
+func SimOverflowMask(trials, slots, objects, replicas int, fullness float64, seed uint64) float64 {
+	r := rng.NewSeeded(seed)
+	liveTarget := int(fullness * float64(slots))
+	masked := 0
+	for t := 0; t < trials; t++ {
+		anyClean := false
+		for k := 0; k < replicas && !anyClean; k++ {
+			// Uniform random placement means each overflow write hits a
+			// live slot independently with probability L/H.
+			clean := true
+			for o := 0; o < objects; o++ {
+				if r.Intn(slots) < liveTarget {
+					clean = false
+					break
+				}
+			}
+			anyClean = clean
+		}
+		if anyClean {
+			masked++
+		}
+	}
+	return float64(masked) / float64(trials)
+}
+
+// SimDanglingMask is the Monte Carlo counterpart of Theorem 2: the
+// victim slot is one of q free slots; each of allocs subsequent
+// allocations picks a uniformly random free slot (worst case: no
+// intervening frees). The trial is masked if no replica's allocations
+// hit the victim.
+func SimDanglingMask(trials, q, allocs, replicas int, seed uint64) float64 {
+	r := rng.NewSeeded(seed)
+	masked := 0
+	for t := 0; t < trials; t++ {
+		surviving := false
+		for k := 0; k < replicas && !surviving; k++ {
+			hit := false
+			// Sampling without replacement over q slots: allocation i
+			// has a 1/(q-i) chance of taking the victim among the
+			// remaining free slots.
+			for i := 0; i < allocs; i++ {
+				if r.Intn(q-i) == 0 {
+					hit = true
+					break
+				}
+			}
+			surviving = !hit
+		}
+		if surviving {
+			masked++
+		}
+	}
+	return float64(masked) / float64(trials)
+}
+
+// SimUninitDetect is the Monte Carlo counterpart of Theorem 3: each
+// replica fills a B-bit region with a uniform random value; detection
+// requires all values pairwise distinct.
+func SimUninitDetect(trials, bits, replicas int, seed uint64) float64 {
+	r := rng.NewSeeded(seed)
+	detected := 0
+	n := uint64(1) << uint(bits)
+	for t := 0; t < trials; t++ {
+		seen := make(map[uint64]bool, replicas)
+		distinct := true
+		for k := 0; k < replicas; k++ {
+			v := r.Uintn(n)
+			if seen[v] {
+				distinct = false
+				break
+			}
+			seen[v] = true
+		}
+		if distinct {
+			detected++
+		}
+	}
+	return float64(detected) / float64(trials)
+}

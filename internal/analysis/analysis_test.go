@@ -1,0 +1,242 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestTheorem1PaperNumbers(t *testing.T) {
+	// §6.1: "when the heap is no more than 1/8 full, DieHard in
+	// stand-alone mode provides an 87.5% chance of masking a
+	// single-object overflow, while three replicas avoids such errors
+	// with greater than 99% probability."
+	if p := OverflowMaskProb(1.0/8, 1, 1); !approx(p, 0.875, 1e-12) {
+		t.Fatalf("stand-alone 1/8 full = %v, want 0.875", p)
+	}
+	if p := OverflowMaskProb(1.0/8, 1, 3); p <= 0.99 {
+		t.Fatalf("three replicas 1/8 full = %v, want > 0.99", p)
+	}
+}
+
+func TestTheorem1Monotonicity(t *testing.T) {
+	// More replicas help; fuller heaps hurt; wider overflows hurt.
+	for k := 1; k < 6; k++ {
+		if OverflowMaskProb(0.25, 1, k+1) < OverflowMaskProb(0.25, 1, k) {
+			t.Fatalf("replica monotonicity violated at k=%d", k)
+		}
+	}
+	if OverflowMaskProb(0.5, 1, 1) >= OverflowMaskProb(0.25, 1, 1) {
+		t.Fatal("fullness monotonicity violated")
+	}
+	if OverflowMaskProb(0.25, 3, 1) >= OverflowMaskProb(0.25, 1, 1) {
+		t.Fatal("overflow width monotonicity violated")
+	}
+}
+
+func TestTheorem1EdgeCases(t *testing.T) {
+	if p := OverflowMaskProb(0, 1, 1); p != 1 {
+		t.Fatalf("empty heap must always mask: %v", p)
+	}
+	if p := OverflowMaskProb(1, 1, 1); p != 0 {
+		t.Fatalf("full heap can never mask: %v", p)
+	}
+	if p := OverflowMaskProb(0.5, 0, 1); p != 1 {
+		t.Fatalf("zero-width overflow is always benign: %v", p)
+	}
+}
+
+func TestTheorem2WorkedExample(t *testing.T) {
+	// §6.2: "the stand-alone version of DieHard has greater than a
+	// 99.5% chance of masking an 8-byte object that was freed 10,000
+	// allocations too soon" (default configuration).
+	p := DanglingMaskProb(10000, 8, DefaultClassFreeBytes, 1)
+	if p <= 0.995 {
+		t.Fatalf("worked example = %v, want > 0.995", p)
+	}
+	if p >= 1 {
+		t.Fatalf("worked example = %v, should not be certain", p)
+	}
+}
+
+func TestTheorem2Properties(t *testing.T) {
+	if DanglingMaskProb(1000, 8, 1<<20, 3) <= DanglingMaskProb(1000, 8, 1<<20, 1) {
+		t.Fatal("replicas must increase dangling masking")
+	}
+	if DanglingMaskProb(1000, 256, 1<<20, 1) >= DanglingMaskProb(1000, 8, 1<<20, 1) {
+		t.Fatal("larger objects must be easier to overwrite")
+	}
+	if DanglingMaskProb(10000, 8, 1<<20, 1) >= DanglingMaskProb(100, 8, 1<<20, 1) {
+		t.Fatal("more intervening allocations must hurt")
+	}
+	// Saturation: more allocations than free slots cannot give negative
+	// probability.
+	if p := DanglingMaskProb(1<<30, 8, 1024, 1); p != 0 {
+		t.Fatalf("saturated case = %v, want 0", p)
+	}
+}
+
+func TestTheorem3PaperNumbers(t *testing.T) {
+	// §6.3: 4 bits, 3 replicas -> 82%; 4 replicas -> 66.7%;
+	// 16 bits: 99.995% (k=3) and 99.99% (k=4).
+	if p := UninitDetectProb(4, 3); !approx(p, 0.8203, 0.001) {
+		t.Fatalf("B=4,k=3: %v, want ~0.82", p)
+	}
+	if p := UninitDetectProb(4, 4); !approx(p, 0.6665, 0.001) {
+		t.Fatalf("B=4,k=4: %v, want ~0.667", p)
+	}
+	if p := UninitDetectProb(16, 3); p < 0.9999 {
+		t.Fatalf("B=16,k=3: %v, want >= 0.9999", p)
+	}
+	if p := UninitDetectProb(16, 4); p < 0.9998 {
+		t.Fatalf("B=16,k=4: %v", p)
+	}
+}
+
+func TestTheorem3ReplicaParadox(t *testing.T) {
+	// The paper's observation that extra replicas *lower* detection
+	// probability for small B (more chances for a birthday collision).
+	for b := 1; b <= 8; b++ {
+		if UninitDetectProb(b, 4) > UninitDetectProb(b, 3) {
+			t.Fatalf("B=%d: 4 replicas should not beat 3", b)
+		}
+	}
+}
+
+func TestTheorem3Pigeonhole(t *testing.T) {
+	// k replicas cannot all differ on fewer than log2(k) bits.
+	if p := UninitDetectProb(1, 3); p != 0 {
+		t.Fatalf("3 replicas over 1 bit: %v, want 0", p)
+	}
+	if p := UninitDetectProb(2, 5); p != 0 {
+		t.Fatalf("5 replicas over 2 bits: %v, want 0", p)
+	}
+}
+
+func TestFigure4aSeries(t *testing.T) {
+	series := Figure4a()
+	if len(series) != 3 {
+		t.Fatalf("want 3 fullness series, got %d", len(series))
+	}
+	for _, s := range series {
+		if len(s.X) != 5 || len(s.Y) != 5 {
+			t.Fatalf("series %q has %d points, want 5", s.Label, len(s.X))
+		}
+		for i := 1; i < len(s.Y); i++ {
+			if s.Y[i] < s.Y[i-1] {
+				t.Fatalf("series %q not monotone in replicas", s.Label)
+			}
+		}
+	}
+	// The 1/8-full series must dominate the 1/2-full series everywhere.
+	for i := range series[0].Y {
+		if series[0].Y[i] <= series[2].Y[i] {
+			t.Fatal("1/8-full does not dominate 1/2-full")
+		}
+	}
+}
+
+func TestFigure4bSeries(t *testing.T) {
+	series := Figure4b()
+	if len(series) != 3 {
+		t.Fatalf("want 3 alloc-count series, got %d", len(series))
+	}
+	for _, s := range series {
+		if len(s.X) != 6 {
+			t.Fatalf("series %q has %d sizes", s.Label, len(s.X))
+		}
+		for i := 1; i < len(s.Y); i++ {
+			if s.Y[i] > s.Y[i-1] {
+				t.Fatalf("series %q: masking should fall with object size", s.Label)
+			}
+		}
+	}
+	// All probabilities in the figure are high (top of the chart).
+	if series[0].Y[0] < 0.999 {
+		t.Fatalf("100 allocs / 8 bytes should be ~1: %v", series[0].Y[0])
+	}
+}
+
+func TestMonteCarloMatchesTheorem1(t *testing.T) {
+	for _, tc := range []struct {
+		fullness float64
+		objects  int
+		k        int
+	}{
+		{1.0 / 8, 1, 1},
+		{1.0 / 4, 1, 3},
+		{1.0 / 2, 2, 4},
+	} {
+		want := OverflowMaskProb(tc.fullness, tc.objects, tc.k)
+		got := SimOverflowMask(40000, 4096, tc.objects, tc.k, tc.fullness, 42)
+		if !approx(got, want, 0.01) {
+			t.Fatalf("fullness=%v O=%d k=%d: sim %v vs formula %v",
+				tc.fullness, tc.objects, tc.k, got, want)
+		}
+	}
+}
+
+func TestMonteCarloMatchesTheorem2(t *testing.T) {
+	// Theorem 2 is a lower bound; the simulation (sampling without
+	// replacement) should sit at or just above it.
+	for _, tc := range []struct {
+		q, allocs, k int
+	}{
+		{4096, 100, 1},
+		{4096, 1000, 1},
+		{4096, 500, 3},
+	} {
+		bound := 1 - math.Pow(float64(tc.allocs)/float64(tc.q), float64(tc.k))
+		got := SimDanglingMask(40000, tc.q, tc.allocs, tc.k, 7)
+		if got < bound-0.01 {
+			t.Fatalf("q=%d A=%d k=%d: sim %v below bound %v", tc.q, tc.allocs, tc.k, got, bound)
+		}
+		if got > bound+0.05 {
+			t.Fatalf("q=%d A=%d k=%d: sim %v implausibly above bound %v", tc.q, tc.allocs, tc.k, got, bound)
+		}
+	}
+}
+
+func TestMonteCarloMatchesTheorem3(t *testing.T) {
+	for _, tc := range []struct{ bits, k int }{
+		{4, 3}, {4, 4}, {8, 3},
+	} {
+		want := UninitDetectProb(tc.bits, tc.k)
+		got := SimUninitDetect(40000, tc.bits, tc.k, 11)
+		if !approx(got, want, 0.01) {
+			t.Fatalf("B=%d k=%d: sim %v vs formula %v", tc.bits, tc.k, got, want)
+		}
+	}
+}
+
+func TestUninitSeriesShape(t *testing.T) {
+	series := UninitSeries(16, []int{3, 4, 5})
+	if len(series) != 3 {
+		t.Fatal("want 3 series")
+	}
+	for _, s := range series {
+		if s.Y[15] < 0.999 {
+			t.Fatalf("%s at 16 bits: %v, want near 1", s.Label, s.Y[15])
+		}
+	}
+}
+
+func TestPanicsOnBadInput(t *testing.T) {
+	for name, f := range map[string]func(){
+		"fullness":  func() { OverflowMaskProb(1.5, 1, 1) },
+		"replicas":  func() { OverflowMaskProb(0.5, 1, 0) },
+		"dangling":  func() { DanglingMaskProb(-1, 8, 100, 1) },
+		"uninit":    func() { UninitDetectProb(0, 3) },
+		"uninitRep": func() { UninitDetectProb(4, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

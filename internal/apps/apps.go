@@ -1,0 +1,191 @@
+// Package apps contains the evaluation applications of the paper's §7:
+// the allocation-intensive suite (cfrac, espresso, lindsay, p2c, roboop)
+// and analogs of the SPECint2000 benchmarks, all implemented as
+// deterministic kernels that allocate, free, read, and write exclusively
+// through the simulated heap.
+//
+// Per DESIGN.md §1, each kernel is matched to its original on the
+// properties the paper's experiments rely on: allocation intensity,
+// object-size mix, and live-set shape. Outputs are deterministic
+// checksums and result lines, so "correct execution" is decidable by
+// comparing against a clean run; a *vmem.Fault or allocator corruption
+// error is a crash; exceeding the work limit is a hang (one injected run
+// in §7.3.1 hangs rather than crashes).
+//
+// Every kernel follows C discipline for a conservative collector: all
+// long-lived pointers are stored in heap-resident structures reachable
+// from a registered root (the kernel's "globals" block), never only in
+// Go-side variables, so the gcsim baseline genuinely reclaims garbage
+// without reclaiming live data.
+package apps
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"diehard/internal/heap"
+)
+
+// ErrHang reports that a kernel exceeded its work limit, classifying the
+// run as hung.
+var ErrHang = errors.New("apps: work limit exceeded (hang)")
+
+// DefaultWorkLimit bounds kernel work; reference runs use well under a
+// tenth of it.
+const DefaultWorkLimit = 200_000_000
+
+// Runtime is the world an application runs in.
+type Runtime struct {
+	Alloc heap.Allocator
+	Mem   heap.Memory
+	Input []byte
+	Out   io.Writer
+	// WorkLimit bounds loop iterations for hang detection; 0 means
+	// DefaultWorkLimit.
+	WorkLimit uint64
+
+	work uint64
+}
+
+// Step charges one unit of loop work and fails once the limit is
+// exceeded. Kernels call it in every loop that could be corrupted into
+// spinning.
+func (rt *Runtime) Step() error {
+	rt.work++
+	limit := rt.WorkLimit
+	if limit == 0 {
+		limit = DefaultWorkLimit
+	}
+	if rt.work > limit {
+		return ErrHang
+	}
+	return nil
+}
+
+// Work reports the loop work consumed so far.
+func (rt *Runtime) Work() uint64 { return rt.work }
+
+// rootRegistrar is implemented by collectors that need explicit roots
+// (gcsim.Heap).
+type rootRegistrar interface {
+	AddRoot(p heap.Ptr)
+	RemoveRoot(p heap.Ptr)
+}
+
+// Kind classifies benchmarks as in Figure 5.
+type Kind int
+
+const (
+	// AllocIntensive marks the cfrac/espresso/lindsay/p2c/roboop suite.
+	AllocIntensive Kind = iota
+	// GeneralPurpose marks the SPECint2000 analogs.
+	GeneralPurpose
+)
+
+func (k Kind) String() string {
+	if k == AllocIntensive {
+		return "alloc-intensive"
+	}
+	return "general-purpose"
+}
+
+// App is one runnable benchmark.
+type App struct {
+	Name string
+	Kind Kind
+	// Input produces the deterministic input for a scale factor
+	// (1 = the standard experiment size).
+	Input func(scale int) []byte
+	// Run executes the kernel.
+	Run func(rt *Runtime) error
+}
+
+// Registry returns all benchmarks in reporting order: the
+// allocation-intensive suite first, then the SPEC analogs, matching
+// Figure 5(a)'s x-axis.
+func Registry() []App {
+	return []App{
+		{Name: "cfrac", Kind: AllocIntensive, Input: cfracInput, Run: runCfrac},
+		{Name: "espresso", Kind: AllocIntensive, Input: espressoInput, Run: runEspresso},
+		{Name: "lindsay", Kind: AllocIntensive, Input: lindsayInput, Run: runLindsay},
+		{Name: "p2c", Kind: AllocIntensive, Input: p2cInput, Run: runP2C},
+		{Name: "roboop", Kind: AllocIntensive, Input: roboopInput, Run: runRoboop},
+		{Name: "164.gzip", Kind: GeneralPurpose, Input: gzipInput, Run: runGzip},
+		{Name: "175.vpr", Kind: GeneralPurpose, Input: vprInput, Run: runVpr},
+		{Name: "176.gcc", Kind: GeneralPurpose, Input: gccInput, Run: runGcc},
+		{Name: "181.mcf", Kind: GeneralPurpose, Input: mcfInput, Run: runMcf},
+		{Name: "186.crafty", Kind: GeneralPurpose, Input: craftyInput, Run: runCrafty},
+		{Name: "197.parser", Kind: GeneralPurpose, Input: parserInput, Run: runParser},
+		{Name: "252.eon", Kind: GeneralPurpose, Input: eonInput, Run: runEon},
+		{Name: "253.perlbmk", Kind: GeneralPurpose, Input: perlbmkInput, Run: runPerlbmk},
+		{Name: "254.gap", Kind: GeneralPurpose, Input: gapInput, Run: runGap},
+		{Name: "255.vortex", Kind: GeneralPurpose, Input: vortexInput, Run: runVortex},
+		{Name: "256.bzip2", Kind: GeneralPurpose, Input: bzip2Input, Run: runBzip2},
+		{Name: "300.twolf", Kind: GeneralPurpose, Input: twolfInput, Run: runTwolf},
+	}
+}
+
+// Get looks up a benchmark by name.
+func Get(name string) (App, bool) {
+	for _, a := range Registry() {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return App{}, false
+}
+
+// globals is a heap-resident array of word slots registered as a GC
+// root: the application's statics. Long-lived pointers must be parked
+// here (or be reachable from here) to survive conservative collection.
+type globals struct {
+	rt   *Runtime
+	base heap.Ptr
+	n    int
+}
+
+func newGlobals(rt *Runtime, n int) (*globals, error) {
+	base, err := rt.Alloc.Malloc(8 * n)
+	if err != nil {
+		return nil, err
+	}
+	if err := rt.Mem.Memset(base, 0, 8*n); err != nil {
+		return nil, err
+	}
+	if reg, ok := rt.Alloc.(rootRegistrar); ok {
+		reg.AddRoot(base)
+	}
+	return &globals{rt: rt, base: base, n: n}, nil
+}
+
+func (g *globals) set(i int, v uint64) error {
+	if i < 0 || i >= g.n {
+		return fmt.Errorf("apps: globals index %d out of %d", i, g.n)
+	}
+	return g.rt.Mem.Store64(g.base+uint64(8*i), v)
+}
+
+func (g *globals) get(i int) (uint64, error) {
+	if i < 0 || i >= g.n {
+		return 0, fmt.Errorf("apps: globals index %d out of %d", i, g.n)
+	}
+	return g.rt.Mem.Load64(g.base + uint64(8*i))
+}
+
+// release unregisters and frees the globals block at program exit.
+func (g *globals) release() {
+	if reg, ok := g.rt.Alloc.(rootRegistrar); ok {
+		reg.RemoveRoot(g.base)
+	}
+	_ = g.rt.Alloc.Free(g.base)
+}
+
+// fnv1a updates a 64-bit FNV-1a hash with one byte.
+func fnv1a(h uint64, b byte) uint64 {
+	const prime = 1099511628211
+	return (h ^ uint64(b)) * prime
+}
+
+// fnvInit is the FNV-1a offset basis.
+const fnvInit = 14695981039346656037

@@ -1,0 +1,276 @@
+package apps
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"diehard/internal/core"
+	"diehard/internal/gcsim"
+	"diehard/internal/heap"
+	"diehard/internal/leaalloc"
+	"diehard/internal/winalloc"
+)
+
+const testHeapSize = 24 << 20
+
+func runOn(t *testing.T, app App, alloc heap.Allocator, scale int) (string, *Runtime) {
+	t.Helper()
+	var out bytes.Buffer
+	rt := &Runtime{
+		Alloc: alloc,
+		Mem:   alloc.Mem(),
+		Input: app.Input(scale),
+		Out:   &out,
+	}
+	if err := app.Run(rt); err != nil {
+		t.Fatalf("%s on %s: %v", app.Name, alloc.Name(), err)
+	}
+	return out.String(), rt
+}
+
+func dieHeap(t *testing.T, seed uint64) *core.Heap {
+	t.Helper()
+	h, err := core.New(core.Options{HeapSize: testHeapSize, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestAllAppsRunOnDieHard(t *testing.T) {
+	for _, app := range Registry() {
+		app := app
+		t.Run(app.Name, func(t *testing.T) {
+			out, rt := runOn(t, app, dieHeap(t, 0xD1E), 1)
+			if !strings.Contains(out, "checksum=") && !strings.Contains(out, "cost=") &&
+				!strings.Contains(out, "score=") && !strings.Contains(out, "swaps=") {
+				t.Fatalf("output carries no result: %q", out)
+			}
+			if rt.Alloc.Stats().Mallocs == 0 {
+				t.Fatal("app performed no allocations")
+			}
+		})
+	}
+}
+
+func TestDeterministicAcrossSeeds(t *testing.T) {
+	// DieHard randomizes placement, not semantics: two differently
+	// seeded stand-alone heaps must yield identical output.
+	for _, app := range Registry() {
+		app := app
+		t.Run(app.Name, func(t *testing.T) {
+			out1, _ := runOn(t, app, dieHeap(t, 111), 1)
+			out2, _ := runOn(t, app, dieHeap(t, 222), 1)
+			if out1 != out2 {
+				t.Fatalf("output depends on heap layout:\n%s\n%s", out1, out2)
+			}
+		})
+	}
+}
+
+func TestAppsRunOnAllAllocators(t *testing.T) {
+	// Every benchmark must complete on every baseline, and all
+	// allocators must agree on the output — except lindsay, whose
+	// uninitialized read legitimately reflects stale heap contents.
+	for _, app := range Registry() {
+		app := app
+		t.Run(app.Name, func(t *testing.T) {
+			ref, _ := runOn(t, app, dieHeap(t, 5), 1)
+
+			lea, err := leaalloc.New(leaalloc.Options{HeapSize: testHeapSize})
+			if err != nil {
+				t.Fatal(err)
+			}
+			leaOut, _ := runOn(t, app, lea, 1)
+
+			gc, err := gcsim.New(gcsim.Options{HeapSize: 96 << 20})
+			if err != nil {
+				t.Fatal(err)
+			}
+			gcOut, _ := runOn(t, app, gc, 1)
+
+			win, err := winalloc.New(winalloc.Options{HeapSize: testHeapSize})
+			if err != nil {
+				t.Fatal(err)
+			}
+			winOut, _ := runOn(t, app, win, 1)
+
+			if app.Name == "lindsay" {
+				// Compare everything except the uninitialized-read
+				// statistic (the final field).
+				trim := func(s string) string {
+					i := strings.LastIndex(s, "tagstat=")
+					return s[:i]
+				}
+				ref, leaOut, gcOut, winOut = trim(ref), trim(leaOut), trim(gcOut), trim(winOut)
+			}
+			if leaOut != ref {
+				t.Errorf("lea output differs:\nwant %q\ngot  %q", ref, leaOut)
+			}
+			if gcOut != ref {
+				t.Errorf("gc output differs:\nwant %q\ngot  %q", ref, gcOut)
+			}
+			if winOut != ref {
+				t.Errorf("win output differs:\nwant %q\ngot  %q", ref, winOut)
+			}
+		})
+	}
+}
+
+func TestLindsayUninitReadIsReal(t *testing.T) {
+	// On a stand-alone DieHard heap fresh memory is zero, so the
+	// uninitialized statistic is 0. On the boundary-tag baseline the
+	// same field holds recycled allocator metadata — direct evidence
+	// the read truly reaches uninitialized memory.
+	app, _ := Get("lindsay")
+	ref, _ := runOn(t, app, dieHeap(t, 5), 1)
+	if !strings.Contains(ref, "tagstat=0000000000000000") {
+		t.Fatalf("stand-alone DieHard should see zeros: %q", ref)
+	}
+}
+
+func TestAllocationIntensityOrdering(t *testing.T) {
+	// The property Figure 5 relies on: the alloc-intensive suite
+	// allocates far more per unit of memory traffic than the SPEC
+	// analogs do on (geometric) average.
+	intensity := func(app App) float64 {
+		h := dieHeap(t, 7)
+		runOn(t, app, h, 1)
+		accesses := h.Mem().Stats().Accesses()
+		if accesses == 0 {
+			t.Fatalf("%s made no accesses", app.Name)
+		}
+		return float64(h.Stats().Mallocs) / float64(accesses)
+	}
+	var allocSide, specSide []float64
+	for _, app := range Registry() {
+		v := intensity(app)
+		if app.Kind == AllocIntensive {
+			allocSide = append(allocSide, v)
+		} else {
+			specSide = append(specSide, v)
+		}
+	}
+	mean := func(xs []float64) float64 {
+		s := 0.0
+		for _, x := range xs {
+			s += x
+		}
+		return s / float64(len(xs))
+	}
+	if mean(allocSide) < 2*mean(specSide) {
+		t.Fatalf("alloc-intensive mean %.5f not clearly above SPEC mean %.5f",
+			mean(allocSide), mean(specSide))
+	}
+}
+
+func TestTwolfUsesWideSizeMix(t *testing.T) {
+	// 300.twolf must touch many size classes (the TLB outlier
+	// mechanism).
+	h := dieHeap(t, 9)
+	app, _ := Get("300.twolf")
+	runOn(t, app, h, 1)
+	classes := 0
+	for c := 0; c < core.NumClasses; c++ {
+		if h.ClassMallocs(c) > 0 {
+			classes++
+		}
+	}
+	if classes < 6 {
+		t.Fatalf("twolf touched only %d size classes", classes)
+	}
+	// Contrast: the mcf analog concentrates in very few classes.
+	h2 := dieHeap(t, 9)
+	mcf, _ := Get("181.mcf")
+	runOn(t, mcf, h2, 1)
+	mcfClasses := 0
+	for c := 0; c < core.NumClasses; c++ {
+		if h2.ClassMallocs(c) > 0 {
+			mcfClasses++
+		}
+	}
+	if mcfClasses >= classes {
+		t.Fatalf("twolf (%d classes) should exceed mcf (%d)", classes, mcfClasses)
+	}
+}
+
+func TestHangDetection(t *testing.T) {
+	app, _ := Get("espresso")
+	var out bytes.Buffer
+	h := dieHeap(t, 1)
+	rt := &Runtime{
+		Alloc:     h,
+		Mem:       h.Mem(),
+		Input:     app.Input(1),
+		Out:       &out,
+		WorkLimit: 50, // absurdly small: must trip
+	}
+	if err := app.Run(rt); err != ErrHang {
+		t.Fatalf("expected ErrHang, got %v", err)
+	}
+}
+
+func TestRegistryLookups(t *testing.T) {
+	if len(Registry()) != 17 {
+		t.Fatalf("registry has %d apps, want 17 (5 alloc-intensive + 12 SPEC)", len(Registry()))
+	}
+	if _, ok := Get("cfrac"); !ok {
+		t.Fatal("cfrac missing")
+	}
+	if _, ok := Get("nonesuch"); ok {
+		t.Fatal("bogus app found")
+	}
+	ai := 0
+	for _, a := range Registry() {
+		if a.Kind == AllocIntensive {
+			ai++
+		}
+	}
+	if ai != 5 {
+		t.Fatalf("%d alloc-intensive apps, want 5", ai)
+	}
+}
+
+func TestGlobalsHelpers(t *testing.T) {
+	h := dieHeap(t, 3)
+	rt := &Runtime{Alloc: h, Mem: h.Mem()}
+	g, err := newGlobals(rt, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.set(2, 0xabc); err != nil {
+		t.Fatal(err)
+	}
+	v, err := g.get(2)
+	if err != nil || v != 0xabc {
+		t.Fatalf("got %v %v", v, err)
+	}
+	if err := g.set(4, 1); err == nil {
+		t.Fatal("out-of-range set accepted")
+	}
+	if _, err := g.get(-1); err == nil {
+		t.Fatal("out-of-range get accepted")
+	}
+	g.release()
+}
+
+func TestInputScaling(t *testing.T) {
+	for _, app := range Registry() {
+		small := len(app.Input(1))
+		if small == 0 {
+			t.Fatalf("%s has empty input", app.Name)
+		}
+		// Scale 0 and negative clamp to 1.
+		if len(app.Input(0)) != small {
+			t.Fatalf("%s: scale 0 not clamped", app.Name)
+		}
+	}
+	// At least the data-driven apps scale up.
+	for _, name := range []string{"cfrac", "espresso", "164.gzip", "255.vortex"} {
+		app, _ := Get(name)
+		if len(app.Input(2)) <= len(app.Input(1)) {
+			t.Fatalf("%s input does not scale", name)
+		}
+	}
+}

@@ -1,0 +1,191 @@
+package apps
+
+import "diehard/internal/heap"
+
+// Heap-resident arbitrary-precision naturals, used by the cfrac and gap
+// kernels. Layout: one word holding the limb count, followed by 32-bit
+// little-endian limbs in 4-byte cells. Every arithmetic operation
+// allocates its result as a fresh heap object, which is precisely the
+// allocation behaviour that makes cfrac allocation-intensive.
+
+const bnHeader = 8
+
+// bnNew allocates a bignum with the given limb capacity, length zero.
+func bnNew(rt *Runtime, limbs int) (heap.Ptr, error) {
+	p, err := rt.Alloc.Malloc(bnHeader + 4*limbs)
+	if err != nil {
+		return heap.Null, err
+	}
+	if err := rt.Mem.Store64(p, 0); err != nil {
+		return heap.Null, err
+	}
+	return p, nil
+}
+
+func bnLen(rt *Runtime, p heap.Ptr) (int, error) {
+	n, err := rt.Mem.Load64(p)
+	return int(n), err
+}
+
+func bnLimb(rt *Runtime, p heap.Ptr, i int) (uint32, error) {
+	return rt.Mem.Load32(p + bnHeader + uint64(4*i))
+}
+
+func bnSetLimb(rt *Runtime, p heap.Ptr, i int, v uint32) error {
+	return rt.Mem.Store32(p+bnHeader+uint64(4*i), v)
+}
+
+// bnFromU64 allocates a bignum holding v.
+func bnFromU64(rt *Runtime, v uint64) (heap.Ptr, error) {
+	p, err := bnNew(rt, 2)
+	if err != nil {
+		return heap.Null, err
+	}
+	n := 0
+	for v != 0 {
+		if err := bnSetLimb(rt, p, n, uint32(v)); err != nil {
+			return heap.Null, err
+		}
+		v >>= 32
+		n++
+	}
+	return p, rt.Mem.Store64(p, uint64(n))
+}
+
+// bnIsZero reports whether the value is zero.
+func bnIsZero(rt *Runtime, p heap.Ptr) (bool, error) {
+	n, err := bnLen(rt, p)
+	return n == 0, err
+}
+
+// bnIsOne reports whether the value is one.
+func bnIsOne(rt *Runtime, p heap.Ptr) (bool, error) {
+	n, err := bnLen(rt, p)
+	if err != nil || n != 1 {
+		return false, err
+	}
+	l, err := bnLimb(rt, p, 0)
+	return l == 1, err
+}
+
+// bnMulAddSmall returns a freshly allocated x*mul + add.
+func bnMulAddSmall(rt *Runtime, x heap.Ptr, mul, add uint64) (heap.Ptr, error) {
+	n, err := bnLen(rt, x)
+	if err != nil {
+		return heap.Null, err
+	}
+	out, err := bnNew(rt, n+2)
+	if err != nil {
+		return heap.Null, err
+	}
+	carry := add
+	for i := 0; i < n; i++ {
+		limb, err := bnLimb(rt, x, i)
+		if err != nil {
+			return heap.Null, err
+		}
+		v := uint64(limb)*mul + carry
+		if err := bnSetLimb(rt, out, i, uint32(v)); err != nil {
+			return heap.Null, err
+		}
+		carry = v >> 32
+	}
+	outLen := n
+	for carry != 0 {
+		if err := bnSetLimb(rt, out, outLen, uint32(carry)); err != nil {
+			return heap.Null, err
+		}
+		carry >>= 32
+		outLen++
+	}
+	return out, rt.Mem.Store64(out, uint64(outLen))
+}
+
+// bnModSmall returns x mod m without allocating.
+func bnModSmall(rt *Runtime, x heap.Ptr, m uint64) (uint64, error) {
+	n, err := bnLen(rt, x)
+	if err != nil {
+		return 0, err
+	}
+	var rem uint64
+	for i := n - 1; i >= 0; i-- {
+		limb, err := bnLimb(rt, x, i)
+		if err != nil {
+			return 0, err
+		}
+		rem = (rem<<32 | uint64(limb)) % m
+	}
+	return rem, nil
+}
+
+// bnDivSmall returns a freshly allocated floor(x / d).
+func bnDivSmall(rt *Runtime, x heap.Ptr, d uint64) (heap.Ptr, error) {
+	n, err := bnLen(rt, x)
+	if err != nil {
+		return heap.Null, err
+	}
+	out, err := bnNew(rt, n)
+	if err != nil {
+		return heap.Null, err
+	}
+	var rem uint64
+	outLen := 0
+	for i := n - 1; i >= 0; i-- {
+		limb, err := bnLimb(rt, x, i)
+		if err != nil {
+			return heap.Null, err
+		}
+		cur := rem<<32 | uint64(limb)
+		q := cur / d
+		rem = cur % d
+		if err := bnSetLimb(rt, out, i, uint32(q)); err != nil {
+			return heap.Null, err
+		}
+		if q != 0 && outLen == 0 {
+			outLen = i + 1
+		}
+	}
+	return out, rt.Mem.Store64(out, uint64(outLen))
+}
+
+// bnParseDecimal builds a bignum from ASCII digits, one multiply-add per
+// digit — the allocation storm of cfrac's input handling. Every
+// intermediate value is freed as soon as it is superseded.
+func bnParseDecimal(rt *Runtime, digits []byte) (heap.Ptr, error) {
+	acc, err := bnFromU64(rt, 0)
+	if err != nil {
+		return heap.Null, err
+	}
+	for _, d := range digits {
+		if d < '0' || d > '9' {
+			continue
+		}
+		next, err := bnMulAddSmall(rt, acc, 10, uint64(d-'0'))
+		if err != nil {
+			return heap.Null, err
+		}
+		if err := rt.Alloc.Free(acc); err != nil {
+			return heap.Null, err
+		}
+		acc = next
+	}
+	return acc, nil
+}
+
+// bnHash folds the value into an FNV hash for output checksums.
+func bnHash(rt *Runtime, p heap.Ptr, h uint64) (uint64, error) {
+	n, err := bnLen(rt, p)
+	if err != nil {
+		return 0, err
+	}
+	for i := 0; i < n; i++ {
+		limb, err := bnLimb(rt, p, i)
+		if err != nil {
+			return 0, err
+		}
+		for s := 0; s < 32; s += 8 {
+			h = fnv1a(h, byte(limb>>s))
+		}
+	}
+	return h, nil
+}

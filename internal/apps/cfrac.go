@@ -1,0 +1,115 @@
+package apps
+
+import (
+	"fmt"
+
+	"diehard/internal/heap"
+)
+
+// cfrac factors a list of semiprimes by trial division over heap-
+// resident bignums. Like the original continued-fraction factoring
+// benchmark, it performs an enormous number of small, short-lived
+// allocations (every division allocates a quotient, every parsed digit
+// an intermediate), making it the most allocation-intensive kernel in
+// the suite.
+
+// cfracPrimes are the factor pool for input generation (all prime).
+var cfracPrimes = []uint64{10007, 10501, 11003, 12007, 13001, 14009, 15013, 16033}
+
+func cfracInput(scale int) []byte {
+	if scale < 1 {
+		scale = 1
+	}
+	var out []byte
+	for i := 0; i < 4*scale; i++ {
+		p := cfracPrimes[i%len(cfracPrimes)]
+		q := cfracPrimes[(i+3)%len(cfracPrimes)]
+		out = append(out, []byte(fmt.Sprintf("%d\n", p*q))...)
+	}
+	return out
+}
+
+func runCfrac(rt *Runtime) error {
+	g, err := newGlobals(rt, 2)
+	if err != nil {
+		return err
+	}
+	defer g.release()
+	hash := uint64(fnvInit)
+	factored := 0
+
+	line := make([]byte, 0, 32)
+	flush := func() error {
+		if len(line) == 0 {
+			return nil
+		}
+		n, err := bnParseDecimal(rt, line)
+		line = line[:0]
+		if err != nil {
+			return err
+		}
+		// Park the current number in the globals so it survives any
+		// collection while temporaries churn.
+		if err := g.set(0, n); err != nil {
+			return err
+		}
+		for d := uint64(3); ; d += 2 {
+			if err := rt.Step(); err != nil {
+				return err
+			}
+			one, err := bnIsOne(rt, n)
+			if err != nil {
+				return err
+			}
+			zero, err := bnIsZero(rt, n)
+			if err != nil {
+				return err
+			}
+			if one || zero {
+				break
+			}
+			rem, err := bnModSmall(rt, n, d)
+			if err != nil {
+				return err
+			}
+			if rem != 0 {
+				continue
+			}
+			// Found a factor: divide it out (allocates the quotient).
+			q, err := bnDivSmall(rt, n, d)
+			if err != nil {
+				return err
+			}
+			if err := g.set(0, q); err != nil {
+				return err
+			}
+			if err := rt.Alloc.Free(n); err != nil {
+				return err
+			}
+			n = q
+			hash = fnv1a(hash, byte(d))
+			hash = fnv1a(hash, byte(d>>8))
+			factored++
+			d -= 2 // retry the same divisor for repeated factors
+		}
+		if err := g.set(0, heap.Null); err != nil {
+			return err
+		}
+		return rt.Alloc.Free(n)
+	}
+
+	for _, b := range rt.Input {
+		if b == '\n' {
+			if err := flush(); err != nil {
+				return err
+			}
+			continue
+		}
+		line = append(line, b)
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(rt.Out, "cfrac: factors=%d checksum=%016x\n", factored, hash)
+	return err
+}

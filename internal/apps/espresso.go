@@ -1,0 +1,396 @@
+package apps
+
+import (
+	"fmt"
+
+	"diehard/internal/heap"
+	"diehard/internal/rng"
+)
+
+// espresso minimizes a two-level boolean cover by iterated absorption
+// and distance-1 merging over a heap-resident linked list of cubes.
+// Like the original logic minimizer it is allocation-intensive with
+// mixed small object sizes, and it is the injection target of §7.3.1.
+//
+// Cube encoding: 2 bits per variable in a 64-bit word (01 = literal 0,
+// 10 = literal 1, 11 = don't care). Cube object layout:
+//
+//	+0  bits  (u64)
+//	+8  next  (u64 pointer)
+//	+16 label (vars+1 bytes: the cube's text form, NUL-terminated)
+//
+// The label gives cubes the odd, >32-byte request size of the real
+// minimizer's objects, which is what §7.3.1's under-allocation fault
+// injector targets. The cover's head pointer lives in the kernel's
+// globals block so the list is GC-reachable.
+
+const espressoVars = 24
+
+// maxCubeSize bounds a cube allocation: 41 bytes at 24 variables.
+// Cubes are sized to their trimmed labels (trailing don't-cares
+// dropped), so requests vary continuously between 17 and 41 bytes —
+// the odd, varied sizes of the real minimizer's objects, which is what
+// lets §7.3.1's 4-byte under-allocation actually shrink a chunk rather
+// than vanish into alignment padding.
+const maxCubeSize = 16 + espressoVars + 1
+
+func espressoInput(scale int) []byte {
+	if scale < 1 {
+		scale = 1
+	}
+	r := rng.NewSeeded(0xE59)
+	var out []byte
+	out = append(out, []byte(fmt.Sprintf(".v %d\n", espressoVars))...)
+	for i := 0; i < 300*scale; i++ {
+		// Sparse cubes: a handful of specified literals, the rest don't
+		// care — the shape of real PLA inputs, and what makes
+		// absorption and merging (and therefore frees) frequent.
+		row := make([]byte, espressoVars+1)
+		for v := 0; v < espressoVars; v++ {
+			row[v] = '-'
+		}
+		for k := 0; k < 5; k++ {
+			v := r.Intn(espressoVars)
+			if r.Bool() {
+				row[v] = '1'
+			} else {
+				row[v] = '0'
+			}
+		}
+		row[espressoVars] = '\n'
+		out = append(out, row...)
+	}
+	return out
+}
+
+// cube helpers
+
+func cubeBits(rt *Runtime, c heap.Ptr) (uint64, error) { return rt.Mem.Load64(c) }
+func cubeNext(rt *Runtime, c heap.Ptr) (heap.Ptr, error) {
+	return rt.Mem.Load64(c + 8)
+}
+
+// trimLabel drops trailing don't-cares; cube objects are sized to the
+// trimmed text.
+func trimLabel(label []byte) []byte {
+	n := len(label)
+	if n > espressoVars {
+		n = espressoVars
+	}
+	for n > 0 && label[n-1] == '-' {
+		n--
+	}
+	return label[:n]
+}
+
+func newCube(rt *Runtime, bits uint64, next heap.Ptr, label []byte) (heap.Ptr, error) {
+	label = trimLabel(label)
+	c, err := rt.Alloc.Malloc(16 + len(label) + 1)
+	if err != nil {
+		return heap.Null, err
+	}
+	if err := rt.Mem.Store64(c, bits); err != nil {
+		return heap.Null, err
+	}
+	if err := rt.Mem.Store64(c+8, next); err != nil {
+		return heap.Null, err
+	}
+	if err := rt.Mem.WriteBytes(c+16, label); err != nil {
+		return heap.Null, err
+	}
+	return c, rt.Mem.Store8(c+16+uint64(len(label)), 0)
+}
+
+// covers reports whether cube a covers cube b (a's positions are a
+// superset at every variable).
+func covers(a, b uint64) bool { return a&b == b }
+
+// mergeDistance1 merges two cubes differing in exactly one variable
+// position where together they span {0,1}; returns the merged bits.
+func mergeDistance1(a, b uint64, vars int) (uint64, bool) {
+	diff := a ^ b
+	if diff == 0 {
+		return a, true // identical
+	}
+	// Locate the (single) differing variable.
+	var pos = -1
+	for v := 0; v < vars; v++ {
+		if diff>>(2*v)&3 != 0 {
+			if pos >= 0 {
+				return 0, false // differ in more than one variable
+			}
+			pos = v
+		}
+	}
+	av := a >> (2 * pos) & 3
+	bv := b >> (2 * pos) & 3
+	if av|bv != 3 {
+		return 0, false
+	}
+	return a | 3<<(2*pos), true
+}
+
+func runEspresso(rt *Runtime) error {
+	g, err := newGlobals(rt, 1) // slot 0: cover head
+	if err != nil {
+		return err
+	}
+	defer g.release()
+
+	vars := espressoVars
+	// Parse: build the cube list in heap.
+	i := 0
+	in := rt.Input
+	for i < len(in) {
+		// Find line end.
+		j := i
+		for j < len(in) && in[j] != '\n' {
+			j++
+		}
+		line := in[i:j]
+		i = j + 1
+		if len(line) == 0 || line[0] == '.' {
+			if len(line) > 2 && line[0] == '.' && line[1] == 'v' {
+				fmt.Sscanf(string(line), ".v %d", &vars)
+			}
+			continue
+		}
+		var bits uint64
+		for v := 0; v < vars && v < len(line); v++ {
+			switch line[v] {
+			case '0':
+				bits |= 1 << (2 * v)
+			case '1':
+				bits |= 2 << (2 * v)
+			default:
+				bits |= 3 << (2 * v)
+			}
+		}
+		head, err := g.get(0)
+		if err != nil {
+			return err
+		}
+		c, err := newCube(rt, bits, head, line)
+		if err != nil {
+			return err
+		}
+		if err := g.set(0, c); err != nil {
+			return err
+		}
+	}
+
+	// Minimize: alternate absorption and distance-1 merging to a fixed
+	// point.
+	for changed := true; changed; {
+		changed = false
+		// Absorption: delete any cube covered by another.
+		head, err := g.get(0)
+		if err != nil {
+			return err
+		}
+		for a := head; a != heap.Null; {
+			if err := rt.Step(); err != nil {
+				return err
+			}
+			abits, err := cubeBits(rt, a)
+			if err != nil {
+				return err
+			}
+			// Walk b over the list, unlinking covered successors of a.
+			prev := a
+			b, err := cubeNext(rt, a)
+			if err != nil {
+				return err
+			}
+			for b != heap.Null {
+				if err := rt.Step(); err != nil {
+					return err
+				}
+				bbits, err := cubeBits(rt, b)
+				if err != nil {
+					return err
+				}
+				next, err := cubeNext(rt, b)
+				if err != nil {
+					return err
+				}
+				if covers(abits, bbits) {
+					if err := rt.Mem.Store64(prev+8, next); err != nil {
+						return err
+					}
+					if err := rt.Alloc.Free(b); err != nil {
+						return err
+					}
+					changed = true
+				} else {
+					prev = b
+				}
+				b = next
+			}
+			a, err = cubeNext(rt, a)
+			if err != nil {
+				return err
+			}
+		}
+
+		// Distance-1 merge: combine the first mergeable pair found,
+		// repeatedly.
+		head, err = g.get(0)
+		if err != nil {
+			return err
+		}
+		for a := head; a != heap.Null; {
+			if err := rt.Step(); err != nil {
+				return err
+			}
+			abits, err := cubeBits(rt, a)
+			if err != nil {
+				return err
+			}
+			prev := a
+			b, err := cubeNext(rt, a)
+			if err != nil {
+				return err
+			}
+			merged := false
+			for b != heap.Null {
+				if err := rt.Step(); err != nil {
+					return err
+				}
+				bbits, err := cubeBits(rt, b)
+				if err != nil {
+					return err
+				}
+				next, err := cubeNext(rt, b)
+				if err != nil {
+					return err
+				}
+				if m, ok := mergeDistance1(abits, bbits, vars); ok {
+					// Unlink b, replace a's bits with the merger, and
+					// patch a's label at the merged position.
+					if err := rt.Mem.Store64(prev+8, next); err != nil {
+						return err
+					}
+					if err := rt.Alloc.Free(b); err != nil {
+						return err
+					}
+					if err := rt.Mem.Store64(a, m); err != nil {
+						return err
+					}
+					// Patch the label at the merged position when the
+					// trimmed text still covers it.
+					for v := 0; v < vars; v++ {
+						if (abits^m)>>(2*v)&3 != 0 {
+							lb, err := rt.Mem.Load8(a + 16 + uint64(v))
+							if err != nil {
+								return err
+							}
+							if lb == '0' || lb == '1' {
+								if err := rt.Mem.Store8(a+16+uint64(v), '-'); err != nil {
+									return err
+								}
+							}
+						}
+					}
+					changed = true
+					merged = true
+					break
+				}
+				prev = b
+				b = next
+			}
+			if merged {
+				continue // retry the same a with its new bits
+			}
+			a, err = cubeNext(rt, a)
+			if err != nil {
+				return err
+			}
+		}
+	}
+
+	// Rebuild the cover, as the original's irredundant pass does: every
+	// surviving cube is reallocated with its canonical label and the old
+	// cube freed. The interleaved allocation and freeing over a warm
+	// heap is where under-allocated cubes (§7.3.1) corrupt live
+	// neighbors on inline-metadata allocators.
+	head, err := g.get(0)
+	if err != nil {
+		return err
+	}
+	var rebuilt heap.Ptr
+	label := make([]byte, espressoVars)
+	for c := head; c != heap.Null; {
+		if err := rt.Step(); err != nil {
+			return err
+		}
+		bits, err := cubeBits(rt, c)
+		if err != nil {
+			return err
+		}
+		for k := 0; k < vars && k < espressoVars; k++ {
+			switch bits >> (2 * k) & 3 {
+			case 1:
+				label[k] = '0'
+			case 2:
+				label[k] = '1'
+			default:
+				label[k] = '-'
+			}
+		}
+		nc, err := newCube(rt, bits, rebuilt, label[:vars])
+		if err != nil {
+			return err
+		}
+		rebuilt = nc
+		if err := g.set(0, rebuilt); err != nil {
+			return err
+		}
+		next, err := cubeNext(rt, c)
+		if err != nil {
+			return err
+		}
+		if err := rt.Alloc.Free(c); err != nil {
+			return err
+		}
+		c = next
+	}
+
+	// Emit the minimized cover's size and checksum.
+	hash := uint64(fnvInit)
+	count := 0
+	head = rebuilt
+	for c := head; c != heap.Null; {
+		if err := rt.Step(); err != nil {
+			return err
+		}
+		bits, err := cubeBits(rt, c)
+		if err != nil {
+			return err
+		}
+		for s := 0; s < 64; s += 8 {
+			hash = fnv1a(hash, byte(bits>>s))
+		}
+		for k := 0; k <= espressoVars; k++ {
+			lb, err := rt.Mem.Load8(c + 16 + uint64(k))
+			if err != nil {
+				return err
+			}
+			if lb == 0 {
+				break
+			}
+			hash = fnv1a(hash, lb)
+		}
+		count++
+		next, err := cubeNext(rt, c)
+		if err != nil {
+			return err
+		}
+		if err := rt.Alloc.Free(c); err != nil {
+			return err
+		}
+		c = next
+	}
+	_, err = fmt.Fprintf(rt.Out, "espresso: cubes=%d checksum=%016x\n", count, hash)
+	return err
+}

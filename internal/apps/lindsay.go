@@ -1,0 +1,203 @@
+package apps
+
+import (
+	"fmt"
+
+	"diehard/internal/heap"
+	"diehard/internal/rng"
+)
+
+// lindsay simulates message routing on a hypercube, after the Lindsay
+// benchmark of the allocation-intensive suite. Every hop allocates a
+// hop-record and frees the previous one, so the allocation rate is
+// enormous relative to compute.
+//
+// Faithfully to the paper, this kernel contains a genuine uninitialized
+// read: hop records carry a `tag` field that is never written, and the
+// final statistics fold one tag value into the output. Under the
+// stand-alone allocator the output is deterministic per allocator; under
+// the replicated runtime the randomized fill makes the replicas disagree
+// and the voter detects it — which is why §7.2.3 excludes lindsay from
+// the replicated measurements.
+//
+// Node layout:  +0 received (u64), +8 spare (u64, never written)
+// Hop layout:   +0 current node (u64), +8 hops so far (u64),
+//               +16 prev record (ptr, freed on arrival), +24 tag (u64,
+//               NEVER WRITTEN: the uninitialized read)
+
+const lindsayDim = 6 // 64 nodes
+
+func lindsayInput(scale int) []byte {
+	if scale < 1 {
+		scale = 1
+	}
+	r := rng.NewSeeded(0x11D)
+	var out []byte
+	n := 1 << lindsayDim
+	for i := 0; i < 1200*scale; i++ {
+		out = append(out, []byte(fmt.Sprintf("%d %d\n", r.Intn(n), r.Intn(n)))...)
+	}
+	return out
+}
+
+func runLindsay(rt *Runtime) error {
+	nodes := 1 << lindsayDim
+	g, err := newGlobals(rt, nodes+1) // per-node pointer + scratch
+	if err != nil {
+		return err
+	}
+	defer g.release()
+
+	// Allocate node records.
+	for i := 0; i < nodes; i++ {
+		n, err := rt.Alloc.Malloc(16)
+		if err != nil {
+			return err
+		}
+		if err := rt.Mem.Store64(n, 0); err != nil { // received count
+			return err
+		}
+		// NOTE: the spare field at n+8 is deliberately left
+		// uninitialized, mirroring the original benchmark's bug.
+		if err := g.set(i, n); err != nil {
+			return err
+		}
+	}
+
+	var totalHops, delivered uint64
+	uninitStat := uint64(0)
+
+	// Parse "src dst" pairs and route each message.
+	parseInt := func(s []byte, pos int) (int, int) {
+		v := 0
+		for pos < len(s) && s[pos] >= '0' && s[pos] <= '9' {
+			v = v*10 + int(s[pos]-'0')
+			pos++
+		}
+		return v, pos
+	}
+	i := 0
+	in := rt.Input
+	for i < len(in) {
+		var src, dst int
+		src, i = parseInt(in, i)
+		i++ // space
+		dst, i = parseInt(in, i)
+		i++ // newline
+		src &= nodes - 1
+		dst &= nodes - 1
+
+		// Route by correcting one differing dimension per hop; each hop
+		// allocates a fresh record carrying a pointer to the previous
+		// one, which is freed on arrival of the next.
+		rec, err := rt.Alloc.Malloc(32)
+		if err != nil {
+			return err
+		}
+		if err := rt.Mem.Store64(rec, uint64(src)); err != nil {
+			return err
+		}
+		if err := rt.Mem.Store64(rec+8, 0); err != nil {
+			return err
+		}
+		if err := rt.Mem.Store64(rec+16, heap.Null); err != nil {
+			return err
+		}
+		if err := g.set(nodes, rec); err != nil { // keep reachable
+			return err
+		}
+		cur := src
+		for cur != dst {
+			if err := rt.Step(); err != nil {
+				return err
+			}
+			diff := uint(cur ^ dst)
+			var bit int
+			for bit = 0; bit < lindsayDim; bit++ {
+				if diff>>bit&1 == 1 {
+					break
+				}
+			}
+			cur ^= 1 << bit
+			hops, err := rt.Mem.Load64(rec + 8)
+			if err != nil {
+				return err
+			}
+			next, err := rt.Alloc.Malloc(32)
+			if err != nil {
+				return err
+			}
+			if err := rt.Mem.Store64(next, uint64(cur)); err != nil {
+				return err
+			}
+			if err := rt.Mem.Store64(next+8, hops+1); err != nil {
+				return err
+			}
+			if err := rt.Mem.Store64(next+16, rec); err != nil {
+				return err
+			}
+			if err := g.set(nodes, next); err != nil {
+				return err
+			}
+			// Free the superseded record.
+			if err := rt.Alloc.Free(rec); err != nil {
+				return err
+			}
+			rec = next
+		}
+		hops, err := rt.Mem.Load64(rec + 8)
+		if err != nil {
+			return err
+		}
+		totalHops += hops
+		delivered++
+		// The destination node counts the arrival.
+		nptr, err := g.get(dst)
+		if err != nil {
+			return err
+		}
+		recv, err := rt.Mem.Load64(nptr)
+		if err != nil {
+			return err
+		}
+		if err := rt.Mem.Store64(nptr, recv+1); err != nil {
+			return err
+		}
+		// THE UNINITIALIZED READ: every 97th delivery folds the
+		// never-written tag field of the final hop record into the
+		// statistics, and the statistic is printed below.
+		if delivered%97 == 0 {
+			tag, err := rt.Mem.Load64(rec + 24)
+			if err != nil {
+				return err
+			}
+			uninitStat ^= tag
+		}
+		if err := rt.Alloc.Free(rec); err != nil {
+			return err
+		}
+		if err := g.set(nodes, heap.Null); err != nil {
+			return err
+		}
+	}
+
+	// Receive-count checksum.
+	hash := uint64(fnvInit)
+	for i := 0; i < nodes; i++ {
+		nptr, err := g.get(i)
+		if err != nil {
+			return err
+		}
+		recv, err := rt.Mem.Load64(nptr)
+		if err != nil {
+			return err
+		}
+		hash = fnv1a(hash, byte(recv))
+		if err := rt.Alloc.Free(nptr); err != nil {
+			return err
+		}
+	}
+	_, err = fmt.Fprintf(rt.Out, "lindsay: delivered=%d hops=%d checksum=%016x tagstat=%016x\n",
+		delivered, totalHops, hash, uninitStat)
+	return err
+}

@@ -1,0 +1,435 @@
+package apps
+
+import (
+	"fmt"
+
+	"diehard/internal/heap"
+)
+
+// p2c translates a tiny Pascal-like language to C, after the p2c
+// translator of the allocation-intensive suite: a lexer allocating a
+// token node per lexeme, a recursive-descent parser building heap AST
+// nodes, and a code generator that walks and then frees each
+// statement's tree.
+//
+// Token layout: +0 kind, +8 value, +16 next
+// AST layout:   +0 op, +8 left (ptr), +16 right (ptr), +24 value
+
+const (
+	tokNum = iota
+	tokIdent
+	tokPlus
+	tokMinus
+	tokStar
+	tokAssign
+	tokSemi
+	tokLParen
+	tokRParen
+	tokEOF
+)
+
+const (
+	opNum = iota // leaf: value
+	opVar        // leaf: variable index
+	opAdd        // left + right
+	opSub        // left - right
+	opMul        // left * right
+)
+
+func p2cInput(scale int) []byte {
+	if scale < 1 {
+		scale = 1
+	}
+	var out []byte
+	for i := 0; i < 80*scale; i++ {
+		a, b, c := i%7, (i+3)%7, (i+5)%7
+		out = append(out, []byte(fmt.Sprintf(
+			"v%d := (v%d + %d) * (v%d - %d) + v%d * 3;\n",
+			a, b, i%13, c, i%5, b))...)
+	}
+	return out
+}
+
+type p2cState struct {
+	rt     *Runtime
+	g      *globals // slot 0: token list head, slot 1: current AST root
+	tokens heap.Ptr // cursor into the token list
+}
+
+func (s *p2cState) newToken(kind, value uint64) (heap.Ptr, error) {
+	t, err := s.rt.Alloc.Malloc(24)
+	if err != nil {
+		return heap.Null, err
+	}
+	if err := s.rt.Mem.Store64(t, kind); err != nil {
+		return heap.Null, err
+	}
+	if err := s.rt.Mem.Store64(t+8, value); err != nil {
+		return heap.Null, err
+	}
+	return t, s.rt.Mem.Store64(t+16, heap.Null)
+}
+
+func (s *p2cState) newNode(op uint64, left, right heap.Ptr, value uint64) (heap.Ptr, error) {
+	n, err := s.rt.Alloc.Malloc(32)
+	if err != nil {
+		return heap.Null, err
+	}
+	for off, v := range []uint64{op, left, right, value} {
+		if err := s.rt.Mem.Store64(n+uint64(8*off), v); err != nil {
+			return heap.Null, err
+		}
+	}
+	return n, nil
+}
+
+// lex tokenizes one statement (through ';') into a heap token list and
+// returns its head.
+func (s *p2cState) lex(line []byte) (heap.Ptr, error) {
+	var head, tail heap.Ptr
+	emit := func(kind, value uint64) error {
+		t, err := s.newToken(kind, value)
+		if err != nil {
+			return err
+		}
+		if head == heap.Null {
+			head = t
+			if err := s.g.set(0, head); err != nil {
+				return err
+			}
+		} else if err := s.rt.Mem.Store64(tail+16, t); err != nil {
+			return err
+		}
+		tail = t
+		return nil
+	}
+	i := 0
+	for i < len(line) {
+		c := line[i]
+		switch {
+		case c == ' ' || c == '\t':
+			i++
+		case c >= '0' && c <= '9':
+			v := uint64(0)
+			for i < len(line) && line[i] >= '0' && line[i] <= '9' {
+				v = v*10 + uint64(line[i]-'0')
+				i++
+			}
+			if err := emit(tokNum, v); err != nil {
+				return heap.Null, err
+			}
+		case c == 'v':
+			i++
+			v := uint64(0)
+			for i < len(line) && line[i] >= '0' && line[i] <= '9' {
+				v = v*10 + uint64(line[i]-'0')
+				i++
+			}
+			if err := emit(tokIdent, v); err != nil {
+				return heap.Null, err
+			}
+		case c == ':' && i+1 < len(line) && line[i+1] == '=':
+			i += 2
+			if err := emit(tokAssign, 0); err != nil {
+				return heap.Null, err
+			}
+		default:
+			kind := uint64(tokEOF)
+			switch c {
+			case '+':
+				kind = tokPlus
+			case '-':
+				kind = tokMinus
+			case '*':
+				kind = tokStar
+			case ';':
+				kind = tokSemi
+			case '(':
+				kind = tokLParen
+			case ')':
+				kind = tokRParen
+			}
+			i++
+			if err := emit(kind, 0); err != nil {
+				return heap.Null, err
+			}
+		}
+	}
+	if err := emit(tokEOF, 0); err != nil {
+		return heap.Null, err
+	}
+	return head, nil
+}
+
+func (s *p2cState) peek() (uint64, uint64, error) {
+	if s.tokens == heap.Null {
+		return tokEOF, 0, nil
+	}
+	kind, err := s.rt.Mem.Load64(s.tokens)
+	if err != nil {
+		return 0, 0, err
+	}
+	val, err := s.rt.Mem.Load64(s.tokens + 8)
+	return kind, val, err
+}
+
+func (s *p2cState) advance() error {
+	next, err := s.rt.Mem.Load64(s.tokens + 16)
+	if err != nil {
+		return err
+	}
+	s.tokens = next
+	return nil
+}
+
+// parseExpr parses expr := term (('+'|'-') term)*.
+func (s *p2cState) parseExpr() (heap.Ptr, error) {
+	left, err := s.parseTerm()
+	if err != nil {
+		return heap.Null, err
+	}
+	for {
+		if err := s.rt.Step(); err != nil {
+			return heap.Null, err
+		}
+		kind, _, err := s.peek()
+		if err != nil {
+			return heap.Null, err
+		}
+		if kind != tokPlus && kind != tokMinus {
+			return left, nil
+		}
+		if err := s.advance(); err != nil {
+			return heap.Null, err
+		}
+		right, err := s.parseTerm()
+		if err != nil {
+			return heap.Null, err
+		}
+		op := uint64(opAdd)
+		if kind == tokMinus {
+			op = opSub
+		}
+		left, err = s.newNode(op, left, right, 0)
+		if err != nil {
+			return heap.Null, err
+		}
+		if err := s.g.set(1, left); err != nil { // keep tree reachable
+			return heap.Null, err
+		}
+	}
+}
+
+func (s *p2cState) parseTerm() (heap.Ptr, error) {
+	left, err := s.parseFactor()
+	if err != nil {
+		return heap.Null, err
+	}
+	for {
+		kind, _, err := s.peek()
+		if err != nil {
+			return heap.Null, err
+		}
+		if kind != tokStar {
+			return left, nil
+		}
+		if err := s.advance(); err != nil {
+			return heap.Null, err
+		}
+		right, err := s.parseFactor()
+		if err != nil {
+			return heap.Null, err
+		}
+		left, err = s.newNode(opMul, left, right, 0)
+		if err != nil {
+			return heap.Null, err
+		}
+	}
+}
+
+func (s *p2cState) parseFactor() (heap.Ptr, error) {
+	kind, val, err := s.peek()
+	if err != nil {
+		return heap.Null, err
+	}
+	switch kind {
+	case tokNum:
+		if err := s.advance(); err != nil {
+			return heap.Null, err
+		}
+		return s.newNode(opNum, heap.Null, heap.Null, val)
+	case tokIdent:
+		if err := s.advance(); err != nil {
+			return heap.Null, err
+		}
+		return s.newNode(opVar, heap.Null, heap.Null, val)
+	case tokLParen:
+		if err := s.advance(); err != nil {
+			return heap.Null, err
+		}
+		e, err := s.parseExpr()
+		if err != nil {
+			return heap.Null, err
+		}
+		if err := s.advance(); err != nil { // ')'
+			return heap.Null, err
+		}
+		return e, nil
+	}
+	return heap.Null, fmt.Errorf("p2c: unexpected token %d", kind)
+}
+
+// emitC walks the tree, emitting a C expression and hashing it.
+func (s *p2cState) emitC(n heap.Ptr, hash *uint64) error {
+	if err := s.rt.Step(); err != nil {
+		return err
+	}
+	op, err := s.rt.Mem.Load64(n)
+	if err != nil {
+		return err
+	}
+	emitByte := func(b byte) { *hash = fnv1a(*hash, b) }
+	switch op {
+	case opNum, opVar:
+		v, err := s.rt.Mem.Load64(n + 24)
+		if err != nil {
+			return err
+		}
+		if op == opVar {
+			emitByte('v')
+		}
+		emitByte(byte('0' + v%10))
+	default:
+		left, err := s.rt.Mem.Load64(n + 8)
+		if err != nil {
+			return err
+		}
+		right, err := s.rt.Mem.Load64(n + 16)
+		if err != nil {
+			return err
+		}
+		emitByte('(')
+		if err := s.emitC(left, hash); err != nil {
+			return err
+		}
+		emitByte(" +-*"[op-opAdd+1])
+		if err := s.emitC(right, hash); err != nil {
+			return err
+		}
+		emitByte(')')
+	}
+	return nil
+}
+
+// freeTree releases an AST.
+func (s *p2cState) freeTree(n heap.Ptr) error {
+	if n == heap.Null {
+		return nil
+	}
+	op, err := s.rt.Mem.Load64(n)
+	if err != nil {
+		return err
+	}
+	if op != opNum && op != opVar {
+		left, err := s.rt.Mem.Load64(n + 8)
+		if err != nil {
+			return err
+		}
+		right, err := s.rt.Mem.Load64(n + 16)
+		if err != nil {
+			return err
+		}
+		if err := s.freeTree(left); err != nil {
+			return err
+		}
+		if err := s.freeTree(right); err != nil {
+			return err
+		}
+	}
+	return s.rt.Alloc.Free(n)
+}
+
+// freeTokens releases a token list.
+func (s *p2cState) freeTokens(head heap.Ptr) error {
+	for head != heap.Null {
+		next, err := s.rt.Mem.Load64(head + 16)
+		if err != nil {
+			return err
+		}
+		if err := s.rt.Alloc.Free(head); err != nil {
+			return err
+		}
+		head = next
+	}
+	return nil
+}
+
+func runP2C(rt *Runtime) error {
+	g, err := newGlobals(rt, 2)
+	if err != nil {
+		return err
+	}
+	defer g.release()
+	s := &p2cState{rt: rt, g: g}
+	hash := uint64(fnvInit)
+	statements := 0
+
+	i := 0
+	in := rt.Input
+	for i < len(in) {
+		j := i
+		for j < len(in) && in[j] != '\n' {
+			j++
+		}
+		line := in[i:j]
+		i = j + 1
+		if len(line) == 0 {
+			continue
+		}
+		head, err := s.lex(line)
+		if err != nil {
+			return err
+		}
+		s.tokens = head
+		// Statement: ident ':=' expr ';'
+		_, target, err := s.peek()
+		if err != nil {
+			return err
+		}
+		if err := s.advance(); err != nil {
+			return err
+		}
+		if err := s.advance(); err != nil { // ':='
+			return err
+		}
+		tree, err := s.parseExpr()
+		if err != nil {
+			return err
+		}
+		if err := g.set(1, tree); err != nil {
+			return err
+		}
+		hash = fnv1a(hash, byte('v'))
+		hash = fnv1a(hash, byte('0'+target%10))
+		hash = fnv1a(hash, byte('='))
+		if err := s.emitC(tree, &hash); err != nil {
+			return err
+		}
+		hash = fnv1a(hash, byte(';'))
+		statements++
+		if err := s.freeTree(tree); err != nil {
+			return err
+		}
+		if err := g.set(1, heap.Null); err != nil {
+			return err
+		}
+		if err := s.freeTokens(head); err != nil {
+			return err
+		}
+		if err := g.set(0, heap.Null); err != nil {
+			return err
+		}
+	}
+	_, err = fmt.Fprintf(rt.Out, "p2c: statements=%d checksum=%016x\n", statements, hash)
+	return err
+}

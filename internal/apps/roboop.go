@@ -1,0 +1,168 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+
+	"diehard/internal/heap"
+)
+
+// roboop computes forward kinematics for a six-joint robot arm over a
+// trajectory, after the RoboOp robotics library benchmark: chains of
+// 4x4 homogeneous-transform multiplications where every intermediate
+// matrix is a freshly allocated heap object, freed as soon as it is
+// consumed. Compute per allocation is high (64 multiply-adds), giving
+// the suite's lower-allocation-intensity end.
+//
+// Matrix layout: 16 float64 values stored row-major via Float64bits.
+
+func roboopInput(scale int) []byte {
+	if scale < 1 {
+		scale = 1
+	}
+	return []byte(fmt.Sprintf("%d\n", 600*scale))
+}
+
+func matNew(rt *Runtime) (heap.Ptr, error) {
+	return rt.Alloc.Malloc(16 * 8)
+}
+
+func matSet(rt *Runtime, m heap.Ptr, r, c int, v float64) error {
+	return rt.Mem.Store64(m+uint64(8*(4*r+c)), math.Float64bits(v))
+}
+
+func matGet(rt *Runtime, m heap.Ptr, r, c int) (float64, error) {
+	bits, err := rt.Mem.Load64(m + uint64(8*(4*r+c)))
+	return math.Float64frombits(bits), err
+}
+
+// matDH builds the Denavit-Hartenberg transform for joint parameters.
+func matDH(rt *Runtime, theta, d, a, alpha float64) (heap.Ptr, error) {
+	m, err := matNew(rt)
+	if err != nil {
+		return heap.Null, err
+	}
+	ct, st := math.Cos(theta), math.Sin(theta)
+	ca, sa := math.Cos(alpha), math.Sin(alpha)
+	rows := [4][4]float64{
+		{ct, -st * ca, st * sa, a * ct},
+		{st, ct * ca, -ct * sa, a * st},
+		{0, sa, ca, d},
+		{0, 0, 0, 1},
+	}
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			if err := matSet(rt, m, r, c, rows[r][c]); err != nil {
+				return heap.Null, err
+			}
+		}
+	}
+	return m, nil
+}
+
+// matMul allocates and returns a*b.
+func matMul(rt *Runtime, a, b heap.Ptr) (heap.Ptr, error) {
+	out, err := matNew(rt)
+	if err != nil {
+		return heap.Null, err
+	}
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			sum := 0.0
+			for k := 0; k < 4; k++ {
+				av, err := matGet(rt, a, r, k)
+				if err != nil {
+					return heap.Null, err
+				}
+				bv, err := matGet(rt, b, k, c)
+				if err != nil {
+					return heap.Null, err
+				}
+				sum += av * bv
+			}
+			if err := matSet(rt, out, r, c, sum); err != nil {
+				return heap.Null, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// puma560 is the classic test arm's DH parameter table (d, a, alpha).
+var puma560 = [6][3]float64{
+	{0.6718, 0, math.Pi / 2},
+	{0, 0.4318, 0},
+	{0.15005, 0.0203, -math.Pi / 2},
+	{0.4318, 0, math.Pi / 2},
+	{0, 0, -math.Pi / 2},
+	{0.0563, 0, 0},
+}
+
+func runRoboop(rt *Runtime) error {
+	g, err := newGlobals(rt, 2) // slot 0: accumulated transform
+	if err != nil {
+		return err
+	}
+	defer g.release()
+	steps := 0
+	fmt.Sscanf(string(rt.Input), "%d", &steps)
+	if steps <= 0 {
+		steps = 600
+	}
+	hash := uint64(fnvInit)
+
+	for s := 0; s < steps; s++ {
+		if err := rt.Step(); err != nil {
+			return err
+		}
+		// Joint angles along a smooth trajectory.
+		base := float64(s) * 0.01
+		acc, err := matDH(rt, base, puma560[0][0], puma560[0][1], puma560[0][2])
+		if err != nil {
+			return err
+		}
+		if err := g.set(0, acc); err != nil {
+			return err
+		}
+		for j := 1; j < 6; j++ {
+			theta := base * float64(j+1)
+			joint, err := matDH(rt, theta, puma560[j][0], puma560[j][1], puma560[j][2])
+			if err != nil {
+				return err
+			}
+			next, err := matMul(rt, acc, joint)
+			if err != nil {
+				return err
+			}
+			if err := g.set(0, next); err != nil {
+				return err
+			}
+			if err := rt.Alloc.Free(acc); err != nil {
+				return err
+			}
+			if err := rt.Alloc.Free(joint); err != nil {
+				return err
+			}
+			acc = next
+		}
+		// Fold the end-effector position into the checksum.
+		for r := 0; r < 3; r++ {
+			v, err := matGet(rt, acc, r, 3)
+			if err != nil {
+				return err
+			}
+			bits := math.Float64bits(v)
+			for sh := 0; sh < 64; sh += 8 {
+				hash = fnv1a(hash, byte(bits>>sh))
+			}
+		}
+		if err := rt.Alloc.Free(acc); err != nil {
+			return err
+		}
+		if err := g.set(0, heap.Null); err != nil {
+			return err
+		}
+	}
+	_, err = fmt.Fprintf(rt.Out, "roboop: steps=%d checksum=%016x\n", steps, hash)
+	return err
+}

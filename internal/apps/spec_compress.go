@@ -1,0 +1,277 @@
+package apps
+
+import (
+	"fmt"
+
+	"diehard/internal/heap"
+	"diehard/internal/rng"
+)
+
+// 164.gzip analog: LZ77 compression with hash-chain match finding, all
+// buffers and tables heap-resident. Like the original: few allocations,
+// heavy sequential and hashed memory traffic.
+
+func gzipInput(scale int) []byte {
+	if scale < 1 {
+		scale = 1
+	}
+	r := rng.NewSeeded(0x6219)
+	words := []string{"the", "compression", "of", "repeated", "tokens", "is", "profitable", "entropy"}
+	var out []byte
+	for len(out) < 96*1024*scale {
+		out = append(out, words[r.Intn(len(words))]...)
+		out = append(out, ' ')
+	}
+	return out
+}
+
+func runGzip(rt *Runtime) error {
+	g, err := newGlobals(rt, 3)
+	if err != nil {
+		return err
+	}
+	defer g.release()
+	n := len(rt.Input)
+	src, err := rt.Alloc.Malloc(n)
+	if err != nil {
+		return err
+	}
+	if err := g.set(0, src); err != nil {
+		return err
+	}
+	if err := rt.Mem.WriteBytes(src, rt.Input); err != nil {
+		return err
+	}
+	const hashSize = 1 << 13
+	table, err := rt.Alloc.Malloc(8 * hashSize) // last position per hash
+	if err != nil {
+		return err
+	}
+	if err := g.set(1, table); err != nil {
+		return err
+	}
+	if err := rt.Mem.Memset(table, 0xFF, 8*hashSize); err != nil {
+		return err
+	}
+
+	hash := uint64(fnvInit)
+	var literals, matches, outBits int
+	i := 0
+	for i+3 < n {
+		if err := rt.Step(); err != nil {
+			return err
+		}
+		b0, err := rt.Mem.Load8(src + uint64(i))
+		if err != nil {
+			return err
+		}
+		b1, err := rt.Mem.Load8(src + uint64(i+1))
+		if err != nil {
+			return err
+		}
+		b2, err := rt.Mem.Load8(src + uint64(i+2))
+		if err != nil {
+			return err
+		}
+		h := (uint64(b0)<<16 | uint64(b1)<<8 | uint64(b2)) * 2654435761 % hashSize
+		candidate, err := rt.Mem.Load64(table + 8*h)
+		if err != nil {
+			return err
+		}
+		if err := rt.Mem.Store64(table+8*h, uint64(i)); err != nil {
+			return err
+		}
+		matchLen := 0
+		if candidate != ^uint64(0) && int(candidate) < i && i-int(candidate) < 32768 {
+			// Extend the match.
+			for matchLen < 258 && i+matchLen < n {
+				a, err := rt.Mem.Load8(src + candidate + uint64(matchLen))
+				if err != nil {
+					return err
+				}
+				b, err := rt.Mem.Load8(src + uint64(i+matchLen))
+				if err != nil {
+					return err
+				}
+				if a != b {
+					break
+				}
+				matchLen++
+			}
+		}
+		if matchLen >= 4 {
+			matches++
+			outBits += 24 // distance/length token
+			hash = fnv1a(hash, byte(matchLen))
+			hash = fnv1a(hash, byte(i-int(candidate)))
+			i += matchLen
+		} else {
+			literals++
+			outBits += 9
+			hash = fnv1a(hash, b0)
+			i++
+		}
+	}
+	if err := rt.Alloc.Free(src); err != nil {
+		return err
+	}
+	if err := rt.Alloc.Free(table); err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(rt.Out, "gzip: in=%d lits=%d matches=%d bits=%d checksum=%016x\n",
+		n, literals, matches, outBits, hash)
+	return err
+}
+
+// 256.bzip2 analog: block-sorting compression — a Burrows-Wheeler
+// transform over fixed-size blocks (naive rotation sort, as costly as
+// the original's worst case), move-to-front coding, and run-length
+// counting. Block buffers and the rotation index are heap objects
+// allocated and freed per block.
+
+func bzip2Input(scale int) []byte {
+	if scale < 1 {
+		scale = 1
+	}
+	r := rng.NewSeeded(0xB219)
+	var out []byte
+	for len(out) < 10*1024*scale {
+		c := byte('a' + r.Intn(26))
+		out = append(out, c)
+		if r.Intn(8) == 0 { // occasional short runs
+			out = append(out, c, c)
+		}
+	}
+	return out
+}
+
+const bzBlock = 128
+
+func runBzip2(rt *Runtime) error {
+	g, err := newGlobals(rt, 3)
+	if err != nil {
+		return err
+	}
+	defer g.release()
+	hash := uint64(fnvInit)
+	blocks := 0
+	var runs int
+
+	for off := 0; off < len(rt.Input); off += bzBlock {
+		end := off + bzBlock
+		if end > len(rt.Input) {
+			end = len(rt.Input)
+		}
+		blockLen := end - off
+		block, err := rt.Alloc.Malloc(blockLen)
+		if err != nil {
+			return err
+		}
+		if err := g.set(0, block); err != nil {
+			return err
+		}
+		if err := rt.Mem.WriteBytes(block, rt.Input[off:end]); err != nil {
+			return err
+		}
+		// BWT: sort rotations (insertion sort over a heap-resident
+		// index of 32-bit rotation starts).
+		idx, err := rt.Alloc.Malloc(4 * blockLen)
+		if err != nil {
+			return err
+		}
+		if err := g.set(1, idx); err != nil {
+			return err
+		}
+		for i := 0; i < blockLen; i++ {
+			if err := rt.Mem.Store32(idx+uint64(4*i), uint32(i)); err != nil {
+				return err
+			}
+		}
+		rotLess := func(a, b uint32) (bool, error) {
+			for k := 0; k < blockLen; k++ {
+				ca, err := rt.Mem.Load8(block + uint64((int(a)+k)%blockLen))
+				if err != nil {
+					return false, err
+				}
+				cb, err := rt.Mem.Load8(block + uint64((int(b)+k)%blockLen))
+				if err != nil {
+					return false, err
+				}
+				if ca != cb {
+					return ca < cb, nil
+				}
+			}
+			return false, nil
+		}
+		for i := 1; i < blockLen; i++ {
+			if err := rt.Step(); err != nil {
+				return err
+			}
+			cur, err := rt.Mem.Load32(idx + uint64(4*i))
+			if err != nil {
+				return err
+			}
+			j := i - 1
+			for j >= 0 {
+				prev, err := rt.Mem.Load32(idx + uint64(4*j))
+				if err != nil {
+					return err
+				}
+				less, err := rotLess(cur, prev)
+				if err != nil {
+					return err
+				}
+				if !less {
+					break
+				}
+				if err := rt.Mem.Store32(idx+uint64(4*(j+1)), prev); err != nil {
+					return err
+				}
+				j--
+			}
+			if err := rt.Mem.Store32(idx+uint64(4*(j+1)), cur); err != nil {
+				return err
+			}
+		}
+		// Last column + MTF + RLE accounting.
+		var mtf [256]byte
+		for i := range mtf {
+			mtf[i] = byte(i)
+		}
+		var prevSym byte = 0xFF
+		for i := 0; i < blockLen; i++ {
+			rot, err := rt.Mem.Load32(idx + uint64(4*i))
+			if err != nil {
+				return err
+			}
+			c, err := rt.Mem.Load8(block + uint64((int(rot)+blockLen-1)%blockLen))
+			if err != nil {
+				return err
+			}
+			// Move-to-front position of c.
+			pos := 0
+			for mtf[pos] != c {
+				pos++
+			}
+			copy(mtf[1:pos+1], mtf[:pos])
+			mtf[0] = c
+			sym := byte(pos)
+			if sym != prevSym {
+				runs++
+				prevSym = sym
+			}
+			hash = fnv1a(hash, sym)
+		}
+		if err := rt.Alloc.Free(idx); err != nil {
+			return err
+		}
+		if err := rt.Alloc.Free(block); err != nil {
+			return err
+		}
+		blocks++
+	}
+	_, err = fmt.Fprintf(rt.Out, "bzip2: blocks=%d runs=%d checksum=%016x\n", blocks, runs, hash)
+	return err
+}
+
+var _ = heap.Null

@@ -1,0 +1,587 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+
+	"diehard/internal/heap"
+	"diehard/internal/rng"
+)
+
+// 175.vpr analog: simulated-annealing standard-cell placement. Cells
+// and nets live in heap arrays; each iteration proposes a swap and
+// evaluates half-perimeter wirelength deltas. Memory-access heavy,
+// allocation-light.
+
+func vprInput(scale int) []byte {
+	if scale < 1 {
+		scale = 1
+	}
+	return []byte(fmt.Sprintf("%d %d\n", 160, 2200*scale))
+}
+
+func runVpr(rt *Runtime) error {
+	g, err := newGlobals(rt, 3)
+	if err != nil {
+		return err
+	}
+	defer g.release()
+	var cells, iters int
+	fmt.Sscanf(string(rt.Input), "%d %d", &cells, &iters)
+	grid := 32
+	r := rng.NewSeeded(0x471)
+
+	// cellPos: (x,y) packed per cell. nets: pairs of cell ids.
+	pos, err := rt.Alloc.Malloc(8 * cells)
+	if err != nil {
+		return err
+	}
+	if err := g.set(0, pos); err != nil {
+		return err
+	}
+	for i := 0; i < cells; i++ {
+		x, y := uint64(r.Intn(grid)), uint64(r.Intn(grid))
+		if err := rt.Mem.Store64(pos+uint64(8*i), x<<32|y); err != nil {
+			return err
+		}
+	}
+	nNets := cells * 2
+	nets, err := rt.Alloc.Malloc(8 * nNets)
+	if err != nil {
+		return err
+	}
+	if err := g.set(1, nets); err != nil {
+		return err
+	}
+	for i := 0; i < nNets; i++ {
+		a, b := uint64(r.Intn(cells)), uint64(r.Intn(cells))
+		if err := rt.Mem.Store64(nets+uint64(8*i), a<<32|b); err != nil {
+			return err
+		}
+	}
+	netCost := func(i int) (int64, error) {
+		v, err := rt.Mem.Load64(nets + uint64(8*i))
+		if err != nil {
+			return 0, err
+		}
+		a, b := int(v>>32), int(uint32(v))
+		pa, err := rt.Mem.Load64(pos + uint64(8*a))
+		if err != nil {
+			return 0, err
+		}
+		pb, err := rt.Mem.Load64(pos + uint64(8*b))
+		if err != nil {
+			return 0, err
+		}
+		dx := int64(pa>>32) - int64(pb>>32)
+		dy := int64(uint32(pa)) - int64(uint32(pb))
+		if dx < 0 {
+			dx = -dx
+		}
+		if dy < 0 {
+			dy = -dy
+		}
+		return dx + dy, nil
+	}
+	total := int64(0)
+	for i := 0; i < nNets; i++ {
+		c, err := netCost(i)
+		if err != nil {
+			return err
+		}
+		total += c
+	}
+	accepted := 0
+	for it := 0; it < iters; it++ {
+		if err := rt.Step(); err != nil {
+			return err
+		}
+		c := r.Intn(cells)
+		old, err := rt.Mem.Load64(pos + uint64(8*c))
+		if err != nil {
+			return err
+		}
+		// Cost of nets touching c before the move: scan all nets (the
+		// original walks per-cell net lists; a scan keeps the access
+		// pattern similarly wide).
+		before := int64(0)
+		touching := make([]int, 0, 8)
+		for i := 0; i < nNets; i++ {
+			v, err := rt.Mem.Load64(nets + uint64(8*i))
+			if err != nil {
+				return err
+			}
+			if int(v>>32) == c || int(uint32(v)) == c {
+				w, err := netCost(i)
+				if err != nil {
+					return err
+				}
+				before += w
+				touching = append(touching, i)
+			}
+		}
+		nx, ny := uint64(r.Intn(grid)), uint64(r.Intn(grid))
+		if err := rt.Mem.Store64(pos+uint64(8*c), nx<<32|ny); err != nil {
+			return err
+		}
+		after := int64(0)
+		for _, i := range touching {
+			w, err := netCost(i)
+			if err != nil {
+				return err
+			}
+			after += w
+		}
+		// Annealing acceptance: accept uphill moves early in the
+		// schedule (deterministic threshold decreasing over time).
+		threshold := int64((iters - it) / (it/4 + 1))
+		if after-before <= threshold {
+			total += after - before
+			accepted++
+		} else if err := rt.Mem.Store64(pos+uint64(8*c), old); err != nil {
+			return err
+		}
+	}
+	_ = rt.Alloc.Free(pos)
+	_ = rt.Alloc.Free(nets)
+	_, err = fmt.Fprintf(rt.Out, "vpr: cells=%d accepted=%d cost=%d\n", cells, accepted, total)
+	return err
+}
+
+// 181.mcf analog: repeated Bellman-Ford shortest paths with flow
+// augmentation on a heap-resident sparse graph — the pointer-chasing,
+// cache-hostile profile of the original vehicle scheduler.
+
+func mcfInput(scale int) []byte {
+	if scale < 1 {
+		scale = 1
+	}
+	return []byte(fmt.Sprintf("%d %d\n", 600, 18*scale))
+}
+
+func runMcf(rt *Runtime) error {
+	g, err := newGlobals(rt, 4)
+	if err != nil {
+		return err
+	}
+	defer g.release()
+	var nodes, rounds int
+	fmt.Sscanf(string(rt.Input), "%d %d", &nodes, &rounds)
+	r := rng.NewSeeded(0x3CF)
+	nEdges := nodes * 4
+	// Edge arrays: from, to, weight, flow (parallel u64 arrays).
+	edges, err := rt.Alloc.Malloc(8 * nEdges * 3)
+	if err != nil {
+		return err
+	}
+	if err := g.set(0, edges); err != nil {
+		return err
+	}
+	for i := 0; i < nEdges; i++ {
+		from := uint64(r.Intn(nodes))
+		to := uint64(r.Intn(nodes))
+		w := uint64(1 + r.Intn(100))
+		if err := rt.Mem.Store64(edges+uint64(8*(3*i)), from); err != nil {
+			return err
+		}
+		if err := rt.Mem.Store64(edges+uint64(8*(3*i+1)), to); err != nil {
+			return err
+		}
+		if err := rt.Mem.Store64(edges+uint64(8*(3*i+2)), w); err != nil {
+			return err
+		}
+	}
+	dist, err := rt.Alloc.Malloc(8 * nodes)
+	if err != nil {
+		return err
+	}
+	if err := g.set(1, dist); err != nil {
+		return err
+	}
+	const inf = uint64(1) << 62
+	totalCost := uint64(0)
+	for round := 0; round < rounds; round++ {
+		src := round % nodes
+		for i := 0; i < nodes; i++ {
+			v := inf
+			if i == src {
+				v = 0
+			}
+			if err := rt.Mem.Store64(dist+uint64(8*i), v); err != nil {
+				return err
+			}
+		}
+		for pass := 0; pass < nodes; pass++ {
+			if err := rt.Step(); err != nil {
+				return err
+			}
+			changed := false
+			for i := 0; i < nEdges; i++ {
+				from, err := rt.Mem.Load64(edges + uint64(8*(3*i)))
+				if err != nil {
+					return err
+				}
+				df, err := rt.Mem.Load64(dist + 8*from)
+				if err != nil {
+					return err
+				}
+				if df == inf {
+					continue
+				}
+				to, err := rt.Mem.Load64(edges + uint64(8*(3*i+1)))
+				if err != nil {
+					return err
+				}
+				w, err := rt.Mem.Load64(edges + uint64(8*(3*i+2)))
+				if err != nil {
+					return err
+				}
+				dt, err := rt.Mem.Load64(dist + 8*to)
+				if err != nil {
+					return err
+				}
+				if df+w < dt {
+					if err := rt.Mem.Store64(dist+8*to, df+w); err != nil {
+						return err
+					}
+					changed = true
+				}
+			}
+			if !changed {
+				break
+			}
+		}
+		// Augment: add the farthest reachable distance to the cost and
+		// bump that path's first edge weight (rough flow saturation).
+		far := uint64(0)
+		for i := 0; i < nodes; i++ {
+			d, err := rt.Mem.Load64(dist + uint64(8*i))
+			if err != nil {
+				return err
+			}
+			if d != inf && d > far {
+				far = d
+			}
+		}
+		totalCost += far
+	}
+	_ = rt.Alloc.Free(edges)
+	_ = rt.Alloc.Free(dist)
+	_, err = fmt.Fprintf(rt.Out, "mcf: nodes=%d rounds=%d cost=%d\n", nodes, rounds, totalCost)
+	return err
+}
+
+// 186.crafty analog: alpha-beta game-tree search with a heap-resident
+// transposition table over a deterministic synthetic game.
+
+func craftyInput(scale int) []byte {
+	if scale < 1 {
+		scale = 1
+	}
+	return []byte(fmt.Sprintf("%d\n", 7+scale))
+}
+
+func runCrafty(rt *Runtime) error {
+	g, err := newGlobals(rt, 2)
+	if err != nil {
+		return err
+	}
+	defer g.release()
+	depth := 8
+	fmt.Sscanf(string(rt.Input), "%d", &depth)
+	const ttSize = 1 << 14
+	tt, err := rt.Alloc.Malloc(16 * ttSize) // key, value pairs
+	if err != nil {
+		return err
+	}
+	if err := g.set(0, tt); err != nil {
+		return err
+	}
+	if err := rt.Mem.Memset(tt, 0, 16*ttSize); err != nil {
+		return err
+	}
+	var nodes uint64
+
+	// The game: state is a 64-bit hash; moves derive children by
+	// mixing; leaf value is a deterministic function of the state.
+	var search func(state uint64, depth int, alpha, beta int64) (int64, error)
+	search = func(state uint64, depth int, alpha, beta int64) (int64, error) {
+		if err := rt.Step(); err != nil {
+			return 0, err
+		}
+		nodes++
+		if depth == 0 {
+			return int64(int16(state)), nil
+		}
+		slot := state % ttSize
+		key, err := rt.Mem.Load64(tt + 16*slot)
+		if err != nil {
+			return 0, err
+		}
+		if key == state {
+			v, err := rt.Mem.Load64(tt + 16*slot + 8)
+			if err != nil {
+				return 0, err
+			}
+			return int64(v), nil
+		}
+		best := int64(math.MinInt64 + 1)
+		for mv := uint64(1); mv <= 6; mv++ {
+			child := state*6364136223846793005 + mv*1442695040888963407
+			v, err := search(child, depth-1, -beta, -alpha)
+			if err != nil {
+				return 0, err
+			}
+			v = -v
+			if v > best {
+				best = v
+			}
+			if v > alpha {
+				alpha = v
+			}
+			if alpha >= beta {
+				break
+			}
+		}
+		if err := rt.Mem.Store64(tt+16*slot, state); err != nil {
+			return 0, err
+		}
+		if err := rt.Mem.Store64(tt+16*slot+8, uint64(best)); err != nil {
+			return 0, err
+		}
+		return best, nil
+	}
+	score, err := search(0x9E3779B97F4A7C15, depth, math.MinInt64+1, math.MaxInt64-1)
+	if err != nil {
+		return err
+	}
+	_ = rt.Alloc.Free(tt)
+	_, err = fmt.Fprintf(rt.Out, "crafty: depth=%d nodes=%d score=%d\n", depth, nodes, score)
+	return err
+}
+
+// 252.eon analog: a small ray tracer (spheres, one light, diffuse
+// shading) allocating a ray record per pixel, after the probabilistic
+// ray tracer of SPEC. Mostly floating-point compute.
+
+func eonInput(scale int) []byte {
+	if scale < 1 {
+		scale = 1
+	}
+	side := 48 * scale
+	return []byte(fmt.Sprintf("%d %d\n", side, side))
+}
+
+func runEon(rt *Runtime) error {
+	g, err := newGlobals(rt, 2)
+	if err != nil {
+		return err
+	}
+	defer g.release()
+	var w, h int
+	fmt.Sscanf(string(rt.Input), "%d %d", &w, &h)
+
+	// Scene: spheres as (cx, cy, cz, r) float64 quadruples in heap.
+	spheres := [][4]float64{
+		{0, 0, -5, 1.6},
+		{2, 1, -7, 1.0},
+		{-2.2, -0.8, -4, 0.7},
+		{0.5, -2, -6, 1.2},
+	}
+	scene, err := rt.Alloc.Malloc(32 * len(spheres))
+	if err != nil {
+		return err
+	}
+	if err := g.set(0, scene); err != nil {
+		return err
+	}
+	for i, s := range spheres {
+		for j, v := range s {
+			if err := rt.Mem.Store64(scene+uint64(32*i+8*j), math.Float64bits(v)); err != nil {
+				return err
+			}
+		}
+	}
+	hash := uint64(fnvInit)
+	lit := 0
+	// One reusable ray record, overwritten per pixel (the original's
+	// rays live on the stack; it allocates scene objects, not rays).
+	ray, err := rt.Alloc.Malloc(48)
+	if err != nil {
+		return err
+	}
+	if err := g.set(1, ray); err != nil {
+		return err
+	}
+	for py := 0; py < h; py++ {
+		for px := 0; px < w; px++ {
+			if err := rt.Step(); err != nil {
+				return err
+			}
+			dx := (float64(px)/float64(w) - 0.5) * 2
+			dy := (float64(py)/float64(h) - 0.5) * 2
+			norm := math.Sqrt(dx*dx + dy*dy + 1)
+			for j, v := range []float64{0, 0, 0, dx / norm, dy / norm, -1 / norm} {
+				if err := rt.Mem.Store64(ray+uint64(8*j), math.Float64bits(v)); err != nil {
+					return err
+				}
+			}
+			// Intersect all spheres.
+			bestT := math.Inf(1)
+			for i := range spheres {
+				var c [4]float64
+				for j := 0; j < 4; j++ {
+					bits, err := rt.Mem.Load64(scene + uint64(32*i+8*j))
+					if err != nil {
+						return err
+					}
+					c[j] = math.Float64frombits(bits)
+				}
+				// Ray-sphere: |o + t*d - c|^2 = r^2 with o = 0.
+				b := -2 * (dx/norm*c[0] + dy/norm*c[1] + (-1/norm)*c[2])
+				cc := c[0]*c[0] + c[1]*c[1] + c[2]*c[2] - c[3]*c[3]
+				disc := b*b - 4*cc
+				if disc < 0 {
+					continue
+				}
+				t := (-b - math.Sqrt(disc)) / 2
+				if t > 0 && t < bestT {
+					bestT = t
+				}
+			}
+			var shade byte
+			if !math.IsInf(bestT, 1) {
+				shade = byte(255 / (1 + bestT))
+				lit++
+			}
+			hash = fnv1a(hash, shade)
+		}
+	}
+	_ = rt.Alloc.Free(ray)
+	_ = rt.Alloc.Free(scene)
+	_, err = fmt.Fprintf(rt.Out, "eon: pixels=%d lit=%d checksum=%016x\n", w*h, lit, hash)
+	return err
+}
+
+// 300.twolf analog: standard-cell place-and-route touching structures
+// of deliberately many different sizes. Under DieHard the wide size mix
+// spreads the working set across many size-class partitions — the
+// mechanism behind the paper's TLB-miss outlier (§7.2.1).
+
+func twolfInput(scale int) []byte {
+	if scale < 1 {
+		scale = 1
+	}
+	// 160 cells: under a contiguous allocator the working set fits the
+	// 64-entry TLB; under DieHard it spans every size-class partition.
+	return []byte(fmt.Sprintf("%d %d\n", 160, 9000*scale))
+}
+
+func runTwolf(rt *Runtime) error {
+	g, err := newGlobals(rt, 1)
+	if err != nil {
+		return err
+	}
+	defer g.release()
+	var nCells, iters int
+	fmt.Sscanf(string(rt.Input), "%d %d", &nCells, &iters)
+	r := rng.NewSeeded(0x7201F)
+
+	// Cell records of widely varying sizes (the defining property):
+	// header (x, y, size) plus a payload of 16..8192 bytes. A directory
+	// object holds all cell pointers.
+	dir, err := rt.Alloc.Malloc(8 * nCells)
+	if err != nil {
+		return err
+	}
+	if err := g.set(0, dir); err != nil {
+		return err
+	}
+	sizes := []int{16, 24, 48, 96, 160, 320, 640, 1280, 2560, 5120, 8192}
+	for i := 0; i < nCells; i++ {
+		payload := sizes[r.Intn(len(sizes))]
+		c, err := rt.Alloc.Malloc(24 + payload)
+		if err != nil {
+			return err
+		}
+		if err := rt.Mem.Store64(c, uint64(r.Intn(256))); err != nil { // x
+			return err
+		}
+		if err := rt.Mem.Store64(c+8, uint64(r.Intn(256))); err != nil { // y
+			return err
+		}
+		if err := rt.Mem.Store64(c+16, uint64(payload)); err != nil {
+			return err
+		}
+		if err := rt.Mem.Store64(dir+uint64(8*i), c); err != nil {
+			return err
+		}
+	}
+	cost := uint64(0)
+	for it := 0; it < iters; it++ {
+		if err := rt.Step(); err != nil {
+			return err
+		}
+		// Visit a pseudo-random pair of cells, touch their payloads
+		// (scattered accesses across size classes), and swap their
+		// positions if that reduces the pairwise distance to their
+		// index-neighbors.
+		a := r.Intn(nCells)
+		b := r.Intn(nCells)
+		ca, err := rt.Mem.Load64(dir + uint64(8*a))
+		if err != nil {
+			return err
+		}
+		cb, err := rt.Mem.Load64(dir + uint64(8*b))
+		if err != nil {
+			return err
+		}
+		for _, c := range []uint64{ca, cb} {
+			sz, err := rt.Mem.Load64(c + 16)
+			if err != nil {
+				return err
+			}
+			// Touch one spot in the payload.
+			off := (24 + sz/2) &^ 7
+			v, err := rt.Mem.Load64(c + off)
+			if err != nil {
+				return err
+			}
+			if err := rt.Mem.Store64(c+off, v+1); err != nil {
+				return err
+			}
+		}
+		xa, err := rt.Mem.Load64(ca)
+		if err != nil {
+			return err
+		}
+		xb, err := rt.Mem.Load64(cb)
+		if err != nil {
+			return err
+		}
+		if (xa > xb) == (a < b) {
+			if err := rt.Mem.Store64(ca, xb); err != nil {
+				return err
+			}
+			if err := rt.Mem.Store64(cb, xa); err != nil {
+				return err
+			}
+			cost++
+		}
+	}
+	// Free everything.
+	for i := 0; i < nCells; i++ {
+		c, err := rt.Mem.Load64(dir + uint64(8*i))
+		if err != nil {
+			return err
+		}
+		if err := rt.Alloc.Free(c); err != nil {
+			return err
+		}
+	}
+	_ = rt.Alloc.Free(dir)
+	_, err = fmt.Fprintf(rt.Out, "twolf: cells=%d swaps=%d\n", nCells, cost)
+	return err
+}
+
+var _ = heap.Null

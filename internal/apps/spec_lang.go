@@ -1,0 +1,768 @@
+package apps
+
+import (
+	"fmt"
+
+	"diehard/internal/heap"
+	"diehard/internal/rng"
+)
+
+// 176.gcc analog: an expression compiler — parse arithmetic statements,
+// constant-fold the ASTs, and emit stack-machine code. Reuses the p2c
+// front end (translator and compiler front ends genuinely share this
+// shape) but performs the compiler-specific middle end: folding and
+// code generation. Allocation of many small nodes, freed per function.
+
+func gccInput(scale int) []byte {
+	if scale < 1 {
+		scale = 1
+	}
+	var out []byte
+	for i := 0; i < 140*scale; i++ {
+		out = append(out, []byte(fmt.Sprintf(
+			"v%d := (%d + %d) * v%d - (%d * %d) + v%d * (v%d + %d);\n",
+			i%9, i%17, (i+5)%23, (i+1)%9, i%7, (i+2)%11, (i+3)%9, (i+4)%9, i%29))...)
+	}
+	return out
+}
+
+func runGcc(rt *Runtime) error {
+	g, err := newGlobals(rt, 2)
+	if err != nil {
+		return err
+	}
+	defer g.release()
+	s := &p2cState{rt: rt, g: g}
+	hash := uint64(fnvInit)
+	folded, emitted := 0, 0
+
+	// fold constant-folds the tree bottom-up in place, freeing subsumed
+	// children.
+	var fold func(n heap.Ptr) error
+	fold = func(n heap.Ptr) error {
+		if err := rt.Step(); err != nil {
+			return err
+		}
+		op, err := rt.Mem.Load64(n)
+		if err != nil {
+			return err
+		}
+		if op == opNum || op == opVar {
+			return nil
+		}
+		left, err := rt.Mem.Load64(n + 8)
+		if err != nil {
+			return err
+		}
+		right, err := rt.Mem.Load64(n + 16)
+		if err != nil {
+			return err
+		}
+		if err := fold(left); err != nil {
+			return err
+		}
+		if err := fold(right); err != nil {
+			return err
+		}
+		lop, err := rt.Mem.Load64(left)
+		if err != nil {
+			return err
+		}
+		rop, err := rt.Mem.Load64(right)
+		if err != nil {
+			return err
+		}
+		if lop == opNum && rop == opNum {
+			lv, err := rt.Mem.Load64(left + 24)
+			if err != nil {
+				return err
+			}
+			rv, err := rt.Mem.Load64(right + 24)
+			if err != nil {
+				return err
+			}
+			var v uint64
+			switch op {
+			case opAdd:
+				v = lv + rv
+			case opSub:
+				v = lv - rv
+			case opMul:
+				v = lv * rv
+			}
+			// Rewrite this node as a leaf and free the children.
+			if err := rt.Mem.Store64(n, opNum); err != nil {
+				return err
+			}
+			if err := rt.Mem.Store64(n+24, v); err != nil {
+				return err
+			}
+			if err := rt.Alloc.Free(left); err != nil {
+				return err
+			}
+			if err := rt.Alloc.Free(right); err != nil {
+				return err
+			}
+			folded++
+		}
+		return nil
+	}
+
+	// emit generates stack-machine code, hashing the instruction
+	// stream.
+	var emit func(n heap.Ptr) error
+	emit = func(n heap.Ptr) error {
+		op, err := rt.Mem.Load64(n)
+		if err != nil {
+			return err
+		}
+		switch op {
+		case opNum:
+			v, err := rt.Mem.Load64(n + 24)
+			if err != nil {
+				return err
+			}
+			hash = fnv1a(hash, 'P')
+			hash = fnv1a(hash, byte(v))
+		case opVar:
+			v, err := rt.Mem.Load64(n + 24)
+			if err != nil {
+				return err
+			}
+			hash = fnv1a(hash, 'L')
+			hash = fnv1a(hash, byte(v))
+		default:
+			left, err := rt.Mem.Load64(n + 8)
+			if err != nil {
+				return err
+			}
+			right, err := rt.Mem.Load64(n + 16)
+			if err != nil {
+				return err
+			}
+			if err := emit(left); err != nil {
+				return err
+			}
+			if err := emit(right); err != nil {
+				return err
+			}
+			hash = fnv1a(hash, "ASM"[op-opAdd])
+		}
+		emitted++
+		return nil
+	}
+
+	i := 0
+	in := rt.Input
+	for i < len(in) {
+		j := i
+		for j < len(in) && in[j] != '\n' {
+			j++
+		}
+		line := in[i:j]
+		i = j + 1
+		if len(line) == 0 {
+			continue
+		}
+		head, err := s.lex(line)
+		if err != nil {
+			return err
+		}
+		s.tokens = head
+		if err := s.advance(); err != nil { // target
+			return err
+		}
+		if err := s.advance(); err != nil { // ':='
+			return err
+		}
+		tree, err := s.parseExpr()
+		if err != nil {
+			return err
+		}
+		if err := g.set(1, tree); err != nil {
+			return err
+		}
+		if err := fold(tree); err != nil {
+			return err
+		}
+		if err := emit(tree); err != nil {
+			return err
+		}
+		if err := s.freeTree(tree); err != nil {
+			return err
+		}
+		if err := g.set(1, heap.Null); err != nil {
+			return err
+		}
+		if err := s.freeTokens(head); err != nil {
+			return err
+		}
+		if err := g.set(0, heap.Null); err != nil {
+			return err
+		}
+	}
+	_, err = fmt.Fprintf(rt.Out, "gcc: folded=%d emitted=%d checksum=%016x\n", folded, emitted, hash)
+	return err
+}
+
+// 197.parser analog: CYK chart parsing of a CNF grammar over generated
+// sentences. The chart is a heap-resident n x n table of nonterminal
+// bitmasks; cells are written and combined quadratically.
+
+func parserInput(scale int) []byte {
+	if scale < 1 {
+		scale = 1
+	}
+	r := rng.NewSeeded(0x9A55)
+	words := "dnvap" // determiner, noun, verb, adjective, preposition
+	var out []byte
+	for s := 0; s < 60*scale; s++ {
+		n := 8 + r.Intn(10)
+		for w := 0; w < n; w++ {
+			out = append(out, words[r.Intn(len(words))], ' ')
+		}
+		out = append(out, '\n')
+	}
+	return out
+}
+
+// Grammar nonterminals (bit positions): S, NP, VP, PP, N', plus
+// preterminals D, N, V, A, P mapped from input letters.
+const (
+	ntS = 1 << iota
+	ntNP
+	ntVP
+	ntPP
+	ntNbar
+	ntD
+	ntN
+	ntV
+	ntA
+	ntP
+)
+
+// cnfRules are the binary rules: left, right -> parent.
+var cnfRules = [][3]uint64{
+	{ntNP, ntVP, ntS},
+	{ntD, ntNbar, ntNP},
+	{ntA, ntNbar, ntNbar},
+	{ntV, ntNP, ntVP},
+	{ntVP, ntPP, ntVP},
+	{ntP, ntNP, ntPP},
+	{ntNP, ntPP, ntNP},
+}
+
+func runParser(rt *Runtime) error {
+	g, err := newGlobals(rt, 1)
+	if err != nil {
+		return err
+	}
+	defer g.release()
+	hash := uint64(fnvInit)
+	parses := 0
+
+	i := 0
+	in := rt.Input
+	for i < len(in) {
+		j := i
+		for j < len(in) && in[j] != '\n' {
+			j++
+		}
+		line := in[i:j]
+		i = j + 1
+		var sentence []byte
+		for _, c := range line {
+			if c != ' ' {
+				sentence = append(sentence, c)
+			}
+		}
+		n := len(sentence)
+		if n == 0 {
+			continue
+		}
+		chart, err := rt.Alloc.Malloc(8 * n * n)
+		if err != nil {
+			return err
+		}
+		if err := g.set(0, chart); err != nil {
+			return err
+		}
+		cell := func(a, b int) heap.Ptr { return chart + uint64(8*(a*n+b)) }
+		for w, c := range sentence {
+			var nt uint64
+			switch c {
+			case 'd':
+				nt = ntD
+			case 'n':
+				nt = ntN | ntNbar
+			case 'v':
+				nt = ntV
+			case 'a':
+				nt = ntA
+			case 'p':
+				nt = ntP
+			}
+			if err := rt.Mem.Store64(cell(w, w), nt); err != nil {
+				return err
+			}
+		}
+		for span := 2; span <= n; span++ {
+			for a := 0; a+span <= n; a++ {
+				if err := rt.Step(); err != nil {
+					return err
+				}
+				b := a + span - 1
+				var mask uint64
+				for mid := a; mid < b; mid++ {
+					lv, err := rt.Mem.Load64(cell(a, mid))
+					if err != nil {
+						return err
+					}
+					rv, err := rt.Mem.Load64(cell(mid+1, b))
+					if err != nil {
+						return err
+					}
+					for _, rule := range cnfRules {
+						if lv&rule[0] != 0 && rv&rule[1] != 0 {
+							mask |= rule[2]
+						}
+					}
+				}
+				if err := rt.Mem.Store64(cell(a, b), mask); err != nil {
+					return err
+				}
+			}
+		}
+		root, err := rt.Mem.Load64(cell(0, n-1))
+		if err != nil {
+			return err
+		}
+		if root&ntS != 0 {
+			parses++
+		}
+		hash = fnv1a(hash, byte(root))
+		if err := rt.Alloc.Free(chart); err != nil {
+			return err
+		}
+	}
+	_, err = fmt.Fprintf(rt.Out, "parser: parses=%d checksum=%016x\n", parses, hash)
+	return err
+}
+
+// 253.perlbmk analog: a string-processing interpreter executing a
+// generated script of concat/reverse/upper/hash operations over
+// heap-allocated strings. Like the original, it spends a large share of
+// its time in allocation (every string operation allocates the result).
+
+func perlbmkInput(scale int) []byte {
+	if scale < 1 {
+		scale = 1
+	}
+	r := rng.NewSeeded(0x9E71)
+	ops := []string{"cat", "rev", "up", "hash"}
+	var out []byte
+	for i := 0; i < 2600*scale; i++ {
+		op := ops[r.Intn(len(ops))]
+		out = append(out, []byte(fmt.Sprintf("%s %d %d\n", op, r.Intn(16), r.Intn(16)))...)
+	}
+	return out
+}
+
+func runPerlbmk(rt *Runtime) error {
+	const nVars = 16
+	g, err := newGlobals(rt, nVars) // string variables: ptr or null
+	if err != nil {
+		return err
+	}
+	defer g.release()
+
+	// Heap string layout: +0 length (u64), +8 bytes.
+	newString := func(b []byte) (heap.Ptr, error) {
+		p, err := rt.Alloc.Malloc(8 + len(b))
+		if err != nil {
+			return heap.Null, err
+		}
+		if err := rt.Mem.Store64(p, uint64(len(b))); err != nil {
+			return heap.Null, err
+		}
+		return p, rt.Mem.WriteBytes(p+8, b)
+	}
+	readString := func(p heap.Ptr) ([]byte, error) {
+		n, err := rt.Mem.Load64(p)
+		if err != nil {
+			return nil, err
+		}
+		if n > 1<<20 {
+			return nil, &heap.CorruptionError{Detail: "perlbmk: implausible string length"}
+		}
+		b := make([]byte, n)
+		return b, rt.Mem.ReadBytes(p+8, b)
+	}
+	setVar := func(i int, p heap.Ptr) error {
+		old, err := g.get(i)
+		if err != nil {
+			return err
+		}
+		if err := g.set(i, p); err != nil {
+			return err
+		}
+		if old != heap.Null {
+			return rt.Alloc.Free(old)
+		}
+		return nil
+	}
+	// Seed the variables.
+	for i := 0; i < nVars; i++ {
+		p, err := newString([]byte(fmt.Sprintf("var%02d-initial-value", i)))
+		if err != nil {
+			return err
+		}
+		if err := g.set(i, p); err != nil {
+			return err
+		}
+	}
+
+	hash := uint64(fnvInit)
+	executed := 0
+	i := 0
+	in := rt.Input
+	for i < len(in) {
+		j := i
+		for j < len(in) && in[j] != '\n' {
+			j++
+		}
+		line := string(in[i:j])
+		i = j + 1
+		var op string
+		var a, b int
+		if _, err := fmt.Sscanf(line, "%s %d %d", &op, &a, &b); err != nil {
+			continue
+		}
+		if err := rt.Step(); err != nil {
+			return err
+		}
+		a, b = a%nVars, b%nVars
+		pa, err := g.get(a)
+		if err != nil {
+			return err
+		}
+		sa, err := readString(pa)
+		if err != nil {
+			return err
+		}
+		switch op {
+		case "cat":
+			pb, err := g.get(b)
+			if err != nil {
+				return err
+			}
+			sb, err := readString(pb)
+			if err != nil {
+				return err
+			}
+			joined := append(sa, sb...)
+			if len(joined) > 512 {
+				joined = joined[:512] // bound growth deterministically
+			}
+			p, err := newString(joined)
+			if err != nil {
+				return err
+			}
+			if err := setVar(a, p); err != nil {
+				return err
+			}
+		case "rev":
+			for x, y := 0, len(sa)-1; x < y; x, y = x+1, y-1 {
+				sa[x], sa[y] = sa[y], sa[x]
+			}
+			p, err := newString(sa)
+			if err != nil {
+				return err
+			}
+			if err := setVar(a, p); err != nil {
+				return err
+			}
+		case "up":
+			for x := range sa {
+				if sa[x] >= 'a' && sa[x] <= 'z' {
+					sa[x] -= 32
+				}
+			}
+			p, err := newString(sa)
+			if err != nil {
+				return err
+			}
+			if err := setVar(a, p); err != nil {
+				return err
+			}
+		case "hash":
+			for _, c := range sa {
+				hash = fnv1a(hash, c)
+			}
+		}
+		executed++
+	}
+	_, err = fmt.Fprintf(rt.Out, "perlbmk: ops=%d checksum=%016x\n", executed, hash)
+	return err
+}
+
+// 254.gap analog: computer algebra — polynomial multiplication and
+// evaluation with bignum coefficients over the heap bignum kernel.
+
+func gapInput(scale int) []byte {
+	if scale < 1 {
+		scale = 1
+	}
+	return []byte(fmt.Sprintf("%d %d\n", 24, 10*scale))
+}
+
+func runGap(rt *Runtime) error {
+	g, err := newGlobals(rt, 3)
+	if err != nil {
+		return err
+	}
+	defer g.release()
+	var degree, rounds int
+	fmt.Sscanf(string(rt.Input), "%d %d", &degree, &rounds)
+
+	// Polynomial: heap array of u64 coefficients (mod a prime to bound
+	// growth); bignums used for the evaluation step.
+	const prime = 1_000_000_007
+	newPoly := func(n int) (heap.Ptr, error) {
+		p, err := rt.Alloc.Malloc(8 * n)
+		if err != nil {
+			return heap.Null, err
+		}
+		return p, rt.Mem.Memset(p, 0, 8*n)
+	}
+	hash := uint64(fnvInit)
+	for round := 0; round < rounds; round++ {
+		a, err := newPoly(degree + 1)
+		if err != nil {
+			return err
+		}
+		if err := g.set(0, a); err != nil {
+			return err
+		}
+		for i := 0; i <= degree; i++ {
+			c := uint64(i+round+1) * 2654435761 % prime
+			if err := rt.Mem.Store64(a+uint64(8*i), c); err != nil {
+				return err
+			}
+		}
+		// Square the polynomial.
+		sq, err := newPoly(2*degree + 1)
+		if err != nil {
+			return err
+		}
+		if err := g.set(1, sq); err != nil {
+			return err
+		}
+		for i := 0; i <= degree; i++ {
+			if err := rt.Step(); err != nil {
+				return err
+			}
+			ai, err := rt.Mem.Load64(a + uint64(8*i))
+			if err != nil {
+				return err
+			}
+			for j := 0; j <= degree; j++ {
+				aj, err := rt.Mem.Load64(a + uint64(8*j))
+				if err != nil {
+					return err
+				}
+				k := uint64(8 * (i + j))
+				cur, err := rt.Mem.Load64(sq + k)
+				if err != nil {
+					return err
+				}
+				if err := rt.Mem.Store64(sq+k, (cur+ai*aj)%prime); err != nil {
+					return err
+				}
+			}
+		}
+		// Evaluate at x = 3 with bignum Horner (allocation-heavy).
+		acc, err := bnFromU64(rt, 0)
+		if err != nil {
+			return err
+		}
+		if err := g.set(2, acc); err != nil {
+			return err
+		}
+		for i := 2 * degree; i >= 0; i-- {
+			c, err := rt.Mem.Load64(sq + uint64(8*i))
+			if err != nil {
+				return err
+			}
+			next, err := bnMulAddSmall(rt, acc, 3, c)
+			if err != nil {
+				return err
+			}
+			if err := g.set(2, next); err != nil {
+				return err
+			}
+			if err := rt.Alloc.Free(acc); err != nil {
+				return err
+			}
+			acc = next
+		}
+		hash, err = bnHash(rt, acc, hash)
+		if err != nil {
+			return err
+		}
+		if err := rt.Alloc.Free(acc); err != nil {
+			return err
+		}
+		if err := rt.Alloc.Free(a); err != nil {
+			return err
+		}
+		if err := rt.Alloc.Free(sq); err != nil {
+			return err
+		}
+	}
+	_, err = fmt.Fprintf(rt.Out, "gap: rounds=%d checksum=%016x\n", rounds, hash)
+	return err
+}
+
+// 255.vortex analog: an object database — records of varying sizes in a
+// heap-resident chained hash table under a mixed insert/lookup/delete
+// workload.
+
+func vortexInput(scale int) []byte {
+	if scale < 1 {
+		scale = 1
+	}
+	r := rng.NewSeeded(0x0DB)
+	var out []byte
+	for i := 0; i < 5000*scale; i++ {
+		switch r.Intn(10) {
+		case 0, 1, 2, 3:
+			out = append(out, []byte(fmt.Sprintf("ins %d %d\n", r.Intn(1024), 16+r.Intn(200)))...)
+		case 4, 5, 6, 7, 8:
+			out = append(out, []byte(fmt.Sprintf("get %d 0\n", r.Intn(1024)))...)
+		default:
+			out = append(out, []byte(fmt.Sprintf("del %d 0\n", r.Intn(1024)))...)
+		}
+	}
+	return out
+}
+
+func runVortex(rt *Runtime) error {
+	const buckets = 256
+	g, err := newGlobals(rt, buckets)
+	if err != nil {
+		return err
+	}
+	defer g.release()
+
+	// Record layout: +0 key, +8 next, +16 size, +24.. payload.
+	hash := uint64(fnvInit)
+	var inserts, hits, deletes int
+	i := 0
+	in := rt.Input
+	for i < len(in) {
+		j := i
+		for j < len(in) && in[j] != '\n' {
+			j++
+		}
+		line := string(in[i:j])
+		i = j + 1
+		var op string
+		var key, size int
+		if _, err := fmt.Sscanf(line, "%s %d %d", &op, &key, &size); err != nil {
+			continue
+		}
+		if err := rt.Step(); err != nil {
+			return err
+		}
+		b := key % buckets
+		head, err := g.get(b)
+		if err != nil {
+			return err
+		}
+		switch op {
+		case "ins":
+			rec, err := rt.Alloc.Malloc(24 + size)
+			if err != nil {
+				return err
+			}
+			if err := rt.Mem.Store64(rec, uint64(key)); err != nil {
+				return err
+			}
+			if err := rt.Mem.Store64(rec+8, head); err != nil {
+				return err
+			}
+			if err := rt.Mem.Store64(rec+16, uint64(size)); err != nil {
+				return err
+			}
+			if err := rt.Mem.Memset(rec+24, byte(key), size); err != nil {
+				return err
+			}
+			if err := g.set(b, rec); err != nil {
+				return err
+			}
+			inserts++
+		case "get":
+			for cur := head; cur != heap.Null; {
+				if err := rt.Step(); err != nil {
+					return err
+				}
+				k, err := rt.Mem.Load64(cur)
+				if err != nil {
+					return err
+				}
+				next, err := rt.Mem.Load64(cur + 8)
+				if err != nil {
+					return err
+				}
+				if int(k) == key {
+					sz, err := rt.Mem.Load64(cur + 16)
+					if err != nil {
+						return err
+					}
+					v, err := rt.Mem.Load8(cur + 24 + sz/2)
+					if err != nil {
+						return err
+					}
+					hash = fnv1a(hash, v)
+					hits++
+					break
+				}
+				cur = next
+			}
+		case "del":
+			var prev heap.Ptr
+			for cur := head; cur != heap.Null; {
+				if err := rt.Step(); err != nil {
+					return err
+				}
+				k, err := rt.Mem.Load64(cur)
+				if err != nil {
+					return err
+				}
+				next, err := rt.Mem.Load64(cur + 8)
+				if err != nil {
+					return err
+				}
+				if int(k) == key {
+					if prev == heap.Null {
+						if err := g.set(b, next); err != nil {
+							return err
+						}
+					} else if err := rt.Mem.Store64(prev+8, next); err != nil {
+						return err
+					}
+					if err := rt.Alloc.Free(cur); err != nil {
+						return err
+					}
+					deletes++
+					break
+				}
+				prev, cur = cur, next
+			}
+		}
+	}
+	_, err = fmt.Fprintf(rt.Out, "vortex: ins=%d hits=%d dels=%d checksum=%016x\n",
+		inserts, hits, deletes, hash)
+	return err
+}

@@ -1,0 +1,521 @@
+// Package core implements the DieHard randomized memory allocator, the
+// primary contribution of Berger & Zorn, "DieHard: Probabilistic Memory
+// Safety for Unsafe Languages" (PLDI 2006), §4.
+//
+// The allocator approximates an infinite heap: the heap is M times larger
+// than the maximum live size, objects are placed uniformly at random
+// within power-of-two size-class regions, and all heap metadata (one bit
+// per object plus counters) is completely segregated from the heap
+// itself. The resulting guarantees are probabilistic and quantified in
+// internal/analysis:
+//
+//   - buffer overflows land on free space with probability (F/H)^O
+//     (Theorem 1);
+//   - a prematurely freed object survives A intervening allocations with
+//     probability at least 1 - A/(F/S) (Theorem 2);
+//   - invalid and double frees are detected and ignored outright;
+//   - heap metadata cannot be overwritten by heap writes at all.
+//
+// In replicated mode (Options.RandomFill) the heap and every allocated
+// object are filled with values from the replica's private random stream,
+// which is what lets the voter in internal/replicate detect uninitialized
+// reads (§3.2, Theorem 3).
+package core
+
+import (
+	"fmt"
+	"math/bits"
+
+	"diehard/internal/heap"
+	"diehard/internal/rng"
+	"diehard/internal/vmem"
+)
+
+const (
+	// NumClasses is the number of size-class regions: powers of two from
+	// 8 bytes to 16 kilobytes (§4.1).
+	NumClasses = 12
+	// MinObjectSize is the smallest size class.
+	MinObjectSize = 8
+	// MaxObjectSize is the largest size served from the randomized
+	// regions; larger requests are mmap'd directly with guard pages.
+	MaxObjectSize = 16 * 1024
+	// DefaultHeapSize matches the paper's evaluation configuration: a
+	// 384 MB heap of which up to 1/M is available for allocation (§7.1).
+	DefaultHeapSize = 384 << 20
+	// DefaultM is the default heap expansion factor.
+	DefaultM = 2.0
+)
+
+// Options configures a DieHard heap. The zero value selects the paper's
+// defaults (384 MB heap, M = 2, stand-alone mode, entropy seed).
+type Options struct {
+	// HeapSize is the total size of the small-object heap, divided
+	// evenly into NumClasses regions. Defaults to DefaultHeapSize.
+	HeapSize int
+	// M is the heap expansion factor: each region may become at most
+	// 1/M full. Must be greater than 1. Defaults to DefaultM.
+	M float64
+	// Seed seeds the allocator's random stream; 0 draws a true random
+	// seed, as the paper does from /dev/urandom. Replicas record their
+	// seeds so failures are reproducible.
+	Seed uint64
+	// RandomFill enables replicated-mode semantics: the heap and every
+	// allocated object are filled with random values (§4.1, §4.2).
+	RandomFill bool
+	// Adaptive enables the paper's future-work extension (§9): regions
+	// start small and double on demand up to the per-class cap, trading
+	// early error-masking probability for reserved address space.
+	Adaptive bool
+	// AdaptiveInitial is the initial per-class region size in bytes when
+	// Adaptive is set. Defaults to 256 KB.
+	AdaptiveInitial int
+	// EnableTLB turns on TLB simulation in the underlying address space,
+	// used by the Figure 5 cost model.
+	EnableTLB bool
+}
+
+func (o *Options) withDefaults() Options {
+	v := *o
+	if v.HeapSize == 0 {
+		v.HeapSize = DefaultHeapSize
+	}
+	if v.M == 0 {
+		v.M = DefaultM
+	}
+	if v.AdaptiveInitial == 0 {
+		v.AdaptiveInitial = 256 << 10
+	}
+	return v
+}
+
+// subregion is one mapped stretch of a size class. Non-adaptive heaps
+// have exactly one subregion per class; adaptive heaps append doubled
+// subregions as demand grows.
+type subregion struct {
+	base  uint64
+	slots int
+	bits  []uint64 // allocation bitmap: one bit per slot, segregated metadata
+}
+
+func (s *subregion) get(i int) bool { return s.bits[i>>6]&(1<<(i&63)) != 0 }
+func (s *subregion) set(i int)      { s.bits[i>>6] |= 1 << (i & 63) }
+func (s *subregion) clear(i int)    { s.bits[i>>6] &^= 1 << (i & 63) }
+
+// sizeClass holds the segregated metadata for one power-of-two region.
+type sizeClass struct {
+	size       int
+	subs       []subregion
+	totalSlots int
+	inUse      int
+	maxInUse   int // threshold: floor(totalSlots / M)
+	capSlots   int // adaptive growth stops here
+	mallocs    uint64
+}
+
+// largeObject records an mmap'd allocation (> MaxObjectSize), which lives
+// outside the main heap behind guard pages.
+type largeObject struct {
+	size      int    // requested (usable) size
+	mapBase   uint64 // start of the guarded mapping
+	mapLength int    // total mapped length including guard pages
+}
+
+// Heap is a DieHard heap. It is not safe for concurrent use; each
+// simulated process owns its own Heap, just as each DieHard replica owns
+// its own randomized allocator.
+type Heap struct {
+	opts    Options
+	space   *vmem.Space
+	rand    *rng.MWC
+	seed    uint64
+	classes [NumClasses]sizeClass
+	large   map[heap.Ptr]largeObject
+	stats   heap.Stats
+	fillBuf []byte
+}
+
+var _ heap.Allocator = (*Heap)(nil)
+
+// New creates a DieHard heap with the given options.
+func New(opts Options) (*Heap, error) {
+	o := opts.withDefaults()
+	if o.M <= 1 {
+		return nil, fmt.Errorf("diehard: M must exceed 1, got %v", o.M)
+	}
+	perClass := o.HeapSize / NumClasses
+	perClass -= perClass % vmem.PageSize
+	if perClass < vmem.PageSize {
+		return nil, fmt.Errorf("diehard: heap size %d too small for %d regions", o.HeapSize, NumClasses)
+	}
+	h := &Heap{
+		opts:  o,
+		space: vmem.NewSpace(),
+		large: make(map[heap.Ptr]largeObject),
+	}
+	if o.EnableTLB {
+		h.space.EnableTLB()
+	}
+	master := rng.NewSeeded(o.Seed)
+	if o.Seed == 0 {
+		master = rng.New()
+	}
+	h.seed = master.Seed()
+	h.rand = master
+	if o.RandomFill {
+		// Realize "fill the heap with random values" (§4.1) lazily:
+		// every page instantiated in this replica's address space is
+		// pre-filled from a stream derived from the allocator seed.
+		fillRNG := master.Split()
+		h.space.SetPageFiller(func(b []byte) {
+			for i := 0; i+4 <= len(b); i += 4 {
+				v := fillRNG.Next()
+				b[i], b[i+1], b[i+2], b[i+3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+			}
+		})
+	}
+
+	for c := 0; c < NumClasses; c++ {
+		size := MinObjectSize << c
+		capSlots := perClass / size
+		cl := &h.classes[c]
+		cl.size = size
+		cl.capSlots = capSlots
+		initial := capSlots
+		if o.Adaptive {
+			initial = o.AdaptiveInitial / size
+			if initial < 1 {
+				initial = 1
+			}
+			if initial > capSlots {
+				initial = capSlots
+			}
+		}
+		if err := h.addSubregion(cl, initial); err != nil {
+			return nil, err
+		}
+	}
+	return h, nil
+}
+
+// addSubregion maps a new stretch of slots for class cl and recomputes
+// the 1/M threshold.
+func (h *Heap) addSubregion(cl *sizeClass, slots int) error {
+	bytes := slots * cl.size
+	if bytes < vmem.PageSize {
+		bytes = vmem.PageSize
+		slots = bytes / cl.size
+	}
+	base, err := h.space.MapGuarded(bytes)
+	if err != nil {
+		return err
+	}
+	h.stats.WorkUnits += heap.WorkMmap
+	cl.subs = append(cl.subs, subregion{
+		base:  base,
+		slots: slots,
+		bits:  make([]uint64, (slots+63)/64),
+	})
+	cl.totalSlots += slots
+	cl.maxInUse = int(float64(cl.totalSlots) / h.opts.M)
+	return nil
+}
+
+// ClassFor returns the size-class index for a request: ceil(log2(size))-3
+// (§4.2), with requests below MinObjectSize rounded up to class 0.
+func ClassFor(size int) int {
+	if size <= MinObjectSize {
+		return 0
+	}
+	return bits.Len(uint(size-1)) - 3
+}
+
+// ClassSize returns the object size of class c.
+func ClassSize(c int) int { return MinObjectSize << c }
+
+// Malloc allocates size bytes, placing the object uniformly at random
+// within its size class region (DieHardMalloc, Figure 2 of the paper).
+func (h *Heap) Malloc(size int) (heap.Ptr, error) {
+	if size < 0 {
+		h.stats.FailedMallocs++
+		return heap.Null, fmt.Errorf("diehard: negative allocation size %d", size)
+	}
+	if size == 0 {
+		size = 1 // malloc(0) returns a distinct pointer, as in C
+	}
+	if size > MaxObjectSize {
+		return h.allocateLargeObject(size)
+	}
+	h.stats.WorkUnits += heap.WorkSizeClass
+	cl := &h.classes[ClassFor(size)]
+	if cl.inUse >= cl.maxInUse {
+		if h.opts.Adaptive && cl.totalSlots < cl.capSlots {
+			grow := cl.totalSlots
+			if cl.totalSlots+grow > cl.capSlots {
+				grow = cl.capSlots - cl.totalSlots
+			}
+			if err := h.addSubregion(cl, grow); err != nil {
+				h.stats.FailedMallocs++
+				return heap.Null, err
+			}
+		} else {
+			// At threshold: no more memory (Figure 2, line 6).
+			h.stats.FailedMallocs++
+			return heap.Null, heap.ErrOutOfMemory
+		}
+	}
+	// Probe for a free slot. The region is at most 1/M full, so the
+	// expected number of probes is 1/(1 - 1/M): two for M = 2 (§4.2).
+	// The cap guards against metadata-accounting bugs, not against bad
+	// luck; it is astronomically unlikely to trigger when invariants
+	// hold.
+	probeCap := 64*cl.totalSlots + 64
+	for attempt := 0; attempt < probeCap; attempt++ {
+		h.stats.WorkUnits += heap.WorkProbe
+		h.stats.Probes++
+		idx := int(h.rand.Uintn(uint64(cl.totalSlots)))
+		sub, local := cl.locate(idx)
+		if sub.get(local) {
+			continue
+		}
+		sub.set(local)
+		cl.inUse++
+		cl.mallocs++
+		h.stats.WorkUnits += heap.WorkBitmap
+		ptr := sub.base + uint64(local*cl.size)
+		if h.opts.RandomFill {
+			if err := h.fillRandom(ptr, cl.size); err != nil {
+				return heap.Null, err
+			}
+		}
+		heap.CountMalloc(&h.stats, size, cl.size)
+		return ptr, nil
+	}
+	return heap.Null, &heap.CorruptionError{Detail: "diehard: no free slot found below fill threshold"}
+}
+
+// locate maps a class-wide slot index to its subregion and local index.
+func (cl *sizeClass) locate(idx int) (*subregion, int) {
+	for i := range cl.subs {
+		if idx < cl.subs[i].slots {
+			return &cl.subs[i], idx
+		}
+		idx -= cl.subs[i].slots
+	}
+	panic("diehard: slot index out of range") // unreachable when invariants hold
+}
+
+// fillRandom fills an allocated object with random values drawn from the
+// allocator's stream (Figure 2, DieHardMalloc lines 18-20).
+func (h *Heap) fillRandom(ptr heap.Ptr, n int) error {
+	if cap(h.fillBuf) < n {
+		h.fillBuf = make([]byte, n)
+	}
+	buf := h.fillBuf[:n]
+	for i := 0; i+4 <= n; i += 4 {
+		v := h.rand.Next()
+		buf[i], buf[i+1], buf[i+2], buf[i+3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+	}
+	for i := n &^ 3; i < n; i++ {
+		buf[i] = byte(h.rand.Next())
+	}
+	h.stats.WorkUnits += uint64(n/8+1) * heap.WorkRandomFill
+	return h.space.WriteBytes(ptr, buf)
+}
+
+// allocateLargeObject serves requests above MaxObjectSize from a
+// dedicated guarded mapping and records it for validity checking by Free
+// (§4.1, §4.3).
+func (h *Heap) allocateLargeObject(size int) (heap.Ptr, error) {
+	npages := (size + vmem.PageSize - 1) / vmem.PageSize
+	base, err := h.space.MapGuarded(size)
+	if err != nil {
+		h.stats.FailedMallocs++
+		return heap.Null, err
+	}
+	h.stats.WorkUnits += heap.WorkMmap
+	h.large[base] = largeObject{
+		size:      size,
+		mapBase:   base - vmem.PageSize,
+		mapLength: (npages + 2) * vmem.PageSize,
+	}
+	if h.opts.RandomFill {
+		if err := h.fillRandom(base, size); err != nil {
+			return heap.Null, err
+		}
+	}
+	heap.CountMalloc(&h.stats, size, npages*vmem.PageSize)
+	return base, nil
+}
+
+// Free releases an allocation (DieHardFree, Figure 2). Invalid and double
+// frees are detected and silently ignored: the offset must be an exact
+// multiple of the object size, and the object must currently be marked
+// allocated. Free never fails.
+func (h *Heap) Free(p heap.Ptr) error {
+	if p == heap.Null {
+		return nil // free(NULL) is a no-op in C
+	}
+	if lo, ok := h.large[p]; ok {
+		h.stats.WorkUnits += heap.WorkMmap
+		if err := h.space.Unmap(lo.mapBase, lo.mapLength); err != nil {
+			return err // cannot happen unless internal state is corrupt
+		}
+		delete(h.large, p)
+		heap.CountFree(&h.stats, (lo.mapLength/vmem.PageSize-2)*vmem.PageSize)
+		return nil
+	}
+	cl, sub, local := h.find(p)
+	if cl == nil {
+		h.stats.IgnoredFrees++ // not our pointer: ignore (§4.3)
+		return nil
+	}
+	h.stats.WorkUnits += heap.WorkBitmap
+	if (p-sub.base)%uint64(cl.size) != 0 {
+		h.stats.IgnoredFrees++ // misaligned interior pointer: ignore
+		return nil
+	}
+	if !sub.get(local) {
+		h.stats.IgnoredFrees++ // double free: ignore
+		return nil
+	}
+	sub.clear(local)
+	cl.inUse--
+	heap.CountFree(&h.stats, cl.size)
+	return nil
+}
+
+// find locates the size class, subregion, and slot index containing p.
+// The slot index is the floor of the offset; the caller checks alignment.
+func (h *Heap) find(p heap.Ptr) (*sizeClass, *subregion, int) {
+	for c := range h.classes {
+		cl := &h.classes[c]
+		for s := range cl.subs {
+			sub := &cl.subs[s]
+			end := sub.base + uint64(sub.slots*cl.size)
+			if p >= sub.base && p < end {
+				return cl, sub, int((p - sub.base) / uint64(cl.size))
+			}
+		}
+	}
+	return nil, nil, 0
+}
+
+// SizeOf reports the usable size of the allocated object starting exactly
+// at p.
+func (h *Heap) SizeOf(p heap.Ptr) (int, bool) {
+	if lo, ok := h.large[p]; ok {
+		return lo.size, true
+	}
+	cl, sub, local := h.find(p)
+	if cl == nil || (p-sub.base)%uint64(cl.size) != 0 || !sub.get(local) {
+		return 0, false
+	}
+	return cl.size, true
+}
+
+// ObjectBounds resolves any pointer into the heap (including interior
+// pointers) to the containing allocated object's start and size. This is
+// the primitive behind DieHard's checked replacements for strcpy and
+// strncpy (§4.4): the available space from a destination pointer to the
+// end of its object bounds the copy length.
+func (h *Heap) ObjectBounds(p heap.Ptr) (start heap.Ptr, size int, ok bool) {
+	for base, lo := range h.large {
+		if p >= base && p < base+uint64(lo.size) {
+			return base, lo.size, true
+		}
+	}
+	cl, sub, local := h.find(p)
+	if cl == nil || !sub.get(local) {
+		return 0, 0, false
+	}
+	return sub.base + uint64(local*cl.size), cl.size, true
+}
+
+// InHeap reports whether p lies within the small-object heap regions,
+// the first test of the checked library functions (§4.4).
+func (h *Heap) InHeap(p heap.Ptr) bool {
+	cl, _, _ := h.find(p)
+	return cl != nil
+}
+
+// Mem returns the simulated address space backing this heap.
+func (h *Heap) Mem() *vmem.Space { return h.space }
+
+// Stats returns the allocator counters.
+func (h *Heap) Stats() *heap.Stats { return &h.stats }
+
+// Name identifies the allocator in experiment reports.
+func (h *Heap) Name() string {
+	if h.opts.RandomFill {
+		return "diehard-r"
+	}
+	return "diehard"
+}
+
+// Seed returns the seed of the allocator's random stream, recorded so any
+// run can be reproduced exactly.
+func (h *Heap) Seed() uint64 { return h.seed }
+
+// M returns the configured heap expansion factor.
+func (h *Heap) M() float64 { return h.opts.M }
+
+// ClassSlots returns the total and maximum-usable slot counts of class c,
+// exposed for the analytical validation experiments.
+func (h *Heap) ClassSlots(c int) (total, maxInUse int) {
+	return h.classes[c].totalSlots, h.classes[c].maxInUse
+}
+
+// ClassInUse returns the number of live objects in class c.
+func (h *Heap) ClassInUse(c int) int { return h.classes[c].inUse }
+
+// ClassMallocs returns the cumulative allocation count of class c,
+// exposed for workload-characterization experiments (e.g. verifying the
+// wide size mix of the 300.twolf analog).
+func (h *Heap) ClassMallocs(c int) uint64 { return h.classes[c].mallocs }
+
+// ClassBase returns the base address of the first subregion of class c,
+// exposed for tests that aim overflow writes at precise heap locations.
+func (h *Heap) ClassBase(c int) heap.Ptr { return h.classes[c].subs[0].base }
+
+// LargeObjects returns the number of live large objects.
+func (h *Heap) LargeObjects() int { return len(h.large) }
+
+// CheckInvariants verifies the segregated metadata against itself: per-
+// class live counts match bitmap population, thresholds are respected,
+// and subregion accounting is consistent. Property tests call this after
+// randomized workloads.
+func (h *Heap) CheckInvariants() error {
+	for c := range h.classes {
+		cl := &h.classes[c]
+		pop := 0
+		slots := 0
+		for s := range cl.subs {
+			sub := &cl.subs[s]
+			slots += sub.slots
+			for _, w := range sub.bits {
+				pop += bits.OnesCount64(w)
+			}
+			// Bits beyond the slot count must be zero.
+			if tail := sub.slots & 63; tail != 0 {
+				last := sub.bits[len(sub.bits)-1]
+				if last>>uint(tail) != 0 {
+					return fmt.Errorf("class %d: bitmap bits set beyond slot count", c)
+				}
+			}
+		}
+		if slots != cl.totalSlots {
+			return fmt.Errorf("class %d: totalSlots %d != sum of subregions %d", c, cl.totalSlots, slots)
+		}
+		if pop != cl.inUse {
+			return fmt.Errorf("class %d: inUse %d != bitmap population %d", c, cl.inUse, pop)
+		}
+		if cl.inUse > cl.maxInUse {
+			return fmt.Errorf("class %d: inUse %d exceeds threshold %d", c, cl.inUse, cl.maxInUse)
+		}
+		if cl.totalSlots > cl.capSlots {
+			return fmt.Errorf("class %d: totalSlots %d exceeds cap %d", c, cl.totalSlots, cl.capSlots)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,178 @@
+package exps
+
+import (
+	"bytes"
+	"fmt"
+
+	"diehard/internal/apps"
+	"diehard/internal/fault"
+	"diehard/internal/heap"
+	"diehard/internal/squid"
+)
+
+// InjectionKind selects a §7.3.1 fault-injection experiment.
+type InjectionKind string
+
+const (
+	// InjectDangling frees selected objects `Distance` allocations too
+	// early (paper: frequency 50%, distance 10).
+	InjectDangling InjectionKind = "dangling"
+	// InjectOverflow under-allocates selected requests (paper: 1% of
+	// requests of 32 bytes or more, by 4 bytes).
+	InjectOverflow InjectionKind = "overflow"
+)
+
+// InjectionParams parameterizes an injection run; zero values select
+// the paper's settings.
+type InjectionParams struct {
+	Kind     InjectionKind
+	Freq     float64 // dangling selection probability (default 0.5)
+	Distance int     // allocations early (default 10)
+	Rate     float64 // overflow probability (default 0.01)
+	MinSize  int     // overflow minimum request (default 32)
+	Delta    int     // overflow under-allocation (default 4)
+}
+
+func (p *InjectionParams) defaults() {
+	if p.Freq == 0 {
+		p.Freq = 0.5
+	}
+	if p.Distance == 0 {
+		p.Distance = 10
+	}
+	if p.Rate == 0 {
+		p.Rate = 0.01
+	}
+	if p.MinSize == 0 {
+		p.MinSize = 32
+	}
+	if p.Delta == 0 {
+		p.Delta = 4
+	}
+}
+
+// InjectionResult counts trial outcomes, the classification of §7.3.1
+// ("espresso crashes in 9 out of 10 runs and enters an infinite loop in
+// the tenth").
+type InjectionResult struct {
+	Trials      int
+	Correct     int
+	Crashed     int
+	WrongOutput int
+	Hung        int
+	Injected    int // total faults injected across trials
+}
+
+// Failures is the number of non-correct runs.
+func (r *InjectionResult) Failures() int { return r.Trials - r.Correct }
+
+// injectionWorkLimit bounds each injected run; clean runs use a small
+// fraction of it, so exceeding it is a hang (as one of the paper's
+// injected runs did).
+const injectionWorkLimit = 40_000_000
+
+// RunFaultInjection reproduces §7.3.1 for one application and allocator:
+// a tracing run collects the allocation log, a plan draws the faults,
+// and `trials` injected runs are classified against the clean run's
+// output.
+func RunFaultInjection(appName, allocKind string, params InjectionParams, trials, scale, heapSize int) (*InjectionResult, error) {
+	params.defaults()
+	app, ok := apps.Get(appName)
+	if !ok {
+		return nil, fmt.Errorf("exps: unknown app %q", appName)
+	}
+	input := app.Input(scale)
+
+	newAlloc := func(seed uint64) (heap.Allocator, error) {
+		return NewAllocator(AllocConfig{Kind: allocKind, HeapSize: heapSize, Seed: seed})
+	}
+
+	// Reference (clean) run and, for dangling injection, the allocation
+	// trace. Allocation time is a property of the program, not the
+	// allocator, so one trace serves every trial.
+	refAlloc, err := newAlloc(0xC1EA)
+	if err != nil {
+		return nil, err
+	}
+	tracer := fault.NewTracer(refAlloc)
+	var refOut bytes.Buffer
+	rt := &apps.Runtime{Alloc: tracer, Mem: refAlloc.Mem(), Input: input, Out: &refOut, WorkLimit: injectionWorkLimit}
+	if err := app.Run(rt); err != nil {
+		return nil, fmt.Errorf("clean reference run failed: %w", err)
+	}
+	reference := refOut.String()
+
+	res := &InjectionResult{Trials: trials}
+	for trial := 0; trial < trials; trial++ {
+		seed := uint64(trial)*2654435761 + 17
+		base, err := newAlloc(seed)
+		if err != nil {
+			return nil, err
+		}
+		var alloc heap.Allocator
+		switch params.Kind {
+		case InjectDangling:
+			plan := fault.PlanDangling(tracer.Trace(), params.Freq, params.Distance, seed)
+			inj := fault.NewDanglingInjector(base, plan)
+			alloc = inj
+			res.Injected += plan.Injected
+		case InjectOverflow:
+			inj := fault.NewOverflowInjector(base, params.Rate, params.MinSize, params.Delta, seed)
+			alloc = inj
+			defer func() { res.Injected += inj.Injected }()
+		default:
+			return nil, fmt.Errorf("exps: unknown injection kind %q", params.Kind)
+		}
+		var out bytes.Buffer
+		runRT := &apps.Runtime{Alloc: alloc, Mem: base.Mem(), Input: input, Out: &out, WorkLimit: injectionWorkLimit}
+		err = app.Run(runRT)
+		switch {
+		case err == apps.ErrHang:
+			res.Hung++
+		case err != nil:
+			res.Crashed++
+		case out.String() != reference:
+			res.WrongOutput++
+		default:
+			res.Correct++
+		}
+	}
+	return res, nil
+}
+
+// SquidResult reports the §7.3 real-fault experiment for one allocator.
+type SquidResult struct {
+	Allocator string
+	Trials    int
+	Survived  int
+	Crashed   int
+}
+
+// RunSquidExperiment reproduces the §7.3 "Real Faults" study: the buggy
+// web cache is fed the ill-formed input under each allocator. The
+// GNU-libc and BDW baselines crash; DieHard survives (probabilistically,
+// hence multiple seeded trials).
+func RunSquidExperiment(allocKinds []string, trials, requests, heapSize int) ([]SquidResult, error) {
+	input := squid.IllFormedInput(requests)
+	var results []SquidResult
+	for _, kind := range allocKinds {
+		r := SquidResult{Allocator: kind, Trials: trials}
+		for trial := 0; trial < trials; trial++ {
+			alloc, err := NewAllocator(AllocConfig{
+				Kind: kind, HeapSize: heapSize, Seed: uint64(trial + 1),
+			})
+			if err != nil {
+				return nil, err
+			}
+			var out bytes.Buffer
+			rt := &apps.Runtime{Alloc: alloc, Mem: alloc.Mem(), Input: input, Out: &out, WorkLimit: injectionWorkLimit}
+			if err := squid.Run(rt, squid.Options{}); err != nil {
+				r.Crashed++
+			} else {
+				r.Survived++
+			}
+		}
+		results = append(results, r)
+	}
+	return results, nil
+}

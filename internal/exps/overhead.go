@@ -1,0 +1,171 @@
+package exps
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"diehard/internal/apps"
+	"diehard/internal/heap"
+	"diehard/internal/replicate"
+)
+
+// Platform selects a Figure 5 configuration.
+type Platform string
+
+const (
+	// PlatformLinux compares the GNU-libc baseline, the BDW collector,
+	// and DieHard (Figure 5(a)).
+	PlatformLinux Platform = "linux"
+	// PlatformWindows compares the Windows XP default heap and DieHard
+	// (Figure 5(b)).
+	PlatformWindows Platform = "windows"
+)
+
+// Allocators returns the allocator kinds of a platform; index 0 is the
+// normalization baseline.
+func (p Platform) Allocators() []string {
+	if p == PlatformWindows {
+		return []string{KindWin, KindDieHard}
+	}
+	return []string{KindMalloc, KindGC, KindDieHard}
+}
+
+// OverheadRow is one benchmark's result across allocators.
+type OverheadRow struct {
+	Benchmark  string
+	Kind       apps.Kind
+	Cycles     map[string]uint64  // modeled cycles per allocator
+	Normalized map[string]float64 // cycles / baseline cycles
+	WallTime   map[string]time.Duration
+	TLBMisses  map[string]uint64
+}
+
+// OverheadReport is the full Figure 5 dataset.
+type OverheadReport struct {
+	Platform Platform
+	Rows     []OverheadRow
+	// GeoMean maps "<kind>/<allocator>" (kind = alloc-intensive or
+	// general-purpose) to the geometric-mean normalized runtime.
+	GeoMean map[string]float64
+}
+
+// RunOverhead executes the Figure 5 experiment: every benchmark on every
+// allocator of the platform, under the deterministic cycle model
+// (DESIGN.md §6), with the simulated TLB enabled. The paper's default
+// configuration is used for DieHard (384 MB heap, M = 2) and the same
+// arena budget for the baselines.
+func RunOverhead(platform Platform, scale, heapSize int, seed uint64) (*OverheadReport, error) {
+	if heapSize == 0 {
+		heapSize = 384 << 20
+	}
+	report := &OverheadReport{Platform: platform, GeoMean: make(map[string]float64)}
+	kinds := platform.Allocators()
+	baseline := kinds[0]
+
+	for _, app := range apps.Registry() {
+		row := OverheadRow{
+			Benchmark:  app.Name,
+			Kind:       app.Kind,
+			Cycles:     make(map[string]uint64),
+			Normalized: make(map[string]float64),
+			WallTime:   make(map[string]time.Duration),
+			TLBMisses:  make(map[string]uint64),
+		}
+		input := app.Input(scale)
+		for _, kind := range kinds {
+			alloc, err := NewAllocator(AllocConfig{
+				Kind: kind, HeapSize: heapSize, Seed: seed, EnableTLB: true,
+			})
+			if err != nil {
+				return nil, err
+			}
+			var out bytes.Buffer
+			rt := &apps.Runtime{Alloc: alloc, Mem: alloc.Mem(), Input: input, Out: &out}
+			start := time.Now()
+			if err := app.Run(rt); err != nil {
+				return nil, fmt.Errorf("%s on %s: %w", app.Name, kind, err)
+			}
+			row.WallTime[kind] = time.Since(start)
+			row.Cycles[kind] = heap.Cycles(alloc.Mem(), alloc.Stats())
+			row.TLBMisses[kind] = alloc.Mem().Stats().TLBMisses
+		}
+		for _, kind := range kinds {
+			row.Normalized[kind] = float64(row.Cycles[kind]) / float64(row.Cycles[baseline])
+		}
+		report.Rows = append(report.Rows, row)
+	}
+
+	for _, kind := range kinds {
+		var ai, gp []float64
+		for _, row := range report.Rows {
+			if row.Kind == apps.AllocIntensive {
+				ai = append(ai, row.Normalized[kind])
+			} else {
+				gp = append(gp, row.Normalized[kind])
+			}
+		}
+		report.GeoMean["alloc-intensive/"+kind] = GeoMean(ai)
+		report.GeoMean["general-purpose/"+kind] = GeoMean(gp)
+	}
+	return report, nil
+}
+
+// ScalingPoint is one replica-count measurement of the §7.2.3
+// experiment.
+type ScalingPoint struct {
+	Replicas  int
+	Wall      time.Duration
+	Survivors int
+	Agreed    bool
+	// RelativeToOne is wall time divided by the 1-replica wall time.
+	RelativeToOne float64
+}
+
+// RunReplicatedScaling reproduces §7.2.3: run an application under the
+// replicated runtime at each replica count (the paper: 16 replicas on a
+// 16-way server, about +50% over one replica) and report wall-clock
+// ratios. Replicas execute on separate goroutines, so the measurement
+// reflects the host's available parallelism, as the original did.
+//
+// lindsay is rejected: its uninitialized read makes replicas disagree,
+// which is exactly why the paper excludes it (§7.2.3).
+func RunReplicatedScaling(appName string, replicaCounts []int, scale, heapSize int, seed uint64) ([]ScalingPoint, error) {
+	if appName == "lindsay" {
+		return nil, fmt.Errorf("exps: lindsay cannot run replicated (uninitialized read); the paper excludes it too")
+	}
+	app, ok := apps.Get(appName)
+	if !ok {
+		return nil, fmt.Errorf("exps: unknown app %q", appName)
+	}
+	input := app.Input(scale)
+	prog := func(ctx *replicate.Context) error {
+		rt := &apps.Runtime{Alloc: ctx.Alloc, Mem: ctx.Mem, Input: ctx.Input, Out: ctx.Out}
+		return app.Run(rt)
+	}
+	var points []ScalingPoint
+	var base time.Duration
+	for _, k := range replicaCounts {
+		start := time.Now()
+		res, err := replicate.Run(prog, input, replicate.Options{
+			Replicas: k,
+			HeapSize: heapSize,
+			Seed:     seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		wall := time.Since(start)
+		if base == 0 {
+			base = wall
+		}
+		points = append(points, ScalingPoint{
+			Replicas:      k,
+			Wall:          wall,
+			Survivors:     res.Survivors,
+			Agreed:        res.Agreed,
+			RelativeToOne: float64(wall) / float64(base),
+		})
+	}
+	return points, nil
+}

@@ -1,0 +1,271 @@
+// Package fault implements the fault-injection methodology of §7.3.1:
+// libraries that inject memory errors into unaltered (simulated)
+// applications.
+//
+// The protocol follows the paper exactly. A first run under the tracing
+// allocator produces an allocation log: for every object, when it was
+// allocated and when it was freed, both in allocation time (the number
+// of allocations performed so far). A fault-injection plan is then drawn
+// from that log: to inject dangling-pointer errors, selected objects are
+// freed `distance` allocations earlier than the program intends, and the
+// program's real free of that object is ignored; to inject buffer
+// overflows, selected allocation requests are under-allocated so the
+// application's writes run past the end of the object.
+//
+// Because the evaluation applications are deterministic, the log from
+// the tracing run aligns exactly with the injection run.
+package fault
+
+import (
+	"fmt"
+
+	"diehard/internal/heap"
+	"diehard/internal/rng"
+	"diehard/internal/vmem"
+)
+
+// Lifetime records one object's allocation history in allocation time.
+type Lifetime struct {
+	ID        int // allocation index (0-based)
+	Size      int
+	AllocTime int // == ID: time of the allocation itself
+	FreeTime  int // allocation time at which the program freed it; -1 if never
+}
+
+// Trace is an allocation log produced by a Tracer run.
+type Trace struct {
+	Lifetimes []Lifetime
+}
+
+// Tracer wraps an allocator and records the allocation log, leaving
+// behavior otherwise unchanged.
+type Tracer struct {
+	base    heap.Allocator
+	trace   Trace
+	ptrToID map[heap.Ptr]int
+	clock   int // allocation time
+}
+
+var _ heap.Allocator = (*Tracer)(nil)
+
+// NewTracer wraps base with allocation logging.
+func NewTracer(base heap.Allocator) *Tracer {
+	return &Tracer{base: base, ptrToID: make(map[heap.Ptr]int)}
+}
+
+// Malloc allocates and logs the object.
+func (t *Tracer) Malloc(size int) (heap.Ptr, error) {
+	p, err := t.base.Malloc(size)
+	if err != nil {
+		return p, err
+	}
+	id := t.clock
+	t.clock++
+	t.trace.Lifetimes = append(t.trace.Lifetimes, Lifetime{
+		ID: id, Size: size, AllocTime: id, FreeTime: -1,
+	})
+	t.ptrToID[p] = id
+	return p, nil
+}
+
+// Free logs the free time of the object and forwards it.
+func (t *Tracer) Free(p heap.Ptr) error {
+	if id, ok := t.ptrToID[p]; ok {
+		t.trace.Lifetimes[id].FreeTime = t.clock
+		delete(t.ptrToID, p)
+	}
+	return t.base.Free(p)
+}
+
+// SizeOf forwards to the base allocator.
+func (t *Tracer) SizeOf(p heap.Ptr) (int, bool) { return t.base.SizeOf(p) }
+
+// Mem forwards to the base allocator.
+func (t *Tracer) Mem() *vmem.Space { return t.base.Mem() }
+
+// Stats forwards to the base allocator.
+func (t *Tracer) Stats() *heap.Stats { return t.base.Stats() }
+
+// Name identifies the tracer in reports.
+func (t *Tracer) Name() string { return t.base.Name() + "+trace" }
+
+// Trace returns the log collected so far.
+func (t *Tracer) Trace() *Trace { return &t.trace }
+
+// DanglingPlan selects the objects to free prematurely: each object that
+// lives at least distance allocations is chosen independently with
+// probability freq ("frequency of 50% with distance 10: one out of every
+// two objects is freed ten allocations too early").
+type DanglingPlan struct {
+	// earlyFrees maps an allocation-time tick to the IDs to free when
+	// the allocation counter reaches it.
+	earlyFrees map[int][]int
+	// victim reports whether an ID's real free must be ignored.
+	victim map[int]bool
+	// Injected is the number of planned premature frees.
+	Injected int
+}
+
+// PlanDangling draws a dangling-error plan from a trace.
+func PlanDangling(trace *Trace, freq float64, distance int, seed uint64) *DanglingPlan {
+	if freq < 0 || freq > 1 {
+		panic(fmt.Sprintf("fault: frequency %v out of [0,1]", freq))
+	}
+	r := rng.NewSeeded(seed)
+	plan := &DanglingPlan{
+		earlyFrees: make(map[int][]int),
+		victim:     make(map[int]bool),
+	}
+	for _, lt := range trace.Lifetimes {
+		if lt.FreeTime < 0 || lt.FreeTime-lt.AllocTime <= distance {
+			continue // never freed, or would be freed before/at allocation
+		}
+		if r.Float64() >= freq {
+			continue
+		}
+		early := lt.FreeTime - distance
+		plan.earlyFrees[early] = append(plan.earlyFrees[early], lt.ID)
+		plan.victim[lt.ID] = true
+		plan.Injected++
+	}
+	return plan
+}
+
+// DanglingInjector replays a program against a base allocator while
+// executing a DanglingPlan: victims are freed early and their real frees
+// are swallowed.
+type DanglingInjector struct {
+	base    heap.Allocator
+	plan    *DanglingPlan
+	clock   int
+	idToPtr map[int]heap.Ptr
+	ptrToID map[heap.Ptr]int
+
+	// EarlyFrees counts premature frees performed so far.
+	EarlyFrees int
+	// SwallowedFrees counts real frees ignored because their object was
+	// already freed by the injector.
+	SwallowedFrees int
+}
+
+var _ heap.Allocator = (*DanglingInjector)(nil)
+
+// NewDanglingInjector wraps base with the plan.
+func NewDanglingInjector(base heap.Allocator, plan *DanglingPlan) *DanglingInjector {
+	return &DanglingInjector{
+		base:    base,
+		plan:    plan,
+		idToPtr: make(map[int]heap.Ptr),
+		ptrToID: make(map[heap.Ptr]int),
+	}
+}
+
+// Malloc allocates, then fires any premature frees scheduled at the new
+// allocation time.
+func (d *DanglingInjector) Malloc(size int) (heap.Ptr, error) {
+	p, err := d.base.Malloc(size)
+	if err != nil {
+		return p, err
+	}
+	id := d.clock
+	d.clock++
+	d.idToPtr[id] = p
+	d.ptrToID[p] = id
+	for _, victim := range d.plan.earlyFrees[d.clock] {
+		vp, ok := d.idToPtr[victim]
+		if !ok {
+			continue // trace misalignment; deterministic programs never hit this
+		}
+		if err := d.base.Free(vp); err != nil {
+			return heap.Null, err
+		}
+		d.EarlyFrees++
+	}
+	return p, nil
+}
+
+// Free forwards the free unless the object was already freed early, in
+// which case the call is swallowed (the injection library "ignores the
+// subsequent (actual) call to free this object").
+func (d *DanglingInjector) Free(p heap.Ptr) error {
+	id, ok := d.ptrToID[p]
+	if ok {
+		delete(d.ptrToID, p)
+		delete(d.idToPtr, id)
+		if d.plan.victim[id] {
+			d.SwallowedFrees++
+			return nil
+		}
+	}
+	return d.base.Free(p)
+}
+
+// SizeOf forwards to the base allocator.
+func (d *DanglingInjector) SizeOf(p heap.Ptr) (int, bool) { return d.base.SizeOf(p) }
+
+// Mem forwards to the base allocator.
+func (d *DanglingInjector) Mem() *vmem.Space { return d.base.Mem() }
+
+// Stats forwards to the base allocator.
+func (d *DanglingInjector) Stats() *heap.Stats { return d.base.Stats() }
+
+// Name identifies the injector in reports.
+func (d *DanglingInjector) Name() string { return d.base.Name() + "+dangling" }
+
+// OverflowInjector injects buffer overflows by under-allocation: with
+// probability rate, a request of at least minSize bytes is shrunk by
+// delta bytes before reaching the allocator, so the application's writes
+// of the full requested size overflow the object (§7.3.1: "it requests
+// less memory from the underlying allocator than was requested by the
+// application").
+type OverflowInjector struct {
+	base    heap.Allocator
+	rate    float64
+	minSize int
+	delta   int
+	r       *rng.MWC
+
+	// Injected counts under-allocated requests.
+	Injected int
+}
+
+var _ heap.Allocator = (*OverflowInjector)(nil)
+
+// NewOverflowInjector wraps base with under-allocation injection.
+// The paper's experiment uses rate 0.01, minSize 32, delta 4.
+func NewOverflowInjector(base heap.Allocator, rate float64, minSize, delta int, seed uint64) *OverflowInjector {
+	if rate < 0 || rate > 1 {
+		panic(fmt.Sprintf("fault: rate %v out of [0,1]", rate))
+	}
+	return &OverflowInjector{
+		base:    base,
+		rate:    rate,
+		minSize: minSize,
+		delta:   delta,
+		r:       rng.NewSeeded(seed),
+	}
+}
+
+// Malloc under-allocates selected requests.
+func (o *OverflowInjector) Malloc(size int) (heap.Ptr, error) {
+	if size >= o.minSize && o.r.Float64() < o.rate {
+		o.Injected++
+		size -= o.delta
+	}
+	return o.base.Malloc(size)
+}
+
+// Free forwards to the base allocator.
+func (o *OverflowInjector) Free(p heap.Ptr) error { return o.base.Free(p) }
+
+// SizeOf forwards to the base allocator.
+func (o *OverflowInjector) SizeOf(p heap.Ptr) (int, bool) { return o.base.SizeOf(p) }
+
+// Mem forwards to the base allocator.
+func (o *OverflowInjector) Mem() *vmem.Space { return o.base.Mem() }
+
+// Stats forwards to the base allocator.
+func (o *OverflowInjector) Stats() *heap.Stats { return o.base.Stats() }
+
+// Name identifies the injector in reports.
+func (o *OverflowInjector) Name() string { return o.base.Name() + "+overflow" }

@@ -1,0 +1,288 @@
+package fault
+
+import (
+	"testing"
+
+	"diehard/internal/core"
+	"diehard/internal/heap"
+	"diehard/internal/leaalloc"
+)
+
+func newBase(t *testing.T) *core.Heap {
+	t.Helper()
+	h, err := core.New(core.Options{HeapSize: 12 << 20, Seed: 0xfa01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+// runPattern is a deterministic allocation pattern: allocate `n` objects
+// of cycling sizes, freeing each object `gap` allocations after its
+// birth. It returns the pointers in allocation order.
+func runPattern(t *testing.T, a heap.Allocator, n, gap int) []heap.Ptr {
+	t.Helper()
+	ptrs := make([]heap.Ptr, 0, n)
+	for i := 0; i < n; i++ {
+		size := 16 + (i%4)*24 // 16, 40, 64, 88
+		p, err := a.Malloc(size)
+		if err != nil {
+			t.Fatalf("alloc %d: %v", i, err)
+		}
+		ptrs = append(ptrs, p)
+		if i >= gap {
+			if err := a.Free(ptrs[i-gap]); err != nil {
+				t.Fatalf("free %d: %v", i-gap, err)
+			}
+		}
+	}
+	return ptrs
+}
+
+func TestTracerRecordsLifetimes(t *testing.T) {
+	base := newBase(t)
+	tr := NewTracer(base)
+	runPattern(t, tr, 100, 10)
+	trace := tr.Trace()
+	if len(trace.Lifetimes) != 100 {
+		t.Fatalf("recorded %d lifetimes", len(trace.Lifetimes))
+	}
+	for i, lt := range trace.Lifetimes {
+		if lt.ID != i || lt.AllocTime != i {
+			t.Fatalf("lifetime %d has ID %d time %d", i, lt.ID, lt.AllocTime)
+		}
+		if i < 90 {
+			// Object i is freed right after allocation i+10, i.e. at
+			// allocation time i+11 (11 allocations have happened).
+			if lt.FreeTime != i+11 {
+				t.Fatalf("object %d freed at %d, want %d", i, lt.FreeTime, i+11)
+			}
+		} else if lt.FreeTime != -1 {
+			t.Fatalf("object %d should never be freed, got %d", i, lt.FreeTime)
+		}
+	}
+}
+
+func TestTracerForwardsBehaviour(t *testing.T) {
+	base := newBase(t)
+	tr := NewTracer(base)
+	p, err := tr.Malloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size, ok := tr.SizeOf(p); !ok || size != 64 {
+		t.Fatalf("SizeOf through tracer: %d %v", size, ok)
+	}
+	if err := tr.Mem().Store64(p, 9); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Free(p); err != nil {
+		t.Fatal(err)
+	}
+	if base.Stats().Frees != 1 {
+		t.Fatal("free not forwarded")
+	}
+}
+
+func TestPlanDanglingSelectsLongLivedObjects(t *testing.T) {
+	base := newBase(t)
+	tr := NewTracer(base)
+	runPattern(t, tr, 200, 20) // lifetime 21 in allocation time
+	plan := PlanDangling(tr.Trace(), 1.0, 10, 1)
+	// Every freed object lives 21 > 10: all 180 freed objects chosen.
+	if plan.Injected != 180 {
+		t.Fatalf("injected %d, want 180", plan.Injected)
+	}
+	// With distance beyond every lifetime, nothing is chosen.
+	plan = PlanDangling(tr.Trace(), 1.0, 50, 1)
+	if plan.Injected != 0 {
+		t.Fatalf("distance 50 should select nothing, got %d", plan.Injected)
+	}
+}
+
+func TestPlanDanglingFrequency(t *testing.T) {
+	base := newBase(t)
+	tr := NewTracer(base)
+	runPattern(t, tr, 2000, 20)
+	plan := PlanDangling(tr.Trace(), 0.5, 10, 7)
+	// 1980 candidates at 50%: expect close to 990.
+	if plan.Injected < 850 || plan.Injected > 1130 {
+		t.Fatalf("injected %d, want ~990", plan.Injected)
+	}
+	// Determinism: same seed, same plan.
+	plan2 := PlanDangling(tr.Trace(), 0.5, 10, 7)
+	if plan2.Injected != plan.Injected {
+		t.Fatal("plans with the same seed differ")
+	}
+}
+
+func TestDanglingInjectorFiresEarlyAndSwallowsRealFree(t *testing.T) {
+	// Trace run.
+	traceBase := newBase(t)
+	tr := NewTracer(traceBase)
+	runPattern(t, tr, 100, 20)
+	plan := PlanDangling(tr.Trace(), 1.0, 10, 3)
+
+	// Injection run of the identical program.
+	injBase := newBase(t)
+	inj := NewDanglingInjector(injBase, plan)
+	runPattern(t, inj, 100, 20)
+
+	if inj.EarlyFrees != plan.Injected {
+		t.Fatalf("early frees %d != planned %d", inj.EarlyFrees, plan.Injected)
+	}
+	if inj.SwallowedFrees != plan.Injected {
+		t.Fatalf("swallowed %d != planned %d", inj.SwallowedFrees, plan.Injected)
+	}
+	// Base allocator saw exactly one free per freed object (early one),
+	// so its counters match the non-injected run's.
+	if injBase.Stats().Frees != traceBase.Stats().Frees {
+		t.Fatalf("base frees %d != trace run %d", injBase.Stats().Frees, traceBase.Stats().Frees)
+	}
+	if injBase.Stats().IgnoredFrees != 0 {
+		t.Fatalf("injector should never double-free the base: %d ignored", injBase.Stats().IgnoredFrees)
+	}
+}
+
+func TestDanglingInjectorExposesWindow(t *testing.T) {
+	// The essence of the injected error: during the 10 allocations
+	// between early free and real free, the object's slot is free and
+	// may be handed out again. Count reuse events on a small heap.
+	traceBase, err := core.New(core.Options{HeapSize: 48 << 10, Seed: 0xfa01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NewTracer(traceBase)
+	prog := func(t *testing.T, a heap.Allocator) map[heap.Ptr]int {
+		t.Helper()
+		reuse := make(map[heap.Ptr]int)
+		var ring [8]heap.Ptr
+		for i := 0; i < 400; i++ {
+			if ring[i%8] != heap.Null {
+				if err := a.Free(ring[i%8]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			p, err := a.Malloc(16)
+			if err != nil {
+				t.Fatal(err)
+			}
+			reuse[p]++
+			ring[i%8] = p
+		}
+		return reuse
+	}
+	prog(t, tr)
+	plan := PlanDangling(tr.Trace(), 1.0, 4, 5)
+	if plan.Injected == 0 {
+		t.Fatal("plan selected nothing")
+	}
+	injBase, err := core.New(core.Options{HeapSize: 48 << 10, Seed: 0xfa01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := NewDanglingInjector(injBase, plan)
+	prog(t, inj)
+	if inj.EarlyFrees == 0 {
+		t.Fatal("no early frees fired")
+	}
+}
+
+func TestOverflowInjectorUnderAllocates(t *testing.T) {
+	base := newBase(t)
+	inj := NewOverflowInjector(base, 1.0, 32, 4, 9)
+	// Requests below the threshold are untouched.
+	p, _ := inj.Malloc(16)
+	if size, _ := inj.SizeOf(p); size != 16 {
+		t.Fatalf("small request resized: %d", size)
+	}
+	// A 130-byte request under-allocates to 126: DieHard class falls
+	// from 256 to 128.
+	p, _ = inj.Malloc(130)
+	if size, _ := inj.SizeOf(p); size != 128 {
+		t.Fatalf("under-allocated request class = %d, want 128", size)
+	}
+	if inj.Injected != 1 {
+		t.Fatalf("Injected = %d, want 1", inj.Injected)
+	}
+}
+
+func TestOverflowInjectorRate(t *testing.T) {
+	base := newBase(t)
+	inj := NewOverflowInjector(base, 0.01, 32, 4, 42)
+	for i := 0; i < 10000; i++ {
+		p, err := inj.Malloc(64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := inj.Free(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Binomial(10000, 0.01): ~100 expected.
+	if inj.Injected < 50 || inj.Injected > 170 {
+		t.Fatalf("injected %d of 10000 at 1%%", inj.Injected)
+	}
+}
+
+func TestInjectedOverflowReallyOverflowsOnLea(t *testing.T) {
+	// End-to-end through the boundary-tag baseline: a request whose
+	// under-allocation crosses an 8-byte alignment boundary makes the
+	// application's full-size write smash the next chunk tag.
+	lea := leaHeap(t)
+	inj := NewOverflowInjector(lea, 1.0, 32, 4, 1)
+	p, err := inj.Malloc(64) // allocated as 60: payload 64 in chunk... request 60 -> chunk 72, payload 64
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := inj.Malloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The app legitimately writes its requested 64 bytes; with the
+	// paper's 4-byte under-allocation this may or may not cross a
+	// boundary depending on alignment. Use a request where it does:
+	// 56-byte payload after injection, 60 bytes written.
+	r, err := inj.Malloc(60) // under-allocated to 56: chunk 64, payload 56
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inj.Mem().Memset(r, 0xEE, 60); err != nil {
+		t.Fatalf("app-level write must not fault: %v", err)
+	}
+	// The chunk after r has a smashed header now; allocator operations
+	// notice sooner or later.
+	_ = p
+	_ = q
+	errs := 0
+	if err := inj.Free(r); err != nil {
+		errs++
+	}
+	for i := 0; i < 8; i++ {
+		if _, err := inj.Malloc(60); err != nil {
+			errs++
+			break
+		}
+	}
+	if errs == 0 {
+		t.Log("overflow landed harmlessly this time (alignment-dependent); acceptable")
+	}
+}
+
+func TestPlanPanicsOnBadFrequency(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	PlanDangling(&Trace{}, 1.5, 10, 1)
+}
+
+func leaHeap(t *testing.T) heap.Allocator {
+	t.Helper()
+	h, err := leaalloc.New(leaalloc.Options{HeapSize: 4 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}

@@ -1,0 +1,273 @@
+package gcsim
+
+import (
+	"testing"
+
+	"diehard/internal/heap"
+)
+
+func newHeap(t *testing.T, size int) *Heap {
+	t.Helper()
+	if size == 0 {
+		size = 8 << 20
+	}
+	h, err := New(Options{HeapSize: size})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestMallocRoundTrip(t *testing.T) {
+	h := newHeap(t, 0)
+	p, err := h.Malloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Mem().Store64(p, 42); err != nil {
+		t.Fatal(err)
+	}
+	v, _ := h.Mem().Load64(p)
+	if v != 42 {
+		t.Fatalf("got %d", v)
+	}
+}
+
+func TestFreeIsIgnored(t *testing.T) {
+	// The BDW property behind its Table 1 row: free does nothing, so
+	// double frees and invalid frees are harmless and dangling pointers
+	// still see the object.
+	h := newHeap(t, 0)
+	p, _ := h.Malloc(64)
+	if err := h.Mem().Store64(p, 0xcafe); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Free(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Free(p); err != nil { // double free
+		t.Fatal(err)
+	}
+	if err := h.Free(0xdeadbeef); err != nil { // invalid free
+		t.Fatal(err)
+	}
+	if h.Stats().IgnoredFrees != 3 {
+		t.Fatalf("IgnoredFrees = %d", h.Stats().IgnoredFrees)
+	}
+	v, err := h.Mem().Load64(p)
+	if err != nil || v != 0xcafe {
+		t.Fatalf("dangling object lost: %v %v", v, err)
+	}
+}
+
+func TestRootsKeepObjectsAlive(t *testing.T) {
+	h := newHeap(t, 0)
+	// Build a globals object holding a pointer chain, as the evaluation
+	// workloads do.
+	globals, _ := h.Malloc(64)
+	h.AddRoot(globals)
+	node, _ := h.Malloc(32)
+	if err := h.Mem().Store64(node, 0x1111); err != nil {
+		t.Fatal(err)
+	}
+	next, _ := h.Malloc(32)
+	if err := h.Mem().Store64(next, 0x2222); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Mem().Store64(node+8, next); err != nil { // node -> next
+		t.Fatal(err)
+	}
+	if err := h.Mem().Store64(globals, node); err != nil { // globals -> node
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		h.Collect()
+	}
+	v1, _ := h.Mem().Load64(node)
+	v2, _ := h.Mem().Load64(next)
+	if v1 != 0x1111 || v2 != 0x2222 {
+		t.Fatalf("rooted chain lost: %#x %#x", v1, v2)
+	}
+	if _, ok := h.SizeOf(node); !ok {
+		t.Fatal("rooted object swept")
+	}
+}
+
+func TestUnreachableObjectsAreReclaimed(t *testing.T) {
+	h := newHeap(t, 0)
+	p, _ := h.Malloc(64)
+	// Three collections: p ages out of the recent generation, then the
+	// previous generation, then is unreachable garbage.
+	h.Collect()
+	h.Collect()
+	h.Collect()
+	if _, ok := h.SizeOf(p); ok {
+		t.Fatal("unreachable object survived three collections")
+	}
+	// Its slot is reused.
+	seen := false
+	for i := 0; i < 200; i++ {
+		q, _ := h.Malloc(64)
+		if q == p {
+			seen = true
+			break
+		}
+	}
+	if !seen {
+		t.Fatal("reclaimed slot never reused")
+	}
+}
+
+func TestRecentAllocationsSurviveCollection(t *testing.T) {
+	h := newHeap(t, 0)
+	p, _ := h.Malloc(48)
+	if err := h.Mem().Store64(p, 7); err != nil {
+		t.Fatal(err)
+	}
+	h.Collect() // p only in the recent set
+	if _, ok := h.SizeOf(p); !ok {
+		t.Fatal("recently allocated object swept")
+	}
+	v, _ := h.Mem().Load64(p)
+	if v != 7 {
+		t.Fatal("recent object corrupted")
+	}
+}
+
+func TestConservativeInteriorPointer(t *testing.T) {
+	h := newHeap(t, 0)
+	globals, _ := h.Malloc(64)
+	h.AddRoot(globals)
+	obj, _ := h.Malloc(256)
+	if err := h.Mem().Store64(obj+128, 0xabcd); err != nil {
+		t.Fatal(err)
+	}
+	// Only an interior pointer is stored: conservatism must keep the
+	// whole object alive.
+	if err := h.Mem().Store64(globals, obj+100); err != nil {
+		t.Fatal(err)
+	}
+	h.Collect()
+	h.Collect()
+	v, err := h.Mem().Load64(obj + 128)
+	if err != nil || v != 0xabcd {
+		t.Fatal("interior-pointer-reachable object swept")
+	}
+}
+
+func TestBigObjects(t *testing.T) {
+	h := newHeap(t, 0)
+	globals, _ := h.Malloc(64)
+	h.AddRoot(globals)
+	big, _ := h.Malloc(100_000)
+	if err := h.Mem().Store64(big+99_000, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Mem().Store64(globals, big); err != nil {
+		t.Fatal(err)
+	}
+	size, ok := h.SizeOf(big)
+	if !ok || size < 100_000 {
+		t.Fatalf("big SizeOf = %d,%v", size, ok)
+	}
+	h.Collect()
+	h.Collect()
+	if v, _ := h.Mem().Load64(big + 99_000); v != 5 {
+		t.Fatal("rooted big object lost")
+	}
+	// Interior pointer into a middle block resolves.
+	start, bsize, ok := h.ObjectBounds(big + 50_000)
+	if !ok || start != big || bsize < 100_000 {
+		t.Fatalf("big ObjectBounds = %#x,%d,%v", start, bsize, ok)
+	}
+	// Drop the reference: the object must be collected.
+	if err := h.Mem().Store64(globals, 0); err != nil {
+		t.Fatal(err)
+	}
+	h.Collect()
+	h.Collect()
+	if _, ok := h.SizeOf(big); ok {
+		t.Fatal("unreachable big object survived")
+	}
+}
+
+func TestGarbageDoesNotExhaustHeap(t *testing.T) {
+	// Allocating unreachable garbage forever must succeed: collections
+	// reclaim it. 2 MB heap, 16 MB of cumulative garbage.
+	h := newHeap(t, 2<<20)
+	for i := 0; i < 16*1024; i++ {
+		p, err := h.Malloc(1024)
+		if err != nil {
+			t.Fatalf("allocation %d failed: %v", i, err)
+		}
+		if err := h.Mem().Store64(p, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h.Stats().Collections == 0 {
+		t.Fatal("no collections happened")
+	}
+	if h.HeapBytes() > 2<<20 {
+		t.Fatalf("heap grew to %d despite garbage-only workload", h.HeapBytes())
+	}
+}
+
+func TestDisableSweepPinsEverything(t *testing.T) {
+	h := newHeap(t, 0)
+	h.SetDisableSweep(true)
+	p, _ := h.Malloc(64)
+	h.Collect()
+	h.Collect()
+	if _, ok := h.SizeOf(p); !ok {
+		t.Fatal("object swept despite disabled sweep")
+	}
+}
+
+func TestSizeOfUnallocated(t *testing.T) {
+	h := newHeap(t, 0)
+	if _, ok := h.SizeOf(0xdeadbeef); ok {
+		t.Fatal("wild pointer resolved")
+	}
+	p, _ := h.Malloc(64)
+	if _, ok := h.SizeOf(p + 8); ok {
+		t.Fatal("interior pointer accepted by SizeOf")
+	}
+}
+
+func TestSpaceOverheadExceedsMalloc(t *testing.T) {
+	// §8: garbage collection requires more space than malloc/free for
+	// the same live set. Run a churn workload with a bounded live set
+	// and compare carved heap bytes against the live volume.
+	h := newHeap(t, 32<<20)
+	globals, _ := h.Malloc(8 * 128)
+	h.AddRoot(globals)
+	var live [128]heap.Ptr
+	for i := 0; i < 20000; i++ {
+		slot := i % len(live)
+		p, err := h.Malloc(256)
+		if err != nil {
+			t.Fatal(err)
+		}
+		live[slot] = p
+		if err := h.Mem().Store64(globals+uint64(slot*8), p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	liveBytes := uint64(len(live) * 256)
+	if h.HeapBytes() < 2*liveBytes {
+		t.Fatalf("GC heap %d unexpectedly tight for live set %d", h.HeapBytes(), liveBytes)
+	}
+}
+
+func BenchmarkMallocGC(b *testing.B) {
+	h, err := New(Options{HeapSize: 32 << 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := h.Malloc(64); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

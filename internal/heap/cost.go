@@ -1,0 +1,54 @@
+package heap
+
+import "diehard/internal/vmem"
+
+// Work-unit charges. Each allocator charges itself these amounts for the
+// operations it actually performs, giving the cycle model an honest,
+// implementation-derived cost rather than a tuned curve. The values are
+// rough instruction counts for the corresponding operations on the
+// paper-era x86 hardware; only their relative magnitudes matter for the
+// normalized-runtime figures.
+const (
+	// WorkProbe: draw a random index and test a bitmap bit (DieHard §4.2).
+	WorkProbe = 3
+	// WorkBitmap: set or clear a bitmap bit plus counter update.
+	WorkBitmap = 2
+	// WorkSizeClass: size-to-class conversion (a shift, per §4.1).
+	WorkSizeClass = 1
+	// WorkFreelistStep: follow one freelist link or boundary tag.
+	WorkFreelistStep = 2
+	// WorkHeader: read or write an object header/boundary tag.
+	WorkHeader = 1
+	// WorkMmap: one simulated mmap/munmap system call.
+	WorkMmap = 400
+	// WorkMarkWord: conservative GC scanning one word.
+	WorkMarkWord = 1
+	// WorkLockWalk: the Windows-XP-default-heap per-operation overhead
+	// (lock acquisition plus lookaside/list walking). The paper observes
+	// that the default Windows allocator is substantially slower than
+	// the Lea allocator; this constant is that observation.
+	WorkLockWalk = 60
+	// WorkRandomFill: filling one word with random values (replicated
+	// mode, §4.1/§4.2).
+	WorkRandomFill = 2
+	// WorkCheck: one dynamic safety check in the fail-stop policy.
+	WorkCheck = 2
+)
+
+// TLB penalties: a first-level miss whose translation is still warm in
+// the page-walk caches costs a short refill; a miss in both levels is a
+// full page walk, costing tens of cycles on paper-era x86.
+const (
+	TLBRefillPenalty = 8
+	TLBWalkPenalty   = 30
+)
+
+// Cycles computes the modeled execution cost of a run: every memory
+// access costs one cycle, TLB misses add refill or walk penalties, and
+// the allocator adds its accumulated work units. Figure 5 normalizes
+// this quantity against the baseline allocator's.
+func Cycles(space *vmem.Space, alloc *Stats) uint64 {
+	m := space.Stats()
+	warm := m.TLBMisses - m.TLB2Misses
+	return m.Accesses() + TLBRefillPenalty*warm + TLBWalkPenalty*m.TLB2Misses + alloc.WorkUnits
+}

@@ -1,0 +1,330 @@
+package leaalloc
+
+import (
+	"errors"
+	"testing"
+
+	"diehard/internal/heap"
+	"diehard/internal/rng"
+	"diehard/internal/vmem"
+)
+
+func newHeap(t *testing.T, size int) *Heap {
+	t.Helper()
+	if size == 0 {
+		size = 4 << 20
+	}
+	h, err := New(Options{HeapSize: size})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestMallocFreeRoundTrip(t *testing.T) {
+	h := newHeap(t, 0)
+	p, err := h.Malloc(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Mem().Store64(p, 0xfeedface); err != nil {
+		t.Fatal(err)
+	}
+	v, _ := h.Mem().Load64(p)
+	if v != 0xfeedface {
+		t.Fatalf("got %#x", v)
+	}
+	if err := h.Free(p); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeaderIsAdjacentToPayload(t *testing.T) {
+	// The defining hazard of the Lea layout: the boundary tag lives at
+	// p-8, reachable by a one-byte underflow or a previous chunk's
+	// overflow.
+	h := newHeap(t, 0)
+	p, _ := h.Malloc(24)
+	hdr, err := h.Mem().Load64(p - 8)
+	if err != nil {
+		t.Fatalf("header must be in addressable heap memory: %v", err)
+	}
+	if hdr&flagInUse == 0 {
+		t.Fatal("header does not mark chunk in use")
+	}
+	if int(hdr&^flagMask) != 32 { // align8(24+8)
+		t.Fatalf("header size = %d, want 32", hdr&^flagMask)
+	}
+}
+
+func TestFreedMemoryIsReusedSoon(t *testing.T) {
+	// LIFO-ish reuse is what makes dangling pointers deadly with this
+	// allocator: the very next same-size malloc gets the freed chunk.
+	h := newHeap(t, 0)
+	p, _ := h.Malloc(64)
+	if err := h.Free(p); err != nil {
+		t.Fatal(err)
+	}
+	q, _ := h.Malloc(64)
+	if p != q {
+		t.Fatalf("freed chunk not reused: %#x then %#x", p, q)
+	}
+}
+
+func TestSplitAndCoalesce(t *testing.T) {
+	h := newHeap(t, 0)
+	p, _ := h.Malloc(1000)
+	barrier, _ := h.Malloc(16) // keeps p away from the wilderness
+	used := h.ArenaUsed()
+	if err := h.Free(p); err != nil {
+		t.Fatal(err)
+	}
+	// Two smaller allocations should be carved from the freed chunk
+	// without growing the arena.
+	a, _ := h.Malloc(400)
+	b, _ := h.Malloc(400)
+	if h.ArenaUsed() != used {
+		t.Fatalf("arena grew from %d to %d despite a free chunk fitting both", used, h.ArenaUsed())
+	}
+	if err := h.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Free(b); err != nil {
+		t.Fatal(err)
+	}
+	// After coalescing, the original large allocation must fit again.
+	q, err := h.Malloc(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.ArenaUsed() != used {
+		t.Fatalf("coalescing failed: arena %d -> %d", used, h.ArenaUsed())
+	}
+	if q != p {
+		t.Fatalf("coalesced chunk at %#x, originally %#x", q, p)
+	}
+	_ = barrier
+}
+
+func TestBackwardCoalesce(t *testing.T) {
+	h := newHeap(t, 0)
+	a, _ := h.Malloc(100)
+	b, _ := h.Malloc(100)
+	c, _ := h.Malloc(100) // keeps b away from the wilderness
+	if err := h.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Free(b); err != nil { // must merge backward into a
+		t.Fatal(err)
+	}
+	// A 200-byte request fits only in the merged chunk.
+	q, err := h.Malloc(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q != a {
+		t.Fatalf("merged chunk should start at a=%#x, got %#x", a, q)
+	}
+	_ = c
+}
+
+func TestOutOfMemory(t *testing.T) {
+	h := newHeap(t, 16*vmem.PageSize)
+	var last error
+	for i := 0; i < 10000; i++ {
+		if _, err := h.Malloc(4096); err != nil {
+			last = err
+			break
+		}
+	}
+	if !errors.Is(last, heap.ErrOutOfMemory) {
+		t.Fatalf("expected ErrOutOfMemory, got %v", last)
+	}
+}
+
+func TestSizeOf(t *testing.T) {
+	h := newHeap(t, 0)
+	p, _ := h.Malloc(100)
+	size, ok := h.SizeOf(p)
+	if !ok || size < 100 {
+		t.Fatalf("SizeOf = %d,%v", size, ok)
+	}
+	if _, ok := h.SizeOf(0xdeadbeef); ok {
+		t.Fatal("SizeOf of wild pointer should fail")
+	}
+	_ = h.Free(p)
+	if _, ok := h.SizeOf(p); ok {
+		t.Fatal("SizeOf of freed chunk should fail")
+	}
+}
+
+func TestOverflowSmashesNextHeader(t *testing.T) {
+	// Table 1, "buffer overflows x GNU libc = undefined": writing past
+	// an object corrupts the next boundary tag, and the allocator
+	// eventually dies on it.
+	h := newHeap(t, 0)
+	a, _ := h.Malloc(24)
+	b, _ := h.Malloc(24)
+	// Overflow a by 16 bytes: wrecks b's header.
+	if err := h.Mem().Memset(a, 0x41, 40); err != nil {
+		t.Fatalf("the overflow itself must not fault: %v", err)
+	}
+	err := h.Free(b)
+	if err == nil {
+		// Depending on layout the corruption may surface at the next
+		// malloc instead.
+		_, err = h.Malloc(24)
+	}
+	if err == nil {
+		t.Fatal("corrupted boundary tag went completely unnoticed")
+	}
+	if !heap.IsCrash(err) {
+		t.Fatalf("expected crash-class error, got %v", err)
+	}
+}
+
+func TestDoubleFreeCorrupts(t *testing.T) {
+	// Table 1, "double frees x GNU libc = undefined": the chunk enters
+	// the bin twice; subsequent mallocs hand out overlapping memory or
+	// the allocator trips over the cycle.
+	h := newHeap(t, 0)
+	p, _ := h.Malloc(64)
+	if _, err := h.Malloc(64); err != nil { // barrier: keep p binned, not wilderness-absorbed
+		t.Fatal(err)
+	}
+	if err := h.Free(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Free(p); err != nil {
+		if heap.IsCrash(err) {
+			return // detected corruption: also an authentic outcome
+		}
+		t.Fatalf("double free returned unexpected error class: %v", err)
+	}
+	a, err1 := h.Malloc(64)
+	b, err2 := h.Malloc(64)
+	if err1 == nil && err2 == nil && a == b {
+		return // overlapping allocations: the classic undefined outcome
+	}
+	if heap.IsCrash(err1) || heap.IsCrash(err2) {
+		return // or the allocator crashed on its corrupted list
+	}
+	t.Fatalf("double free had no observable consequence: a=%#x b=%#x err1=%v err2=%v", a, b, err1, err2)
+}
+
+func TestInvalidFreeCrashes(t *testing.T) {
+	h := newHeap(t, 0)
+	p, _ := h.Malloc(64)
+	err := h.Free(p + 4) // interior pointer: garbage header
+	if err == nil {
+		t.Fatal("invalid free went unnoticed")
+	}
+	if !heap.IsCrash(err) {
+		t.Fatalf("expected crash-class error, got %v", err)
+	}
+	if err := h.Free(0xdeadbee0); err == nil {
+		t.Fatal("wild free went unnoticed")
+	}
+}
+
+func TestFreeNull(t *testing.T) {
+	h := newHeap(t, 0)
+	if err := h.Free(heap.Null); err != nil {
+		t.Fatalf("free(NULL) must be a no-op: %v", err)
+	}
+}
+
+func TestDanglingWriteCorruptsFreeList(t *testing.T) {
+	// A write through a dangling pointer lands on the free chunk's
+	// fd/bk links; the next unlink follows the corrupted link.
+	h := newHeap(t, 0)
+	p, _ := h.Malloc(64)
+	if err := h.Free(p); err != nil {
+		t.Fatal(err)
+	}
+	// Dangling write wrecks fd and bk.
+	if err := h.Mem().Store64(p, 0xdead0000dead0000); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Mem().Store64(p+8, 0xbeef0000beef0000); err != nil {
+		t.Fatal(err)
+	}
+	// Force a bin search that must traverse/unlink the wrecked chunk.
+	var sawError bool
+	for i := 0; i < 4; i++ {
+		if _, err := h.Malloc(64); err != nil {
+			sawError = true
+			break
+		}
+	}
+	if !sawError {
+		t.Skip("corrupted links not exercised by this layout") // defensive; should not happen
+	}
+}
+
+func TestChecksumIntegrityUnderRandomWorkload(t *testing.T) {
+	// Correctness under heavy churn: every live object holds a pattern
+	// derived from its id; no two live objects may overlap.
+	h := newHeap(t, 8<<20)
+	r := rng.NewSeeded(99)
+	type obj struct {
+		p    heap.Ptr
+		id   uint64
+		size int
+	}
+	var live []obj
+	check := func(o obj) {
+		v, err := h.Mem().Load64(o.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != o.id {
+			t.Fatalf("object %d at %#x corrupted: %#x", o.id, o.p, v)
+		}
+	}
+	for op := uint64(0); op < 30000; op++ {
+		if len(live) > 0 && r.Intn(100) < 48 {
+			i := r.Intn(len(live))
+			check(live[i])
+			if err := h.Free(live[i].p); err != nil {
+				t.Fatal(err)
+			}
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+			continue
+		}
+		size := 8 + r.Intn(500)
+		p, err := h.Malloc(size)
+		if errors.Is(err, heap.ErrOutOfMemory) {
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := h.Mem().Store64(p, op); err != nil {
+			t.Fatal(err)
+		}
+		live = append(live, obj{p: p, id: op, size: size})
+	}
+	for _, o := range live {
+		check(o)
+	}
+}
+
+func TestTinyHeapRejected(t *testing.T) {
+	if _, err := New(Options{HeapSize: 100}); err == nil {
+		t.Fatal("tiny heap must be rejected")
+	}
+}
+
+func BenchmarkMallocFreePair(b *testing.B) {
+	h, err := New(Options{HeapSize: 32 << 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, _ := h.Malloc(64)
+		_ = h.Free(p)
+	}
+}

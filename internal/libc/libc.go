@@ -1,0 +1,363 @@
+// Package libc provides C string and memory functions operating on
+// simulated memory, together with DieHard's checked replacements for the
+// unsafe ones (§4.4 of the paper).
+//
+// The plain functions have exactly the hazards of their C counterparts:
+// Strcpy copies until the NUL terminator regardless of the destination's
+// capacity, so a too-small destination buffer is really overflowed. The
+// Safe variants consult the allocator for the destination object's bounds
+// and never write past the end of the object, which is how DieHard
+// defuses both strcpy and the "checked but wrong length" strncpy calls
+// the paper describes.
+package libc
+
+import (
+	"diehard/internal/heap"
+)
+
+// Bounds is the allocator capability the checked functions need: the
+// ability to resolve any heap pointer (including interior pointers) to
+// its containing object. The DieHard heap implements it using its
+// power-of-two layout; other allocators may implement it too.
+type Bounds interface {
+	// ObjectBounds resolves p to the allocated object containing it.
+	ObjectBounds(p heap.Ptr) (start heap.Ptr, size int, ok bool)
+	// InHeap reports whether p points into the managed heap.
+	InHeap(p heap.Ptr) bool
+}
+
+// maxScan bounds string scans so that a missing NUL terminator in a
+// pathological setup cannot loop forever; 1<<30 is far beyond any object
+// in the simulation, so the bound is never the behaviour under test
+// (the scan faults on a guard or unmapped page first).
+const maxScan = 1 << 30
+
+// Strlen returns the length of the NUL-terminated string at s. Reading
+// past the end of mapped memory faults, exactly like C.
+func Strlen(m heap.Memory, s heap.Ptr) (int, error) {
+	for n := 0; n < maxScan; n++ {
+		b, err := m.Load8(s + uint64(n))
+		if err != nil {
+			return 0, err
+		}
+		if b == 0 {
+			return n, nil
+		}
+	}
+	return 0, &heap.CorruptionError{Detail: "libc: unterminated string scan"}
+}
+
+// Strcpy copies the NUL-terminated string at src to dst, terminator
+// included. It performs no bounds checking whatsoever: this is the
+// unsafe C strcpy, and it will happily overflow dst.
+func Strcpy(m heap.Memory, dst, src heap.Ptr) error {
+	for i := uint64(0); ; i++ {
+		b, err := m.Load8(src + i)
+		if err != nil {
+			return err
+		}
+		if err := m.Store8(dst+i, b); err != nil {
+			return err
+		}
+		if b == 0 {
+			return nil
+		}
+	}
+}
+
+// Strncpy copies at most n bytes from src to dst, zero-padding to n if
+// src is shorter, like C strncpy. A wrong n still overflows dst: the
+// paper's point is that "checked" functions are only as safe as the
+// length the programmer passed.
+func Strncpy(m heap.Memory, dst, src heap.Ptr, n int) error {
+	i := 0
+	for ; i < n; i++ {
+		b, err := m.Load8(src + uint64(i))
+		if err != nil {
+			return err
+		}
+		if err := m.Store8(dst+uint64(i), b); err != nil {
+			return err
+		}
+		if b == 0 {
+			i++
+			break
+		}
+	}
+	for ; i < n; i++ {
+		if err := m.Store8(dst+uint64(i), 0); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Strcmp compares two NUL-terminated strings like C strcmp.
+func Strcmp(m heap.Memory, a, b heap.Ptr) (int, error) {
+	for i := uint64(0); i < maxScan; i++ {
+		ca, err := m.Load8(a + i)
+		if err != nil {
+			return 0, err
+		}
+		cb, err := m.Load8(b + i)
+		if err != nil {
+			return 0, err
+		}
+		if ca != cb {
+			if ca < cb {
+				return -1, nil
+			}
+			return 1, nil
+		}
+		if ca == 0 {
+			return 0, nil
+		}
+	}
+	return 0, &heap.CorruptionError{Detail: "libc: unterminated string compare"}
+}
+
+// Memcpy copies n bytes from src to dst (no overlap handling, like C
+// memcpy; use heap.Memory.MemMove for overlapping copies).
+func Memcpy(m heap.Memory, dst, src heap.Ptr, n int) error {
+	if n <= 0 {
+		return nil
+	}
+	buf := make([]byte, n)
+	if err := m.ReadBytes(src, buf); err != nil {
+		return err
+	}
+	return m.WriteBytes(dst, buf)
+}
+
+// availableSpace returns how many bytes may be written at dst without
+// leaving the containing object, following §4.4: find the object start,
+// then size minus offset. ok is false when dst is not in the heap or not
+// within a live object.
+func availableSpace(b Bounds, dst heap.Ptr) (int, bool) {
+	if !b.InHeap(dst) {
+		return 0, false
+	}
+	start, size, ok := b.ObjectBounds(dst)
+	if !ok {
+		return 0, false
+	}
+	return size - int(dst-start), true
+}
+
+// SafeStrcpy is DieHard's replacement for strcpy: the copy length is
+// capped at the space remaining in the destination object, so a heap
+// buffer overflow through this function is impossible. The result is
+// truncated (and the truncated copy is still NUL-terminated) when src
+// does not fit; the number of payload bytes copied is returned.
+// Destinations outside the managed heap fall back to the unchecked copy,
+// as the real interposed function must.
+func SafeStrcpy(b Bounds, m heap.Memory, dst, src heap.Ptr) (int, error) {
+	avail, ok := availableSpace(b, dst)
+	if !ok {
+		if err := Strcpy(m, dst, src); err != nil {
+			return 0, err
+		}
+		n, err := Strlen(m, dst)
+		return n, err
+	}
+	return boundedCopy(m, dst, src, avail)
+}
+
+// SafeStrncpy is DieHard's replacement for strncpy: the programmer's
+// length argument is honored only up to the destination object's actual
+// capacity, defusing incorrect length arguments (§4.4).
+func SafeStrncpy(b Bounds, m heap.Memory, dst, src heap.Ptr, n int) (int, error) {
+	avail, ok := availableSpace(b, dst)
+	if !ok {
+		if err := Strncpy(m, dst, src, n); err != nil {
+			return 0, err
+		}
+		return n, nil
+	}
+	if n < avail {
+		avail = n
+	}
+	return boundedCopy(m, dst, src, avail)
+}
+
+// boundedCopy copies src into dst, writing at most avail bytes including
+// the terminator, and reports the number of payload bytes written.
+func boundedCopy(m heap.Memory, dst, src heap.Ptr, avail int) (int, error) {
+	if avail <= 0 {
+		return 0, nil
+	}
+	i := 0
+	for ; i < avail-1; i++ {
+		b, err := m.Load8(src + uint64(i))
+		if err != nil {
+			return i, err
+		}
+		if b == 0 {
+			break
+		}
+		if err := m.Store8(dst+uint64(i), b); err != nil {
+			return i, err
+		}
+	}
+	return i, m.Store8(dst+uint64(i), 0)
+}
+
+// WriteString stores a Go string into simulated memory with a NUL
+// terminator. It is a test and workload convenience, not a C function.
+func WriteString(m heap.Memory, dst heap.Ptr, s string) error {
+	if err := m.WriteBytes(dst, []byte(s)); err != nil {
+		return err
+	}
+	return m.Store8(dst+uint64(len(s)), 0)
+}
+
+// ReadString reads the NUL-terminated string at src into a Go string,
+// failing if it exceeds maxLen bytes.
+func ReadString(m heap.Memory, src heap.Ptr, maxLen int) (string, error) {
+	out := make([]byte, 0, 32)
+	for i := 0; i < maxLen; i++ {
+		b, err := m.Load8(src + uint64(i))
+		if err != nil {
+			return "", err
+		}
+		if b == 0 {
+			return string(out), nil
+		}
+		out = append(out, b)
+	}
+	return "", &heap.CorruptionError{Detail: "libc: string exceeds maximum length"}
+}
+
+// Strcat appends the NUL-terminated string at src to the one at dst,
+// like C strcat: no bounds checking, so a too-small destination is
+// really overflowed.
+func Strcat(m heap.Memory, dst, src heap.Ptr) error {
+	n, err := Strlen(m, dst)
+	if err != nil {
+		return err
+	}
+	return Strcpy(m, dst+uint64(n), src)
+}
+
+// Strncat appends at most n bytes of src to dst, always terminating,
+// like C strncat — which still overflows when n was computed from the
+// wrong buffer.
+func Strncat(m heap.Memory, dst, src heap.Ptr, n int) error {
+	dlen, err := Strlen(m, dst)
+	if err != nil {
+		return err
+	}
+	i := 0
+	for ; i < n; i++ {
+		b, err := m.Load8(src + uint64(i))
+		if err != nil {
+			return err
+		}
+		if b == 0 {
+			break
+		}
+		if err := m.Store8(dst+uint64(dlen+i), b); err != nil {
+			return err
+		}
+	}
+	return m.Store8(dst+uint64(dlen+i), 0)
+}
+
+// SafeStrcat is DieHard's checked replacement for strcat (§4.4): the
+// append is capped at the destination object's remaining capacity,
+// counted from the current terminator. It returns the number of payload
+// bytes appended.
+func SafeStrcat(b Bounds, m heap.Memory, dst, src heap.Ptr) (int, error) {
+	n, err := Strlen(m, dst)
+	if err != nil {
+		return 0, err
+	}
+	end := dst + uint64(n)
+	avail, ok := availableSpace(b, end)
+	if !ok {
+		if err := Strcat(m, dst, src); err != nil {
+			return 0, err
+		}
+		slen, err := Strlen(m, src)
+		return slen, err
+	}
+	return boundedCopy(m, end, src, avail)
+}
+
+// SafeStrncat is DieHard's checked replacement for strncat: the
+// programmer's n is honored only up to the destination's real remaining
+// capacity.
+func SafeStrncat(b Bounds, m heap.Memory, dst, src heap.Ptr, n int) (int, error) {
+	dlen, err := Strlen(m, dst)
+	if err != nil {
+		return 0, err
+	}
+	end := dst + uint64(dlen)
+	avail, ok := availableSpace(b, end)
+	if !ok {
+		if err := Strncat(m, dst, src, n); err != nil {
+			return 0, err
+		}
+		return n, nil
+	}
+	if n+1 < avail {
+		avail = n + 1
+	}
+	return boundedCopy(m, end, src, avail)
+}
+
+// Strdup allocates a copy of the NUL-terminated string at src, like C
+// strdup.
+func Strdup(a heap.Allocator, m heap.Memory, src heap.Ptr) (heap.Ptr, error) {
+	n, err := Strlen(m, src)
+	if err != nil {
+		return heap.Null, err
+	}
+	dst, err := a.Malloc(n + 1)
+	if err != nil {
+		return heap.Null, err
+	}
+	if err := Memcpy(m, dst, src, n); err != nil {
+		return heap.Null, err
+	}
+	return dst, m.Store8(dst+uint64(n), 0)
+}
+
+// Memcmp compares n bytes like C memcmp.
+func Memcmp(m heap.Memory, a, b heap.Ptr, n int) (int, error) {
+	for i := uint64(0); i < uint64(n); i++ {
+		ca, err := m.Load8(a + i)
+		if err != nil {
+			return 0, err
+		}
+		cb, err := m.Load8(b + i)
+		if err != nil {
+			return 0, err
+		}
+		if ca != cb {
+			if ca < cb {
+				return -1, nil
+			}
+			return 1, nil
+		}
+	}
+	return 0, nil
+}
+
+// Strchr returns the address of the first occurrence of c in the
+// NUL-terminated string at s, or Null if absent, like C strchr.
+func Strchr(m heap.Memory, s heap.Ptr, c byte) (heap.Ptr, error) {
+	for i := uint64(0); i < maxScan; i++ {
+		b, err := m.Load8(s + i)
+		if err != nil {
+			return heap.Null, err
+		}
+		if b == c {
+			return s + i, nil
+		}
+		if b == 0 {
+			return heap.Null, nil
+		}
+	}
+	return heap.Null, &heap.CorruptionError{Detail: "libc: unterminated string scan"}
+}

@@ -1,0 +1,437 @@
+package libc
+
+import (
+	"strings"
+	"testing"
+
+	"diehard/internal/core"
+)
+
+func newHeap(t *testing.T) *core.Heap {
+	t.Helper()
+	h, err := core.New(core.Options{HeapSize: 12 << 20, Seed: 0xabc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestStrlenStrcpyRoundTrip(t *testing.T) {
+	h := newHeap(t)
+	m := h.Mem()
+	src, _ := h.Malloc(64)
+	dst, _ := h.Malloc(64)
+	if err := WriteString(m, src, "probabilistic"); err != nil {
+		t.Fatal(err)
+	}
+	n, err := Strlen(m, src)
+	if err != nil || n != 13 {
+		t.Fatalf("Strlen = %d, %v", n, err)
+	}
+	if err := Strcpy(m, dst, src); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadString(m, dst, 64)
+	if err != nil || got != "probabilistic" {
+		t.Fatalf("copied %q, %v", got, err)
+	}
+}
+
+func TestStrcpyOverflowsUnchecked(t *testing.T) {
+	// The unchecked strcpy writes past the destination object: on a
+	// DieHard heap this lands in the neighboring slot (no fault, no
+	// metadata damage) — precisely the hazard §4.4 neutralizes.
+	h := newHeap(t)
+	m := h.Mem()
+	long := strings.Repeat("A", 100)
+	src, _ := h.Malloc(128)
+	dst, _ := h.Malloc(8) // class size 8: 100 bytes overflow by 92+
+	if err := WriteString(m, src, long); err != nil {
+		t.Fatal(err)
+	}
+	if err := Strcpy(m, dst, src); err != nil {
+		t.Fatalf("overflow within the heap should not fault: %v", err)
+	}
+	// Bytes beyond the 8-byte object were really written.
+	b, err := m.Load8(dst + 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b != 'A' {
+		t.Fatalf("overflow byte = %#x, want 'A'", b)
+	}
+	if err := h.CheckInvariants(); err != nil {
+		t.Fatalf("DieHard metadata must survive data overflow: %v", err)
+	}
+}
+
+func TestSafeStrcpyTruncatesAtObjectEnd(t *testing.T) {
+	h := newHeap(t)
+	m := h.Mem()
+	long := strings.Repeat("B", 100)
+	src, _ := h.Malloc(128)
+	dst, _ := h.Malloc(8)
+	if err := WriteString(m, src, long); err != nil {
+		t.Fatal(err)
+	}
+	n, err := SafeStrcpy(h, m, dst, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 7 { // 8-byte object: 7 payload bytes + NUL
+		t.Fatalf("SafeStrcpy copied %d bytes, want 7", n)
+	}
+	got, _ := ReadString(m, dst, 8)
+	if got != strings.Repeat("B", 7) {
+		t.Fatalf("truncated copy = %q", got)
+	}
+	// Nothing beyond the object was touched.
+	b, _ := m.Load8(dst + 8)
+	if b == 'B' {
+		t.Fatal("SafeStrcpy wrote past the object end")
+	}
+}
+
+func TestSafeStrcpyInteriorPointer(t *testing.T) {
+	// §4.4: available space is measured from the destination pointer to
+	// the end of the object, so interior destinations get less room.
+	h := newHeap(t)
+	m := h.Mem()
+	src, _ := h.Malloc(64)
+	dst, _ := h.Malloc(32)
+	if err := WriteString(m, src, strings.Repeat("C", 60)); err != nil {
+		t.Fatal(err)
+	}
+	n, err := SafeStrcpy(h, m, dst+30, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 { // 2 bytes remain: 1 payload + NUL
+		t.Fatalf("interior SafeStrcpy copied %d, want 1", n)
+	}
+}
+
+func TestSafeStrcpyFitsWithoutTruncation(t *testing.T) {
+	h := newHeap(t)
+	m := h.Mem()
+	src, _ := h.Malloc(64)
+	dst, _ := h.Malloc(64)
+	if err := WriteString(m, src, "short"); err != nil {
+		t.Fatal(err)
+	}
+	n, err := SafeStrcpy(h, m, dst, src)
+	if err != nil || n != 5 {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+	got, _ := ReadString(m, dst, 64)
+	if got != "short" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestStrncpyExactAndPadding(t *testing.T) {
+	h := newHeap(t)
+	m := h.Mem()
+	src, _ := h.Malloc(32)
+	dst, _ := h.Malloc(32)
+	if err := WriteString(m, src, "abc"); err != nil {
+		t.Fatal(err)
+	}
+	// Pre-fill destination to observe zero padding.
+	if err := m.Memset(dst, 0xFF, 16); err != nil {
+		t.Fatal(err)
+	}
+	if err := Strncpy(m, dst, src, 10); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 10)
+	if err := m.ReadBytes(dst, buf); err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{'a', 'b', 'c', 0, 0, 0, 0, 0, 0, 0}
+	for i := range want {
+		if buf[i] != want[i] {
+			t.Fatalf("byte %d = %#x, want %#x", i, buf[i], want[i])
+		}
+	}
+}
+
+func TestSafeStrncpyCapsWrongLength(t *testing.T) {
+	// The programmer passes a "checked" length that is still too large;
+	// DieHard's replacement caps it at the object's real capacity.
+	h := newHeap(t)
+	m := h.Mem()
+	src, _ := h.Malloc(128)
+	dst, _ := h.Malloc(16)
+	if err := WriteString(m, src, strings.Repeat("D", 100)); err != nil {
+		t.Fatal(err)
+	}
+	n, err := SafeStrncpy(h, m, dst, src, 100) // wrong: dst holds 16
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 15 {
+		t.Fatalf("SafeStrncpy copied %d, want 15", n)
+	}
+	b, _ := m.Load8(dst + 16)
+	if b == 'D' {
+		t.Fatal("SafeStrncpy overflowed despite capping")
+	}
+}
+
+func TestSafeStrncpyHonorsSmallerN(t *testing.T) {
+	h := newHeap(t)
+	m := h.Mem()
+	src, _ := h.Malloc(64)
+	dst, _ := h.Malloc(64)
+	if err := WriteString(m, src, "abcdefgh"); err != nil {
+		t.Fatal(err)
+	}
+	n, err := SafeStrncpy(h, m, dst, src, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 { // 3 payload + NUL within n=4
+		t.Fatalf("copied %d, want 3", n)
+	}
+}
+
+func TestStrcmp(t *testing.T) {
+	h := newHeap(t)
+	m := h.Mem()
+	a, _ := h.Malloc(32)
+	b, _ := h.Malloc(32)
+	cases := []struct {
+		s1, s2 string
+		want   int
+	}{
+		{"abc", "abc", 0},
+		{"abc", "abd", -1},
+		{"abd", "abc", 1},
+		{"ab", "abc", -1},
+		{"abc", "ab", 1},
+		{"", "", 0},
+	}
+	for _, c := range cases {
+		if err := WriteString(m, a, c.s1); err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteString(m, b, c.s2); err != nil {
+			t.Fatal(err)
+		}
+		got, err := Strcmp(m, a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Fatalf("Strcmp(%q,%q) = %d, want %d", c.s1, c.s2, got, c.want)
+		}
+	}
+}
+
+func TestMemcpy(t *testing.T) {
+	h := newHeap(t)
+	m := h.Mem()
+	src, _ := h.Malloc(256)
+	dst, _ := h.Malloc(256)
+	payload := []byte(strings.Repeat("xyz!", 50))
+	if err := m.WriteBytes(src, payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := Memcpy(m, dst, src, len(payload)); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(payload))
+	if err := m.ReadBytes(dst, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(payload) {
+		t.Fatal("Memcpy mismatch")
+	}
+}
+
+func TestStrlenFaultsOffHeap(t *testing.T) {
+	h := newHeap(t)
+	if _, err := Strlen(h.Mem(), 0xdeadbeef); err == nil {
+		t.Fatal("Strlen of wild pointer should fault")
+	}
+}
+
+func TestSafeStrcpyFreedDestinationFallsBack(t *testing.T) {
+	// A freed destination no longer resolves to an object; the real
+	// interposed strcpy cannot check it and copies unchecked. Verify we
+	// do not fault inside the heap (writes land on free space).
+	h := newHeap(t)
+	m := h.Mem()
+	src, _ := h.Malloc(64)
+	dst, _ := h.Malloc(16)
+	if err := WriteString(m, src, "dangling!"); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Free(dst); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SafeStrcpy(h, m, dst, src); err != nil {
+		t.Fatalf("copy to freed slot faulted: %v", err)
+	}
+}
+
+func TestStrcatAndSafeStrcat(t *testing.T) {
+	h := newHeap(t)
+	m := h.Mem()
+	dst, _ := h.Malloc(32)
+	src, _ := h.Malloc(32)
+	if err := WriteString(m, dst, "die"); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteString(m, src, "hard"); err != nil {
+		t.Fatal(err)
+	}
+	if err := Strcat(m, dst, src); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := ReadString(m, dst, 32)
+	if got != "diehard" {
+		t.Fatalf("strcat got %q", got)
+	}
+	// Unchecked strcat overflows a full destination; the checked
+	// replacement truncates at the object end.
+	small, _ := h.Malloc(8)
+	if err := WriteString(m, small, "1234"); err != nil {
+		t.Fatal(err)
+	}
+	long, _ := h.Malloc(64)
+	if err := WriteString(m, long, strings.Repeat("X", 50)); err != nil {
+		t.Fatal(err)
+	}
+	n, err := SafeStrcat(h, m, small, long)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 { // 8-byte object: "1234" + 3 payload + NUL
+		t.Fatalf("SafeStrcat appended %d, want 3", n)
+	}
+	got, _ = ReadString(m, small, 8)
+	if got != "1234XXX" {
+		t.Fatalf("SafeStrcat result %q", got)
+	}
+	if b, _ := m.Load8(small + 8); b == 'X' {
+		t.Fatal("SafeStrcat wrote past the object")
+	}
+}
+
+func TestStrncatAndSafeStrncat(t *testing.T) {
+	h := newHeap(t)
+	m := h.Mem()
+	dst, _ := h.Malloc(32)
+	src, _ := h.Malloc(32)
+	if err := WriteString(m, dst, "ab"); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteString(m, src, "cdefgh"); err != nil {
+		t.Fatal(err)
+	}
+	if err := Strncat(m, dst, src, 3); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := ReadString(m, dst, 32)
+	if got != "abcde" {
+		t.Fatalf("strncat got %q", got)
+	}
+	// Checked: a wrong n is capped at the real capacity.
+	small, _ := h.Malloc(8)
+	if err := WriteString(m, small, "12"); err != nil {
+		t.Fatal(err)
+	}
+	n, err := SafeStrncat(h, m, small, src, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 { // "12" + 5 payload + NUL fills the 8-byte object
+		t.Fatalf("SafeStrncat appended %d, want 5", n)
+	}
+	if b, _ := m.Load8(small + 8); b == 'c' || b == 'd' {
+		t.Fatal("SafeStrncat overflowed")
+	}
+}
+
+func TestStrdup(t *testing.T) {
+	h := newHeap(t)
+	m := h.Mem()
+	src, _ := h.Malloc(32)
+	if err := WriteString(m, src, "duplicate me"); err != nil {
+		t.Fatal(err)
+	}
+	dup, err := Strdup(h, m, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dup == src {
+		t.Fatal("strdup returned the original")
+	}
+	got, _ := ReadString(m, dup, 32)
+	if got != "duplicate me" {
+		t.Fatalf("strdup got %q", got)
+	}
+	// The copy is independent.
+	if err := m.Store8(src, 'X'); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = ReadString(m, dup, 32)
+	if got != "duplicate me" {
+		t.Fatal("strdup copy aliases the original")
+	}
+}
+
+func TestMemcmp(t *testing.T) {
+	h := newHeap(t)
+	m := h.Mem()
+	a, _ := h.Malloc(16)
+	b, _ := h.Malloc(16)
+	if err := m.WriteBytes(a, []byte("abcdefgh")); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WriteBytes(b, []byte("abcdefgh")); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := Memcmp(m, a, b, 8); err != nil || v != 0 {
+		t.Fatalf("equal memcmp: %d %v", v, err)
+	}
+	if err := m.Store8(b+4, 'z'); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := Memcmp(m, a, b, 8); v != -1 {
+		t.Fatalf("a<b memcmp: %d", v)
+	}
+	if v, _ := Memcmp(m, b, a, 8); v != 1 {
+		t.Fatalf("b>a memcmp: %d", v)
+	}
+	if v, _ := Memcmp(m, a, b, 4); v != 0 {
+		t.Fatalf("prefix memcmp: %d", v)
+	}
+}
+
+func TestStrchr(t *testing.T) {
+	h := newHeap(t)
+	m := h.Mem()
+	s, _ := h.Malloc(32)
+	if err := WriteString(m, s, "find the needle"); err != nil {
+		t.Fatal(err)
+	}
+	p, err := Strchr(m, s, 'n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != s+2 { // "fi[n]d"
+		t.Fatalf("Strchr at offset %d", p-s)
+	}
+	p, err = Strchr(m, s, 'q')
+	if err != nil || p != 0 {
+		t.Fatalf("absent char: %v %v", p, err)
+	}
+	// Searching for NUL finds the terminator, like C.
+	p, err = Strchr(m, s, 0)
+	if err != nil || p != s+15 {
+		t.Fatalf("terminator search: offset %d, %v", p-s, err)
+	}
+}

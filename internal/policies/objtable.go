@@ -1,0 +1,59 @@
+package policies
+
+import (
+	"sort"
+
+	"diehard/internal/heap"
+)
+
+// objTable tracks live object extents for the access-checking runtimes
+// (CCured-like and failure-oblivious). It corresponds to the metadata a
+// safe-C compiler maintains alongside each pointer; it lives outside the
+// simulated heap, as the real systems' metadata effectively does.
+type objTable struct {
+	starts []heap.Ptr // sorted
+	sizes  map[heap.Ptr]int
+}
+
+func newObjTable() *objTable {
+	return &objTable{sizes: make(map[heap.Ptr]int)}
+}
+
+func (t *objTable) add(start heap.Ptr, size int) {
+	i := sort.Search(len(t.starts), func(i int) bool { return t.starts[i] >= start })
+	t.starts = append(t.starts, 0)
+	copy(t.starts[i+1:], t.starts[i:])
+	t.starts[i] = start
+	t.sizes[start] = size
+}
+
+func (t *objTable) remove(start heap.Ptr) bool {
+	if _, ok := t.sizes[start]; !ok {
+		return false
+	}
+	delete(t.sizes, start)
+	i := sort.Search(len(t.starts), func(i int) bool { return t.starts[i] >= start })
+	t.starts = append(t.starts[:i], t.starts[i+1:]...)
+	return true
+}
+
+// find resolves addr to the live object containing it.
+func (t *objTable) find(addr heap.Ptr) (start heap.Ptr, size int, ok bool) {
+	i := sort.Search(len(t.starts), func(i int) bool { return t.starts[i] > addr })
+	if i == 0 {
+		return 0, 0, false
+	}
+	start = t.starts[i-1]
+	size = t.sizes[start]
+	if addr < start+uint64(size) {
+		return start, size, true
+	}
+	return 0, 0, false
+}
+
+// contains reports whether the byte range [addr, addr+n) lies entirely
+// within one live object.
+func (t *objTable) contains(addr heap.Ptr, n int) bool {
+	start, size, ok := t.find(addr)
+	return ok && addr+uint64(n) <= start+uint64(size)
+}

@@ -1,0 +1,390 @@
+package policies
+
+import (
+	"errors"
+	"testing"
+
+	"diehard/internal/heap"
+)
+
+const testHeapSize = 4 << 20
+
+// --- FailStop (CCured-like) ---
+
+func TestFailStopNormalExecution(t *testing.T) {
+	f, err := NewFailStop(testHeapSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := f.Memory()
+	p, err := f.Malloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Store64(p, 123); err != nil {
+		t.Fatal(err)
+	}
+	v, err := m.Load64(p)
+	if err != nil || v != 123 {
+		t.Fatalf("round trip: %d, %v", v, err)
+	}
+}
+
+func TestFailStopAbortsOnOverflow(t *testing.T) {
+	f, _ := NewFailStop(testHeapSize)
+	m := f.Memory()
+	p, _ := f.Malloc(16)
+	err := m.Store64(p+16, 1)
+	if !heap.IsAbort(err) {
+		t.Fatalf("overflow write returned %v, want abort", err)
+	}
+	// Write that straddles the boundary also aborts.
+	err = m.Store64(p+12, 1)
+	if !heap.IsAbort(err) {
+		t.Fatalf("straddling write returned %v, want abort", err)
+	}
+}
+
+func TestFailStopAbortsOnUninitializedRead(t *testing.T) {
+	f, _ := NewFailStop(testHeapSize)
+	m := f.Memory()
+	p, _ := f.Malloc(64)
+	if _, err := m.Load64(p); !heap.IsAbort(err) {
+		t.Fatal("read of uninitialized memory must abort")
+	}
+	if err := m.Store64(p, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Load64(p); err != nil {
+		t.Fatalf("initialized read failed: %v", err)
+	}
+	// Partially initialized: reading the uninitialized tail aborts.
+	if _, err := m.Load64(p + 4); !heap.IsAbort(err) {
+		t.Fatal("partially uninitialized read must abort")
+	}
+}
+
+func TestFailStopToleratesBadFrees(t *testing.T) {
+	f, _ := NewFailStop(testHeapSize)
+	m := f.Memory()
+	p, _ := f.Malloc(32)
+	if err := m.Store64(p, 9); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Free(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Free(p); err != nil { // double free
+		t.Fatal(err)
+	}
+	if err := f.Free(0xdeadbeef); err != nil { // invalid free
+		t.Fatal(err)
+	}
+	// Dangling access still sees the object (GC semantics).
+	v, err := m.Load64(p)
+	if err != nil || v != 9 {
+		t.Fatalf("dangling read under GC base: %d, %v", v, err)
+	}
+}
+
+func TestFailStopWildRead(t *testing.T) {
+	f, _ := NewFailStop(testHeapSize)
+	if _, err := f.Memory().Load8(0x42424242); !heap.IsAbort(err) {
+		t.Fatal("wild read must abort")
+	}
+}
+
+// --- FailOblivious ---
+
+func TestFailObliviousNormalExecution(t *testing.T) {
+	f, err := NewFailOblivious(testHeapSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := f.Memory()
+	p, _ := f.Malloc(64)
+	if err := m.Store64(p, 55); err != nil {
+		t.Fatal(err)
+	}
+	v, err := m.Load64(p)
+	if err != nil || v != 55 {
+		t.Fatalf("round trip: %d, %v", v, err)
+	}
+}
+
+func TestFailObliviousDropsIllegalWrites(t *testing.T) {
+	f, _ := NewFailOblivious(testHeapSize)
+	m := f.Memory()
+	a, _ := f.Malloc(16)
+	b, _ := f.Malloc(16)
+	if err := m.Store64(b, 0x600d); err != nil {
+		t.Fatal(err)
+	}
+	// Overflow from a toward b: dropped, b intact, execution continues.
+	if err := m.Store64(a+16, 0xbad); err != nil {
+		t.Fatalf("failure-oblivious write must not fail: %v", err)
+	}
+	if f.DroppedWrites == 0 {
+		t.Fatal("illegal write was not counted as dropped")
+	}
+	v, _ := m.Load64(b)
+	if v != 0x600d {
+		t.Fatalf("neighbor corrupted despite dropped write: %#x", v)
+	}
+}
+
+func TestFailObliviousManufacturesReads(t *testing.T) {
+	f, _ := NewFailOblivious(testHeapSize)
+	m := f.Memory()
+	p, _ := f.Malloc(16)
+	v, err := m.Load64(p + 100) // far out of bounds
+	if err != nil {
+		t.Fatalf("failure-oblivious read must not fail: %v", err)
+	}
+	if v > 7 {
+		t.Fatalf("manufactured value %d outside documented cycle", v)
+	}
+	if f.ManufacturedReads == 0 {
+		t.Fatal("illegal read not counted")
+	}
+	// Manufactured values vary, breaking comparison loops.
+	v2, _ := m.Load64(p + 100)
+	if v == v2 {
+		v3, _ := m.Load64(p + 100)
+		if v2 == v3 {
+			t.Fatal("manufactured values do not vary")
+		}
+	}
+}
+
+func TestFailObliviousDanglingBecomesOblivious(t *testing.T) {
+	f, _ := NewFailOblivious(testHeapSize)
+	m := f.Memory()
+	p, _ := f.Malloc(32)
+	if err := m.Store64(p, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Free(p); err != nil {
+		t.Fatal(err)
+	}
+	// After free the object is out of the bounds table: writes dropped,
+	// reads manufactured; execution continues obliviously.
+	if err := m.Store64(p, 2); err != nil {
+		t.Fatalf("dangling write must be dropped, not fail: %v", err)
+	}
+	if _, err := m.Load64(p); err != nil {
+		t.Fatalf("dangling read must be manufactured, not fail: %v", err)
+	}
+}
+
+// --- Rx ---
+
+func TestRxRecoversFromMetadataOverwrite(t *testing.T) {
+	// A small overflow smashes the next chunk's boundary tag; the first
+	// run crashes, re-execution with padded requests absorbs the
+	// overflow.
+	prog := func(a heap.Allocator) error {
+		m := a.Mem()
+		p, err := a.Malloc(24)
+		if err != nil {
+			return err
+		}
+		q, err := a.Malloc(24)
+		if err != nil {
+			return err
+		}
+		if err := m.Memset(p, 0x41, 32); err != nil { // 8-byte overflow
+			return err
+		}
+		if err := a.Free(q); err != nil {
+			return err
+		}
+		_, err = a.Malloc(24)
+		return err
+	}
+	res := RunRx(testHeapSize, prog)
+	if res.Err != nil {
+		t.Fatalf("Rx failed to recover: %+v", res.Err)
+	}
+	if !res.Recovered || res.Attempts < 2 {
+		t.Fatalf("expected recovery after rollback, got %+v", res)
+	}
+}
+
+func TestRxRecoversFromDoubleFree(t *testing.T) {
+	prog := func(a heap.Allocator) error {
+		p, err := a.Malloc(64)
+		if err != nil {
+			return err
+		}
+		if _, err := a.Malloc(64); err != nil { // barrier
+			return err
+		}
+		if err := a.Free(p); err != nil {
+			return err
+		}
+		if err := a.Free(p); err != nil { // double free
+			return err
+		}
+		if _, err := a.Malloc(64); err != nil {
+			return err
+		}
+		_, err = a.Malloc(64)
+		return err
+	}
+	res := RunRx(testHeapSize, prog)
+	if res.Err != nil {
+		t.Fatalf("Rx failed to recover from double free: %v", res.Err)
+	}
+	if !res.Recovered {
+		t.Fatalf("expected recovery, got %+v", res)
+	}
+}
+
+func TestRxCannotRecoverFromHugeOverflow(t *testing.T) {
+	// An overflow far larger than any padding level destroys neighbor
+	// data. The corruption is detected by the program itself as wrong
+	// output — not a crash — so Rx has nothing to roll back from:
+	// undefined, as Table 1 records.
+	wrongOutput := errors.New("wrong output")
+	prog := func(a heap.Allocator) error {
+		m := a.Mem()
+		p, err := a.Malloc(24)
+		if err != nil {
+			return err
+		}
+		q, err := a.Malloc(24)
+		if err != nil {
+			return err
+		}
+		if err := m.Store64(q, 0x5e471e1); err != nil {
+			return err
+		}
+		if err := m.Memset(p, 0x41, 600); err != nil { // 576-byte overflow
+			return err
+		}
+		v, err := m.Load64(q)
+		if err != nil {
+			return err
+		}
+		if v != 0x5e471e1 {
+			return wrongOutput
+		}
+		if err := a.Free(q); err != nil {
+			return err
+		}
+		_, err = a.Malloc(24)
+		return err
+	}
+	res := RunRx(testHeapSize, prog)
+	if res.Err == nil {
+		t.Fatal("huge overflow unexpectedly recovered")
+	}
+	if res.Recovered {
+		t.Fatalf("Rx claimed recovery from silent corruption: %+v", res)
+	}
+}
+
+func TestRxInvalidFreePersistsAcrossRetries(t *testing.T) {
+	// Rx's environment changes do not include dropping invalid frees;
+	// the crash recurs on every re-execution until Rx gives up.
+	prog := func(a heap.Allocator) error {
+		p, err := a.Malloc(64)
+		if err != nil {
+			return err
+		}
+		return a.Free(p + 4) // interior pointer
+	}
+	res := RunRx(testHeapSize, prog)
+	if res.Err == nil || !heap.IsCrash(res.Err) {
+		t.Fatalf("invalid free should keep crashing: %+v", res)
+	}
+	if res.Attempts != len(RxEscalation) {
+		t.Fatalf("expected all %d attempts, got %d", len(RxEscalation), res.Attempts)
+	}
+}
+
+func TestRxBlindToSilentCorruption(t *testing.T) {
+	// Rx only reacts to crashes: a run that completes with wrong output
+	// is invisible to it (§8's unsoundness).
+	ran := 0
+	prog := func(a heap.Allocator) error {
+		ran++
+		p, _ := a.Malloc(64)
+		_ = a.Mem().Store64(p, 1)
+		return nil // silently wrong result, no crash
+	}
+	res := RunRx(testHeapSize, prog)
+	if res.Err != nil || res.Attempts != 1 || ran != 1 {
+		t.Fatalf("Rx should run once and accept: %+v ran=%d", res, ran)
+	}
+}
+
+func TestRxAllocDeferredFrees(t *testing.T) {
+	a, err := NewRxAlloc(testHeapSize, RxOptions{DeferFrees: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := a.Malloc(64)
+	if err := a.Free(p); err != nil {
+		t.Fatal(err)
+	}
+	// Deferred: the chunk is not yet reusable, so a fresh malloc gets
+	// different memory.
+	q, _ := a.Malloc(64)
+	if q == p {
+		t.Fatal("deferred free released the chunk immediately")
+	}
+}
+
+func TestRxAllocZeroFill(t *testing.T) {
+	a, err := NewRxAlloc(testHeapSize, RxOptions{ZeroFill: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := a.Malloc(64)
+	if err := a.Mem().Memset(p, 0xFF, 64); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Free(p); err != nil {
+		t.Fatal(err)
+	}
+	q, _ := a.Malloc(64)
+	v, _ := a.Mem().Load64(q)
+	if v != 0 {
+		t.Fatalf("zero-fill missing: %#x", v)
+	}
+}
+
+// --- objTable ---
+
+func TestObjTable(t *testing.T) {
+	tab := newObjTable()
+	tab.add(100, 50)
+	tab.add(300, 10)
+	tab.add(200, 20)
+	if s, sz, ok := tab.find(120); !ok || s != 100 || sz != 50 {
+		t.Fatalf("find(120) = %d,%d,%v", s, sz, ok)
+	}
+	if _, _, ok := tab.find(150); ok {
+		t.Fatal("find(150) should miss")
+	}
+	if _, _, ok := tab.find(99); ok {
+		t.Fatal("find(99) should miss")
+	}
+	if !tab.contains(200, 20) || tab.contains(200, 21) {
+		t.Fatal("contains boundary wrong")
+	}
+	if !tab.remove(200) {
+		t.Fatal("remove failed")
+	}
+	if tab.remove(200) {
+		t.Fatal("second remove should fail")
+	}
+	if _, _, ok := tab.find(205); ok {
+		t.Fatal("removed object still found")
+	}
+	if s, _, ok := tab.find(305); !ok || s != 300 {
+		t.Fatal("unrelated object lost after removal")
+	}
+}

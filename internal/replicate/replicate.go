@@ -1,0 +1,357 @@
+// Package replicate implements DieHard's replicated mode (§5): several
+// replicas of the same program execute simultaneously, each with a
+// differently-seeded fully-randomized memory manager; input is broadcast
+// to all replicas; output is committed only when replicas agree on it.
+//
+// The paper runs replicas as processes wired up with pipes and shared
+// memory; here each replica is a goroutine owning a private simulated
+// address space (DESIGN.md §1), its output staged through a buffer the
+// size of a pipe transfer unit (4 KB). The voter synchronizes replicas
+// at buffer-full or termination barriers, exactly like §5.2:
+//
+//   - if all live replicas produced identical buffers, the contents are
+//     committed to the output;
+//   - otherwise a buffer agreed on by at least two replicas wins, and
+//     disagreeing replicas are killed ("a replica that has generated
+//     anomalous output is no longer useful since it has entered into an
+//     undefined state");
+//   - if no two replicas agree, an uninitialized read (or equivalent
+//     divergence) has been detected and execution terminates.
+//
+// Replicas that crash are discarded and the live-replica count drops,
+// mirroring the signal handling of the real system. Functions that would
+// let replicas observe the environment differently (the clock) are
+// virtualized so correct replicas are output-equivalent (§5.3).
+package replicate
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"diehard/internal/core"
+	"diehard/internal/heap"
+	"diehard/internal/libc"
+	"diehard/internal/rng"
+)
+
+// DefaultBufferSize is the voting granularity: the unit of transfer of a
+// pipe, as in §5.2.
+const DefaultBufferSize = 4096
+
+// ErrKilled is returned from output writes of a replica the voter has
+// killed for disagreeing. The replica's program unwinds on it.
+var ErrKilled = errors.New("replicate: replica killed by voter")
+
+// ErrNoAgreement reports a barrier at which no two replicas agreed — the
+// signature of an uninitialized read propagating to output.
+var ErrNoAgreement = errors.New("replicate: no two replicas agree; uninitialized read suspected")
+
+// Context is a replica's view of the world, passed to the Program.
+type Context struct {
+	// Alloc is the replica's private randomized allocator.
+	Alloc heap.Allocator
+	// Mem is the replica's view of memory.
+	Mem heap.Memory
+	// Bounds exposes object-bounds resolution for DieHard's checked
+	// library functions (§4.4).
+	Bounds libc.Bounds
+	// Input is the replica's copy of the broadcast standard input.
+	Input []byte
+	// Out is the replica's standard output; writes are staged in the
+	// voting buffer.
+	Out io.Writer
+	// Now is the virtualized clock (§5.3): deterministic and identical
+	// across correct replicas.
+	Now func() int64
+	// Replica is the replica index, for diagnostics only; programs that
+	// branch on it will be killed by the voter, which is occasionally
+	// useful in tests.
+	Replica int
+}
+
+// Program is a deterministic application run under replication.
+type Program func(ctx *Context) error
+
+// Options configures a replicated run.
+type Options struct {
+	// Replicas is the number of replicas; the voter cannot adjudicate
+	// two, so use 1 or at least 3 (§6). Defaults to 3.
+	Replicas int
+	// HeapSize, M: per-replica DieHard configuration (defaults as in
+	// internal/core).
+	HeapSize int
+	M        float64
+	// Seed seeds the master stream from which replica seeds derive;
+	// 0 draws a true random seed.
+	Seed uint64
+	// BufferSize is the voting granularity; defaults to 4 KB.
+	BufferSize int
+}
+
+// ReplicaReport describes one replica's fate.
+type ReplicaReport struct {
+	Seed      uint64
+	Err       error // program error; nil if it completed or was killed
+	Killed    bool
+	Completed bool
+}
+
+// Result is the outcome of a replicated run.
+type Result struct {
+	// Output is the committed (voted) output.
+	Output []byte
+	// Agreed reports whether every committed chunk had a quorum (all
+	// chunks unanimous or majority-approved, never a lone survivor).
+	Agreed bool
+	// UninitSuspected reports a barrier where all live replicas
+	// disagreed pairwise.
+	UninitSuspected bool
+	// Survivors is the number of replicas alive at the end.
+	Survivors int
+	// Rounds is the number of voting barriers.
+	Rounds int
+	// Replicas holds per-replica reports, including the exact seeds for
+	// reproduction.
+	Replicas []ReplicaReport
+}
+
+// chunk is one message from a replica to the voter.
+type chunk struct {
+	data []byte
+	done bool
+	err  error
+}
+
+// chunkWriter stages a replica's output and synchronizes with the voter
+// at buffer boundaries.
+type chunkWriter struct {
+	buf    []byte
+	size   int
+	ch     chan chunk
+	ack    chan bool
+	killed bool
+}
+
+func (w *chunkWriter) Write(p []byte) (int, error) {
+	if w.killed {
+		return 0, ErrKilled
+	}
+	w.buf = append(w.buf, p...)
+	for len(w.buf) >= w.size {
+		out := make([]byte, w.size)
+		copy(out, w.buf[:w.size])
+		w.buf = w.buf[w.size:]
+		w.ch <- chunk{data: out}
+		if !<-w.ack {
+			w.killed = true
+			return 0, ErrKilled
+		}
+	}
+	return len(p), nil
+}
+
+// finish sends the final (possibly empty) partial buffer.
+func (w *chunkWriter) finish(progErr error) {
+	if w.killed {
+		return
+	}
+	w.ch <- chunk{data: w.buf, done: true, err: progErr}
+	<-w.ack
+}
+
+// Run executes prog under replication and votes on its output.
+func Run(prog Program, input []byte, opts Options) (*Result, error) {
+	if opts.Replicas == 0 {
+		opts.Replicas = 3
+	}
+	if opts.Replicas < 1 {
+		return nil, fmt.Errorf("replicate: invalid replica count %d", opts.Replicas)
+	}
+	if opts.BufferSize == 0 {
+		opts.BufferSize = DefaultBufferSize
+	}
+	k := opts.Replicas
+	master := rng.NewSeeded(opts.Seed)
+	if opts.Seed == 0 {
+		master = rng.New()
+	}
+
+	res := &Result{
+		Agreed:   true,
+		Replicas: make([]ReplicaReport, k),
+	}
+	writers := make([]*chunkWriter, k)
+	seeds := make([]uint64, k)
+	for i := 0; i < k; i++ {
+		seeds[i] = master.Next64() | 1 // never zero: zero means "draw entropy"
+		res.Replicas[i].Seed = seeds[i]
+		writers[i] = &chunkWriter{
+			size: opts.BufferSize,
+			ch:   make(chan chunk),
+			ack:  make(chan bool),
+		}
+	}
+
+	runReplica := func(i int) {
+		w := writers[i]
+		var progErr error
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					progErr = fmt.Errorf("replica panic: %v", r)
+				}
+			}()
+			h, err := core.New(core.Options{
+				HeapSize:   opts.HeapSize,
+				M:          opts.M,
+				Seed:       seeds[i],
+				RandomFill: true,
+			})
+			if err != nil {
+				progErr = err
+				return
+			}
+			in := make([]byte, len(input))
+			copy(in, input)
+			var clock int64
+			ctx := &Context{
+				Alloc:   h,
+				Mem:     h.Mem(),
+				Bounds:  h,
+				Input:   in,
+				Out:     w,
+				Replica: i,
+				Now: func() int64 {
+					clock++
+					return 1_150_000_000 + clock // fixed virtual epoch
+				},
+			}
+			progErr = prog(ctx)
+		}()
+		if errors.Is(progErr, ErrKilled) {
+			return // voter already knows
+		}
+		w.finish(progErr)
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < k; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			runReplica(i)
+		}(i)
+	}
+
+	type state int
+	const (
+		running state = iota
+		finished
+		crashed
+		killedState
+	)
+	states := make([]state, k)
+	var output bytes.Buffer
+
+	liveCount := func() int {
+		n := 0
+		for _, s := range states {
+			if s == running {
+				n++
+			}
+		}
+		return n
+	}
+
+	for liveCount() > 0 {
+		res.Rounds++
+		// Barrier: collect one message from every running replica.
+		msgs := make(map[int]chunk)
+		for i := 0; i < k; i++ {
+			if states[i] == running {
+				msgs[i] = <-writers[i].ch
+			}
+		}
+		// Crashed replicas are dropped; their output is discarded.
+		voterIDs := make([]int, 0, len(msgs))
+		for i, m := range msgs {
+			if m.err != nil {
+				states[i] = crashed
+				res.Replicas[i].Err = m.err
+				writers[i].ack <- true // release the goroutine
+				continue
+			}
+			voterIDs = append(voterIDs, i)
+		}
+		if len(voterIDs) == 0 {
+			break
+		}
+		// Group identical buffers.
+		groups := make(map[string][]int)
+		for _, i := range voterIDs {
+			key := string(msgs[i].data) + fmt.Sprintf("|done=%v", msgs[i].done)
+			groups[key] = append(groups[key], i)
+		}
+		var winner []int
+		for _, ids := range groups {
+			if len(ids) > len(winner) {
+				winner = ids
+			}
+		}
+		if len(groups) > 1 && len(winner) < 2 {
+			// No two replicas agree: §3.2's uninitialized-read
+			// detection. Terminate.
+			res.UninitSuspected = true
+			res.Agreed = false
+			for _, i := range voterIDs {
+				states[i] = killedState
+				res.Replicas[i].Killed = true
+				writers[i].ack <- false
+			}
+			break
+		}
+		if k > 1 && len(winner) < 2 {
+			// A lone survivor has no one to agree with; stream its
+			// output for availability but note the lost quorum.
+			res.Agreed = false
+		}
+		output.Write(msgs[winner[0]].data)
+		for _, i := range voterIDs {
+			agreeing := false
+			for _, w := range winner {
+				if w == i {
+					agreeing = true
+					break
+				}
+			}
+			if !agreeing {
+				// Quorum held; the minority is killed and the run can
+				// still count as agreed.
+				states[i] = killedState
+				res.Replicas[i].Killed = true
+				writers[i].ack <- false
+				continue
+			}
+			if msgs[i].done {
+				states[i] = finished
+				res.Replicas[i].Completed = true
+			}
+			writers[i].ack <- true
+		}
+	}
+
+	wg.Wait()
+	res.Output = output.Bytes()
+	for _, s := range states {
+		if s == finished {
+			res.Survivors++
+		}
+	}
+	if res.Survivors == 0 {
+		res.Agreed = false
+	}
+	return res, nil
+}

@@ -1,0 +1,460 @@
+// Package squid implements a miniature web-cache server with the buffer
+// overflow of Squid 2.3s5 that §7.3 of the paper uses as its real-fault
+// case study: an ill-formed request whose URL exceeds the cache entry's
+// fixed key buffer is copied in with an unchecked strcpy.
+//
+// The entry layout places the 64-byte key buffer at the end of the
+// 88-byte entry, as the original effectively did. The consequences then
+// fall out of each allocator's geometry, with no per-allocator code:
+//
+//   - GNU-libc baseline: the overflow runs past the chunk payload and
+//     smashes the next boundary tag; the allocator dies on a subsequent
+//     malloc or free — the crash the paper observed.
+//   - BDW-GC baseline: the overflow runs into the neighboring object in
+//     the same block, corrupting another entry's chain pointer; the
+//     next traversal of that bucket chases a wild pointer and faults —
+//     also as observed.
+//   - DieHard: the entry occupies a 128-byte class slot; the spill
+//     lands on the following slot, which is free with high probability
+//     in a heap at most 1/M full, so "the overflow has no effect".
+//
+// Run with UseSafeCopy to interpose DieHard's checked strcpy (§4.4),
+// which truncates the copy at the object boundary and defuses the bug
+// deterministically.
+package squid
+
+import (
+	"fmt"
+
+	"diehard/internal/apps"
+	"diehard/internal/heap"
+	"diehard/internal/libc"
+)
+
+const (
+	// keySize is the fixed URL buffer inside a cache entry; URLs longer
+	// than keySize-1 bytes overflow it.
+	keySize = 64
+	// entrySize is hash(8) + next(8) + hits(8) + meta ptr(8) + key
+	// buffer. The key buffer is the LAST field, so an overflow runs off
+	// the end of the entry object.
+	entrySize = 32 + keySize
+	// metaSize is the companion metadata object: content pointer,
+	// content length, checksum, padding. Entries and metas share a size
+	// class and are allocated back to back, as the original's structs
+	// effectively were.
+	metaSize = 96
+	// buckets is the hash-table width.
+	buckets = 64
+)
+
+// Options control a server run.
+type Options struct {
+	// UseSafeCopy replaces the unchecked strcpy with DieHard's checked
+	// replacement; requires the allocator to implement libc.Bounds.
+	UseSafeCopy bool
+}
+
+// Run processes the request stream in rt.Input: lines of
+// "GET <url>" or "PURGE <url>", writing one response line per request
+// and a final statistics line.
+func Run(rt *apps.Runtime, opts Options) error {
+	g, err := newTable(rt)
+	if err != nil {
+		return err
+	}
+	defer g.release()
+
+	var bounds libc.Bounds
+	if opts.UseSafeCopy {
+		b, ok := rt.Alloc.(libc.Bounds)
+		if !ok {
+			return fmt.Errorf("squid: allocator %s cannot resolve bounds for safe copy", rt.Alloc.Name())
+		}
+		bounds = b
+	}
+
+	var hits, misses, purges uint64
+	respHash := uint64(14695981039346656037)
+	respond := func(s string) {
+		for i := 0; i < len(s); i++ {
+			respHash = (respHash ^ uint64(s[i])) * 1099511628211
+		}
+	}
+
+	in := rt.Input
+	i := 0
+	for i < len(in) {
+		j := i
+		for j < len(in) && in[j] != '\n' {
+			j++
+		}
+		line := in[i:j]
+		i = j + 1
+		if err := rt.Step(); err != nil {
+			return err
+		}
+		var method, url []byte
+		for k := 0; k < len(line); k++ {
+			if line[k] == ' ' {
+				method, url = line[:k], line[k+1:]
+				break
+			}
+		}
+		if len(method) == 0 || len(url) == 0 {
+			continue
+		}
+		// Per-request connection state and request buffer, as a real
+		// proxy allocates; freed when the request completes. This churn
+		// is also what drives the conservative collector's cycles.
+		conn, err := rt.Alloc.Malloc(256)
+		if err != nil {
+			return err
+		}
+		if err := rt.Mem.Store64(conn, uint64(hits+misses+purges)); err != nil {
+			return err
+		}
+		req, err := rt.Alloc.Malloc(len(url) + 1)
+		if err != nil {
+			return err
+		}
+		if err := rt.Mem.WriteBytes(req, url); err != nil {
+			return err
+		}
+		if err := rt.Mem.Store8(req+uint64(len(url)), 0); err != nil {
+			return err
+		}
+		switch string(method) {
+		case "GET":
+			found, err := g.lookup(url)
+			if err != nil {
+				return err
+			}
+			if found {
+				hits++
+				respond("HIT\n")
+			} else {
+				if err := g.insert(url, req, bounds); err != nil {
+					return err
+				}
+				misses++
+				respond("MISS\n")
+			}
+		case "PURGE":
+			removed, err := g.purge(url)
+			if err != nil {
+				return err
+			}
+			if removed {
+				purges++
+			}
+			respond("PURGED\n")
+		}
+		if err := rt.Alloc.Free(req); err != nil {
+			return err
+		}
+		if err := rt.Alloc.Free(conn); err != nil {
+			return err
+		}
+	}
+	// Shutdown statistics: walk the entire cache, dereferencing each
+	// entry's metadata and body. A corrupted meta or chain pointer
+	// anywhere in the cache surfaces here at the latest.
+	entries, bytesCached, sweepHash, err := g.sweepStats()
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(rt.Out,
+		"squid: hits=%d misses=%d purges=%d entries=%d bytes=%d responses=%016x sweep=%016x\n",
+		hits, misses, purges, entries, bytesCached, respHash, sweepHash)
+	return err
+}
+
+// sweepStats traverses every bucket chain, following each entry's meta
+// pointer to its cached body.
+func (t *table) sweepStats() (entries int, bytesCached uint64, hash uint64, err error) {
+	hash = 14695981039346656037
+	for b := 0; b < buckets; b++ {
+		cur, err := t.rt.Mem.Load64(t.base + uint64(8*b))
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		for cur != heap.Null {
+			if err := t.rt.Step(); err != nil {
+				return 0, 0, 0, err
+			}
+			meta, err := t.rt.Mem.Load64(cur + 24)
+			if err != nil {
+				return 0, 0, 0, err
+			}
+			content, err := t.rt.Mem.Load64(meta)
+			if err != nil {
+				return 0, 0, 0, err
+			}
+			clen, err := t.rt.Mem.Load64(meta + 8)
+			if err != nil {
+				return 0, 0, 0, err
+			}
+			first, err := t.rt.Mem.Load8(content)
+			if err != nil {
+				return 0, 0, 0, err
+			}
+			last, err := t.rt.Mem.Load8(content + clen - 1)
+			if err != nil {
+				return 0, 0, 0, err
+			}
+			hash = (hash ^ uint64(first)) * 1099511628211
+			hash = (hash ^ uint64(last)) * 1099511628211
+			entries++
+			bytesCached += clen
+			cur, err = t.rt.Mem.Load64(cur + 8)
+			if err != nil {
+				return 0, 0, 0, err
+			}
+		}
+	}
+	return entries, bytesCached, hash, nil
+}
+
+// table is the heap-resident cache: a bucket array of entry-chain heads.
+type table struct {
+	rt   *apps.Runtime
+	base heap.Ptr // bucket array: buckets * 8 bytes
+}
+
+type rootRegistrar interface {
+	AddRoot(p heap.Ptr)
+	RemoveRoot(p heap.Ptr)
+}
+
+func newTable(rt *apps.Runtime) (*table, error) {
+	base, err := rt.Alloc.Malloc(8 * buckets)
+	if err != nil {
+		return nil, err
+	}
+	if err := rt.Mem.Memset(base, 0, 8*buckets); err != nil {
+		return nil, err
+	}
+	if reg, ok := rt.Alloc.(rootRegistrar); ok {
+		reg.AddRoot(base)
+	}
+	return &table{rt: rt, base: base}, nil
+}
+
+func (t *table) release() {
+	if reg, ok := t.rt.Alloc.(rootRegistrar); ok {
+		reg.RemoveRoot(t.base)
+	}
+	_ = t.rt.Alloc.Free(t.base)
+}
+
+func urlHash(url []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, b := range url {
+		h = (h ^ uint64(b)) * 1099511628211
+	}
+	return h
+}
+
+func (t *table) head(url []byte) heap.Ptr {
+	return t.base + 8*(urlHash(url)%buckets)
+}
+
+// keyEqual compares the stored key at entry e with url.
+func (t *table) keyEqual(e heap.Ptr, url []byte) (bool, error) {
+	for k := 0; k <= len(url); k++ {
+		b, err := t.rt.Mem.Load8(e + 32 + uint64(k))
+		if err != nil {
+			return false, err
+		}
+		if k == len(url) {
+			return b == 0, nil
+		}
+		if b != url[k] {
+			return false, nil
+		}
+	}
+	return false, nil
+}
+
+// lookup walks the bucket chain for url, counting a hit on the entry.
+func (t *table) lookup(url []byte) (bool, error) {
+	headAddr := t.head(url)
+	cur, err := t.rt.Mem.Load64(headAddr)
+	if err != nil {
+		return false, err
+	}
+	for cur != heap.Null {
+		if err := t.rt.Step(); err != nil {
+			return false, err
+		}
+		eq, err := t.keyEqual(cur, url)
+		if err != nil {
+			return false, err
+		}
+		if eq {
+			hitsVal, err := t.rt.Mem.Load64(cur + 16)
+			if err != nil {
+				return false, err
+			}
+			return true, t.rt.Mem.Store64(cur+16, hitsVal+1)
+		}
+		cur, err = t.rt.Mem.Load64(cur + 8)
+		if err != nil {
+			return false, err
+		}
+	}
+	return false, nil
+}
+
+// insert allocates a cache entry and copies the URL into its fixed-size
+// key buffer. THE BUG: the copy is an unchecked strcpy; a URL longer
+// than the buffer overflows the entry, exactly like Squid 2.3s5 on its
+// ill-formed input. With bounds != nil, DieHard's checked replacement
+// caps the copy at the object's real size (§4.4).
+func (t *table) insert(url []byte, req heap.Ptr, bounds libc.Bounds) error {
+	e, err := t.rt.Alloc.Malloc(entrySize)
+	if err != nil {
+		return err
+	}
+	// Companion metadata and the cached body, allocated right after the
+	// entry as a real cache populates an object on a miss.
+	meta, err := t.rt.Alloc.Malloc(metaSize)
+	if err != nil {
+		return err
+	}
+	contentLen := 200 + int(urlHash(url)%600)
+	content, err := t.rt.Alloc.Malloc(contentLen)
+	if err != nil {
+		return err
+	}
+	if err := t.rt.Mem.Memset(content, byte(urlHash(url)), contentLen); err != nil {
+		return err
+	}
+	if err := t.rt.Mem.Store64(meta, content); err != nil {
+		return err
+	}
+	if err := t.rt.Mem.Store64(meta+8, uint64(contentLen)); err != nil {
+		return err
+	}
+	if err := t.rt.Mem.Store64(meta+16, urlHash(url)); err != nil {
+		return err
+	}
+
+	headAddr := t.head(url)
+	oldHead, err := t.rt.Mem.Load64(headAddr)
+	if err != nil {
+		return err
+	}
+	if err := t.rt.Mem.Store64(e, urlHash(url)); err != nil {
+		return err
+	}
+	if err := t.rt.Mem.Store64(e+8, oldHead); err != nil {
+		return err
+	}
+	if err := t.rt.Mem.Store64(e+16, 0); err != nil { // hit count
+		return err
+	}
+	if err := t.rt.Mem.Store64(e+24, meta); err != nil {
+		return err
+	}
+	// Copy the staged URL into the fixed key field.
+	if bounds != nil {
+		if _, err := libc.SafeStrcpy(bounds, t.rt.Mem, e+32, req); err != nil {
+			return err
+		}
+	} else if err := libc.Strcpy(t.rt.Mem, e+32, req); err != nil {
+		return err
+	}
+	return t.rt.Mem.Store64(headAddr, e)
+}
+
+// purge unlinks and frees the entry for url.
+func (t *table) purge(url []byte) (bool, error) {
+	headAddr := t.head(url)
+	cur, err := t.rt.Mem.Load64(headAddr)
+	if err != nil {
+		return false, err
+	}
+	var prev heap.Ptr
+	for cur != heap.Null {
+		if err := t.rt.Step(); err != nil {
+			return false, err
+		}
+		eq, err := t.keyEqual(cur, url)
+		if err != nil {
+			return false, err
+		}
+		next, err := t.rt.Mem.Load64(cur + 8)
+		if err != nil {
+			return false, err
+		}
+		if eq {
+			if prev == heap.Null {
+				if err := t.rt.Mem.Store64(headAddr, next); err != nil {
+					return false, err
+				}
+			} else if err := t.rt.Mem.Store64(prev+8, next); err != nil {
+				return false, err
+			}
+			// Release the body, metadata, and entry.
+			meta, err := t.rt.Mem.Load64(cur + 24)
+			if err != nil {
+				return false, err
+			}
+			content, err := t.rt.Mem.Load64(meta)
+			if err != nil {
+				return false, err
+			}
+			if err := t.rt.Alloc.Free(content); err != nil {
+				return false, err
+			}
+			if err := t.rt.Alloc.Free(meta); err != nil {
+				return false, err
+			}
+			return true, t.rt.Alloc.Free(cur)
+		}
+		prev, cur = cur, next
+	}
+	return false, nil
+}
+
+// GoodInput generates n well-formed requests (URLs within the key
+// buffer), mixing fresh URLs, repeat GETs, and occasional purges.
+func GoodInput(n int) []byte {
+	var out []byte
+	for i := 0; i < n; i++ {
+		url := fmt.Sprintf("http://origin-%02d.example/path/%d", i%17, i%787)
+		out = append(out, []byte("GET "+url+"\n")...)
+		if i%3 == 2 { // repeat GET: cache hit and a chain traversal
+			out = append(out, []byte("GET "+url+"\n")...)
+		}
+		if i%11 == 10 {
+			out = append(out, []byte("PURGE "+url+"\n")...)
+		}
+	}
+	return out
+}
+
+// IllFormedInput is a realistic session with the killer request spliced
+// in near the end: a URL long enough to overflow the key buffer, the
+// slot padding, and the neighboring heap object. The preceding traffic
+// warms the cache (and, under a collector, drives at least one
+// collection cycle so freed slots have been recycled); the following
+// traffic re-walks the cache chains, which is where the corrupted
+// pointers bite on the baseline allocators.
+func IllFormedInput(n int) []byte {
+	warm := n * 9 / 10
+	out := GoodInput(warm)
+	// A purge immediately before the attack makes the killer entry
+	// recycle an interior slot with live neighbors on reuse-eagerly
+	// allocators.
+	out = append(out, []byte("PURGE http://origin-03.example/path/3\n")...)
+	long := "GET http://attacker.example/"
+	for len(long) < 220 {
+		long += "AAAAAAAA"
+	}
+	out = append(out, []byte(long+"\n")...)
+	out = append(out, GoodInput(n-warm)...)
+	return out
+}

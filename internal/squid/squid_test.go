@@ -1,0 +1,159 @@
+package squid
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"diehard/internal/apps"
+	"diehard/internal/core"
+	"diehard/internal/gcsim"
+	"diehard/internal/heap"
+	"diehard/internal/leaalloc"
+)
+
+const heapSize = 24 << 20
+
+func serve(t *testing.T, alloc heap.Allocator, input []byte, opts Options) (string, error) {
+	t.Helper()
+	var out bytes.Buffer
+	rt := &apps.Runtime{
+		Alloc: alloc,
+		Mem:   alloc.Mem(),
+		Input: input,
+		Out:   &out,
+	}
+	err := Run(rt, opts)
+	return out.String(), err
+}
+
+func dieHeap(t *testing.T, seed uint64) *core.Heap {
+	t.Helper()
+	h, err := core.New(core.Options{HeapSize: heapSize, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func leaHeap(t *testing.T) *leaalloc.Heap {
+	t.Helper()
+	h, err := leaalloc.New(leaalloc.Options{HeapSize: heapSize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func gcHeap(t *testing.T) *gcsim.Heap {
+	t.Helper()
+	h, err := gcsim.New(gcsim.Options{HeapSize: 64 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestWellFormedTrafficEverywhere(t *testing.T) {
+	input := GoodInput(800)
+	ref, err := serve(t, dieHeap(t, 1), input, Options{})
+	if err != nil {
+		t.Fatalf("diehard: %v", err)
+	}
+	if !strings.Contains(ref, "hits=") || strings.Contains(ref, "hits=0 ") {
+		t.Fatalf("no cache hits in %q", ref)
+	}
+	leaOut, err := serve(t, leaHeap(t), input, Options{})
+	if err != nil {
+		t.Fatalf("lea: %v", err)
+	}
+	gcOut, err := serve(t, gcHeap(t), input, Options{})
+	if err != nil {
+		t.Fatalf("gc: %v", err)
+	}
+	if leaOut != ref || gcOut != ref {
+		t.Fatalf("allocators disagree on well-formed traffic:\n%q\n%q\n%q", ref, leaOut, gcOut)
+	}
+}
+
+func TestIllFormedInputCrashesLea(t *testing.T) {
+	// §7.3 "Real Faults": with the GNU libc allocator, Squid crashes
+	// with a segmentation fault.
+	_, err := serve(t, leaHeap(t), IllFormedInput(900), Options{})
+	if err == nil {
+		t.Fatal("ill-formed input did not crash the boundary-tag allocator")
+	}
+	if !heap.IsCrash(err) && err != apps.ErrHang {
+		t.Fatalf("unexpected failure class: %v", err)
+	}
+}
+
+func TestIllFormedInputCrashesGC(t *testing.T) {
+	// ... and also with the Boehm-Demers-Weiser collector.
+	h := gcHeap(t)
+	_, err := serve(t, h, IllFormedInput(900), Options{})
+	if err == nil {
+		t.Fatal("ill-formed input did not crash the collector baseline")
+	}
+	if !heap.IsCrash(err) && err != apps.ErrHang {
+		t.Fatalf("unexpected failure class: %v", err)
+	}
+}
+
+func TestIllFormedInputSurvivesDieHard(t *testing.T) {
+	// "Using DieHard in stand-alone mode, the overflow has no effect."
+	// Probabilistic: verify across seeds that survival is the norm.
+	survived := 0
+	const trials = 20
+	for seed := uint64(1); seed <= trials; seed++ {
+		out, err := serve(t, dieHeap(t, seed), IllFormedInput(900), Options{})
+		if err == nil && strings.Contains(out, "squid:") {
+			survived++
+		}
+	}
+	if survived < trials*8/10 {
+		t.Fatalf("DieHard survived only %d/%d runs", survived, trials)
+	}
+}
+
+func TestSafeCopyDefusesTheBugDeterministically(t *testing.T) {
+	// §4.4: with the checked strcpy interposed, the overflow is
+	// truncated at the object boundary on every run.
+	for seed := uint64(1); seed <= 10; seed++ {
+		out, err := serve(t, dieHeap(t, seed), IllFormedInput(900), Options{UseSafeCopy: true})
+		if err != nil {
+			t.Fatalf("seed %d: checked copy still failed: %v", seed, err)
+		}
+		if !strings.Contains(out, "squid:") {
+			t.Fatalf("seed %d: missing stats line", seed)
+		}
+	}
+}
+
+func TestSafeCopyRequiresBounds(t *testing.T) {
+	if _, err := serve(t, leaHeap(t), GoodInput(10), Options{UseSafeCopy: true}); err == nil {
+		t.Fatal("safe copy should be rejected without bounds support")
+	}
+}
+
+func TestPurgeActuallyRemoves(t *testing.T) {
+	input := []byte("GET http://a/x\nGET http://a/x\nPURGE http://a/x\nGET http://a/x\n")
+	out, err := serve(t, dieHeap(t, 3), input, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "hits=1 misses=2 purges=1") {
+		t.Fatalf("purge semantics wrong: %q", out)
+	}
+}
+
+func TestMalformedLinesIgnored(t *testing.T) {
+	input := []byte("\nGARBAGE\nGET http://a/x\n\nBADLINE NOURL MORE\nGET http://a/x\n")
+	out, err := serve(t, dieHeap(t, 3), input, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "hits=1 misses=1") {
+		t.Fatalf("malformed lines mishandled: %q", out)
+	}
+}

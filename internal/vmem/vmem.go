@@ -1,0 +1,583 @@
+// Package vmem simulates a virtual address space: paged memory with
+// protection bits, mmap/munmap-style mapping, guard pages, and protection
+// faults.
+//
+// This package is the substitution that makes a DieHard reproduction
+// possible in a garbage-collected language (see DESIGN.md §1). Every
+// allocator in this repository hands out addresses inside a Space, and
+// every evaluation workload reads and writes through those addresses. A
+// buffer overflow therefore really overwrites neighboring bytes, a read of
+// an unmapped or guarded page really faults, and "the program crashed" has
+// a concrete, testable meaning: an access returned a *Fault.
+//
+// The Space also models two performance-relevant mechanisms the paper
+// discusses: lazy page instantiation (reserved but untouched DieHard
+// partitions consume no memory, §4.5) and a small TLB (the source of the
+// 300.twolf outlier in Figure 5(a), §7.2.1). Mappings are recorded as
+// extents; per-page backing store is created only on first access, so a
+// 384 MB DieHard heap costs what its touched pages cost.
+package vmem
+
+import (
+	"fmt"
+	"sort"
+)
+
+// PageSize is the size of a simulated page in bytes, matching the x86
+// systems of the paper's evaluation.
+const PageSize = 4096
+
+// Prot describes the access permissions of a mapped page.
+type Prot uint8
+
+const (
+	// ProtNone maps a page that faults on any access; used for guard pages.
+	ProtNone Prot = 0
+	// ProtRead permits loads.
+	ProtRead Prot = 1 << 0
+	// ProtWrite permits stores.
+	ProtWrite Prot = 1 << 1
+	// ProtRW permits loads and stores.
+	ProtRW Prot = ProtRead | ProtWrite
+)
+
+func (p Prot) String() string {
+	switch p {
+	case ProtNone:
+		return "---"
+	case ProtRead:
+		return "r--"
+	case ProtWrite:
+		return "-w-"
+	case ProtRW:
+		return "rw-"
+	}
+	return fmt.Sprintf("Prot(%d)", uint8(p))
+}
+
+// AccessKind distinguishes the operation that caused a fault.
+type AccessKind uint8
+
+const (
+	// AccessLoad is a read access.
+	AccessLoad AccessKind = iota
+	// AccessStore is a write access.
+	AccessStore
+	// AccessFree is an unmap or protection change on an invalid range.
+	AccessFree
+)
+
+func (k AccessKind) String() string {
+	switch k {
+	case AccessLoad:
+		return "load"
+	case AccessStore:
+		return "store"
+	case AccessFree:
+		return "free"
+	}
+	return "access"
+}
+
+// Fault is the simulated equivalent of SIGSEGV: an access touched an
+// unmapped page or violated page protections. Workloads treat any returned
+// *Fault as a crash of the simulated process.
+type Fault struct {
+	Addr   uint64
+	Kind   AccessKind
+	Reason string
+}
+
+func (f *Fault) Error() string {
+	return fmt.Sprintf("segmentation fault: %s at %#x (%s)", f.Kind, f.Addr, f.Reason)
+}
+
+// Stats counts memory-system events. Loads and Stores count accesses
+// (word-granularity for bulk operations); TLB counters are only meaningful
+// when the TLB is enabled.
+type Stats struct {
+	Loads       uint64
+	Stores      uint64
+	TLBHits     uint64
+	TLBMisses   uint64 // first-level misses
+	TLB2Misses  uint64 // misses in both levels (cold page walks)
+	PagesMapped uint64 // currently mapped pages
+	PagesPeak   uint64 // high-water mark of mapped pages
+	PagesDirty  uint64 // pages whose backing store was instantiated
+	Faults      uint64
+}
+
+// Accesses returns the total number of loads and stores.
+func (s *Stats) Accesses() uint64 { return s.Loads + s.Stores }
+
+type page struct {
+	data []byte
+	prot Prot
+}
+
+// extent is a mapped address range [start, end), page-aligned, with
+// uniform protection. Backing pages are instantiated lazily.
+type extent struct {
+	start, end uint64
+	prot       Prot
+}
+
+// tlbSize is the number of entries in the simulated first-level TLB,
+// matching a Pentium-4-era data TLB. tlb2Size models the page-walk
+// caching of the memory hierarchy: a much larger second level whose
+// hits make repeated misses over a warm working set far cheaper than
+// cold page walks.
+const (
+	tlbSize  = 64
+	tlb2Size = 1024
+)
+
+// Space is a simulated virtual address space. It is not safe for
+// concurrent use; each simulated process (replica) owns its own Space.
+type Space struct {
+	extents []extent // sorted by start, non-overlapping
+	pages   map[uint64]*page
+	next    uint64 // next free virtual address for Map
+	stats   Stats
+	filler  func([]byte) // optional initializer for fresh page contents
+
+	// One-entry translation cache for Go-level speed (not a modeled
+	// structure; invisible in Stats).
+	lastPageNum uint64
+	lastPage    *page
+
+	// Simulated TLB: FIFO-replacement, fully associative, two levels.
+	tlbEnabled bool
+	tlbSet     map[uint64]struct{}
+	tlbRing    [tlbSize]uint64
+	tlbHand    int
+	tlbLive    int
+	tlb2Set    map[uint64]struct{}
+	tlb2Ring   [tlb2Size]uint64
+	tlb2Hand   int
+	tlb2Live   int
+}
+
+// NewSpace returns an empty address space. Address 0 is never mapped, so 0
+// serves as the null pointer. The simulated TLB starts disabled; call
+// EnableTLB for experiments that model translation costs.
+func NewSpace() *Space {
+	return &Space{
+		pages: make(map[uint64]*page),
+		next:  0x10000, // leave a generous null guard region
+	}
+}
+
+// EnableTLB turns on TLB simulation. Subsequent accesses count hits and
+// misses against a 64-entry FIFO TLB.
+func (s *Space) EnableTLB() {
+	if s.tlbEnabled {
+		return
+	}
+	s.tlbEnabled = true
+	s.tlbSet = make(map[uint64]struct{}, tlbSize)
+	s.tlb2Set = make(map[uint64]struct{}, tlb2Size)
+}
+
+// SetPageFiller installs a function invoked on each fresh page's backing
+// store before first use. DieHard's replicated mode uses this to realize
+// §4.1's "fill the heap with random values" lazily: every page a replica
+// ever observes is pre-filled from that replica's private random stream.
+// A nil filler restores zero-fill.
+func (s *Space) SetPageFiller(fill func([]byte)) { s.filler = fill }
+
+// Stats returns a pointer to the space's counters. The counters are
+// updated in place by every access.
+func (s *Space) Stats() *Stats { return &s.stats }
+
+// Map reserves n bytes (rounded up to whole pages) with the given
+// protection and returns the base address. The pages are lazily
+// instantiated: untouched pages consume no backing memory, mirroring the
+// paper's note that DieHard's reserved-but-unused partitions cost nothing.
+// A one-page unmapped hole is left after every mapping so distinct
+// mappings are never adjacent.
+func (s *Space) Map(n int, prot Prot) (uint64, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("vmem: Map size %d must be positive", n)
+	}
+	npages := uint64((n + PageSize - 1) / PageSize)
+	base := s.next
+	s.extents = append(s.extents, extent{start: base, end: base + npages*PageSize, prot: prot})
+	s.next = base + (npages+1)*PageSize // +1: unmapped hole
+	s.stats.PagesMapped += npages
+	if s.stats.PagesMapped > s.stats.PagesPeak {
+		s.stats.PagesPeak = s.stats.PagesMapped
+	}
+	return base, nil
+}
+
+// MapGuarded reserves n bytes of read-write memory with a no-access guard
+// page immediately before and after, as DieHard places around large
+// objects and its heap regions. It returns the address of the usable
+// region.
+func (s *Space) MapGuarded(n int) (uint64, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("vmem: MapGuarded size %d must be positive", n)
+	}
+	npages := (n + PageSize - 1) / PageSize
+	base, err := s.Map((npages+2)*PageSize, ProtRW)
+	if err != nil {
+		return 0, err
+	}
+	if err := s.Protect(base, PageSize, ProtNone); err != nil {
+		return 0, err
+	}
+	if err := s.Protect(base+uint64(npages+1)*PageSize, PageSize, ProtNone); err != nil {
+		return 0, err
+	}
+	return base + PageSize, nil
+}
+
+// findExtent returns the index of the extent containing addr, or -1.
+func (s *Space) findExtent(addr uint64) int {
+	i := sort.Search(len(s.extents), func(i int) bool { return s.extents[i].end > addr })
+	if i < len(s.extents) && s.extents[i].start <= addr {
+		return i
+	}
+	return -1
+}
+
+// carve splits extents so that [addr, addr+bytes) is covered exactly by a
+// run of whole extents, returning the index range [lo, hi) of that run.
+// It fails if any page in the range is unmapped.
+func (s *Space) carve(addr, bytes uint64) (lo, hi int, err error) {
+	end := addr + bytes
+	// Verify full coverage first so failures have no side effects.
+	at := addr
+	for at < end {
+		i := s.findExtent(at)
+		if i < 0 {
+			return 0, 0, &Fault{Addr: at, Kind: AccessFree, Reason: "operation on unmapped page"}
+		}
+		at = s.extents[i].end
+	}
+	lo = s.findExtent(addr)
+	if s.extents[lo].start < addr {
+		e := s.extents[lo]
+		s.extents = append(s.extents, extent{})
+		copy(s.extents[lo+1:], s.extents[lo:])
+		s.extents[lo] = extent{start: e.start, end: addr, prot: e.prot}
+		s.extents[lo+1].start = addr
+		lo++
+	}
+	hi = s.findExtent(end - 1)
+	if s.extents[hi].end > end {
+		e := s.extents[hi]
+		s.extents = append(s.extents, extent{})
+		copy(s.extents[hi+1:], s.extents[hi:])
+		s.extents[hi] = extent{start: e.start, end: end, prot: e.prot}
+		s.extents[hi+1].start = end
+	}
+	return lo, hi + 1, nil
+}
+
+// Unmap removes the mapping for [addr, addr+n). addr must be page-aligned
+// and the whole range must be mapped; otherwise a *Fault is returned and
+// nothing is unmapped.
+func (s *Space) Unmap(addr uint64, n int) error {
+	if addr%PageSize != 0 || n <= 0 {
+		return &Fault{Addr: addr, Kind: AccessFree, Reason: "unaligned or empty unmap"}
+	}
+	bytes := uint64((n+PageSize-1)/PageSize) * PageSize
+	lo, hi, err := s.carve(addr, bytes)
+	if err != nil {
+		s.stats.Faults++
+		return err
+	}
+	s.extents = append(s.extents[:lo], s.extents[hi:]...)
+	for pn := addr / PageSize; pn < (addr+bytes)/PageSize; pn++ {
+		if _, ok := s.pages[pn]; ok {
+			delete(s.pages, pn)
+			s.stats.PagesDirty--
+		}
+	}
+	s.stats.PagesMapped -= bytes / PageSize
+	s.lastPage = nil
+	return nil
+}
+
+// Protect changes the protection of the page-aligned range [addr, addr+n).
+func (s *Space) Protect(addr uint64, n int, prot Prot) error {
+	if addr%PageSize != 0 || n <= 0 {
+		return &Fault{Addr: addr, Kind: AccessFree, Reason: "unaligned or empty protect"}
+	}
+	bytes := uint64((n+PageSize-1)/PageSize) * PageSize
+	lo, hi, err := s.carve(addr, bytes)
+	if err != nil {
+		s.stats.Faults++
+		return err
+	}
+	for i := lo; i < hi; i++ {
+		s.extents[i].prot = prot
+	}
+	for pn := addr / PageSize; pn < (addr+bytes)/PageSize; pn++ {
+		if pg, ok := s.pages[pn]; ok {
+			pg.prot = prot
+		}
+	}
+	s.lastPage = nil
+	return nil
+}
+
+// Mapped reports whether addr lies within a mapped page (of any
+// protection).
+func (s *Space) Mapped(addr uint64) bool {
+	return s.findExtent(addr) >= 0
+}
+
+// translate resolves an access, applying protection checks, TLB
+// accounting, and lazy instantiation. It returns the page and the offset
+// within it.
+func (s *Space) translate(addr uint64, kind AccessKind) (*page, uint64, error) {
+	pn := addr / PageSize
+	var pg *page
+	if s.lastPage != nil && s.lastPageNum == pn {
+		pg = s.lastPage
+	} else {
+		var ok bool
+		pg, ok = s.pages[pn]
+		if !ok {
+			i := s.findExtent(addr)
+			if i < 0 {
+				s.stats.Faults++
+				return nil, 0, &Fault{Addr: addr, Kind: kind, Reason: "unmapped address"}
+			}
+			pg = &page{prot: s.extents[i].prot}
+			s.pages[pn] = pg
+		}
+		s.lastPageNum, s.lastPage = pn, pg
+	}
+	need := ProtRead
+	if kind == AccessStore {
+		need = ProtWrite
+	}
+	if pg.prot&need == 0 {
+		s.stats.Faults++
+		reason := "protection violation"
+		if pg.prot == ProtNone {
+			reason = "guard page"
+		}
+		return nil, 0, &Fault{Addr: addr, Kind: kind, Reason: reason}
+	}
+	if s.tlbEnabled {
+		s.tlbTouch(pn)
+	}
+	if pg.data == nil {
+		pg.data = make([]byte, PageSize)
+		if s.filler != nil {
+			s.filler(pg.data)
+		}
+		s.stats.PagesDirty++
+	}
+	return pg, addr % PageSize, nil
+}
+
+func (s *Space) tlbTouch(pn uint64) {
+	if _, ok := s.tlbSet[pn]; ok {
+		s.stats.TLBHits++
+		return
+	}
+	s.stats.TLBMisses++
+	if s.tlbLive == tlbSize {
+		delete(s.tlbSet, s.tlbRing[s.tlbHand])
+	} else {
+		s.tlbLive++
+	}
+	s.tlbRing[s.tlbHand] = pn
+	s.tlbSet[pn] = struct{}{}
+	s.tlbHand = (s.tlbHand + 1) % tlbSize
+	// Second level: a warm translation costs a short refill; a miss in
+	// both levels is a cold page walk.
+	if _, ok := s.tlb2Set[pn]; ok {
+		return
+	}
+	s.stats.TLB2Misses++
+	if s.tlb2Live == tlb2Size {
+		delete(s.tlb2Set, s.tlb2Ring[s.tlb2Hand])
+	} else {
+		s.tlb2Live++
+	}
+	s.tlb2Ring[s.tlb2Hand] = pn
+	s.tlb2Set[pn] = struct{}{}
+	s.tlb2Hand = (s.tlb2Hand + 1) % tlb2Size
+}
+
+// Load8 loads one byte.
+func (s *Space) Load8(addr uint64) (byte, error) {
+	pg, off, err := s.translate(addr, AccessLoad)
+	if err != nil {
+		return 0, err
+	}
+	s.stats.Loads++
+	return pg.data[off], nil
+}
+
+// Store8 stores one byte.
+func (s *Space) Store8(addr uint64, v byte) error {
+	pg, off, err := s.translate(addr, AccessStore)
+	if err != nil {
+		return err
+	}
+	s.stats.Stores++
+	pg.data[off] = v
+	return nil
+}
+
+// Load32 loads a little-endian 32-bit value. The access may straddle a
+// page boundary.
+func (s *Space) Load32(addr uint64) (uint32, error) {
+	if addr%PageSize <= PageSize-4 {
+		pg, off, err := s.translate(addr, AccessLoad)
+		if err != nil {
+			return 0, err
+		}
+		s.stats.Loads++
+		d := pg.data[off : off+4]
+		return uint32(d[0]) | uint32(d[1])<<8 | uint32(d[2])<<16 | uint32(d[3])<<24, nil
+	}
+	var v uint32
+	for i := uint64(0); i < 4; i++ {
+		b, err := s.Load8(addr + i)
+		if err != nil {
+			return 0, err
+		}
+		v |= uint32(b) << (8 * i)
+	}
+	return v, nil
+}
+
+// Store32 stores a little-endian 32-bit value.
+func (s *Space) Store32(addr uint64, v uint32) error {
+	if addr%PageSize <= PageSize-4 {
+		pg, off, err := s.translate(addr, AccessStore)
+		if err != nil {
+			return err
+		}
+		s.stats.Stores++
+		d := pg.data[off : off+4]
+		d[0], d[1], d[2], d[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+		return nil
+	}
+	for i := uint64(0); i < 4; i++ {
+		if err := s.Store8(addr+i, byte(v>>(8*i))); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Load64 loads a little-endian 64-bit value.
+func (s *Space) Load64(addr uint64) (uint64, error) {
+	if addr%PageSize <= PageSize-8 {
+		pg, off, err := s.translate(addr, AccessLoad)
+		if err != nil {
+			return 0, err
+		}
+		s.stats.Loads++
+		d := pg.data[off : off+8]
+		return uint64(d[0]) | uint64(d[1])<<8 | uint64(d[2])<<16 | uint64(d[3])<<24 |
+			uint64(d[4])<<32 | uint64(d[5])<<40 | uint64(d[6])<<48 | uint64(d[7])<<56, nil
+	}
+	var v uint64
+	for i := uint64(0); i < 8; i++ {
+		b, err := s.Load8(addr + i)
+		if err != nil {
+			return 0, err
+		}
+		v |= uint64(b) << (8 * i)
+	}
+	return v, nil
+}
+
+// Store64 stores a little-endian 64-bit value.
+func (s *Space) Store64(addr uint64, v uint64) error {
+	if addr%PageSize <= PageSize-8 {
+		pg, off, err := s.translate(addr, AccessStore)
+		if err != nil {
+			return err
+		}
+		s.stats.Stores++
+		d := pg.data[off : off+8]
+		d[0], d[1], d[2], d[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+		d[4], d[5], d[6], d[7] = byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56)
+		return nil
+	}
+	for i := uint64(0); i < 8; i++ {
+		if err := s.Store8(addr+i, byte(v>>(8*i))); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadBytes fills b from the simulated memory starting at addr. Bulk
+// operations count one access per 8 bytes, roughly modeling
+// word-granularity copies.
+func (s *Space) ReadBytes(addr uint64, b []byte) error {
+	read := 0
+	for read < len(b) {
+		pg, off, err := s.translate(addr+uint64(read), AccessLoad)
+		if err != nil {
+			return err
+		}
+		n := copy(b[read:], pg.data[off:])
+		s.stats.Loads += uint64(n+7) / 8
+		read += n
+	}
+	return nil
+}
+
+// WriteBytes copies b into the simulated memory starting at addr.
+func (s *Space) WriteBytes(addr uint64, b []byte) error {
+	written := 0
+	for written < len(b) {
+		pg, off, err := s.translate(addr+uint64(written), AccessStore)
+		if err != nil {
+			return err
+		}
+		n := copy(pg.data[off:], b[written:])
+		s.stats.Stores += uint64(n+7) / 8
+		written += n
+	}
+	return nil
+}
+
+// Memset writes n copies of v starting at addr.
+func (s *Space) Memset(addr uint64, v byte, n int) error {
+	done := 0
+	for done < n {
+		pg, off, err := s.translate(addr+uint64(done), AccessStore)
+		if err != nil {
+			return err
+		}
+		chunk := len(pg.data) - int(off)
+		if chunk > n-done {
+			chunk = n - done
+		}
+		d := pg.data[off : int(off)+chunk]
+		for i := range d {
+			d[i] = v
+		}
+		s.stats.Stores += uint64(chunk+7) / 8
+		done += chunk
+	}
+	return nil
+}
+
+// MemMove copies n bytes from src to dst within the space, handling
+// overlap like C's memmove.
+func (s *Space) MemMove(dst, src uint64, n int) error {
+	if n <= 0 {
+		return nil
+	}
+	buf := make([]byte, n)
+	if err := s.ReadBytes(src, buf); err != nil {
+		return err
+	}
+	return s.WriteBytes(dst, buf)
+}

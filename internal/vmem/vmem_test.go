@@ -1,0 +1,498 @@
+package vmem
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestMapAndAccess(t *testing.T) {
+	s := NewSpace()
+	base, err := s.Map(2*PageSize, ProtRW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Store64(base, 0xdeadbeefcafef00d); err != nil {
+		t.Fatal(err)
+	}
+	v, err := s.Load64(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0xdeadbeefcafef00d {
+		t.Fatalf("round trip got %#x", v)
+	}
+}
+
+func TestNullIsUnmapped(t *testing.T) {
+	s := NewSpace()
+	if _, err := s.Load8(0); err == nil {
+		t.Fatal("load of address 0 should fault")
+	}
+	var f *Fault
+	_, err := s.Load8(0)
+	if !errors.As(err, &f) {
+		t.Fatalf("expected *Fault, got %T", err)
+	}
+}
+
+func TestUnmappedAccessFaults(t *testing.T) {
+	s := NewSpace()
+	base, _ := s.Map(PageSize, ProtRW)
+	// The page after the hole after the mapping is unmapped.
+	if err := s.Store8(base+2*PageSize, 1); err == nil {
+		t.Fatal("store past mapping should fault")
+	}
+	if s.Stats().Faults == 0 {
+		t.Fatal("fault counter not incremented")
+	}
+}
+
+func TestMappingsNotAdjacent(t *testing.T) {
+	s := NewSpace()
+	a, _ := s.Map(PageSize, ProtRW)
+	b, _ := s.Map(PageSize, ProtRW)
+	if b == a+PageSize {
+		t.Fatal("mappings are adjacent; overflow from one would silently hit the next")
+	}
+	if err := s.Store8(a+PageSize, 7); err == nil {
+		t.Fatal("store into the hole between mappings should fault")
+	}
+}
+
+func TestGuardPages(t *testing.T) {
+	s := NewSpace()
+	base, err := s.MapGuarded(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Store8(base, 1); err != nil {
+		t.Fatalf("usable region should be writable: %v", err)
+	}
+	if err := s.Store8(base-1, 1); err == nil {
+		t.Fatal("write into leading guard page should fault")
+	}
+	if err := s.Store8(base+PageSize, 1); err == nil {
+		t.Fatal("write into trailing guard page should fault")
+	}
+	var f *Fault
+	err = s.Store8(base-1, 1)
+	if !errors.As(err, &f) || f.Reason != "guard page" {
+		t.Fatalf("expected guard page fault, got %v", err)
+	}
+}
+
+func TestProtectReadOnly(t *testing.T) {
+	s := NewSpace()
+	base, _ := s.Map(PageSize, ProtRW)
+	if err := s.Store8(base, 42); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Protect(base, PageSize, ProtRead); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Load8(base); err != nil {
+		t.Fatalf("read of read-only page failed: %v", err)
+	}
+	if err := s.Store8(base, 1); err == nil {
+		t.Fatal("write to read-only page should fault")
+	}
+}
+
+func TestUnmapThenAccessFaults(t *testing.T) {
+	s := NewSpace()
+	base, _ := s.Map(2*PageSize, ProtRW)
+	if err := s.Store8(base, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Unmap(base, 2*PageSize); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Load8(base); err == nil {
+		t.Fatal("access after unmap should fault")
+	}
+	if s.Stats().PagesMapped != 0 {
+		t.Fatalf("PagesMapped = %d after full unmap", s.Stats().PagesMapped)
+	}
+}
+
+func TestUnmapErrors(t *testing.T) {
+	s := NewSpace()
+	base, _ := s.Map(PageSize, ProtRW)
+	if err := s.Unmap(base+1, PageSize); err == nil {
+		t.Fatal("unaligned unmap should fail")
+	}
+	if err := s.Unmap(base+4*PageSize, PageSize); err == nil {
+		t.Fatal("unmap of unmapped range should fail")
+	}
+	// Partial overlap: nothing should be unmapped.
+	if err := s.Unmap(base, 2*PageSize); err == nil {
+		t.Fatal("unmap extending past mapping should fail")
+	}
+	if _, err := s.Load8(base); err != nil {
+		t.Fatalf("failed unmap must not tear down pages: %v", err)
+	}
+}
+
+func TestCrossPageAccesses(t *testing.T) {
+	s := NewSpace()
+	base, _ := s.Map(2*PageSize, ProtRW)
+	addr := base + PageSize - 3 // 64-bit value straddles the boundary
+	if err := s.Store64(addr, 0x1122334455667788); err != nil {
+		t.Fatal(err)
+	}
+	v, err := s.Load64(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0x1122334455667788 {
+		t.Fatalf("cross-page round trip got %#x", v)
+	}
+	if err := s.Store32(base+PageSize-2, 0xaabbccdd); err != nil {
+		t.Fatal(err)
+	}
+	v32, err := s.Load32(base + PageSize - 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v32 != 0xaabbccdd {
+		t.Fatalf("cross-page 32-bit round trip got %#x", v32)
+	}
+}
+
+func TestReadWriteBytes(t *testing.T) {
+	s := NewSpace()
+	base, _ := s.Map(3*PageSize, ProtRW)
+	msg := bytes.Repeat([]byte("abcdefgh"), 1000) // spans pages
+	if err := s.WriteBytes(base+100, msg); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	if err := s.ReadBytes(base+100, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatal("ReadBytes did not return what WriteBytes stored")
+	}
+}
+
+func TestMemset(t *testing.T) {
+	s := NewSpace()
+	base, _ := s.Map(2*PageSize, ProtRW)
+	if err := s.Memset(base+10, 0xAB, 5000); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 5000)
+	if err := s.ReadBytes(base+10, got); err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range got {
+		if b != 0xAB {
+			t.Fatalf("byte %d = %#x, want 0xAB", i, b)
+		}
+	}
+}
+
+func TestMemMoveOverlap(t *testing.T) {
+	s := NewSpace()
+	base, _ := s.Map(PageSize, ProtRW)
+	if err := s.WriteBytes(base, []byte("0123456789")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.MemMove(base+2, base, 8); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 10)
+	_ = s.ReadBytes(base, got)
+	if string(got) != "0101234567" {
+		t.Fatalf("overlapping MemMove got %q", got)
+	}
+}
+
+func TestLazyInstantiation(t *testing.T) {
+	s := NewSpace()
+	// Reserve a large region; it should cost nothing until touched.
+	base, err := s.Map(1<<20, ProtRW) // 256 pages
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Stats().PagesDirty != 0 {
+		t.Fatalf("untouched mapping instantiated %d pages", s.Stats().PagesDirty)
+	}
+	if err := s.Store8(base+5*PageSize, 1); err != nil {
+		t.Fatal(err)
+	}
+	if s.Stats().PagesDirty != 1 {
+		t.Fatalf("one touch should dirty one page, got %d", s.Stats().PagesDirty)
+	}
+}
+
+func TestFreshPagesAreZero(t *testing.T) {
+	s := NewSpace()
+	base, _ := s.Map(PageSize, ProtRW)
+	v, err := s.Load64(base + 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0 {
+		t.Fatalf("fresh page contained %#x", v)
+	}
+}
+
+func TestTLBSimulation(t *testing.T) {
+	s := NewSpace()
+	s.EnableTLB()
+	base, _ := s.Map(256*PageSize, ProtRW)
+
+	// Touch one page repeatedly: 1 miss, then hits.
+	for i := 0; i < 100; i++ {
+		if err := s.Store8(base, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.TLBMisses != 1 || st.TLBHits != 99 {
+		t.Fatalf("expected 1 miss/99 hits, got %d/%d", st.TLBMisses, st.TLBHits)
+	}
+
+	// Touch more distinct pages than TLB entries (disjoint from the page
+	// above): with FIFO replacement every revisit misses.
+	before := st.TLBMisses
+	for round := 0; round < 2; round++ {
+		for p := 64; p < 192; p++ {
+			if err := s.Store8(base+uint64(p)*PageSize, 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	misses := s.Stats().TLBMisses - before
+	if misses != 256 {
+		t.Fatalf("FIFO TLB over 128 pages x2 rounds should miss every time, got %d/256", misses)
+	}
+}
+
+func TestTLBLocalityBeatsSpread(t *testing.T) {
+	// The mechanism behind the paper's 300.twolf observation: the same
+	// number of accesses spread over many pages misses far more.
+	dense := NewSpace()
+	dense.EnableTLB()
+	db, _ := dense.Map(512*PageSize, ProtRW)
+	sparse := NewSpace()
+	sparse.EnableTLB()
+	sb, _ := sparse.Map(512*PageSize, ProtRW)
+
+	for i := 0; i < 10000; i++ {
+		_ = dense.Store8(db+uint64(i%(8*PageSize)), 1)                 // 8 pages
+		_ = sparse.Store8(sb+uint64((i*PageSize+i)%(512*PageSize)), 1) // all pages
+	}
+	if dense.Stats().TLBMisses >= sparse.Stats().TLBMisses {
+		t.Fatalf("dense (%d misses) should beat sparse (%d misses)",
+			dense.Stats().TLBMisses, sparse.Stats().TLBMisses)
+	}
+}
+
+func TestAccessCounters(t *testing.T) {
+	s := NewSpace()
+	base, _ := s.Map(PageSize, ProtRW)
+	_ = s.Store64(base, 1)
+	_, _ = s.Load64(base)
+	_ = s.Store8(base, 1)
+	st := s.Stats()
+	if st.Stores != 2 || st.Loads != 1 {
+		t.Fatalf("counters loads=%d stores=%d", st.Loads, st.Stores)
+	}
+	if st.Accesses() != 3 {
+		t.Fatalf("Accesses() = %d", st.Accesses())
+	}
+}
+
+func TestPeakPages(t *testing.T) {
+	s := NewSpace()
+	base, _ := s.Map(4*PageSize, ProtRW)
+	if err := s.Unmap(base, 4*PageSize); err != nil {
+		t.Fatal(err)
+	}
+	_, _ = s.Map(PageSize, ProtRW)
+	if s.Stats().PagesPeak != 4 {
+		t.Fatalf("peak = %d, want 4", s.Stats().PagesPeak)
+	}
+}
+
+func TestMapRejectsBadSizes(t *testing.T) {
+	s := NewSpace()
+	if _, err := s.Map(0, ProtRW); err == nil {
+		t.Fatal("Map(0) should fail")
+	}
+	if _, err := s.Map(-5, ProtRW); err == nil {
+		t.Fatal("Map(-5) should fail")
+	}
+	if _, err := s.MapGuarded(0); err == nil {
+		t.Fatal("MapGuarded(0) should fail")
+	}
+}
+
+func TestQuickStoreLoadRoundTrip(t *testing.T) {
+	s := NewSpace()
+	base, _ := s.Map(16*PageSize, ProtRW)
+	f := func(off uint16, v uint64) bool {
+		addr := base + uint64(off)
+		if err := s.Store64(addr, v); err != nil {
+			return false
+		}
+		got, err := s.Load64(addr)
+		return err == nil && got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickWriteReadBytes(t *testing.T) {
+	s := NewSpace()
+	base, _ := s.Map(64*PageSize, ProtRW)
+	f := func(off uint16, data []byte) bool {
+		if len(data) == 0 {
+			return true
+		}
+		addr := base + uint64(off)
+		if err := s.WriteBytes(addr, data); err != nil {
+			return false
+		}
+		got := make([]byte, len(data))
+		if err := s.ReadBytes(addr, got); err != nil {
+			return false
+		}
+		return bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkStore64(b *testing.B) {
+	s := NewSpace()
+	base, _ := s.Map(1<<20, ProtRW)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Store64(base+uint64(i%(1<<19)), uint64(i))
+	}
+}
+
+func BenchmarkStore64TLB(b *testing.B) {
+	s := NewSpace()
+	s.EnableTLB()
+	base, _ := s.Map(1<<20, ProtRW)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Store64(base+uint64(i%(1<<19)), uint64(i))
+	}
+}
+
+func TestProtectMiddleOfMapping(t *testing.T) {
+	s := NewSpace()
+	base, _ := s.Map(6*PageSize, ProtRW)
+	// Guard the middle two pages; the flanks stay writable.
+	if err := s.Protect(base+2*PageSize, 2*PageSize, ProtNone); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Store8(base, 1); err != nil {
+		t.Fatalf("left flank: %v", err)
+	}
+	if err := s.Store8(base+5*PageSize, 1); err != nil {
+		t.Fatalf("right flank: %v", err)
+	}
+	if err := s.Store8(base+3*PageSize, 1); err == nil {
+		t.Fatal("guarded middle should fault")
+	}
+	// Re-open the middle.
+	if err := s.Protect(base+2*PageSize, 2*PageSize, ProtRW); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Store8(base+3*PageSize, 1); err != nil {
+		t.Fatalf("reopened middle: %v", err)
+	}
+}
+
+func TestUnmapMiddleOfMapping(t *testing.T) {
+	s := NewSpace()
+	base, _ := s.Map(5*PageSize, ProtRW)
+	if err := s.Store8(base+2*PageSize, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Unmap(base+2*PageSize, PageSize); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Load8(base + 2*PageSize); err == nil {
+		t.Fatal("unmapped middle page accessible")
+	}
+	if err := s.Store8(base+PageSize, 1); err != nil {
+		t.Fatalf("page before hole: %v", err)
+	}
+	if err := s.Store8(base+3*PageSize, 1); err != nil {
+		t.Fatalf("page after hole: %v", err)
+	}
+	if s.Stats().PagesMapped != 4 {
+		t.Fatalf("PagesMapped = %d, want 4", s.Stats().PagesMapped)
+	}
+}
+
+func TestPageFiller(t *testing.T) {
+	s := NewSpace()
+	n := byte(0)
+	s.SetPageFiller(func(b []byte) {
+		for i := range b {
+			b[i] = 0xC0 | n&0xF
+		}
+		n++
+	})
+	base, _ := s.Map(4*PageSize, ProtRW)
+	v, err := s.Load8(base + 2*PageSize + 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v&0xF0 != 0xC0 {
+		t.Fatalf("filler not applied: %#x", v)
+	}
+	// The filler only runs on first instantiation: writes persist.
+	if err := s.Store8(base, 0x11); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := s.Load8(base)
+	if got != 0x11 {
+		t.Fatalf("write lost: %#x", got)
+	}
+	// Clearing the filler restores zero-fill for new pages.
+	s.SetPageFiller(nil)
+	base2, _ := s.Map(PageSize, ProtRW)
+	got, _ = s.Load8(base2)
+	if got != 0 {
+		t.Fatalf("nil filler should zero-fill: %#x", got)
+	}
+}
+
+func TestTLBSecondLevelCounters(t *testing.T) {
+	s := NewSpace()
+	s.EnableTLB()
+	base, _ := s.Map(100*PageSize, ProtRW)
+	// First pass over 100 pages: every access is a cold walk.
+	for p := 0; p < 100; p++ {
+		_ = s.Store8(base+uint64(p)*PageSize, 1)
+	}
+	st := s.Stats()
+	if st.TLB2Misses != 100 || st.TLBMisses != 100 {
+		t.Fatalf("cold pass: L1=%d L2=%d", st.TLBMisses, st.TLB2Misses)
+	}
+	// Second pass: 100 pages exceed the 64-entry L1 (all miss) but fit
+	// the second level (no cold walks).
+	for p := 0; p < 100; p++ {
+		_ = s.Store8(base+uint64(p)*PageSize, 1)
+	}
+	st = s.Stats()
+	if st.TLB2Misses != 100 {
+		t.Fatalf("warm pass caused cold walks: %d", st.TLB2Misses)
+	}
+	if st.TLBMisses != 200 {
+		t.Fatalf("warm pass should still miss L1: %d", st.TLBMisses)
+	}
+}

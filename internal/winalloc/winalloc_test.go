@@ -1,0 +1,189 @@
+package winalloc
+
+import (
+	"errors"
+	"testing"
+
+	"diehard/internal/heap"
+	"diehard/internal/leaalloc"
+	"diehard/internal/rng"
+	"diehard/internal/vmem"
+)
+
+func newHeap(t *testing.T, size int) *Heap {
+	t.Helper()
+	if size == 0 {
+		size = 4 << 20
+	}
+	h, err := New(Options{HeapSize: size})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestMallocFreeRoundTrip(t *testing.T) {
+	h := newHeap(t, 0)
+	p, err := h.Malloc(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Mem().Store64(p, 0xabcdef); err != nil {
+		t.Fatal(err)
+	}
+	v, _ := h.Mem().Load64(p)
+	if v != 0xabcdef {
+		t.Fatalf("got %#x", v)
+	}
+	if err := h.Free(p); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReuseAndCoalesce(t *testing.T) {
+	h := newHeap(t, 0)
+	a, _ := h.Malloc(100)
+	b, _ := h.Malloc(100)
+	if _, err := h.Malloc(100); err != nil { // barrier
+		t.Fatal(err)
+	}
+	if err := h.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Free(b); err != nil {
+		t.Fatal(err)
+	}
+	// a and b coalesce; a 200-byte request fits at a.
+	q, err := h.Malloc(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q != a {
+		t.Fatalf("coalesced chunk at %#x, want %#x", q, a)
+	}
+}
+
+func TestOutOfMemory(t *testing.T) {
+	h := newHeap(t, 16*vmem.PageSize)
+	var last error
+	for i := 0; i < 10000; i++ {
+		if _, err := h.Malloc(4096); err != nil {
+			last = err
+			break
+		}
+	}
+	if !errors.Is(last, heap.ErrOutOfMemory) {
+		t.Fatalf("expected ErrOutOfMemory, got %v", last)
+	}
+}
+
+func TestInvalidFreeCrashes(t *testing.T) {
+	h := newHeap(t, 0)
+	p, _ := h.Malloc(64)
+	if err := h.Free(p + 4); err == nil || !heap.IsCrash(err) {
+		t.Fatalf("invalid free: %v", err)
+	}
+}
+
+func TestOverflowCorruptsMetadata(t *testing.T) {
+	h := newHeap(t, 0)
+	a, _ := h.Malloc(24)
+	b, _ := h.Malloc(24)
+	if err := h.Mem().Memset(a, 0xFF, 40); err != nil {
+		t.Fatal(err)
+	}
+	err := h.Free(b)
+	if err == nil {
+		_, err = h.Malloc(24)
+	}
+	if err == nil || !heap.IsCrash(err) {
+		t.Fatalf("smashed header unnoticed: %v", err)
+	}
+}
+
+func TestSlowerThanLea(t *testing.T) {
+	// The property Figure 5(b) depends on: the default Windows heap
+	// costs substantially more work per operation than the Lea
+	// allocator under the same churn.
+	win := newHeap(t, 8<<20)
+	lea, err := leaalloc.New(leaalloc.Options{HeapSize: 8 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	churn := func(a heap.Allocator) uint64 {
+		r := rng.NewSeeded(5)
+		var live []heap.Ptr
+		for i := 0; i < 5000; i++ {
+			if len(live) > 32 {
+				idx := r.Intn(len(live))
+				if err := a.Free(live[idx]); err != nil {
+					t.Fatal(err)
+				}
+				live[idx] = live[len(live)-1]
+				live = live[:len(live)-1]
+			}
+			p, err := a.Malloc(16 + r.Intn(256))
+			if err != nil {
+				t.Fatal(err)
+			}
+			live = append(live, p)
+		}
+		return a.Stats().WorkUnits
+	}
+	w := churn(win)
+	l := churn(lea)
+	if w < 2*l {
+		t.Fatalf("winalloc work %d not substantially above lea %d", w, l)
+	}
+}
+
+func TestIntegrityUnderRandomWorkload(t *testing.T) {
+	h := newHeap(t, 8<<20)
+	r := rng.NewSeeded(31)
+	type obj struct {
+		p  heap.Ptr
+		id uint64
+	}
+	var live []obj
+	for op := uint64(0); op < 15000; op++ {
+		if len(live) > 0 && r.Intn(100) < 48 {
+			i := r.Intn(len(live))
+			v, err := h.Mem().Load64(live[i].p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v != live[i].id {
+				t.Fatalf("object %d corrupted", live[i].id)
+			}
+			if err := h.Free(live[i].p); err != nil {
+				t.Fatal(err)
+			}
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+			continue
+		}
+		p, err := h.Malloc(8 + r.Intn(300))
+		if errors.Is(err, heap.ErrOutOfMemory) {
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := h.Mem().Store64(p, op); err != nil {
+			t.Fatal(err)
+		}
+		live = append(live, obj{p, op})
+	}
+}
+
+func BenchmarkMallocFreePair(b *testing.B) {
+	h, err := New(Options{HeapSize: 32 << 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, _ := h.Malloc(64)
+		_ = h.Free(p)
+	}
+}
