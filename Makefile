@@ -1,0 +1,32 @@
+# Convenience targets for the DieHard reproduction.
+
+GO ?= go
+
+.PHONY: all build vet test bench bench-baseline fig5
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Full benchmark sweep (paper figures + ablations).
+bench:
+	$(GO) test -run xxx -bench . -benchtime 1s .
+
+# Record the memory-system perf baseline into BENCH_vmem.json under the
+# given LABEL (see cmd/vmembench). CI prints the live numbers; this file
+# is the repo's perf trajectory.
+LABEL ?= current
+bench-baseline:
+	$(GO) run ./cmd/vmembench -label $(LABEL) -out BENCH_vmem.json
+
+# Reproduce Figure 5 on both platforms.
+fig5:
+	$(GO) run ./cmd/overhead -platform linux
+	$(GO) run ./cmd/overhead -platform windows

@@ -1,0 +1,152 @@
+// Command vmembench records the repository's memory-system performance
+// baseline: raw load/store latency through vmem.Space, bulk throughput,
+// and the DieHard malloc/free steady state that BenchmarkMallocProbes
+// measures. Results are merged into a JSON file keyed by label, so the
+// file accumulates the perf trajectory across implementations:
+//
+//	go run ./cmd/vmembench -label radix -out BENCH_vmem.json
+//
+// The Makefile target `make bench-baseline` does exactly that.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"diehard/internal/core"
+	"diehard/internal/heap"
+	"diehard/internal/rng"
+	"diehard/internal/vmem"
+)
+
+// Run is one labeled measurement set.
+type Run struct {
+	Date    string             `json:"date"`
+	Go      string             `json:"go"`
+	NsPerOp map[string]float64 `json:"ns_per_op"`
+}
+
+// File is the on-disk schema of BENCH_vmem.json.
+type File struct {
+	PageSize int            `json:"pagesize"`
+	Runs     map[string]Run `json:"runs"`
+}
+
+func bench(f func(b *testing.B)) float64 {
+	r := testing.Benchmark(f)
+	return float64(r.T.Nanoseconds()) / float64(r.N)
+}
+
+func main() {
+	var (
+		label = flag.String("label", "current", "label for this measurement set")
+		out   = flag.String("out", "BENCH_vmem.json", "output file (merged in place)")
+	)
+	flag.Parse()
+
+	results := map[string]float64{}
+
+	// Raw word access, one page per access: the pattern of a randomized
+	// allocator, where translation cost cannot hide behind page locality.
+	{
+		s := vmem.NewSpace()
+		base, err := s.Map(1024*vmem.PageSize, vmem.ProtRW)
+		if err != nil {
+			fatal(err)
+		}
+		for p := uint64(0); p < 1024; p++ {
+			if err := s.Store64(base+p*vmem.PageSize, p); err != nil {
+				fatal(err)
+			}
+		}
+		results["raw_load64_strided"] = bench(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, _ = s.Load64(base + uint64(i%1024)*vmem.PageSize + uint64(i%512)*8)
+			}
+		})
+		results["raw_store64_strided"] = bench(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = s.Store64(base+uint64(i%1024)*vmem.PageSize+uint64(i%512)*8, uint64(i))
+			}
+		})
+		results["raw_store64_sequential"] = bench(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = s.Store64(base+uint64(i%(1<<19)), uint64(i))
+			}
+		})
+		buf := make([]byte, vmem.PageSize)
+		results["read_bytes_page"] = bench(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = s.ReadBytes(base+uint64(i%1023)*vmem.PageSize+128, buf)
+			}
+		})
+	}
+
+	// DieHard steady-state free/malloc pair at the 1/M threshold: the
+	// repository-level BenchmarkMallocProbes, reproduced here so the
+	// baseline file captures it without the testing harness.
+	{
+		h, err := core.New(core.Options{HeapSize: 48 << 20, Seed: 1})
+		if err != nil {
+			fatal(err)
+		}
+		_, maxInUse := h.ClassSlots(core.ClassFor(64))
+		ptrs := make([]heap.Ptr, maxInUse)
+		for i := range ptrs {
+			p, err := h.Malloc(64)
+			if err != nil {
+				fatal(err)
+			}
+			ptrs[i] = p
+		}
+		r := rng.NewSeeded(2)
+		results["malloc_free_pair_64B"] = bench(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				j := r.Intn(len(ptrs))
+				_ = h.Free(ptrs[j])
+				p, err := h.Malloc(64)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ptrs[j] = p
+			}
+		})
+	}
+
+	file := File{PageSize: vmem.PageSize, Runs: map[string]Run{}}
+	if raw, err := os.ReadFile(*out); err == nil {
+		if err := json.Unmarshal(raw, &file); err != nil {
+			fatal(fmt.Errorf("%s: %w", *out, err))
+		}
+	}
+	if file.Runs == nil {
+		file.Runs = map[string]Run{}
+	}
+	file.PageSize = vmem.PageSize
+	file.Runs[*label] = Run{
+		Date:    time.Now().UTC().Format("2006-01-02"),
+		Go:      runtime.Version(),
+		NsPerOp: results,
+	}
+	enc, err := json.MarshalIndent(&file, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*out, append(enc, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	for name, ns := range results {
+		fmt.Printf("%-24s %8.2f ns/op\n", name, ns)
+	}
+	fmt.Printf("recorded as %q in %s\n", *label, *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "vmembench: %v\n", err)
+	os.Exit(1)
+}

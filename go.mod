@@ -1,0 +1,3 @@
+module diehard
+
+go 1.21

@@ -371,15 +371,21 @@ func runEspresso(rt *Runtime) error {
 		for s := 0; s < 64; s += 8 {
 			hash = fnv1a(hash, byte(bits>>s))
 		}
-		for k := 0; k <= espressoVars; k++ {
-			lb, err := rt.Mem.Load8(c + 16 + uint64(k))
-			if err != nil {
-				return err
-			}
-			if lb == 0 {
-				break
-			}
-			hash = fnv1a(hash, lb)
+		// Bulk-scan the NUL-terminated label instead of one Load8 per
+		// byte; FindByte visits exactly the bytes the loop did.
+		n, found, err := rt.Mem.FindByte(c+16, 0, espressoVars+1)
+		if err != nil {
+			return err
+		}
+		if !found {
+			n = espressoVars + 1
+		}
+		var label [espressoVars + 1]byte
+		if err := rt.Mem.ReadBytes(c+16, label[:n]); err != nil {
+			return err
+		}
+		for k := 0; k < n; k++ {
+			hash = fnv1a(hash, label[k])
 		}
 		count++
 		next, err := cubeNext(rt, c)

@@ -23,6 +23,7 @@
 package core
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math/bits"
 
@@ -91,11 +92,16 @@ func (o *Options) withDefaults() Options {
 
 // subregion is one mapped stretch of a size class. Non-adaptive heaps
 // have exactly one subregion per class; adaptive heaps append doubled
-// subregions as demand grows.
+// subregions as demand grows. The class back-pointer and the shift
+// duplicate (log2 of the class's object size) let a pointer-to-
+// subregion resolved through the page index compute its slot without a
+// second indirection.
 type subregion struct {
 	base  uint64
 	slots int
 	bits  []uint64 // allocation bitmap: one bit per slot, segregated metadata
+	cl    *sizeClass
+	shift uint
 }
 
 func (s *subregion) get(i int) bool { return s.bits[i>>6]&(1<<(i&63)) != 0 }
@@ -105,7 +111,9 @@ func (s *subregion) clear(i int)    { s.bits[i>>6] &^= 1 << (i & 63) }
 // sizeClass holds the segregated metadata for one power-of-two region.
 type sizeClass struct {
 	size       int
-	subs       []subregion
+	shift      uint   // log2(size), for divisions on the hot path
+	mask       uint64 // size - 1, for alignment checks on the hot path
+	subs       []*subregion
 	totalSlots int
 	inUse      int
 	maxInUse   int // threshold: floor(totalSlots / M)
@@ -133,6 +141,15 @@ type Heap struct {
 	large   map[heap.Ptr]largeObject
 	stats   heap.Stats
 	fillBuf []byte
+
+	// pageIdx resolves a page number to its subregion in O(1): the
+	// allocator-level analog of the vmem radix table. Entry
+	// (pn - basePn) points at the subregion owning that page, or is nil
+	// for pages that belong to no small-object subregion (holes,
+	// guards, large objects). Free, SizeOf, ObjectBounds, and InHeap
+	// resolve through it instead of scanning every subregion.
+	pageIdx []*subregion
+	basePn  uint64
 }
 
 var _ heap.Allocator = (*Heap)(nil)
@@ -169,8 +186,7 @@ func New(opts Options) (*Heap, error) {
 		fillRNG := master.Split()
 		h.space.SetPageFiller(func(b []byte) {
 			for i := 0; i+4 <= len(b); i += 4 {
-				v := fillRNG.Next()
-				b[i], b[i+1], b[i+2], b[i+3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+				binary.LittleEndian.PutUint32(b[i:], fillRNG.Next())
 			}
 		})
 	}
@@ -180,6 +196,8 @@ func New(opts Options) (*Heap, error) {
 		capSlots := perClass / size
 		cl := &h.classes[c]
 		cl.size = size
+		cl.shift = uint(bits.TrailingZeros(uint(size)))
+		cl.mask = uint64(size - 1)
 		cl.capSlots = capSlots
 		initial := capSlots
 		if o.Adaptive {
@@ -191,16 +209,17 @@ func New(opts Options) (*Heap, error) {
 				initial = capSlots
 			}
 		}
-		if err := h.addSubregion(cl, initial); err != nil {
+		if err := h.addSubregion(c, initial); err != nil {
 			return nil, err
 		}
 	}
 	return h, nil
 }
 
-// addSubregion maps a new stretch of slots for class cl and recomputes
-// the 1/M threshold.
-func (h *Heap) addSubregion(cl *sizeClass, slots int) error {
+// addSubregion maps a new stretch of slots for class c, recomputes the
+// 1/M threshold, and registers the new pages in the page index.
+func (h *Heap) addSubregion(c, slots int) error {
+	cl := &h.classes[c]
 	bytes := slots * cl.size
 	if bytes < vmem.PageSize {
 		bytes = vmem.PageSize
@@ -211,14 +230,38 @@ func (h *Heap) addSubregion(cl *sizeClass, slots int) error {
 		return err
 	}
 	h.stats.WorkUnits += heap.WorkMmap
-	cl.subs = append(cl.subs, subregion{
+	sub := &subregion{
 		base:  base,
 		slots: slots,
 		bits:  make([]uint64, (slots+63)/64),
-	})
+		cl:    cl,
+		shift: cl.shift,
+	}
+	cl.subs = append(cl.subs, sub)
 	cl.totalSlots += slots
 	cl.maxInUse = int(float64(cl.totalSlots) / h.opts.M)
+	h.indexSubregion(sub, base, uint64(slots)<<cl.shift)
 	return nil
+}
+
+// indexSubregion records every page of [base, base+bytes) in pageIdx.
+// Subregion bases are handed out in increasing address order, so the
+// table only ever grows at the high end; pages mapped in between for
+// other purposes (guards, large objects) stay nil.
+func (h *Heap) indexSubregion(sub *subregion, base, bytes uint64) {
+	startPn := base / vmem.PageSize
+	endPn := (base + bytes + vmem.PageSize - 1) / vmem.PageSize
+	if h.pageIdx == nil {
+		h.basePn = startPn
+	}
+	if need := endPn - h.basePn; uint64(len(h.pageIdx)) < need {
+		grown := make([]*subregion, need)
+		copy(grown, h.pageIdx)
+		h.pageIdx = grown
+	}
+	for pn := startPn; pn < endPn; pn++ {
+		h.pageIdx[pn-h.basePn] = sub
+	}
 }
 
 // ClassFor returns the size-class index for a request: ceil(log2(size))-3
@@ -247,14 +290,15 @@ func (h *Heap) Malloc(size int) (heap.Ptr, error) {
 		return h.allocateLargeObject(size)
 	}
 	h.stats.WorkUnits += heap.WorkSizeClass
-	cl := &h.classes[ClassFor(size)]
+	c := ClassFor(size)
+	cl := &h.classes[c]
 	if cl.inUse >= cl.maxInUse {
 		if h.opts.Adaptive && cl.totalSlots < cl.capSlots {
 			grow := cl.totalSlots
 			if cl.totalSlots+grow > cl.capSlots {
 				grow = cl.capSlots - cl.totalSlots
 			}
-			if err := h.addSubregion(cl, grow); err != nil {
+			if err := h.addSubregion(c, grow); err != nil {
 				h.stats.FailedMallocs++
 				return heap.Null, err
 			}
@@ -268,37 +312,73 @@ func (h *Heap) Malloc(size int) (heap.Ptr, error) {
 	// expected number of probes is 1/(1 - 1/M): two for M = 2 (§4.2).
 	// The cap guards against metadata-accounting bugs, not against bad
 	// luck; it is astronomically unlikely to trigger when invariants
-	// hold.
+	// hold. The single-subregion case (every non-adaptive heap) runs a
+	// specialized loop; probes are accounted in bulk afterwards.
 	probeCap := 64*cl.totalSlots + 64
-	for attempt := 0; attempt < probeCap; attempt++ {
-		h.stats.WorkUnits += heap.WorkProbe
-		h.stats.Probes++
-		idx := int(h.rand.Uintn(uint64(cl.totalSlots)))
-		sub, local := cl.locate(idx)
-		if sub.get(local) {
-			continue
-		}
-		sub.set(local)
-		cl.inUse++
-		cl.mallocs++
-		h.stats.WorkUnits += heap.WorkBitmap
-		ptr := sub.base + uint64(local*cl.size)
-		if h.opts.RandomFill {
-			if err := h.fillRandom(ptr, cl.size); err != nil {
-				return heap.Null, err
+	n := uint32(cl.totalSlots)
+	sub := cl.subs[0]
+	var local int
+	probes := 0
+	if len(cl.subs) == 1 {
+		// Single-subregion fast loop: generator state in a local so the
+		// probe iterations run register-to-register; the reduction is
+		// the same Lemire multiply-shift-with-rejection as rng.Uint32n,
+		// so the draw stream is identical.
+		rr := *h.rand
+		rejectBelow := -n % n
+		for {
+			if probes == probeCap {
+				*h.rand = rr
+				return heap.Null, &heap.CorruptionError{Detail: "diehard: no free slot found below fill threshold"}
+			}
+			probes++
+			m := uint64(rr.Next()) * uint64(n)
+			for uint32(m) < rejectBelow {
+				m = uint64(rr.Next()) * uint64(n)
+			}
+			local = int(m >> 32)
+			if sub.bits[local>>6]&(1<<(local&63)) == 0 {
+				break
 			}
 		}
-		heap.CountMalloc(&h.stats, size, cl.size)
-		return ptr, nil
+		*h.rand = rr
+	} else {
+		for {
+			if probes == probeCap {
+				return heap.Null, &heap.CorruptionError{Detail: "diehard: no free slot found below fill threshold"}
+			}
+			probes++
+			sub, local = cl.locate(int(h.rand.Uint32n(n)))
+			if !sub.get(local) {
+				break
+			}
+		}
 	}
-	return heap.Null, &heap.CorruptionError{Detail: "diehard: no free slot found below fill threshold"}
+	h.stats.Probes += uint64(probes)
+	h.stats.WorkUnits += uint64(probes)*heap.WorkProbe + heap.WorkBitmap
+	sub.set(local)
+	cl.inUse++
+	cl.mallocs++
+	ptr := sub.base + uint64(local)<<cl.shift
+	if h.opts.RandomFill {
+		if err := h.fillRandom(ptr, cl.size); err != nil {
+			return heap.Null, err
+		}
+	}
+	heap.CountMalloc(&h.stats, size, cl.size)
+	return ptr, nil
 }
 
 // locate maps a class-wide slot index to its subregion and local index.
+// Non-adaptive heaps always hit the single-subregion fast path.
 func (cl *sizeClass) locate(idx int) (*subregion, int) {
-	for i := range cl.subs {
+	if idx < cl.subs[0].slots {
+		return cl.subs[0], idx
+	}
+	idx -= cl.subs[0].slots
+	for i := 1; i < len(cl.subs); i++ {
 		if idx < cl.subs[i].slots {
-			return &cl.subs[i], idx
+			return cl.subs[i], idx
 		}
 		idx -= cl.subs[i].slots
 	}
@@ -313,8 +393,7 @@ func (h *Heap) fillRandom(ptr heap.Ptr, n int) error {
 	}
 	buf := h.fillBuf[:n]
 	for i := 0; i+4 <= n; i += 4 {
-		v := h.rand.Next()
-		buf[i], buf[i+1], buf[i+2], buf[i+3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+		binary.LittleEndian.PutUint32(buf[i:], h.rand.Next())
 	}
 	for i := n &^ 3; i < n; i++ {
 		buf[i] = byte(h.rand.Next())
@@ -356,22 +435,22 @@ func (h *Heap) Free(p heap.Ptr) error {
 	if p == heap.Null {
 		return nil // free(NULL) is a no-op in C
 	}
-	if lo, ok := h.large[p]; ok {
-		h.stats.WorkUnits += heap.WorkMmap
-		if err := h.space.Unmap(lo.mapBase, lo.mapLength); err != nil {
-			return err // cannot happen unless internal state is corrupt
-		}
-		delete(h.large, p)
-		heap.CountFree(&h.stats, (lo.mapLength/vmem.PageSize-2)*vmem.PageSize)
-		return nil
-	}
 	cl, sub, local := h.find(p)
 	if cl == nil {
+		if lo, ok := h.large[p]; ok {
+			h.stats.WorkUnits += heap.WorkMmap
+			if err := h.space.Unmap(lo.mapBase, lo.mapLength); err != nil {
+				return err // cannot happen unless internal state is corrupt
+			}
+			delete(h.large, p)
+			heap.CountFree(&h.stats, (lo.mapLength/vmem.PageSize-2)*vmem.PageSize)
+			return nil
+		}
 		h.stats.IgnoredFrees++ // not our pointer: ignore (§4.3)
 		return nil
 	}
 	h.stats.WorkUnits += heap.WorkBitmap
-	if (p-sub.base)%uint64(cl.size) != 0 {
+	if (p-sub.base)&cl.mask != 0 {
 		h.stats.IgnoredFrees++ // misaligned interior pointer: ignore
 		return nil
 	}
@@ -385,20 +464,24 @@ func (h *Heap) Free(p heap.Ptr) error {
 	return nil
 }
 
-// find locates the size class, subregion, and slot index containing p.
-// The slot index is the floor of the offset; the caller checks alignment.
+// find locates the size class, subregion, and slot index containing p in
+// O(1) through the page index. The slot index is the floor of the
+// offset; the caller checks alignment.
 func (h *Heap) find(p heap.Ptr) (*sizeClass, *subregion, int) {
-	for c := range h.classes {
-		cl := &h.classes[c]
-		for s := range cl.subs {
-			sub := &cl.subs[s]
-			end := sub.base + uint64(sub.slots*cl.size)
-			if p >= sub.base && p < end {
-				return cl, sub, int((p - sub.base) / uint64(cl.size))
-			}
-		}
+	pn := p/vmem.PageSize - h.basePn
+	if pn >= uint64(len(h.pageIdx)) { // also catches p below the heap (wraps)
+		return nil, nil, 0
 	}
-	return nil, nil, 0
+	sub := h.pageIdx[pn]
+	if sub == nil {
+		return nil, nil, 0
+	}
+	off := p - sub.base
+	if off >= uint64(sub.slots)<<sub.shift {
+		// Tail of the subregion's last page: mapped, but no slot.
+		return nil, nil, 0
+	}
+	return sub.cl, sub, int(off >> sub.shift)
 }
 
 // SizeOf reports the usable size of the allocated object starting exactly
@@ -408,7 +491,7 @@ func (h *Heap) SizeOf(p heap.Ptr) (int, bool) {
 		return lo.size, true
 	}
 	cl, sub, local := h.find(p)
-	if cl == nil || (p-sub.base)%uint64(cl.size) != 0 || !sub.get(local) {
+	if cl == nil || (p-sub.base)&cl.mask != 0 || !sub.get(local) {
 		return 0, false
 	}
 	return cl.size, true
@@ -429,7 +512,7 @@ func (h *Heap) ObjectBounds(p heap.Ptr) (start heap.Ptr, size int, ok bool) {
 	if cl == nil || !sub.get(local) {
 		return 0, 0, false
 	}
-	return sub.base + uint64(local*cl.size), cl.size, true
+	return sub.base + uint64(local)<<cl.shift, cl.size, true
 }
 
 // InHeap reports whether p lies within the small-object heap regions,
@@ -491,7 +574,7 @@ func (h *Heap) CheckInvariants() error {
 		pop := 0
 		slots := 0
 		for s := range cl.subs {
-			sub := &cl.subs[s]
+			sub := cl.subs[s]
 			slots += sub.slots
 			for _, w := range sub.bits {
 				pop += bits.OnesCount64(w)

@@ -819,3 +819,73 @@ func TestLargeObjectChurn(t *testing.T) {
 		t.Fatal("large objects leaked")
 	}
 }
+
+func TestPageIndexResolvesAcrossAdaptiveGrowth(t *testing.T) {
+	// The O(1) page index must keep resolving pointers from early
+	// subregions after adaptive growth maps later ones, with large
+	// objects interleaved in the address space between them.
+	h, err := New(Options{
+		HeapSize:        24 << 20,
+		Adaptive:        true,
+		AdaptiveInitial: vmem.PageSize,
+		Seed:            7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ptrs []heap.Ptr
+	var large []heap.Ptr
+	for i := 0; i < 4000; i++ {
+		p, err := h.Malloc(64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ptrs = append(ptrs, p)
+		if i%500 == 0 {
+			lp, err := h.Malloc(MaxObjectSize + 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			large = append(large, lp)
+		}
+	}
+	for _, p := range ptrs {
+		if sz, ok := h.SizeOf(p); !ok || sz != 64 {
+			t.Fatalf("SizeOf(%#x) = %d,%v after growth", p, sz, ok)
+		}
+		// Interior pointers resolve to the containing object.
+		start, size, ok := h.ObjectBounds(p + 13)
+		if !ok || start != p || size != 64 {
+			t.Fatalf("ObjectBounds(%#x+13) = %#x,%d,%v", p, start, size, ok)
+		}
+	}
+	for _, lp := range large {
+		if sz, ok := h.SizeOf(lp); !ok || sz != MaxObjectSize+1 {
+			t.Fatalf("large SizeOf = %d,%v", sz, ok)
+		}
+		// Large objects are not part of the small-object heap.
+		if h.InHeap(lp) {
+			t.Fatalf("InHeap(%#x) true for large object", lp)
+		}
+	}
+	// Guard pages and inter-region holes resolve to nothing.
+	if _, ok := h.SizeOf(h.ClassBase(0) - 1); ok {
+		t.Fatal("guard-page pointer resolved to an object")
+	}
+	if err := h.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Free everything through the index; double frees must be ignored.
+	for _, p := range ptrs {
+		if err := h.Free(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ignored := h.Stats().IgnoredFrees
+	if err := h.Free(ptrs[0]); err != nil {
+		t.Fatal(err)
+	}
+	if h.Stats().IgnoredFrees != ignored+1 {
+		t.Fatal("double free after growth not detected via page index")
+	}
+}

@@ -36,7 +36,7 @@ func (h *Heap) Snapshot() ([]ObjectRecord, error) {
 		cl := &h.classes[c]
 		slotBase := 0
 		for s := range cl.subs {
-			sub := &cl.subs[s]
+			sub := cl.subs[s]
 			for i := 0; i < sub.slots; i++ {
 				if !sub.get(i) {
 					continue

@@ -86,6 +86,13 @@ type Stats struct {
 // semantics (dropped writes, manufactured reads). Routing application
 // accesses through this interface is what lets those systems be
 // reproduced empirically in Table 1.
+//
+// Beyond single-word loads and stores, the interface carries bulk fast
+// paths (ReadBytes, WriteBytes, Memset, MemMove, FindByte) so string and
+// buffer operations can run at page-frame speed on the radix page table
+// (DESIGN.md §2) instead of making one interface call per byte. Checked
+// runtimes are free to implement them byte-at-a-time when their
+// semantics demand it.
 type Memory interface {
 	Load8(addr uint64) (byte, error)
 	Store8(addr uint64, v byte) error
@@ -97,6 +104,11 @@ type Memory interface {
 	WriteBytes(addr uint64, b []byte) error
 	Memset(addr uint64, v byte, n int) error
 	MemMove(dst, src uint64, n int) error
+	// FindByte scans forward from addr for c, examining at most limit
+	// bytes, returning the offset from addr. It visits exactly the
+	// bytes a Load8 loop would visit (so it faults in the same places)
+	// and is the primitive behind the libc string scans.
+	FindByte(addr uint64, c byte, limit int) (idx int, found bool, err error)
 }
 
 var _ Memory = (*vmem.Space)(nil)

@@ -9,10 +9,29 @@
 // and never write past the end of the object, which is how DieHard
 // defuses both strcpy and the "checked but wrong length" strncpy calls
 // the paper describes.
+//
+// On memories whose bulk operations are page-granular (*vmem.Space,
+// marked by PageGranularBulk), scans and copies run through the bulk
+// fast paths of heap.Memory (FindByte, ReadBytes, MemMove) rather than
+// one Load8 interface call per byte. Chunks never extend past the page
+// containing the bytes a byte-by-byte loop would have examined, so a
+// scan faults on exactly the pages its C counterpart would fault on.
+// The copying functions do reorder work: they scan src for the
+// terminator before writing dst, so with a pathological unterminated
+// source AND an unwritable destination the surfaced fault can be the
+// src load fault where an interleaved C loop would have hit the dst
+// store fault first, and overlapping copies behave like memmove rather
+// than reproducing the interleaved loop's clobber pattern (both are
+// undefined behavior in C). On memories that interpose finer-grained
+// semantics — the fail-stop and failure-oblivious policy runtimes,
+// whose per-access object-granular checks are the behavior under
+// study — the functions keep their byte-at-a-time loops, preserving
+// those semantics exactly.
 package libc
 
 import (
 	"diehard/internal/heap"
+	"diehard/internal/vmem"
 )
 
 // Bounds is the allocator capability the checked functions need: the
@@ -32,25 +51,46 @@ type Bounds interface {
 // (the scan faults on a guard or unmapped page first).
 const maxScan = 1 << 30
 
+// pageGranular reports whether m's bulk operations are page-granular,
+// making the chunked fast paths observation-equivalent to byte loops.
+func pageGranular(m heap.Memory) bool {
+	_, ok := m.(interface{ PageGranularBulk() })
+	return ok
+}
+
+// pageRem returns the number of bytes from addr to the end of its page:
+// the largest chunk that cannot touch a page a byte-at-a-time loop
+// starting at addr would not also touch.
+func pageRem(addr uint64) int {
+	return vmem.PageSize - int(addr&(vmem.PageSize-1))
+}
+
 // Strlen returns the length of the NUL-terminated string at s. Reading
 // past the end of mapped memory faults, exactly like C.
 func Strlen(m heap.Memory, s heap.Ptr) (int, error) {
-	for n := 0; n < maxScan; n++ {
-		b, err := m.Load8(s + uint64(n))
-		if err != nil {
-			return 0, err
-		}
-		if b == 0 {
-			return n, nil
-		}
+	n, found, err := m.FindByte(s, 0, maxScan)
+	if err != nil {
+		return 0, err
 	}
-	return 0, &heap.CorruptionError{Detail: "libc: unterminated string scan"}
+	if !found {
+		return 0, &heap.CorruptionError{Detail: "libc: unterminated string scan"}
+	}
+	return n, nil
 }
 
 // Strcpy copies the NUL-terminated string at src to dst, terminator
 // included. It performs no bounds checking whatsoever: this is the
-// unsafe C strcpy, and it will happily overflow dst.
+// unsafe C strcpy, and it will happily overflow dst. On page-granular
+// memories the source is measured before the destination is written
+// (see the package comment for the fault-ordering consequence).
 func Strcpy(m heap.Memory, dst, src heap.Ptr) error {
+	if pageGranular(m) {
+		n, err := Strlen(m, src)
+		if err != nil {
+			return err
+		}
+		return m.MemMove(dst, src, n+1)
+	}
 	for i := uint64(0); ; i++ {
 		b, err := m.Load8(src + i)
 		if err != nil {
@@ -70,6 +110,26 @@ func Strcpy(m heap.Memory, dst, src heap.Ptr) error {
 // paper's point is that "checked" functions are only as safe as the
 // length the programmer passed.
 func Strncpy(m heap.Memory, dst, src heap.Ptr, n int) error {
+	if n <= 0 {
+		return nil
+	}
+	if pageGranular(m) {
+		idx, found, err := m.FindByte(src, 0, n)
+		if err != nil {
+			return err
+		}
+		payload := n
+		if found {
+			payload = idx + 1 // include the terminator
+		}
+		if err := m.MemMove(dst, src, payload); err != nil {
+			return err
+		}
+		if payload < n {
+			return m.Memset(dst+uint64(payload), 0, n-payload)
+		}
+		return nil
+	}
 	i := 0
 	for ; i < n; i++ {
 		b, err := m.Load8(src + uint64(i))
@@ -94,6 +154,35 @@ func Strncpy(m heap.Memory, dst, src heap.Ptr, n int) error {
 
 // Strcmp compares two NUL-terminated strings like C strcmp.
 func Strcmp(m heap.Memory, a, b heap.Ptr) (int, error) {
+	if pageGranular(m) {
+		var ba, bb [vmem.PageSize]byte
+		for off := 0; off < maxScan; {
+			chunk := pageRem(a + uint64(off))
+			if r := pageRem(b + uint64(off)); r < chunk {
+				chunk = r
+			}
+			if err := m.ReadBytes(a+uint64(off), ba[:chunk]); err != nil {
+				return 0, err
+			}
+			if err := m.ReadBytes(b+uint64(off), bb[:chunk]); err != nil {
+				return 0, err
+			}
+			for i := 0; i < chunk; i++ {
+				ca, cb := ba[i], bb[i]
+				if ca != cb {
+					if ca < cb {
+						return -1, nil
+					}
+					return 1, nil
+				}
+				if ca == 0 {
+					return 0, nil
+				}
+			}
+			off += chunk
+		}
+		return 0, &heap.CorruptionError{Detail: "libc: unterminated string compare"}
+	}
 	for i := uint64(0); i < maxScan; i++ {
 		ca, err := m.Load8(a + i)
 		if err != nil {
@@ -116,17 +205,15 @@ func Strcmp(m heap.Memory, a, b heap.Ptr) (int, error) {
 	return 0, &heap.CorruptionError{Detail: "libc: unterminated string compare"}
 }
 
-// Memcpy copies n bytes from src to dst (no overlap handling, like C
-// memcpy; use heap.Memory.MemMove for overlapping copies).
+// Memcpy copies n bytes from src to dst. Like C memcpy it is documented
+// for non-overlapping buffers only; the simulated copy runs through
+// MemMove, so overlapping arguments behave like memmove rather than
+// corrupting.
 func Memcpy(m heap.Memory, dst, src heap.Ptr, n int) error {
 	if n <= 0 {
 		return nil
 	}
-	buf := make([]byte, n)
-	if err := m.ReadBytes(src, buf); err != nil {
-		return err
-	}
-	return m.WriteBytes(dst, buf)
+	return m.MemMove(dst, src, n)
 }
 
 // availableSpace returns how many bytes may be written at dst without
@@ -186,6 +273,20 @@ func boundedCopy(m heap.Memory, dst, src heap.Ptr, avail int) (int, error) {
 	if avail <= 0 {
 		return 0, nil
 	}
+	if pageGranular(m) {
+		idx, found, err := m.FindByte(src, 0, avail-1)
+		if err != nil {
+			return 0, err
+		}
+		payload := avail - 1
+		if found {
+			payload = idx
+		}
+		if err := m.MemMove(dst, src, payload); err != nil {
+			return 0, err
+		}
+		return payload, m.Store8(dst+uint64(payload), 0)
+	}
 	i := 0
 	for ; i < avail-1; i++ {
 		b, err := m.Load8(src + uint64(i))
@@ -214,6 +315,20 @@ func WriteString(m heap.Memory, dst heap.Ptr, s string) error {
 // ReadString reads the NUL-terminated string at src into a Go string,
 // failing if it exceeds maxLen bytes.
 func ReadString(m heap.Memory, src heap.Ptr, maxLen int) (string, error) {
+	if pageGranular(m) {
+		n, found, err := m.FindByte(src, 0, maxLen)
+		if err != nil {
+			return "", err
+		}
+		if !found {
+			return "", &heap.CorruptionError{Detail: "libc: string exceeds maximum length"}
+		}
+		out := make([]byte, n)
+		if err := m.ReadBytes(src, out); err != nil {
+			return "", err
+		}
+		return string(out), nil
+	}
 	out := make([]byte, 0, 32)
 	for i := 0; i < maxLen; i++ {
 		b, err := m.Load8(src + uint64(i))
@@ -246,6 +361,23 @@ func Strncat(m heap.Memory, dst, src heap.Ptr, n int) error {
 	dlen, err := Strlen(m, dst)
 	if err != nil {
 		return err
+	}
+	if pageGranular(m) {
+		payload := 0
+		if n > 0 {
+			idx, found, err := m.FindByte(src, 0, n)
+			if err != nil {
+				return err
+			}
+			payload = n
+			if found {
+				payload = idx
+			}
+			if err := m.MemMove(dst+uint64(dlen), src, payload); err != nil {
+				return err
+			}
+		}
+		return m.Store8(dst+uint64(dlen+payload), 0)
 	}
 	i := 0
 	for ; i < n; i++ {
@@ -325,6 +457,34 @@ func Strdup(a heap.Allocator, m heap.Memory, src heap.Ptr) (heap.Ptr, error) {
 
 // Memcmp compares n bytes like C memcmp.
 func Memcmp(m heap.Memory, a, b heap.Ptr, n int) (int, error) {
+	if pageGranular(m) {
+		var ba, bb [vmem.PageSize]byte
+		for off := 0; off < n; {
+			chunk := pageRem(a + uint64(off))
+			if r := pageRem(b + uint64(off)); r < chunk {
+				chunk = r
+			}
+			if chunk > n-off {
+				chunk = n - off
+			}
+			if err := m.ReadBytes(a+uint64(off), ba[:chunk]); err != nil {
+				return 0, err
+			}
+			if err := m.ReadBytes(b+uint64(off), bb[:chunk]); err != nil {
+				return 0, err
+			}
+			for i := 0; i < chunk; i++ {
+				if ba[i] != bb[i] {
+					if ba[i] < bb[i] {
+						return -1, nil
+					}
+					return 1, nil
+				}
+			}
+			off += chunk
+		}
+		return 0, nil
+	}
 	for i := uint64(0); i < uint64(n); i++ {
 		ca, err := m.Load8(a + i)
 		if err != nil {
@@ -345,8 +505,35 @@ func Memcmp(m heap.Memory, a, b heap.Ptr, n int) (int, error) {
 }
 
 // Strchr returns the address of the first occurrence of c in the
-// NUL-terminated string at s, or Null if absent, like C strchr.
+// NUL-terminated string at s, or Null if absent, like C strchr. As in C,
+// looking for c == 0 finds the terminator.
 func Strchr(m heap.Memory, s heap.Ptr, c byte) (heap.Ptr, error) {
+	if pageGranular(m) {
+		for off := 0; off < maxScan; {
+			chunk := pageRem(s + uint64(off))
+			if chunk > maxScan-off {
+				chunk = maxScan - off
+			}
+			ci, cFound, err := m.FindByte(s+uint64(off), c, chunk)
+			if err != nil {
+				return heap.Null, err
+			}
+			zi, zFound, err := m.FindByte(s+uint64(off), 0, chunk)
+			if err != nil {
+				return heap.Null, err
+			}
+			// A byte-at-a-time loop tests b == c before b == 0, so when
+			// both land on the same index (c == 0) the match wins.
+			if cFound && (!zFound || ci <= zi) {
+				return s + uint64(off+ci), nil
+			}
+			if zFound {
+				return heap.Null, nil
+			}
+			off += chunk
+		}
+		return heap.Null, &heap.CorruptionError{Detail: "libc: unterminated string scan"}
+	}
 	for i := uint64(0); i < maxScan; i++ {
 		b, err := m.Load8(s + i)
 		if err != nil {

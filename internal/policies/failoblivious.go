@@ -185,6 +185,21 @@ func (m *obliviousMem) Memset(addr uint64, v byte, n int) error {
 	return m.rt.base.Mem().Memset(addr, v, n)
 }
 
+// FindByte scans byte by byte so out-of-bounds portions of the scan
+// manufacture values exactly as a Load8 loop would.
+func (m *obliviousMem) FindByte(addr uint64, c byte, limit int) (int, bool, error) {
+	for i := 0; i < limit; i++ {
+		b, err := m.Load8(addr + uint64(i))
+		if err != nil {
+			return i, false, err
+		}
+		if b == c {
+			return i, true, nil
+		}
+	}
+	return limit, false, nil
+}
+
 func (m *obliviousMem) MemMove(dst, src uint64, n int) error {
 	buf := make([]byte, n)
 	if err := m.ReadBytes(src, buf); err != nil {

@@ -202,6 +202,22 @@ func (m *checkedMem) Memset(addr uint64, v byte, n int) error {
 	return m.rt.base.Mem().Memset(addr, v, n)
 }
 
+// FindByte scans byte by byte: each examined byte must pass the same
+// bounds and initialization checks a Load8 loop would perform, so the
+// fail-stop runtime gets no unchecked fast path.
+func (m *checkedMem) FindByte(addr uint64, c byte, limit int) (int, bool, error) {
+	for i := 0; i < limit; i++ {
+		b, err := m.Load8(addr + uint64(i))
+		if err != nil {
+			return i, false, err
+		}
+		if b == c {
+			return i, true, nil
+		}
+	}
+	return limit, false, nil
+}
+
 func (m *checkedMem) MemMove(dst, src uint64, n int) error {
 	if err := m.check(src, n, false); err != nil {
 		return err

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"diehard/internal/heap"
+	"diehard/internal/libc"
 )
 
 const testHeapSize = 4 << 20
@@ -386,5 +387,83 @@ func TestObjTable(t *testing.T) {
 	}
 	if s, _, ok := tab.find(305); !ok || s != 300 {
 		t.Fatal("unrelated object lost after removal")
+	}
+}
+
+func TestLibcStringOpsPreservePolicySemantics(t *testing.T) {
+	// The libc string functions must keep byte-at-a-time semantics on
+	// policy memories: their per-access, object-granular checks are the
+	// behavior under study, and page-sized bulk chunks would read or
+	// write past object ends that a C byte loop never touches.
+	f, err := NewFailStop(testHeapSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := f.Memory()
+	newStr := func(s string) heap.Ptr {
+		p, err := f.Malloc(len(s) + 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := libc.WriteString(mem, p, s); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	// Strcmp of equal strings exactly filling their objects must not
+	// scan past the terminator (a bulk chunk would abort on bounds).
+	a, b := newStr("hello"), newStr("hello")
+	if cmp, err := libc.Strcmp(mem, a, b); err != nil || cmp != 0 {
+		t.Fatalf("Strcmp under fail-stop: %d, %v", cmp, err)
+	}
+	// Strchr for an absent character must stop at the NUL, not abort
+	// scanning beyond the object.
+	if at, err := libc.Strchr(mem, a, 'q'); err != nil || at != heap.Null {
+		t.Fatalf("Strchr under fail-stop: %#x, %v", at, err)
+	}
+	// Strlen/Strcpy within bounds work through the checked memory.
+	dst, err := f.Malloc(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := libc.Strcpy(mem, dst, a); err != nil {
+		t.Fatalf("in-bounds Strcpy under fail-stop: %v", err)
+	}
+	if got, err := libc.ReadString(mem, dst, 16); err != nil || got != "hello" {
+		t.Fatalf("ReadString under fail-stop: %q, %v", got, err)
+	}
+
+	// Failure-oblivious: an overflowing Strcpy must write the in-bounds
+	// prefix and drop only the out-of-bounds tail, byte by byte — not
+	// drop the whole copy as a single bulk write would.
+	fo, err := NewFailOblivious(testHeapSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmem := fo.Memory()
+	src, err := fo.Malloc(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := libc.WriteString(fmem, src, "0123456789abcdef"); err != nil {
+		t.Fatal(err)
+	}
+	small, err := fo.Malloc(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dropsBefore := fo.DroppedWrites
+	if err := libc.Strcpy(fmem, small, src); err != nil {
+		t.Fatalf("overflowing Strcpy under failure-oblivious: %v", err)
+	}
+	if fo.DroppedWrites == dropsBefore {
+		t.Fatal("overflow tail was not dropped")
+	}
+	prefix := make([]byte, 8)
+	if err := fmem.ReadBytes(small, prefix); err != nil {
+		t.Fatal(err)
+	}
+	if string(prefix) != "01234567" {
+		t.Fatalf("in-bounds prefix not written byte-wise: %q", prefix)
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"strings"
+	"sync"
 	"testing"
 
 	"diehard/internal/heap"
@@ -408,5 +409,68 @@ func TestEmptyOutputAgrees(t *testing.T) {
 	}
 	if !res.Agreed || res.Survivors != 3 || len(res.Output) != 0 {
 		t.Fatalf("%+v", res)
+	}
+}
+
+func TestPageFillerCountsInReplicatedMode(t *testing.T) {
+	// §4.1 realized lazily: in replicated (RandomFill) mode every page a
+	// replica first touches is pre-filled from its private stream, and
+	// each page is filled exactly once. PagesDirty counts filler
+	// invocations; the deltas must match the pages an allocation
+	// actually touches, and re-touching must fire nothing.
+	const replicas = 3
+	type obs struct {
+		deltaFirst  uint64
+		deltaSecond uint64
+	}
+	var mu sync.Mutex
+	results := make(map[int]obs)
+
+	prog := func(ctx *Context) error {
+		st := ctx.Alloc.Mem().Stats()
+		// A 64 KB object: RandomFill writes the whole object, so at
+		// least 16 pages must be instantiated (17 if it straddles).
+		before := st.PagesDirty
+		p, err := ctx.Alloc.Malloc(64 << 10)
+		if err != nil {
+			return err
+		}
+		deltaFirst := st.PagesDirty - before
+
+		// Rewriting the same object must not re-fire the filler.
+		mid := st.PagesDirty
+		if err := ctx.Mem.Memset(p, 0xEE, 64<<10); err != nil {
+			return err
+		}
+		if err := ctx.Mem.Memset(p, 0x11, 64<<10); err != nil {
+			return err
+		}
+		deltaSecond := st.PagesDirty - mid
+
+		mu.Lock()
+		results[ctx.Replica] = obs{deltaFirst, deltaSecond}
+		mu.Unlock()
+		_, err = ctx.Out.Write([]byte("done"))
+		return err
+	}
+
+	res, err := Run(prog, nil, Options{Replicas: replicas, HeapSize: testHeap, Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Survivors != replicas || !res.Agreed {
+		t.Fatalf("replicated run failed: %+v", res)
+	}
+	for i := 0; i < replicas; i++ {
+		o, ok := results[i]
+		if !ok {
+			t.Fatalf("replica %d reported nothing", i)
+		}
+		if o.deltaFirst < 16 || o.deltaFirst > 17 {
+			t.Errorf("replica %d: first touch instantiated %d pages, want 16-17", i, o.deltaFirst)
+		}
+		if o.deltaSecond != 0 {
+			t.Errorf("replica %d: re-touch instantiated %d pages, want 0", i, o.deltaSecond)
+		}
 	}
 }

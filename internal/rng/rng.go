@@ -86,6 +86,26 @@ func (r *MWC) Uintn(n uint64) uint64 {
 	}
 }
 
+// Uint32n returns a uniform value in [0, n). It uses Lemire's
+// multiply-shift reduction with rejection, so it is exactly uniform (the
+// analytical results in internal/analysis depend on that) while drawing
+// a single 32-bit value in the common case — half the generator steps of
+// Uintn. The allocator's probe loop is its main client.
+func (r *MWC) Uint32n(n uint32) uint32 {
+	if n == 0 {
+		panic("rng: Uint32n with n == 0")
+	}
+	m := uint64(r.Next()) * uint64(n)
+	if l := uint32(m); l < n {
+		t := -n % n
+		for l < t {
+			m = uint64(r.Next()) * uint64(n)
+			l = uint32(m)
+		}
+	}
+	return uint32(m >> 32)
+}
+
 // Intn returns a uniform value in [0, n) as an int. n must be positive.
 func (r *MWC) Intn(n int) int {
 	if n <= 0 {

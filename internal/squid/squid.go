@@ -29,6 +29,7 @@ import (
 	"diehard/internal/apps"
 	"diehard/internal/heap"
 	"diehard/internal/libc"
+	"diehard/internal/vmem"
 )
 
 const (
@@ -260,19 +261,35 @@ func (t *table) head(url []byte) heap.Ptr {
 	return t.base + 8*(urlHash(url)%buckets)
 }
 
-// keyEqual compares the stored key at entry e with url.
+// keyEqual compares the stored key at entry e with url: the url bytes
+// must match and be followed by the terminator. The comparison reads
+// page-bounded chunks through the bulk path, touching exactly the pages
+// a byte-at-a-time loop would touch.
 func (t *table) keyEqual(e heap.Ptr, url []byte) (bool, error) {
-	for k := 0; k <= len(url); k++ {
-		b, err := t.rt.Mem.Load8(e + 32 + uint64(k))
-		if err != nil {
+	key := e + 32
+	n := len(url) + 1
+	var buf [keySize + 1]byte
+	for off := 0; off < n; {
+		chunk := vmem.PageSize - int((key+uint64(off))&(vmem.PageSize-1))
+		if chunk > n-off {
+			chunk = n - off
+		}
+		if chunk > len(buf) {
+			chunk = len(buf)
+		}
+		if err := t.rt.Mem.ReadBytes(key+uint64(off), buf[:chunk]); err != nil {
 			return false, err
 		}
-		if k == len(url) {
-			return b == 0, nil
+		for i := 0; i < chunk; i++ {
+			k := off + i
+			if k == len(url) {
+				return buf[i] == 0, nil
+			}
+			if buf[i] != url[k] {
+				return false, nil
+			}
 		}
-		if b != url[k] {
-			return false, nil
-		}
+		off += chunk
 	}
 	return false, nil
 }

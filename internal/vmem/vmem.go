@@ -10,15 +10,27 @@
 // an unmapped or guarded page really faults, and "the program crashed" has
 // a concrete, testable meaning: an access returned a *Fault.
 //
+// Translation is a two-level radix page table modeled on real MMU walks
+// (DESIGN.md §2): a directory of fixed-size leaves of page-table entries,
+// indexed by bit fields of the page number. The access hot path performs
+// two array indexations and a protection mask test; no map lookups and no
+// binary searches. Mapped ranges are additionally recorded as extents,
+// which remain the bookkeeping source of truth for Map/Unmap/Protect
+// argument validation, but extents are never consulted on the access path.
+//
 // The Space also models two performance-relevant mechanisms the paper
 // discusses: lazy page instantiation (reserved but untouched DieHard
 // partitions consume no memory, §4.5) and a small TLB (the source of the
-// 300.twolf outlier in Figure 5(a), §7.2.1). Mappings are recorded as
-// extents; per-page backing store is created only on first access, so a
-// 384 MB DieHard heap costs what its touched pages cost.
+// 300.twolf outlier in Figure 5(a), §7.2.1). Page-table entries are
+// populated at Map time, but per-page backing store is carved out of
+// slab-allocated arenas only on first access, so a 384 MB DieHard heap
+// costs what its touched pages cost. The TLB model hangs off an optional
+// per-access accounting hook; runs that do not enable it pay nothing.
 package vmem
 
 import (
+	"bytes"
+	"encoding/binary"
 	"fmt"
 	"sort"
 )
@@ -26,6 +38,21 @@ import (
 // PageSize is the size of a simulated page in bytes, matching the x86
 // systems of the paper's evaluation.
 const PageSize = 4096
+
+const (
+	pageShift = 12
+	offMask   = PageSize - 1
+
+	// leafBits is the span of the second radix level: 512 entries per
+	// leaf, so one leaf translates 2 MB of address space.
+	leafBits  = 9
+	leafSlots = 1 << leafBits
+	leafMask  = leafSlots - 1
+
+	// slabPages is the number of page frames carved from one backing
+	// arena chunk (1 MB per chunk).
+	slabPages = 256
+)
 
 // Prot describes the access permissions of a mapped page.
 type Prot uint8
@@ -110,13 +137,24 @@ type Stats struct {
 // Accesses returns the total number of loads and stores.
 func (s *Stats) Accesses() uint64 { return s.Loads + s.Stores }
 
-type page struct {
-	data []byte
-	prot Prot
+// pte is a page-table entry. mapped distinguishes a reserved page from a
+// hole; data stays nil until the page is first accessed (lazy
+// instantiation, §4.5), at which point it aliases a frame in one of the
+// backing arenas.
+type pte struct {
+	data   []byte
+	prot   Prot
+	mapped bool
+}
+
+// leaf is the second radix level: a fixed array of page-table entries.
+type leaf struct {
+	ptes [leafSlots]pte
 }
 
 // extent is a mapped address range [start, end), page-aligned, with
-// uniform protection. Backing pages are instantiated lazily.
+// uniform protection. Extents are the Map/Unmap/Protect bookkeeping
+// source of truth; the access path reads only the page table.
 type extent struct {
 	start, end uint64
 	prot       Prot
@@ -132,30 +170,52 @@ const (
 	tlb2Size = 1024
 )
 
+// tlbState is the simulated TLB: FIFO-replacement, fully associative,
+// two levels. It is allocated only when EnableTLB is called. Residency
+// is tracked in a dense per-page bitmask (bit 0: first level, bit 1:
+// second level) so the per-access membership test is one array load;
+// the FIFO rings record insertion order for eviction.
+type tlbState struct {
+	present  []uint8
+	tlbRing  [tlbSize]uint64
+	tlbHand  int
+	tlbLive  int
+	tlb2Ring [tlb2Size]uint64
+	tlb2Hand int
+	tlb2Live int
+}
+
+// slot returns the residency bits for pn, growing the table on demand
+// (page numbers are bounded by the space's highest mapping).
+func (t *tlbState) slot(pn uint64) *uint8 {
+	if pn >= uint64(len(t.present)) {
+		grown := make([]uint8, pn+pn/2+64)
+		copy(grown, t.present)
+		t.present = grown
+	}
+	return &t.present[pn]
+}
+
 // Space is a simulated virtual address space. It is not safe for
 // concurrent use; each simulated process (replica) owns its own Space.
 type Space struct {
+	dir     []*leaf  // first radix level, indexed by pageNumber >> leafBits
 	extents []extent // sorted by start, non-overlapping
-	pages   map[uint64]*page
-	next    uint64 // next free virtual address for Map
+	next    uint64   // next free virtual address for Map
 	stats   Stats
 	filler  func([]byte) // optional initializer for fresh page contents
 
-	// One-entry translation cache for Go-level speed (not a modeled
-	// structure; invisible in Stats).
-	lastPageNum uint64
-	lastPage    *page
+	// Slab allocation of page frames: fresh frames are carved from
+	// arena; frames released by Unmap are recycled through freeFrames.
+	arena      []byte
+	arenaOff   int
+	freeFrames [][]byte
 
-	// Simulated TLB: FIFO-replacement, fully associative, two levels.
-	tlbEnabled bool
-	tlbSet     map[uint64]struct{}
-	tlbRing    [tlbSize]uint64
-	tlbHand    int
-	tlbLive    int
-	tlb2Set    map[uint64]struct{}
-	tlb2Ring   [tlb2Size]uint64
-	tlb2Hand   int
-	tlb2Live   int
+	// accessHook, when non-nil, is invoked with the page number of every
+	// successful translation, after TLB accounting. Runs without a hook
+	// and without the TLB pay two predictable nil checks.
+	accessHook func(pn uint64)
+	tlb        *tlbState
 }
 
 // NewSpace returns an empty address space. Address 0 is never mapped, so 0
@@ -163,20 +223,29 @@ type Space struct {
 // EnableTLB for experiments that model translation costs.
 func NewSpace() *Space {
 	return &Space{
-		pages: make(map[uint64]*page),
-		next:  0x10000, // leave a generous null guard region
+		next: 0x10000, // leave a generous null guard region
+	}
+}
+
+// AddAccessHook chains an accounting function invoked with the page
+// number of every successful translation, after any hooks installed
+// earlier (and after TLB accounting, which uses a direct call). Runs
+// that install no hook pay nothing on the access path.
+func (s *Space) AddAccessHook(fn func(pageNumber uint64)) {
+	if prev := s.accessHook; prev != nil {
+		s.accessHook = func(pn uint64) { prev(pn); fn(pn) }
+	} else {
+		s.accessHook = fn
 	}
 }
 
 // EnableTLB turns on TLB simulation. Subsequent accesses count hits and
-// misses against a 64-entry FIFO TLB.
+// misses against a 64-entry FIFO TLB backed by a 1024-entry second level.
 func (s *Space) EnableTLB() {
-	if s.tlbEnabled {
+	if s.tlb != nil {
 		return
 	}
-	s.tlbEnabled = true
-	s.tlbSet = make(map[uint64]struct{}, tlbSize)
-	s.tlb2Set = make(map[uint64]struct{}, tlb2Size)
+	s.tlb = &tlbState{}
 }
 
 // SetPageFiller installs a function invoked on each fresh page's backing
@@ -189,6 +258,57 @@ func (s *Space) SetPageFiller(fill func([]byte)) { s.filler = fill }
 // Stats returns a pointer to the space's counters. The counters are
 // updated in place by every access.
 func (s *Space) Stats() *Stats { return &s.stats }
+
+// PageGranularBulk marks this memory's bulk operations as page-granular:
+// a chunked read or write touches exactly the pages a byte-at-a-time
+// loop would touch, and no access check finer than the page exists.
+// libc's string functions key their chunked fast paths on this marker;
+// memories that interpose per-access semantics (the policy runtimes)
+// must not implement it.
+func (s *Space) PageGranularBulk() {}
+
+// lookup returns the page-table entry for a page number, or nil when no
+// leaf covers it. The returned entry may still be unmapped.
+func (s *Space) lookup(pn uint64) *pte {
+	di := pn >> leafBits
+	if di < uint64(len(s.dir)) {
+		if l := s.dir[di]; l != nil {
+			return &l.ptes[pn&leafMask]
+		}
+	}
+	return nil
+}
+
+// ensureLeaf grows the directory to cover a page number and returns its
+// leaf, allocating it on demand.
+func (s *Space) ensureLeaf(pn uint64) *leaf {
+	di := pn >> leafBits
+	for uint64(len(s.dir)) <= di {
+		s.dir = append(s.dir, nil)
+	}
+	if s.dir[di] == nil {
+		s.dir[di] = new(leaf)
+	}
+	return s.dir[di]
+}
+
+// allocFrame returns a zeroed page frame, recycling frames released by
+// Unmap and otherwise carving them from 1 MB slab arenas.
+func (s *Space) allocFrame() []byte {
+	if n := len(s.freeFrames); n > 0 {
+		f := s.freeFrames[n-1]
+		s.freeFrames = s.freeFrames[:n-1]
+		clear(f)
+		return f
+	}
+	if s.arenaOff == len(s.arena) {
+		s.arena = make([]byte, slabPages*PageSize)
+		s.arenaOff = 0
+	}
+	f := s.arena[s.arenaOff : s.arenaOff+PageSize : s.arenaOff+PageSize]
+	s.arenaOff += PageSize
+	return f
+}
 
 // Map reserves n bytes (rounded up to whole pages) with the given
 // protection and returns the base address. The pages are lazily
@@ -204,6 +324,10 @@ func (s *Space) Map(n int, prot Prot) (uint64, error) {
 	base := s.next
 	s.extents = append(s.extents, extent{start: base, end: base + npages*PageSize, prot: prot})
 	s.next = base + (npages+1)*PageSize // +1: unmapped hole
+	for pn := base >> pageShift; pn < (base>>pageShift)+npages; pn++ {
+		l := s.ensureLeaf(pn)
+		l.ptes[pn&leafMask] = pte{prot: prot, mapped: true}
+	}
 	s.stats.PagesMapped += npages
 	if s.stats.PagesMapped > s.stats.PagesPeak {
 		s.stats.PagesPeak = s.stats.PagesMapped
@@ -290,18 +414,21 @@ func (s *Space) Unmap(addr uint64, n int) error {
 		return err
 	}
 	s.extents = append(s.extents[:lo], s.extents[hi:]...)
-	for pn := addr / PageSize; pn < (addr+bytes)/PageSize; pn++ {
-		if _, ok := s.pages[pn]; ok {
-			delete(s.pages, pn)
+	for pn := addr >> pageShift; pn < (addr+bytes)>>pageShift; pn++ {
+		p := s.lookup(pn)
+		if p.data != nil {
+			s.freeFrames = append(s.freeFrames, p.data)
 			s.stats.PagesDirty--
 		}
+		*p = pte{}
 	}
 	s.stats.PagesMapped -= bytes / PageSize
-	s.lastPage = nil
 	return nil
 }
 
 // Protect changes the protection of the page-aligned range [addr, addr+n).
+// The change is visible immediately: the affected page-table entries are
+// rewritten, so there are no stale cached translations.
 func (s *Space) Protect(addr uint64, n int, prot Prot) error {
 	if addr%PageSize != 0 || n <= 0 {
 		return &Fault{Addr: addr, Kind: AccessFree, Reason: "unaligned or empty protect"}
@@ -315,130 +442,145 @@ func (s *Space) Protect(addr uint64, n int, prot Prot) error {
 	for i := lo; i < hi; i++ {
 		s.extents[i].prot = prot
 	}
-	for pn := addr / PageSize; pn < (addr+bytes)/PageSize; pn++ {
-		if pg, ok := s.pages[pn]; ok {
-			pg.prot = prot
-		}
+	for pn := addr >> pageShift; pn < (addr+bytes)>>pageShift; pn++ {
+		s.lookup(pn).prot = prot
 	}
-	s.lastPage = nil
 	return nil
 }
 
 // Mapped reports whether addr lies within a mapped page (of any
 // protection).
 func (s *Space) Mapped(addr uint64) bool {
-	return s.findExtent(addr) >= 0
+	p := s.lookup(addr >> pageShift)
+	return p != nil && p.mapped
 }
 
-// translate resolves an access, applying protection checks, TLB
-// accounting, and lazy instantiation. It returns the page and the offset
-// within it.
-func (s *Space) translate(addr uint64, kind AccessKind) (*page, uint64, error) {
-	pn := addr / PageSize
-	var pg *page
-	if s.lastPage != nil && s.lastPageNum == pn {
-		pg = s.lastPage
-	} else {
-		var ok bool
-		pg, ok = s.pages[pn]
-		if !ok {
-			i := s.findExtent(addr)
-			if i < 0 {
-				s.stats.Faults++
-				return nil, 0, &Fault{Addr: addr, Kind: kind, Reason: "unmapped address"}
+// translate resolves an access: a two-level radix walk plus a protection
+// mask test. The fast path covers instantiated pages with sufficient
+// permissions; everything else (faults, lazy instantiation) takes
+// translateSlow. It returns the page's backing frame and the offset
+// within it. kind must be AccessLoad or AccessStore.
+func (s *Space) translate(addr uint64, kind AccessKind) ([]byte, uint64, error) {
+	pn := addr >> pageShift
+	if di := pn >> leafBits; di < uint64(len(s.dir)) {
+		if l := s.dir[di]; l != nil {
+			p := &l.ptes[pn&leafMask]
+			// The permission bit for AccessLoad (0) is ProtRead, for
+			// AccessStore (1) ProtWrite = ProtRead<<1.
+			if p.data != nil && p.prot&(ProtRead<<kind) != 0 {
+				if s.tlb != nil {
+					s.tlbTouch(pn)
+				}
+				if s.accessHook != nil {
+					s.accessHook(pn)
+				}
+				return p.data, addr & offMask, nil
 			}
-			pg = &page{prot: s.extents[i].prot}
-			s.pages[pn] = pg
 		}
-		s.lastPageNum, s.lastPage = pn, pg
+	}
+	return s.translateSlow(addr, kind)
+}
+
+// translateSlow handles the cases the fast path rejects: unmapped pages,
+// protection violations, and first-touch instantiation.
+func (s *Space) translateSlow(addr uint64, kind AccessKind) ([]byte, uint64, error) {
+	pn := addr >> pageShift
+	p := s.lookup(pn)
+	if p == nil || !p.mapped {
+		s.stats.Faults++
+		return nil, 0, &Fault{Addr: addr, Kind: kind, Reason: "unmapped address"}
 	}
 	need := ProtRead
 	if kind == AccessStore {
 		need = ProtWrite
 	}
-	if pg.prot&need == 0 {
+	if p.prot&need == 0 {
 		s.stats.Faults++
 		reason := "protection violation"
-		if pg.prot == ProtNone {
+		if p.prot == ProtNone {
 			reason = "guard page"
 		}
 		return nil, 0, &Fault{Addr: addr, Kind: kind, Reason: reason}
 	}
-	if s.tlbEnabled {
-		s.tlbTouch(pn)
-	}
-	if pg.data == nil {
-		pg.data = make([]byte, PageSize)
+	if p.data == nil {
+		p.data = s.allocFrame()
 		if s.filler != nil {
-			s.filler(pg.data)
+			s.filler(p.data)
 		}
 		s.stats.PagesDirty++
 	}
-	return pg, addr % PageSize, nil
+	if s.tlb != nil {
+		s.tlbTouch(pn)
+	}
+	if s.accessHook != nil {
+		s.accessHook(pn)
+	}
+	return p.data, addr & offMask, nil
 }
 
 func (s *Space) tlbTouch(pn uint64) {
-	if _, ok := s.tlbSet[pn]; ok {
+	t := s.tlb
+	p := t.slot(pn)
+	if *p&1 != 0 {
 		s.stats.TLBHits++
 		return
 	}
 	s.stats.TLBMisses++
-	if s.tlbLive == tlbSize {
-		delete(s.tlbSet, s.tlbRing[s.tlbHand])
+	if t.tlbLive == tlbSize {
+		t.present[t.tlbRing[t.tlbHand]] &^= 1
 	} else {
-		s.tlbLive++
+		t.tlbLive++
 	}
-	s.tlbRing[s.tlbHand] = pn
-	s.tlbSet[pn] = struct{}{}
-	s.tlbHand = (s.tlbHand + 1) % tlbSize
+	t.tlbRing[t.tlbHand] = pn
+	*p |= 1
+	t.tlbHand = (t.tlbHand + 1) % tlbSize
 	// Second level: a warm translation costs a short refill; a miss in
 	// both levels is a cold page walk.
-	if _, ok := s.tlb2Set[pn]; ok {
+	if *p&2 != 0 {
 		return
 	}
 	s.stats.TLB2Misses++
-	if s.tlb2Live == tlb2Size {
-		delete(s.tlb2Set, s.tlb2Ring[s.tlb2Hand])
+	if t.tlb2Live == tlb2Size {
+		t.present[t.tlb2Ring[t.tlb2Hand]] &^= 2
 	} else {
-		s.tlb2Live++
+		t.tlb2Live++
 	}
-	s.tlb2Ring[s.tlb2Hand] = pn
-	s.tlb2Set[pn] = struct{}{}
-	s.tlb2Hand = (s.tlb2Hand + 1) % tlb2Size
+	t.tlb2Ring[t.tlb2Hand] = pn
+	*p |= 2
+	t.tlb2Hand = (t.tlb2Hand + 1) % tlb2Size
 }
 
 // Load8 loads one byte.
 func (s *Space) Load8(addr uint64) (byte, error) {
-	pg, off, err := s.translate(addr, AccessLoad)
+	d, off, err := s.translate(addr, AccessLoad)
 	if err != nil {
 		return 0, err
 	}
 	s.stats.Loads++
-	return pg.data[off], nil
+	return d[off], nil
 }
 
 // Store8 stores one byte.
 func (s *Space) Store8(addr uint64, v byte) error {
-	pg, off, err := s.translate(addr, AccessStore)
+	d, off, err := s.translate(addr, AccessStore)
 	if err != nil {
 		return err
 	}
 	s.stats.Stores++
-	pg.data[off] = v
+	d[off] = v
 	return nil
 }
 
 // Load32 loads a little-endian 32-bit value. The access may straddle a
 // page boundary.
 func (s *Space) Load32(addr uint64) (uint32, error) {
-	if addr%PageSize <= PageSize-4 {
-		pg, off, err := s.translate(addr, AccessLoad)
+	if addr&offMask <= PageSize-4 {
+		d, off, err := s.translate(addr, AccessLoad)
 		if err != nil {
 			return 0, err
 		}
 		s.stats.Loads++
-		d := pg.data[off : off+4]
-		return uint32(d[0]) | uint32(d[1])<<8 | uint32(d[2])<<16 | uint32(d[3])<<24, nil
+		return binary.LittleEndian.Uint32(d[off:]), nil
 	}
 	var v uint32
 	for i := uint64(0); i < 4; i++ {
@@ -453,14 +595,13 @@ func (s *Space) Load32(addr uint64) (uint32, error) {
 
 // Store32 stores a little-endian 32-bit value.
 func (s *Space) Store32(addr uint64, v uint32) error {
-	if addr%PageSize <= PageSize-4 {
-		pg, off, err := s.translate(addr, AccessStore)
+	if addr&offMask <= PageSize-4 {
+		d, off, err := s.translate(addr, AccessStore)
 		if err != nil {
 			return err
 		}
 		s.stats.Stores++
-		d := pg.data[off : off+4]
-		d[0], d[1], d[2], d[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+		binary.LittleEndian.PutUint32(d[off:], v)
 		return nil
 	}
 	for i := uint64(0); i < 4; i++ {
@@ -473,15 +614,13 @@ func (s *Space) Store32(addr uint64, v uint32) error {
 
 // Load64 loads a little-endian 64-bit value.
 func (s *Space) Load64(addr uint64) (uint64, error) {
-	if addr%PageSize <= PageSize-8 {
-		pg, off, err := s.translate(addr, AccessLoad)
+	if addr&offMask <= PageSize-8 {
+		d, off, err := s.translate(addr, AccessLoad)
 		if err != nil {
 			return 0, err
 		}
 		s.stats.Loads++
-		d := pg.data[off : off+8]
-		return uint64(d[0]) | uint64(d[1])<<8 | uint64(d[2])<<16 | uint64(d[3])<<24 |
-			uint64(d[4])<<32 | uint64(d[5])<<40 | uint64(d[6])<<48 | uint64(d[7])<<56, nil
+		return binary.LittleEndian.Uint64(d[off:]), nil
 	}
 	var v uint64
 	for i := uint64(0); i < 8; i++ {
@@ -496,15 +635,13 @@ func (s *Space) Load64(addr uint64) (uint64, error) {
 
 // Store64 stores a little-endian 64-bit value.
 func (s *Space) Store64(addr uint64, v uint64) error {
-	if addr%PageSize <= PageSize-8 {
-		pg, off, err := s.translate(addr, AccessStore)
+	if addr&offMask <= PageSize-8 {
+		d, off, err := s.translate(addr, AccessStore)
 		if err != nil {
 			return err
 		}
 		s.stats.Stores++
-		d := pg.data[off : off+8]
-		d[0], d[1], d[2], d[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
-		d[4], d[5], d[6], d[7] = byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56)
+		binary.LittleEndian.PutUint64(d[off:], v)
 		return nil
 	}
 	for i := uint64(0); i < 8; i++ {
@@ -521,11 +658,11 @@ func (s *Space) Store64(addr uint64, v uint64) error {
 func (s *Space) ReadBytes(addr uint64, b []byte) error {
 	read := 0
 	for read < len(b) {
-		pg, off, err := s.translate(addr+uint64(read), AccessLoad)
+		d, off, err := s.translate(addr+uint64(read), AccessLoad)
 		if err != nil {
 			return err
 		}
-		n := copy(b[read:], pg.data[off:])
+		n := copy(b[read:], d[off:])
 		s.stats.Loads += uint64(n+7) / 8
 		read += n
 	}
@@ -536,11 +673,11 @@ func (s *Space) ReadBytes(addr uint64, b []byte) error {
 func (s *Space) WriteBytes(addr uint64, b []byte) error {
 	written := 0
 	for written < len(b) {
-		pg, off, err := s.translate(addr+uint64(written), AccessStore)
+		d, off, err := s.translate(addr+uint64(written), AccessStore)
 		if err != nil {
 			return err
 		}
-		n := copy(pg.data[off:], b[written:])
+		n := copy(d[off:], b[written:])
 		s.stats.Stores += uint64(n+7) / 8
 		written += n
 	}
@@ -551,17 +688,17 @@ func (s *Space) WriteBytes(addr uint64, b []byte) error {
 func (s *Space) Memset(addr uint64, v byte, n int) error {
 	done := 0
 	for done < n {
-		pg, off, err := s.translate(addr+uint64(done), AccessStore)
+		d, off, err := s.translate(addr+uint64(done), AccessStore)
 		if err != nil {
 			return err
 		}
-		chunk := len(pg.data) - int(off)
+		chunk := len(d) - int(off)
 		if chunk > n-done {
 			chunk = n - done
 		}
-		d := pg.data[off : int(off)+chunk]
-		for i := range d {
-			d[i] = v
+		sl := d[off : int(off)+chunk]
+		for i := range sl {
+			sl[i] = v
 		}
 		s.stats.Stores += uint64(chunk+7) / 8
 		done += chunk
@@ -569,15 +706,75 @@ func (s *Space) Memset(addr uint64, v byte, n int) error {
 	return nil
 }
 
+// FindByte scans forward from addr for the first occurrence of c,
+// examining at most limit bytes, and returns its offset from addr. The
+// scan runs a page at a time over the backing frames, so it visits
+// exactly the pages a byte-by-byte loop would visit and faults in the
+// same places; accesses are counted at word granularity like the other
+// bulk operations. found is false when limit bytes were examined without
+// a match.
+func (s *Space) FindByte(addr uint64, c byte, limit int) (int, bool, error) {
+	scanned := 0
+	for scanned < limit {
+		d, off, err := s.translate(addr+uint64(scanned), AccessLoad)
+		if err != nil {
+			return scanned, false, err
+		}
+		chunk := len(d) - int(off)
+		if chunk > limit-scanned {
+			chunk = limit - scanned
+		}
+		idx := bytes.IndexByte(d[off:int(off)+chunk], c)
+		if idx >= 0 {
+			s.stats.Loads += uint64(idx+1+7) / 8
+			return scanned + idx, true, nil
+		}
+		s.stats.Loads += uint64(chunk+7) / 8
+		scanned += chunk
+	}
+	return scanned, false, nil
+}
+
 // MemMove copies n bytes from src to dst within the space, handling
-// overlap like C's memmove.
+// overlap like C's memmove. Non-overlapping ranges are copied page by
+// page directly between backing frames; overlapping ranges go through a
+// staging buffer. A fault mid-copy leaves the destination partially
+// written up to the faulting page, as a real memmove would.
 func (s *Space) MemMove(dst, src uint64, n int) error {
-	if n <= 0 {
+	if n <= 0 || dst == src {
 		return nil
 	}
-	buf := make([]byte, n)
-	if err := s.ReadBytes(src, buf); err != nil {
-		return err
+	if dst < src+uint64(n) && src < dst+uint64(n) {
+		// Overlapping: stage through a buffer so the source is fully
+		// read before the destination is written.
+		buf := make([]byte, n)
+		if err := s.ReadBytes(src, buf); err != nil {
+			return err
+		}
+		return s.WriteBytes(dst, buf)
 	}
-	return s.WriteBytes(dst, buf)
+	copied := 0
+	for copied < n {
+		sd, soff, err := s.translate(src+uint64(copied), AccessLoad)
+		if err != nil {
+			return err
+		}
+		dd, doff, err := s.translate(dst+uint64(copied), AccessStore)
+		if err != nil {
+			return err
+		}
+		chunk := n - copied
+		if c := len(sd) - int(soff); c < chunk {
+			chunk = c
+		}
+		if c := len(dd) - int(doff); c < chunk {
+			chunk = c
+		}
+		copy(dd[doff:int(doff)+chunk], sd[soff:int(soff)+chunk])
+		words := uint64(chunk+7) / 8
+		s.stats.Loads += words
+		s.stats.Stores += words
+		copied += chunk
+	}
+	return nil
 }

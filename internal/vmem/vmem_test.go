@@ -379,6 +379,48 @@ func BenchmarkStore64(b *testing.B) {
 	}
 }
 
+// BenchmarkLoad64Strided touches a different page on every access, the
+// pattern of a randomized allocator: page-translation cost cannot hide
+// behind single-page locality here.
+func BenchmarkLoad64Strided(b *testing.B) {
+	s := NewSpace()
+	base, _ := s.Map(1024*PageSize, ProtRW)
+	// Touch every page once so instantiation is off the clock.
+	for p := 0; p < 1024; p++ {
+		_ = s.Store64(base+uint64(p)*PageSize, uint64(p))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = s.Load64(base + uint64(i%1024)*PageSize + uint64(i%512)*8)
+	}
+}
+
+// BenchmarkStore64Strided is the store-side page-per-access pattern.
+func BenchmarkStore64Strided(b *testing.B) {
+	s := NewSpace()
+	base, _ := s.Map(1024*PageSize, ProtRW)
+	for p := 0; p < 1024; p++ {
+		_ = s.Store64(base+uint64(p)*PageSize, uint64(p))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Store64(base+uint64(i%1024)*PageSize+uint64(i%512)*8, uint64(i))
+	}
+}
+
+// BenchmarkReadBytesPage measures bulk throughput: one page per read.
+func BenchmarkReadBytesPage(b *testing.B) {
+	s := NewSpace()
+	base, _ := s.Map(256*PageSize, ProtRW)
+	buf := make([]byte, PageSize)
+	_ = s.Memset(base, 0xEE, 256*PageSize)
+	b.SetBytes(PageSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.ReadBytes(base+uint64(i%255)*PageSize+128, buf)
+	}
+}
+
 func BenchmarkStore64TLB(b *testing.B) {
 	s := NewSpace()
 	s.EnableTLB()
@@ -494,5 +536,281 @@ func TestTLBSecondLevelCounters(t *testing.T) {
 	}
 	if st.TLBMisses != 200 {
 		t.Fatalf("warm pass should still miss L1: %d", st.TLBMisses)
+	}
+}
+
+// --- Radix page-table edge cases: the semantics the rewrite must
+// preserve (ISSUE 1 satellite tests) ---
+
+func TestCrossPageStore32RoundTrip(t *testing.T) {
+	s := NewSpace()
+	base, _ := s.Map(2*PageSize, ProtRW)
+	for _, off := range []uint64{PageSize - 1, PageSize - 2, PageSize - 3} {
+		addr := base + off
+		if err := s.Store32(addr, 0x89abcdef); err != nil {
+			t.Fatalf("off %d: %v", off, err)
+		}
+		v, err := s.Load32(addr)
+		if err != nil {
+			t.Fatalf("off %d: %v", off, err)
+		}
+		if v != 0x89abcdef {
+			t.Fatalf("off %d: got %#x", off, v)
+		}
+	}
+}
+
+func TestCrossPageAccessIntoGuardFaults(t *testing.T) {
+	s := NewSpace()
+	base, err := s.MapGuarded(PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 64-bit access starting 4 bytes before the trailing guard page
+	// straddles into it and must fault.
+	var f *Fault
+	if _, err := s.Load64(base + PageSize - 4); !errors.As(err, &f) {
+		t.Fatalf("cross-page load into guard: got %v", err)
+	}
+	if err := s.Store64(base+PageSize-4, 1); !errors.As(err, &f) {
+		t.Fatalf("cross-page store into guard: got %v", err)
+	}
+	// The same access fully inside the region is fine.
+	if _, err := s.Load64(base + PageSize - 8); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFaultExactlyAtGuardBoundaries(t *testing.T) {
+	s := NewSpace()
+	base, err := s.MapGuarded(2 * PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Last byte before the leading guard boundary / first byte of the
+	// usable region / last usable byte / first byte of the trailing
+	// guard.
+	var f *Fault
+	if err := s.Store8(base-1, 1); !errors.As(err, &f) || f.Reason != "guard page" {
+		t.Fatalf("store at base-1: %v", err)
+	}
+	if err := s.Store8(base, 1); err != nil {
+		t.Fatalf("store at base: %v", err)
+	}
+	if err := s.Store8(base+2*PageSize-1, 1); err != nil {
+		t.Fatalf("store at last usable byte: %v", err)
+	}
+	if err := s.Store8(base+2*PageSize, 1); !errors.As(err, &f) || f.Reason != "guard page" {
+		t.Fatalf("store at first guard byte: %v", err)
+	}
+}
+
+func TestProtectVisibleThroughPageTable(t *testing.T) {
+	s := NewSpace()
+	base, _ := s.Map(PageSize, ProtRW)
+	if err := s.Store64(base, 0x1234); err != nil {
+		t.Fatal(err)
+	}
+	// Downgrade an already-instantiated page: the next access must see
+	// the new protection (no stale translation).
+	if err := s.Protect(base, PageSize, ProtRead); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Store8(base, 1); err == nil {
+		t.Fatal("store through stale translation after Protect")
+	}
+	v, err := s.Load64(base)
+	if err != nil || v != 0x1234 {
+		t.Fatalf("read-only page lost data: %v %#x", err, v)
+	}
+	// Re-upgrade: data still there, stores work again.
+	if err := s.Protect(base, PageSize, ProtRW); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Store8(base, 9); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnmapInvalidatesAndRecycledFramesAreZero(t *testing.T) {
+	s := NewSpace()
+	base, _ := s.Map(4*PageSize, ProtRW)
+	if err := s.Memset(base, 0xAA, 4*PageSize); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Unmap(base, 4*PageSize); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Load8(base); err == nil {
+		t.Fatal("access through stale translation after Unmap")
+	}
+	// A new mapping that reuses the recycled frames must observe zeroed
+	// memory, not the previous mapping's contents.
+	b2, _ := s.Map(4*PageSize, ProtRW)
+	for p := uint64(0); p < 4; p++ {
+		v, err := s.Load64(b2 + p*PageSize + 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != 0 {
+			t.Fatalf("recycled frame leaked old contents: %#x", v)
+		}
+	}
+}
+
+func TestFindByte(t *testing.T) {
+	s := NewSpace()
+	base, _ := s.Map(3*PageSize, ProtRW)
+	// Pattern crossing a page boundary: target on the second page.
+	if err := s.Memset(base, 'x', 2*PageSize); err != nil {
+		t.Fatal(err)
+	}
+	target := base + PageSize + 123
+	if err := s.Store8(target, 0); err != nil {
+		t.Fatal(err)
+	}
+	idx, found, err := s.FindByte(base, 0, 3*PageSize)
+	if err != nil || !found {
+		t.Fatalf("FindByte: %v found=%v", err, found)
+	}
+	if uint64(idx) != target-base {
+		t.Fatalf("idx = %d, want %d", idx, target-base)
+	}
+	// Limit smaller than the distance: not found, no error.
+	if _, found, err := s.FindByte(base, 0, 10); err != nil || found {
+		t.Fatalf("limited scan: %v found=%v", err, found)
+	}
+	// First byte matches.
+	if idx, found, _ := s.FindByte(target, 0, 10); !found || idx != 0 {
+		t.Fatalf("match at offset 0: idx=%d found=%v", idx, found)
+	}
+}
+
+func TestFindByteFaultsLikeByteLoop(t *testing.T) {
+	s := NewSpace()
+	base, err := s.MapGuarded(PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Memset(base, 'x', PageSize); err != nil {
+		t.Fatal(err)
+	}
+	// No terminator before the guard page: the scan must fault there,
+	// exactly as a Load8 loop would.
+	var f *Fault
+	if _, _, err := s.FindByte(base, 0, 4*PageSize); !errors.As(err, &f) {
+		t.Fatalf("unterminated scan: %v", err)
+	}
+	// With the match before the guard, the guard must not be touched.
+	if err := s.Store8(base+PageSize-1, 0); err != nil {
+		t.Fatal(err)
+	}
+	idx, found, err := s.FindByte(base, 0, 4*PageSize)
+	if err != nil || !found || idx != PageSize-1 {
+		t.Fatalf("match before guard: idx=%d found=%v err=%v", idx, found, err)
+	}
+}
+
+func TestMemMoveDirectNonOverlapping(t *testing.T) {
+	s := NewSpace()
+	base, _ := s.Map(8*PageSize, ProtRW)
+	msg := bytes.Repeat([]byte("0123456789abcdef"), 600) // 9600B, spans pages
+	if err := s.WriteBytes(base+17, msg); err != nil {
+		t.Fatal(err)
+	}
+	// Forward copy to a page-misaligned destination.
+	dst := base + 4*PageSize + 913
+	if err := s.MemMove(dst, base+17, len(msg)); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	if err := s.ReadBytes(dst, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("direct copy to %#x corrupted data", dst)
+	}
+	// dst < src non-overlap.
+	if err := s.MemMove(base+1000, dst, len(msg)); err != nil {
+		t.Fatal(err)
+	}
+	_ = s.ReadBytes(base+1000, got)
+	if !bytes.Equal(got, msg) {
+		t.Fatal("backward-direction direct copy corrupted data")
+	}
+}
+
+func TestMemMoveOverlapBothDirections(t *testing.T) {
+	s := NewSpace()
+	base, _ := s.Map(2*PageSize, ProtRW)
+	seed := []byte("abcdefghij")
+	// dst > src overlap.
+	_ = s.WriteBytes(base, seed)
+	if err := s.MemMove(base+3, base, 7); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 10)
+	_ = s.ReadBytes(base, got)
+	if string(got) != "abcabcdefg" {
+		t.Fatalf("dst>src overlap got %q", got)
+	}
+	// dst < src overlap.
+	_ = s.WriteBytes(base, seed)
+	if err := s.MemMove(base, base+3, 7); err != nil {
+		t.Fatal(err)
+	}
+	_ = s.ReadBytes(base, got)
+	if string(got) != "defghijhij" {
+		t.Fatalf("dst<src overlap got %q", got)
+	}
+}
+
+func TestAccessHookChainsWithTLB(t *testing.T) {
+	s := NewSpace()
+	var hookPages []uint64
+	s.AddAccessHook(func(pn uint64) { hookPages = append(hookPages, pn) })
+	s.EnableTLB()
+	base, _ := s.Map(2*PageSize, ProtRW)
+	_ = s.Store8(base, 1)
+	_ = s.Store8(base+PageSize, 1)
+	_ = s.Store8(base, 1)
+	if len(hookPages) != 3 {
+		t.Fatalf("hook saw %d accesses, want 3", len(hookPages))
+	}
+	st := s.Stats()
+	if st.TLBMisses != 2 || st.TLBHits != 1 {
+		t.Fatalf("TLB alongside custom hook: misses=%d hits=%d", st.TLBMisses, st.TLBHits)
+	}
+}
+
+func TestPageFillerInvocationCounts(t *testing.T) {
+	s := NewSpace()
+	calls := 0
+	s.SetPageFiller(func(b []byte) {
+		calls++
+		for i := range b {
+			b[i] = 0x5A
+		}
+	})
+	base, _ := s.Map(8*PageSize, ProtRW)
+	// Touching three distinct pages fires the filler exactly three
+	// times; re-touching fires nothing.
+	for _, p := range []uint64{0, 3, 7, 0, 3, 7} {
+		if _, err := s.Load8(base + p*PageSize + 11); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if calls != 3 {
+		t.Fatalf("filler ran %d times, want 3", calls)
+	}
+	if s.Stats().PagesDirty != 3 {
+		t.Fatalf("PagesDirty = %d, want 3", s.Stats().PagesDirty)
+	}
+	// A bulk write spanning two fresh pages fires it twice more.
+	if err := s.Memset(base+4*PageSize, 1, 2*PageSize); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 5 {
+		t.Fatalf("filler ran %d times after bulk touch, want 5", calls)
 	}
 }
