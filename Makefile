@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test bench bench-baseline fig5
+.PHONY: all build vet test race bench bench-baseline fig5
 
 all: build vet test
 
@@ -14,6 +14,11 @@ vet:
 
 test:
 	$(GO) test ./...
+
+# Concurrency tests under the race detector (short mode: skips the long
+# statistical reproductions, keeps every concurrency test).
+race:
+	$(GO) test -race -short ./...
 
 # Full benchmark sweep (paper figures + ablations).
 bench:

@@ -56,7 +56,7 @@ func BenchmarkUninitDetection(b *testing.B) {
 func BenchmarkFig5aLinux(b *testing.B) {
 	var report *exps.OverheadReport
 	for i := 0; i < b.N; i++ {
-		r, err := exps.RunOverhead(exps.PlatformLinux, 1, 0, 0x5a5a)
+		r, err := exps.RunOverhead(exps.PlatformLinux, 1, 0, 0x5a5a, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -78,7 +78,7 @@ func BenchmarkFig5aLinux(b *testing.B) {
 func BenchmarkFig5bWindows(b *testing.B) {
 	var report *exps.OverheadReport
 	for i := 0; i < b.N; i++ {
-		r, err := exps.RunOverhead(exps.PlatformWindows, 1, 0, 0xb0b0)
+		r, err := exps.RunOverhead(exps.PlatformWindows, 1, 0, 0xb0b0, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -99,7 +99,7 @@ func BenchmarkFig5bWindows(b *testing.B) {
 func BenchmarkTable1ErrorMatrix(b *testing.B) {
 	var correct, abort float64
 	for i := 0; i < b.N; i++ {
-		table, err := exps.RunErrorTable()
+		table, err := exps.RunErrorTable(1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -123,12 +123,12 @@ func BenchmarkFaultInjectionDangling(b *testing.B) {
 	var libcCorrect, dhCorrect float64
 	for i := 0; i < b.N; i++ {
 		l, err := exps.RunFaultInjection("espresso", exps.KindMalloc,
-			exps.InjectionParams{Kind: exps.InjectDangling}, 10, 1, 16<<20)
+			exps.InjectionParams{Kind: exps.InjectDangling}, 10, 1, 16<<20, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
 		d, err := exps.RunFaultInjection("espresso", exps.KindDieHard,
-			exps.InjectionParams{Kind: exps.InjectDangling}, 10, 1, 0)
+			exps.InjectionParams{Kind: exps.InjectDangling}, 10, 1, 0, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -142,12 +142,12 @@ func BenchmarkFaultInjectionOverflow(b *testing.B) {
 	var libcCorrect, dhCorrect float64
 	for i := 0; i < b.N; i++ {
 		l, err := exps.RunFaultInjection("espresso", exps.KindMalloc,
-			exps.InjectionParams{Kind: exps.InjectOverflow}, 10, 3, 16<<20)
+			exps.InjectionParams{Kind: exps.InjectOverflow}, 10, 3, 16<<20, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
 		d, err := exps.RunFaultInjection("espresso", exps.KindDieHard,
-			exps.InjectionParams{Kind: exps.InjectOverflow}, 10, 3, 0)
+			exps.InjectionParams{Kind: exps.InjectOverflow}, 10, 3, 0, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -163,7 +163,7 @@ func BenchmarkSquidRealFault(b *testing.B) {
 	var dhSurvived, libcSurvived float64
 	for i := 0; i < b.N; i++ {
 		results, err := exps.RunSquidExperiment(
-			[]string{exps.KindMalloc, exps.KindDieHard}, 5, 900, 24<<20)
+			[]string{exps.KindMalloc, exps.KindDieHard}, 5, 900, 24<<20, 1)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -6,9 +6,11 @@
 // Usage:
 //
 //	errortable
+//	errortable -workers 8   # fan cells across 8 goroutines; same table
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 
@@ -16,7 +18,9 @@ import (
 )
 
 func main() {
-	table, err := exps.RunErrorTable()
+	workers := flag.Int("workers", 0, "campaign worker goroutines (0 = GOMAXPROCS); output is identical for any value")
+	flag.Parse()
+	table, err := exps.RunErrorTable(*workers)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "errortable: %v\n", err)
 		os.Exit(1)

@@ -19,10 +19,11 @@ import (
 
 func main() {
 	var (
-		kind   = flag.String("error", "dangling", "experiment: dangling, overflow, squid")
-		trials = flag.Int("trials", 10, "runs per allocator")
-		app    = flag.String("app", "espresso", "target application for injection")
-		scale  = flag.Int("scale", 3, "input scale factor")
+		kind    = flag.String("error", "dangling", "experiment: dangling, overflow, squid")
+		trials  = flag.Int("trials", 10, "runs per allocator")
+		app     = flag.String("app", "espresso", "target application for injection")
+		scale   = flag.Int("scale", 3, "input scale factor")
+		workers = flag.Int("workers", 0, "campaign worker goroutines (0 = GOMAXPROCS); results are identical for any value")
 	)
 	flag.Parse()
 
@@ -41,7 +42,7 @@ func main() {
 			if alloc == exps.KindMalloc {
 				heapSize = 64 << 20
 			}
-			res, err := exps.RunFaultInjection(*app, alloc, params, *trials, *scale, heapSize)
+			res, err := exps.RunFaultInjection(*app, alloc, params, *trials, *scale, heapSize, *workers)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "faultinject: %v\n", err)
 				os.Exit(1)
@@ -53,7 +54,7 @@ func main() {
 		fmt.Printf("# §7.3 Real Faults: buggy web cache on ill-formed input (%d trials)\n", *trials)
 		fmt.Println("# allocator survived crashed")
 		results, err := exps.RunSquidExperiment(
-			[]string{exps.KindMalloc, exps.KindGC, exps.KindDieHard}, *trials, 900, 24<<20)
+			[]string{exps.KindMalloc, exps.KindGC, exps.KindDieHard}, *trials, 900, 24<<20, *workers)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "faultinject: %v\n", err)
 			os.Exit(1)

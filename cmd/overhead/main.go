@@ -24,6 +24,7 @@ func main() {
 		seed     = flag.Uint64("seed", 0x5eed, "DieHard seed")
 		replicas = flag.Int("replicas", 0, "run the replicated-scaling experiment at this count instead")
 		appName  = flag.String("app", "espresso", "application for the scaling experiment")
+		workers  = flag.Int("workers", 0, "campaign worker goroutines (0 = GOMAXPROCS); cycle figures are identical for any value")
 	)
 	flag.Parse()
 
@@ -42,7 +43,7 @@ func main() {
 		return
 	}
 
-	report, err := exps.RunOverhead(exps.Platform(*platform), *scale, 0, *seed)
+	report, err := exps.RunOverhead(exps.Platform(*platform), *scale, 0, *seed, *workers)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "overhead: %v\n", err)
 		os.Exit(1)

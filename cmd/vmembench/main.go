@@ -15,19 +15,24 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sync"
 	"testing"
 	"time"
 
 	"diehard/internal/core"
+	"diehard/internal/exps"
 	"diehard/internal/heap"
 	"diehard/internal/rng"
 	"diehard/internal/vmem"
 )
 
-// Run is one labeled measurement set.
+// Run is one labeled measurement set. CPUs records the host parallelism
+// the concurrent numbers were measured under — a w8 result on a 1-CPU
+// host measures overhead, not scaling.
 type Run struct {
 	Date    string             `json:"date"`
 	Go      string             `json:"go"`
+	CPUs    int                `json:"cpus,omitempty"`
 	NsPerOp map[string]float64 `json:"ns_per_op"`
 }
 
@@ -40,6 +45,37 @@ type File struct {
 func bench(f func(b *testing.B)) float64 {
 	r := testing.Benchmark(f)
 	return float64(r.T.Nanoseconds()) / float64(r.N)
+}
+
+// benchWorkers measures aggregate throughput: `workers` goroutines each
+// run fn(worker) ops times; the result is wall nanoseconds per operation
+// across all workers (lower = more total throughput). With more workers
+// than cores this degenerates to time-sliced overhead measurement, which
+// is why the recorded Run carries the CPU count.
+func benchWorkers(workers, ops int, fn func(worker, i int) error) (float64, error) {
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < ops; i++ {
+				if err := fn(w, i); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return 0, err
+		}
+	}
+	return float64(wall.Nanoseconds()) / float64(workers*ops), nil
 }
 
 func main() {
@@ -118,6 +154,88 @@ func main() {
 		})
 	}
 
+	// Concurrent load/store throughput through one shared space: the
+	// lock-free radix path under StatsShared accounting, workers on
+	// disjoint page ranges.
+	for _, w := range []int{1, 4, 8} {
+		s := vmem.NewSpace()
+		s.SetStatsMode(vmem.StatsShared)
+		const pagesPerWorker = 256
+		base, err := s.Map(8*pagesPerWorker*vmem.PageSize, vmem.ProtRW)
+		if err != nil {
+			fatal(err)
+		}
+		for p := uint64(0); p < 8*pagesPerWorker; p++ {
+			if err := s.Store64(base+p*vmem.PageSize, p); err != nil {
+				fatal(err)
+			}
+		}
+		const ops = 400_000
+		ns, err := benchWorkers(w, ops, func(worker, i int) error {
+			addr := base + uint64(worker*pagesPerWorker+i%pagesPerWorker)*vmem.PageSize + uint64(i%500)*8
+			_, err := s.Load64(addr)
+			return err
+		})
+		if err != nil {
+			fatal(err)
+		}
+		results[fmt.Sprintf("conc_load64_w%d", w)] = ns
+		ns, err = benchWorkers(w, ops, func(worker, i int) error {
+			addr := base + uint64(worker*pagesPerWorker+i%pagesPerWorker)*vmem.PageSize + uint64(i%500)*8
+			return s.Store64(addr, uint64(i))
+		})
+		if err != nil {
+			fatal(err)
+		}
+		results[fmt.Sprintf("conc_store64_w%d", w)] = ns
+	}
+
+	// Sharded malloc/free throughput: one pinned DieHard shard per
+	// worker over a shared space (the Hoard-style front end).
+	for _, w := range []int{1, 4, 8} {
+		sh, err := core.NewSharded(w, core.Options{HeapSize: w * 12 << 20, Seed: 3})
+		if err != nil {
+			fatal(err)
+		}
+		const slotsPerWorker = 1024
+		ptrs := make([][]heap.Ptr, w)
+		for i := range ptrs {
+			ptrs[i] = make([]heap.Ptr, slotsPerWorker)
+		}
+		const ops = 100_000
+		ns, err := benchWorkers(w, ops, func(worker, i int) error {
+			shard := sh.Shard(worker)
+			slot := i % slotsPerWorker
+			if p := ptrs[worker][slot]; p != heap.Null {
+				if err := shard.Free(p); err != nil {
+					return err
+				}
+			}
+			p, err := shard.Malloc(64)
+			if err != nil {
+				return err
+			}
+			ptrs[worker][slot] = p
+			return nil
+		})
+		if err != nil {
+			fatal(err)
+		}
+		results[fmt.Sprintf("sharded_malloc_pair_64B_w%d", w)] = ns
+	}
+
+	// The Figure-6-style error-table campaign, sequential vs fanned out:
+	// the acceptance metric for the parallel experiment engine. Recorded
+	// as total campaign nanoseconds; the outputs are byte-identical by
+	// construction (see internal/exps TestErrorTableParallelDeterminism).
+	for _, w := range []int{1, 8} {
+		start := time.Now()
+		if _, err := exps.RunErrorTable(w); err != nil {
+			fatal(err)
+		}
+		results[fmt.Sprintf("errortable_campaign_w%d", w)] = float64(time.Since(start).Nanoseconds())
+	}
+
 	file := File{PageSize: vmem.PageSize, Runs: map[string]Run{}}
 	if raw, err := os.ReadFile(*out); err == nil {
 		if err := json.Unmarshal(raw, &file); err != nil {
@@ -131,6 +249,7 @@ func main() {
 	file.Runs[*label] = Run{
 		Date:    time.Now().UTC().Format("2006-01-02"),
 		Go:      runtime.Version(),
+		CPUs:    runtime.NumCPU(),
 		NsPerOp: results,
 	}
 	enc, err := json.MarshalIndent(&file, "", "  ")

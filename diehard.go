@@ -65,10 +65,20 @@ type HeapOptions struct {
 	// Adaptive grows size-class regions on demand (the paper's §9
 	// future-work extension).
 	Adaptive bool
+	// Concurrent prepares the heap for use by multiple goroutines at
+	// once: allocator statistics and memory-access accounting switch to
+	// atomic updates. Without it, the heap (and data access through
+	// Mem()) must be confined to one goroutine at a time.
+	Concurrent bool
 }
 
-// Heap is a DieHard randomized heap. It is not safe for concurrent use;
-// give each simulated process its own Heap.
+// Heap is a DieHard randomized heap. Built with HeapOptions.Concurrent,
+// it is safe for use by multiple goroutines (metadata behind
+// fine-grained per-size-class locks, statistics atomic); without it, the
+// heap must be confined to one goroutine at a time, and each simulated
+// process owns its own Heap, just as each replica owns its own
+// randomized allocator. See core.ShardedHeap for a scalable multi-worker
+// front end.
 type Heap struct {
 	h *core.Heap
 }
@@ -81,6 +91,7 @@ func NewHeap(opts HeapOptions) (*Heap, error) {
 		Seed:       opts.Seed,
 		RandomFill: opts.ReplicatedMode,
 		Adaptive:   opts.Adaptive,
+		Concurrent: opts.Concurrent,
 	})
 	if err != nil {
 		return nil, err

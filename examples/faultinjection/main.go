@@ -33,7 +33,7 @@ func main() {
 				heapSize = 64 << 20
 			}
 			res, err := exps.RunFaultInjection("espresso", alloc,
-				exps.InjectionParams{Kind: kind}, trials, 3, heapSize)
+				exps.InjectionParams{Kind: kind}, trials, 3, heapSize, 0)
 			if err != nil {
 				log.Fatal(err)
 			}

@@ -20,12 +20,25 @@
 // object are filled with values from the replica's private random stream,
 // which is what lets the voter in internal/replicate detect uninitialized
 // reads (§3.2, Theorem 3).
+//
+// Concurrency (DESIGN.md §7): allocator metadata operations are
+// goroutine-safe. Each size class carries its own mutex and its own
+// random stream, so mallocs in different classes never contend, and the
+// page index that resolves pointers for Free/SizeOf/ObjectBounds is read
+// lock-free. Concurrent use requires Options.Concurrent, which switches
+// the aggregate Stats and the space's access accounting to atomic
+// updates; heaps built without it keep unsynchronized counters and must
+// be confined to one goroutine at a time, as the sequential experiment
+// trials are. The structural metadata — bitmaps, occupancy, the random
+// streams — is guarded by the per-class locks unconditionally.
 package core
 
 import (
 	"encoding/binary"
 	"fmt"
 	"math/bits"
+	"sync"
+	"sync/atomic"
 
 	"diehard/internal/heap"
 	"diehard/internal/rng"
@@ -72,8 +85,15 @@ type Options struct {
 	// Adaptive is set. Defaults to 256 KB.
 	AdaptiveInitial int
 	// EnableTLB turns on TLB simulation in the underlying address space,
-	// used by the Figure 5 cost model.
+	// used by the Figure 5 cost model. TLB accounting models a single
+	// hardware context; it is incompatible with Concurrent.
 	EnableTLB bool
+	// Concurrent prepares the heap for use by multiple goroutines at
+	// once: allocator statistics are maintained atomically and the
+	// underlying space counts accesses atomically (vmem.StatsShared).
+	// Structural metadata is lock-guarded regardless; Concurrent is
+	// about the counters, and sequential heaps skip its atomics.
+	Concurrent bool
 }
 
 func (o *Options) withDefaults() Options {
@@ -95,7 +115,8 @@ func (o *Options) withDefaults() Options {
 // subregions as demand grows. The class back-pointer and the shift
 // duplicate (log2 of the class's object size) let a pointer-to-
 // subregion resolved through the page index compute its slot without a
-// second indirection.
+// second indirection. The bitmap is guarded by the owning class's
+// mutex; base, slots, and shift are immutable after construction.
 type subregion struct {
 	base  uint64
 	slots int
@@ -109,7 +130,15 @@ func (s *subregion) set(i int)      { s.bits[i>>6] |= 1 << (i & 63) }
 func (s *subregion) clear(i int)    { s.bits[i>>6] &^= 1 << (i & 63) }
 
 // sizeClass holds the segregated metadata for one power-of-two region.
+// Each class is an independent lock domain: its mutex guards the bitmap,
+// the occupancy counters, and the class's private random stream, so
+// concurrent mallocs in different classes proceed without contention —
+// the fine-grained analog of Hoard's per-heap locks.
 type sizeClass struct {
+	mu      sync.Mutex
+	rand    rng.MWC // per-class probe/fill stream; under mu
+	fillBuf []byte  // RandomFill staging; under mu
+
 	size       int
 	shift      uint   // log2(size), for divisions on the hot path
 	mask       uint64 // size - 1, for alignment checks on the hot path
@@ -129,36 +158,82 @@ type largeObject struct {
 	mapLength int    // total mapped length including guard pages
 }
 
-// Heap is a DieHard heap. It is not safe for concurrent use; each
-// simulated process owns its own Heap, just as each DieHard replica owns
-// its own randomized allocator.
-type Heap struct {
-	opts    Options
-	space   *vmem.Space
-	rand    *rng.MWC
-	seed    uint64
-	classes [NumClasses]sizeClass
-	large   map[heap.Ptr]largeObject
-	stats   heap.Stats
-	fillBuf []byte
+// pageIndex resolves a page number to its subregion in O(1): the
+// allocator-level analog of the vmem radix table. Entry (pn - basePn)
+// points at the subregion owning that page, or is nil for pages that
+// belong to no small-object subregion (holes, guards, large objects).
+// The table is immutable once published; growth publishes a copy, so
+// Free, SizeOf, ObjectBounds, and InHeap read it lock-free.
+type pageIndex struct {
+	basePn uint64
+	subs   []*subregion
+}
 
-	// pageIdx resolves a page number to its subregion in O(1): the
-	// allocator-level analog of the vmem radix table. Entry
-	// (pn - basePn) points at the subregion owning that page, or is nil
-	// for pages that belong to no small-object subregion (holes,
-	// guards, large objects). Free, SizeOf, ObjectBounds, and InHeap
-	// resolve through it instead of scanning every subregion.
-	pageIdx []*subregion
-	basePn  uint64
+// Heap is a DieHard heap. Metadata operations are safe for concurrent
+// use by multiple goroutines; see Options.Concurrent for concurrent data
+// access. Each simulated process still typically owns its own Heap, just
+// as each DieHard replica owns its own randomized allocator.
+type Heap struct {
+	opts        Options
+	space       *vmem.Space
+	seed        uint64
+	atomicStats bool // Concurrent heaps maintain stats atomically
+	classes     [NumClasses]sizeClass
+	stats       heap.Stats
+
+	largeMu   sync.Mutex
+	large     map[heap.Ptr]largeObject
+	largeRand rng.MWC // fill stream for large objects; under largeMu
+	largeBuf  []byte  // under largeMu
+
+	idxMu   sync.Mutex // serializes pageIdx publication
+	pageIdx atomic.Pointer[pageIndex]
 }
 
 var _ heap.Allocator = (*Heap)(nil)
 
+// addStat bumps a stats counter: atomically for Concurrent heaps, with a
+// plain add otherwise — sequential trials keep their unsynchronized
+// speed, concurrent heaps stay exact under -race.
+func (h *Heap) addStat(p *uint64, n uint64) {
+	if h.atomicStats {
+		atomic.AddUint64(p, n)
+	} else {
+		*p += n
+	}
+}
+
+func (h *Heap) countMalloc(size, rounded int) {
+	if h.atomicStats {
+		heap.CountMallocAtomic(&h.stats, size, rounded)
+	} else {
+		heap.CountMalloc(&h.stats, size, rounded)
+	}
+}
+
+func (h *Heap) countFree(rounded int) {
+	if h.atomicStats {
+		heap.CountFreeAtomic(&h.stats, rounded)
+	} else {
+		heap.CountFree(&h.stats, rounded)
+	}
+}
+
 // New creates a DieHard heap with the given options.
 func New(opts Options) (*Heap, error) {
+	return newHeap(opts, nil)
+}
+
+// newHeap builds a heap, either with its own address space (space ==
+// nil) or inside a caller-provided shared space (ShardedHeap), whose
+// stats mode and fillers the caller manages.
+func newHeap(opts Options, space *vmem.Space) (*Heap, error) {
 	o := opts.withDefaults()
 	if o.M <= 1 {
 		return nil, fmt.Errorf("diehard: M must exceed 1, got %v", o.M)
+	}
+	if o.EnableTLB && o.Concurrent {
+		return nil, fmt.Errorf("diehard: TLB simulation is sequential and cannot be combined with Concurrent")
 	}
 	perClass := o.HeapSize / NumClasses
 	perClass -= perClass % vmem.PageSize
@@ -166,20 +241,26 @@ func New(opts Options) (*Heap, error) {
 		return nil, fmt.Errorf("diehard: heap size %d too small for %d regions", o.HeapSize, NumClasses)
 	}
 	h := &Heap{
-		opts:  o,
-		space: vmem.NewSpace(),
-		large: make(map[heap.Ptr]largeObject),
+		opts:        o,
+		space:       space,
+		atomicStats: o.Concurrent,
+		large:       make(map[heap.Ptr]largeObject),
 	}
-	if o.EnableTLB {
-		h.space.EnableTLB()
+	if h.space == nil {
+		h.space = vmem.NewSpace()
+		if o.Concurrent {
+			h.space.SetStatsMode(vmem.StatsShared)
+		}
+		if o.EnableTLB {
+			h.space.EnableTLB()
+		}
 	}
 	master := rng.NewSeeded(o.Seed)
 	if o.Seed == 0 {
 		master = rng.New()
 	}
 	h.seed = master.Seed()
-	h.rand = master
-	if o.RandomFill {
+	if o.RandomFill && space == nil {
 		// Realize "fill the heap with random values" (§4.1) lazily:
 		// every page instantiated in this replica's address space is
 		// pre-filled from a stream derived from the allocator seed.
@@ -199,6 +280,12 @@ func New(opts Options) (*Heap, error) {
 		cl.shift = uint(bits.TrailingZeros(uint(size)))
 		cl.mask = uint64(size - 1)
 		cl.capSlots = capSlots
+		// Every class draws from its own stream, deterministically
+		// derived from the master seed, so the probe sequence of one
+		// class is independent of activity in the others — the property
+		// that keeps per-class locking deterministic per allocation
+		// sequence.
+		cl.rand = *master.Split()
 		initial := capSlots
 		if o.Adaptive {
 			initial = o.AdaptiveInitial / size
@@ -213,11 +300,13 @@ func New(opts Options) (*Heap, error) {
 			return nil, err
 		}
 	}
+	h.largeRand = *master.Split()
 	return h, nil
 }
 
 // addSubregion maps a new stretch of slots for class c, recomputes the
-// 1/M threshold, and registers the new pages in the page index.
+// 1/M threshold, and registers the new pages in the page index. The
+// caller holds the class mutex (or is the constructor).
 func (h *Heap) addSubregion(c, slots int) error {
 	cl := &h.classes[c]
 	bytes := slots * cl.size
@@ -229,7 +318,7 @@ func (h *Heap) addSubregion(c, slots int) error {
 	if err != nil {
 		return err
 	}
-	h.stats.WorkUnits += heap.WorkMmap
+	h.addStat(&h.stats.WorkUnits, heap.WorkMmap)
 	sub := &subregion{
 		base:  base,
 		slots: slots,
@@ -244,24 +333,40 @@ func (h *Heap) addSubregion(c, slots int) error {
 	return nil
 }
 
-// indexSubregion records every page of [base, base+bytes) in pageIdx.
-// Subregion bases are handed out in increasing address order, so the
-// table only ever grows at the high end; pages mapped in between for
-// other purposes (guards, large objects) stay nil.
+// indexSubregion records every page of [base, base+bytes) in the page
+// index. The published table is immutable; this builds and publishes a
+// copy, serialized by idxMu so concurrent growth in different classes
+// cannot lose updates. Subregion bases are handed out in increasing
+// address order, so the table only ever grows at the high end; pages
+// mapped in between for other purposes (guards, large objects) stay nil.
 func (h *Heap) indexSubregion(sub *subregion, base, bytes uint64) {
+	h.idxMu.Lock()
+	defer h.idxMu.Unlock()
 	startPn := base / vmem.PageSize
 	endPn := (base + bytes + vmem.PageSize - 1) / vmem.PageSize
-	if h.pageIdx == nil {
-		h.basePn = startPn
+	cur := h.pageIdx.Load()
+	next := &pageIndex{basePn: startPn}
+	if cur != nil {
+		next.basePn = cur.basePn
 	}
-	if need := endPn - h.basePn; uint64(len(h.pageIdx)) < need {
-		grown := make([]*subregion, need)
-		copy(grown, h.pageIdx)
-		h.pageIdx = grown
+	// The new table must cover both the new subregion and everything
+	// already published: under concurrent adaptive growth, the class
+	// that mapped the lower addresses may publish after the one that
+	// mapped the higher ones, so endPn alone can be short of the
+	// current coverage.
+	need := endPn - next.basePn
+	if cur != nil && uint64(len(cur.subs)) > need {
+		need = uint64(len(cur.subs))
 	}
+	grown := make([]*subregion, need)
+	if cur != nil {
+		copy(grown, cur.subs)
+	}
+	next.subs = grown
 	for pn := startPn; pn < endPn; pn++ {
-		h.pageIdx[pn-h.basePn] = sub
+		next.subs[pn-next.basePn] = sub
 	}
+	h.pageIdx.Store(next)
 }
 
 // ClassFor returns the size-class index for a request: ceil(log2(size))-3
@@ -278,9 +383,11 @@ func ClassSize(c int) int { return MinObjectSize << c }
 
 // Malloc allocates size bytes, placing the object uniformly at random
 // within its size class region (DieHardMalloc, Figure 2 of the paper).
+// Safe for concurrent use; mallocs in different size classes do not
+// contend.
 func (h *Heap) Malloc(size int) (heap.Ptr, error) {
 	if size < 0 {
-		h.stats.FailedMallocs++
+		h.addStat(&h.stats.FailedMallocs, 1)
 		return heap.Null, fmt.Errorf("diehard: negative allocation size %d", size)
 	}
 	if size == 0 {
@@ -289,9 +396,9 @@ func (h *Heap) Malloc(size int) (heap.Ptr, error) {
 	if size > MaxObjectSize {
 		return h.allocateLargeObject(size)
 	}
-	h.stats.WorkUnits += heap.WorkSizeClass
 	c := ClassFor(size)
 	cl := &h.classes[c]
+	cl.mu.Lock()
 	if cl.inUse >= cl.maxInUse {
 		if h.opts.Adaptive && cl.totalSlots < cl.capSlots {
 			grow := cl.totalSlots
@@ -299,12 +406,14 @@ func (h *Heap) Malloc(size int) (heap.Ptr, error) {
 				grow = cl.capSlots - cl.totalSlots
 			}
 			if err := h.addSubregion(c, grow); err != nil {
-				h.stats.FailedMallocs++
+				cl.mu.Unlock()
+				h.addStat(&h.stats.FailedMallocs, 1)
 				return heap.Null, err
 			}
 		} else {
 			// At threshold: no more memory (Figure 2, line 6).
-			h.stats.FailedMallocs++
+			cl.mu.Unlock()
+			h.addStat(&h.stats.FailedMallocs, 1)
 			return heap.Null, heap.ErrOutOfMemory
 		}
 	}
@@ -324,11 +433,12 @@ func (h *Heap) Malloc(size int) (heap.Ptr, error) {
 		// probe iterations run register-to-register; the reduction is
 		// the same Lemire multiply-shift-with-rejection as rng.Uint32n,
 		// so the draw stream is identical.
-		rr := *h.rand
+		rr := cl.rand
 		rejectBelow := -n % n
 		for {
 			if probes == probeCap {
-				*h.rand = rr
+				cl.rand = rr
+				cl.mu.Unlock()
 				return heap.Null, &heap.CorruptionError{Detail: "diehard: no free slot found below fill threshold"}
 			}
 			probes++
@@ -341,31 +451,39 @@ func (h *Heap) Malloc(size int) (heap.Ptr, error) {
 				break
 			}
 		}
-		*h.rand = rr
+		cl.rand = rr
 	} else {
 		for {
 			if probes == probeCap {
+				cl.mu.Unlock()
 				return heap.Null, &heap.CorruptionError{Detail: "diehard: no free slot found below fill threshold"}
 			}
 			probes++
-			sub, local = cl.locate(int(h.rand.Uint32n(n)))
+			sub, local = cl.locate(int(cl.rand.Uint32n(n)))
 			if !sub.get(local) {
 				break
 			}
 		}
 	}
-	h.stats.Probes += uint64(probes)
-	h.stats.WorkUnits += uint64(probes)*heap.WorkProbe + heap.WorkBitmap
 	sub.set(local)
 	cl.inUse++
 	cl.mallocs++
 	ptr := sub.base + uint64(local)<<cl.shift
+	var fillErr error
 	if h.opts.RandomFill {
-		if err := h.fillRandom(ptr, cl.size); err != nil {
-			return heap.Null, err
-		}
+		// Fill under the class lock, from the class stream: each
+		// class's sequence of fill values is deterministic in its own
+		// allocation order (Figure 2, DieHardMalloc lines 18-20).
+		fillErr = h.fillRandom(&cl.rand, &cl.fillBuf, ptr, cl.size)
 	}
-	heap.CountMalloc(&h.stats, size, cl.size)
+	cl.mu.Unlock()
+	if fillErr != nil {
+		return heap.Null, fillErr
+	}
+	h.addStat(&h.stats.Probes, uint64(probes))
+	h.addStat(&h.stats.WorkUnits,
+		heap.WorkSizeClass+uint64(probes)*heap.WorkProbe+heap.WorkBitmap)
+	h.countMalloc(size, cl.size)
 	return ptr, nil
 }
 
@@ -386,20 +504,21 @@ func (cl *sizeClass) locate(idx int) (*subregion, int) {
 }
 
 // fillRandom fills an allocated object with random values drawn from the
-// allocator's stream (Figure 2, DieHardMalloc lines 18-20).
-func (h *Heap) fillRandom(ptr heap.Ptr, n int) error {
-	if cap(h.fillBuf) < n {
-		h.fillBuf = make([]byte, n)
+// given stream (Figure 2, DieHardMalloc lines 18-20). The caller holds
+// the lock guarding r and buf.
+func (h *Heap) fillRandom(r *rng.MWC, buf *[]byte, ptr heap.Ptr, n int) error {
+	if cap(*buf) < n {
+		*buf = make([]byte, n)
 	}
-	buf := h.fillBuf[:n]
+	b := (*buf)[:n]
 	for i := 0; i+4 <= n; i += 4 {
-		binary.LittleEndian.PutUint32(buf[i:], h.rand.Next())
+		binary.LittleEndian.PutUint32(b[i:], r.Next())
 	}
 	for i := n &^ 3; i < n; i++ {
-		buf[i] = byte(h.rand.Next())
+		b[i] = byte(r.Next())
 	}
-	h.stats.WorkUnits += uint64(n/8+1) * heap.WorkRandomFill
-	return h.space.WriteBytes(ptr, buf)
+	h.addStat(&h.stats.WorkUnits, uint64(n/8+1)*heap.WorkRandomFill)
+	return h.space.WriteBytes(ptr, b)
 }
 
 // allocateLargeObject serves requests above MaxObjectSize from a
@@ -407,72 +526,88 @@ func (h *Heap) fillRandom(ptr heap.Ptr, n int) error {
 // (§4.1, §4.3).
 func (h *Heap) allocateLargeObject(size int) (heap.Ptr, error) {
 	npages := (size + vmem.PageSize - 1) / vmem.PageSize
+	h.largeMu.Lock()
 	base, err := h.space.MapGuarded(size)
 	if err != nil {
-		h.stats.FailedMallocs++
+		h.largeMu.Unlock()
+		h.addStat(&h.stats.FailedMallocs, 1)
 		return heap.Null, err
 	}
-	h.stats.WorkUnits += heap.WorkMmap
 	h.large[base] = largeObject{
 		size:      size,
 		mapBase:   base - vmem.PageSize,
 		mapLength: (npages + 2) * vmem.PageSize,
 	}
+	var fillErr error
 	if h.opts.RandomFill {
-		if err := h.fillRandom(base, size); err != nil {
-			return heap.Null, err
-		}
+		fillErr = h.fillRandom(&h.largeRand, &h.largeBuf, base, size)
 	}
-	heap.CountMalloc(&h.stats, size, npages*vmem.PageSize)
+	h.largeMu.Unlock()
+	if fillErr != nil {
+		return heap.Null, fillErr
+	}
+	h.addStat(&h.stats.WorkUnits, heap.WorkMmap)
+	h.countMalloc(size, npages*vmem.PageSize)
 	return base, nil
 }
 
 // Free releases an allocation (DieHardFree, Figure 2). Invalid and double
 // frees are detected and silently ignored: the offset must be an exact
 // multiple of the object size, and the object must currently be marked
-// allocated. Free never fails.
+// allocated. Free never fails. Safe for concurrent use.
 func (h *Heap) Free(p heap.Ptr) error {
 	if p == heap.Null {
 		return nil // free(NULL) is a no-op in C
 	}
 	cl, sub, local := h.find(p)
 	if cl == nil {
+		h.largeMu.Lock()
 		if lo, ok := h.large[p]; ok {
-			h.stats.WorkUnits += heap.WorkMmap
 			if err := h.space.Unmap(lo.mapBase, lo.mapLength); err != nil {
+				h.largeMu.Unlock()
 				return err // cannot happen unless internal state is corrupt
 			}
 			delete(h.large, p)
-			heap.CountFree(&h.stats, (lo.mapLength/vmem.PageSize-2)*vmem.PageSize)
+			h.largeMu.Unlock()
+			h.addStat(&h.stats.WorkUnits, heap.WorkMmap)
+			h.countFree((lo.mapLength/vmem.PageSize-2)*vmem.PageSize)
 			return nil
 		}
-		h.stats.IgnoredFrees++ // not our pointer: ignore (§4.3)
+		h.largeMu.Unlock()
+		h.addStat(&h.stats.IgnoredFrees, 1) // not our pointer: ignore (§4.3)
 		return nil
 	}
-	h.stats.WorkUnits += heap.WorkBitmap
 	if (p-sub.base)&cl.mask != 0 {
-		h.stats.IgnoredFrees++ // misaligned interior pointer: ignore
+		h.addStat(&h.stats.IgnoredFrees, 1) // misaligned interior pointer: ignore
 		return nil
 	}
+	cl.mu.Lock()
 	if !sub.get(local) {
-		h.stats.IgnoredFrees++ // double free: ignore
+		cl.mu.Unlock()
+		h.addStat(&h.stats.IgnoredFrees, 1) // double free: ignore
 		return nil
 	}
 	sub.clear(local)
 	cl.inUse--
-	heap.CountFree(&h.stats, cl.size)
+	cl.mu.Unlock()
+	h.addStat(&h.stats.WorkUnits, heap.WorkBitmap)
+	h.countFree(cl.size)
 	return nil
 }
 
 // find locates the size class, subregion, and slot index containing p in
-// O(1) through the page index. The slot index is the floor of the
-// offset; the caller checks alignment.
+// O(1) through the page index, which is read lock-free. The slot index
+// is the floor of the offset; the caller checks alignment.
 func (h *Heap) find(p heap.Ptr) (*sizeClass, *subregion, int) {
-	pn := p/vmem.PageSize - h.basePn
-	if pn >= uint64(len(h.pageIdx)) { // also catches p below the heap (wraps)
+	idx := h.pageIdx.Load()
+	if idx == nil {
 		return nil, nil, 0
 	}
-	sub := h.pageIdx[pn]
+	pn := p/vmem.PageSize - idx.basePn
+	if pn >= uint64(len(idx.subs)) { // also catches p below the heap (wraps)
+		return nil, nil, 0
+	}
+	sub := idx.subs[pn]
 	if sub == nil {
 		return nil, nil, 0
 	}
@@ -487,11 +622,20 @@ func (h *Heap) find(p heap.Ptr) (*sizeClass, *subregion, int) {
 // SizeOf reports the usable size of the allocated object starting exactly
 // at p.
 func (h *Heap) SizeOf(p heap.Ptr) (int, bool) {
+	h.largeMu.Lock()
 	if lo, ok := h.large[p]; ok {
+		h.largeMu.Unlock()
 		return lo.size, true
 	}
+	h.largeMu.Unlock()
 	cl, sub, local := h.find(p)
-	if cl == nil || (p-sub.base)&cl.mask != 0 || !sub.get(local) {
+	if cl == nil || (p-sub.base)&cl.mask != 0 {
+		return 0, false
+	}
+	cl.mu.Lock()
+	live := sub.get(local)
+	cl.mu.Unlock()
+	if !live {
 		return 0, false
 	}
 	return cl.size, true
@@ -503,29 +647,49 @@ func (h *Heap) SizeOf(p heap.Ptr) (int, bool) {
 // strncpy (§4.4): the available space from a destination pointer to the
 // end of its object bounds the copy length.
 func (h *Heap) ObjectBounds(p heap.Ptr) (start heap.Ptr, size int, ok bool) {
+	h.largeMu.Lock()
 	for base, lo := range h.large {
 		if p >= base && p < base+uint64(lo.size) {
+			h.largeMu.Unlock()
 			return base, lo.size, true
 		}
 	}
+	h.largeMu.Unlock()
 	cl, sub, local := h.find(p)
-	if cl == nil || !sub.get(local) {
+	if cl == nil {
+		return 0, 0, false
+	}
+	cl.mu.Lock()
+	live := sub.get(local)
+	cl.mu.Unlock()
+	if !live {
 		return 0, 0, false
 	}
 	return sub.base + uint64(local)<<cl.shift, cl.size, true
 }
 
 // InHeap reports whether p lies within the small-object heap regions,
-// the first test of the checked library functions (§4.4).
+// the first test of the checked library functions (§4.4). Lock-free.
 func (h *Heap) InHeap(p heap.Ptr) bool {
 	cl, _, _ := h.find(p)
 	return cl != nil
 }
 
+// ownsLarge reports whether p is a live large object of this heap,
+// used by ShardedHeap to route frees to the owning shard.
+func (h *Heap) ownsLarge(p heap.Ptr) bool {
+	h.largeMu.Lock()
+	_, ok := h.large[p]
+	h.largeMu.Unlock()
+	return ok
+}
+
 // Mem returns the simulated address space backing this heap.
 func (h *Heap) Mem() *vmem.Space { return h.space }
 
-// Stats returns the allocator counters.
+// Stats returns the allocator counters, updated in place (atomically
+// when the heap is Concurrent); under concurrent use, read them only at
+// quiescence.
 func (h *Heap) Stats() *heap.Stats { return &h.stats }
 
 // Name identifies the allocator in experiment reports.
@@ -546,59 +710,92 @@ func (h *Heap) M() float64 { return h.opts.M }
 // ClassSlots returns the total and maximum-usable slot counts of class c,
 // exposed for the analytical validation experiments.
 func (h *Heap) ClassSlots(c int) (total, maxInUse int) {
-	return h.classes[c].totalSlots, h.classes[c].maxInUse
+	cl := &h.classes[c]
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	return cl.totalSlots, cl.maxInUse
 }
 
 // ClassInUse returns the number of live objects in class c.
-func (h *Heap) ClassInUse(c int) int { return h.classes[c].inUse }
+func (h *Heap) ClassInUse(c int) int {
+	cl := &h.classes[c]
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	return cl.inUse
+}
 
 // ClassMallocs returns the cumulative allocation count of class c,
 // exposed for workload-characterization experiments (e.g. verifying the
 // wide size mix of the 300.twolf analog).
-func (h *Heap) ClassMallocs(c int) uint64 { return h.classes[c].mallocs }
+func (h *Heap) ClassMallocs(c int) uint64 {
+	cl := &h.classes[c]
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	return cl.mallocs
+}
 
 // ClassBase returns the base address of the first subregion of class c,
 // exposed for tests that aim overflow writes at precise heap locations.
-func (h *Heap) ClassBase(c int) heap.Ptr { return h.classes[c].subs[0].base }
+func (h *Heap) ClassBase(c int) heap.Ptr {
+	cl := &h.classes[c]
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	return cl.subs[0].base
+}
 
 // LargeObjects returns the number of live large objects.
-func (h *Heap) LargeObjects() int { return len(h.large) }
+func (h *Heap) LargeObjects() int {
+	h.largeMu.Lock()
+	defer h.largeMu.Unlock()
+	return len(h.large)
+}
 
 // CheckInvariants verifies the segregated metadata against itself: per-
 // class live counts match bitmap population, thresholds are respected,
 // and subregion accounting is consistent. Property tests call this after
-// randomized workloads.
+// randomized (including concurrent) workloads; each class is checked
+// under its own lock.
 func (h *Heap) CheckInvariants() error {
 	for c := range h.classes {
 		cl := &h.classes[c]
-		pop := 0
-		slots := 0
-		for s := range cl.subs {
-			sub := cl.subs[s]
-			slots += sub.slots
-			for _, w := range sub.bits {
-				pop += bits.OnesCount64(w)
+		cl.mu.Lock()
+		err := cl.checkLocked(c)
+		cl.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (cl *sizeClass) checkLocked(c int) error {
+	pop := 0
+	slots := 0
+	for s := range cl.subs {
+		sub := cl.subs[s]
+		slots += sub.slots
+		for _, w := range sub.bits {
+			pop += bits.OnesCount64(w)
+		}
+		// Bits beyond the slot count must be zero.
+		if tail := sub.slots & 63; tail != 0 {
+			last := sub.bits[len(sub.bits)-1]
+			if last>>uint(tail) != 0 {
+				return fmt.Errorf("class %d: bitmap bits set beyond slot count", c)
 			}
-			// Bits beyond the slot count must be zero.
-			if tail := sub.slots & 63; tail != 0 {
-				last := sub.bits[len(sub.bits)-1]
-				if last>>uint(tail) != 0 {
-					return fmt.Errorf("class %d: bitmap bits set beyond slot count", c)
-				}
-			}
 		}
-		if slots != cl.totalSlots {
-			return fmt.Errorf("class %d: totalSlots %d != sum of subregions %d", c, cl.totalSlots, slots)
-		}
-		if pop != cl.inUse {
-			return fmt.Errorf("class %d: inUse %d != bitmap population %d", c, cl.inUse, pop)
-		}
-		if cl.inUse > cl.maxInUse {
-			return fmt.Errorf("class %d: inUse %d exceeds threshold %d", c, cl.inUse, cl.maxInUse)
-		}
-		if cl.totalSlots > cl.capSlots {
-			return fmt.Errorf("class %d: totalSlots %d exceeds cap %d", c, cl.totalSlots, cl.capSlots)
-		}
+	}
+	if slots != cl.totalSlots {
+		return fmt.Errorf("class %d: totalSlots %d != sum of subregions %d", c, cl.totalSlots, slots)
+	}
+	if pop != cl.inUse {
+		return fmt.Errorf("class %d: inUse %d != bitmap population %d", c, cl.inUse, pop)
+	}
+	if cl.inUse > cl.maxInUse {
+		return fmt.Errorf("class %d: inUse %d exceeds threshold %d", c, cl.inUse, cl.maxInUse)
+	}
+	if cl.totalSlots > cl.capSlots {
+		return fmt.Errorf("class %d: totalSlots %d exceeds cap %d", c, cl.totalSlots, cl.capSlots)
 	}
 	return nil
 }

@@ -1,0 +1,201 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"diehard/internal/heap"
+	"diehard/internal/rng"
+	"diehard/internal/vmem"
+)
+
+// ShardedHeap is a Hoard-style scalable front end over N independent
+// DieHard heaps (Berger et al., ASPLOS 2000 lineage; here each per-shard
+// heap is a full randomized DieHard allocator). All shards allocate out
+// of one shared address space, so a pointer from any shard is usable
+// through Mem() like any other pointer, while the randomized metadata —
+// bitmaps, counters, probe streams — stays private per shard. Throughput
+// scales because concurrent mallocs land on different shards (and, within
+// a shard, on different size-class locks).
+//
+// DieHard's per-heap guarantees are preserved shard-wise: each shard is
+// its own M-expanded heap, so Theorem 1/2 masking probabilities hold for
+// the objects of each shard exactly as for a stand-alone heap of that
+// size. Free routes any pointer to its owning shard in O(shards) worst
+// case (O(1) page-index lookup per shard), and invalid or double frees
+// are ignored just as §4.3 prescribes.
+//
+// RandomFill (replicated mode) is not supported: replica voting gives
+// each replica a private space, which is exactly what sharding gives up.
+// TLB simulation is likewise sequential-only.
+type ShardedHeap struct {
+	space  *vmem.Space
+	shards []*Heap
+	seed   uint64
+	cursor atomic.Uint64 // round-robin shard choice for unpinned callers
+	stats  heap.Stats    // aggregate snapshot storage is per-call; this holds sharded-level counters (ignored frees)
+}
+
+var _ heap.Allocator = (*ShardedHeap)(nil)
+
+// NewSharded creates a sharded DieHard heap with n shards. opts
+// configures each shard, except that HeapSize (defaulting to the paper's
+// 384 MB) is the total across shards — each shard manages HeapSize/n —
+// and per-shard seeds are derived from opts.Seed. RandomFill and
+// EnableTLB are rejected.
+func NewSharded(n int, opts Options) (*ShardedHeap, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("diehard: shard count %d must be positive", n)
+	}
+	if opts.RandomFill {
+		return nil, fmt.Errorf("diehard: RandomFill (replicated mode) requires per-replica spaces, not shards")
+	}
+	if opts.EnableTLB {
+		return nil, fmt.Errorf("diehard: TLB simulation is sequential and cannot be sharded")
+	}
+	o := opts.withDefaults()
+	perShard := o.HeapSize / n
+	if perShard/NumClasses < vmem.PageSize {
+		return nil, fmt.Errorf("diehard: heap size %d too small for %d shards", o.HeapSize, n)
+	}
+	master := rng.NewSeeded(o.Seed)
+	if o.Seed == 0 {
+		master = rng.New()
+	}
+	sh := &ShardedHeap{
+		space: vmem.NewSpace(),
+		seed:  master.Seed(),
+	}
+	sh.space.SetStatsMode(vmem.StatsShared)
+	for i := 0; i < n; i++ {
+		so := o
+		so.HeapSize = perShard
+		so.Seed = master.Split().Seed()
+		so.Concurrent = true
+		h, err := newHeap(so, sh.space)
+		if err != nil {
+			return nil, fmt.Errorf("diehard: shard %d: %w", i, err)
+		}
+		sh.shards = append(sh.shards, h)
+	}
+	return sh, nil
+}
+
+// Shards returns the number of shards.
+func (sh *ShardedHeap) Shards() int { return len(sh.shards) }
+
+// Shard returns shard i as a full DieHard heap sharing this heap's
+// address space. Workers that pin themselves to a shard (i = worker
+// index mod Shards()) get completely contention-free malloc paths;
+// pointers remain freeable through any shard view or the ShardedHeap
+// itself.
+func (sh *ShardedHeap) Shard(i int) *Heap { return sh.shards[i%len(sh.shards)] }
+
+// Malloc allocates from the next shard in round-robin order. Workers
+// that want stable placement (and no shared cursor) should allocate
+// through Shard(i) instead.
+func (sh *ShardedHeap) Malloc(size int) (heap.Ptr, error) {
+	i := sh.cursor.Add(1)
+	return sh.shards[i%uint64(len(sh.shards))].Malloc(size)
+}
+
+// owner returns the shard owning p, or nil. Small objects resolve via
+// each shard's lock-free O(1) page index; large objects via the owning
+// shard's table.
+func (sh *ShardedHeap) owner(p heap.Ptr) *Heap {
+	for _, s := range sh.shards {
+		if s.InHeap(p) || s.ownsLarge(p) {
+			return s
+		}
+	}
+	return nil
+}
+
+// Free routes p to its owning shard; pointers owned by no shard are
+// ignored, DieHard's §4.3 semantics.
+func (sh *ShardedHeap) Free(p heap.Ptr) error {
+	if p == heap.Null {
+		return nil
+	}
+	if s := sh.owner(p); s != nil {
+		return s.Free(p)
+	}
+	atomic.AddUint64(&sh.stats.IgnoredFrees, 1)
+	return nil
+}
+
+// SizeOf reports the usable size of the allocated object starting
+// exactly at p, whichever shard owns it.
+func (sh *ShardedHeap) SizeOf(p heap.Ptr) (int, bool) {
+	if s := sh.owner(p); s != nil {
+		return s.SizeOf(p)
+	}
+	return 0, false
+}
+
+// ObjectBounds resolves any pointer (including interior pointers) to the
+// containing allocated object, for the checked libc replacements.
+func (sh *ShardedHeap) ObjectBounds(p heap.Ptr) (start heap.Ptr, size int, ok bool) {
+	for _, s := range sh.shards {
+		if start, size, ok = s.ObjectBounds(p); ok {
+			return start, size, ok
+		}
+	}
+	return 0, 0, false
+}
+
+// InHeap reports whether p lies within any shard's small-object regions.
+func (sh *ShardedHeap) InHeap(p heap.Ptr) bool {
+	for _, s := range sh.shards {
+		if s.InHeap(p) {
+			return true
+		}
+	}
+	return false
+}
+
+// Mem returns the shared simulated address space all shards allocate in.
+func (sh *ShardedHeap) Mem() *vmem.Space { return sh.space }
+
+// Stats returns an aggregate snapshot of all shard counters (plus frees
+// the router ignored). Unlike the single-heap allocators, the returned
+// struct is a fresh snapshot, not a live view; PeakLiveBytes is the sum
+// of per-shard peaks, an upper bound on the true simultaneous peak.
+func (sh *ShardedHeap) Stats() *heap.Stats {
+	agg := heap.Stats{
+		IgnoredFrees: atomic.LoadUint64(&sh.stats.IgnoredFrees),
+	}
+	for _, s := range sh.shards {
+		st := s.Stats()
+		agg.Mallocs += atomic.LoadUint64(&st.Mallocs)
+		agg.Frees += atomic.LoadUint64(&st.Frees)
+		agg.FailedMallocs += atomic.LoadUint64(&st.FailedMallocs)
+		agg.IgnoredFrees += atomic.LoadUint64(&st.IgnoredFrees)
+		agg.BytesRequested += atomic.LoadUint64(&st.BytesRequested)
+		agg.BytesAllocated += atomic.LoadUint64(&st.BytesAllocated)
+		agg.LiveObjects += atomic.LoadUint64(&st.LiveObjects)
+		agg.LiveBytes += atomic.LoadUint64(&st.LiveBytes)
+		agg.PeakLiveBytes += atomic.LoadUint64(&st.PeakLiveBytes)
+		agg.WorkUnits += atomic.LoadUint64(&st.WorkUnits)
+		agg.Probes += atomic.LoadUint64(&st.Probes)
+	}
+	return &agg
+}
+
+// Name identifies the allocator in experiment reports.
+func (sh *ShardedHeap) Name() string {
+	return fmt.Sprintf("diehard-sharded(%d)", len(sh.shards))
+}
+
+// Seed returns the master seed the per-shard seeds derive from.
+func (sh *ShardedHeap) Seed() uint64 { return sh.seed }
+
+// CheckInvariants verifies every shard's segregated metadata.
+func (sh *ShardedHeap) CheckInvariants() error {
+	for i, s := range sh.shards {
+		if err := s.CheckInvariants(); err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return nil
+}

@@ -28,12 +28,15 @@ type ObjectRecord struct {
 }
 
 // Snapshot records every live small object (class, slot, contents
-// hash). Large objects are included with Class = -1 and Slot = 0.
+// hash). Large objects are included with Class = -1 and Slot = 0. Each
+// class is scanned under its own lock; for a meaningful snapshot the
+// heap should be quiescent.
 func (h *Heap) Snapshot() ([]ObjectRecord, error) {
 	var records []ObjectRecord
 	buf := make([]byte, MaxObjectSize)
 	for c := range h.classes {
 		cl := &h.classes[c]
+		cl.mu.Lock()
 		slotBase := 0
 		for s := range cl.subs {
 			sub := cl.subs[s]
@@ -43,6 +46,7 @@ func (h *Heap) Snapshot() ([]ObjectRecord, error) {
 				}
 				ptr := sub.base + uint64(i*cl.size)
 				if err := h.space.ReadBytes(ptr, buf[:cl.size]); err != nil {
+					cl.mu.Unlock()
 					return nil, err
 				}
 				records = append(records, ObjectRecord{
@@ -55,7 +59,10 @@ func (h *Heap) Snapshot() ([]ObjectRecord, error) {
 			}
 			slotBase += sub.slots
 		}
+		cl.mu.Unlock()
 	}
+	h.largeMu.Lock()
+	defer h.largeMu.Unlock()
 	for base, lo := range h.large {
 		chunk := make([]byte, lo.size)
 		if err := h.space.ReadBytes(base, chunk); err != nil {

@@ -318,21 +318,42 @@ const diehardTrials = 10
 // trials, reflecting the paper's probabilistic asterisks; its
 // uninitialized-read cell runs under the replicated runtime, where
 // detection means termination ("abort" in the table).
-func RunErrorTable() (*ErrorTable, error) {
+//
+// The (class, system) cells are independent and fully seeded, so they
+// fan out across the campaign worker pool: the table for workers = N is
+// identical to the table for workers = 1.
+func RunErrorTable(workers int) (*ErrorTable, error) {
+	scen := scenarios()
+	type cell struct {
+		s      scenario
+		system string
+	}
+	var cells []cell
+	for _, s := range scen {
+		for _, system := range TableSystems {
+			cells = append(cells, cell{s, system})
+		}
+	}
+	outcomes, err := mapTrials(len(cells), workers, func(i int) (Outcome, error) {
+		o, err := runScenario(cells[i].system, cells[i].s)
+		if err != nil {
+			return o, fmt.Errorf("%s / %s: %w", cells[i].s.class, cells[i].system, err)
+		}
+		return o, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	table := &ErrorTable{
 		Classes: TableClasses,
 		Systems: TableSystems,
 		Cell:    make(map[ErrorClass]map[string]Outcome),
 	}
-	for _, s := range scenarios() {
-		table.Cell[s.class] = make(map[string]Outcome)
-		for _, system := range TableSystems {
-			outcome, err := runScenario(system, s)
-			if err != nil {
-				return nil, fmt.Errorf("%s / %s: %w", s.class, system, err)
-			}
-			table.Cell[s.class][system] = outcome
+	for i, c := range cells {
+		if table.Cell[c.s.class] == nil {
+			table.Cell[c.s.class] = make(map[string]Outcome)
 		}
+		table.Cell[c.s.class][c.system] = outcomes[i]
 	}
 	return table, nil
 }

@@ -14,6 +14,7 @@ import (
 // allocator ---
 
 func TestFigure4aReproduction(t *testing.T) {
+	skipIfShort(t)
 	const heapSize = 3 << 20 // 256 KB per class: fast fills, same math
 	for _, tc := range []struct {
 		fullness float64
@@ -39,6 +40,7 @@ func TestFigure4aReproduction(t *testing.T) {
 // --- Figure 4(b): dangling masking, validated on the real allocator ---
 
 func TestFigure4bReproduction(t *testing.T) {
+	skipIfShort(t)
 	// Small heap so the effect is measurable: 12 pages -> class-64
 	// partition is one page = 64 slots.
 	const heapSize = 12 << 12
@@ -78,6 +80,7 @@ func TestDanglingWorkedExample(t *testing.T) {
 // --- §4.2 expected probes ---
 
 func TestExpectedProbesMatchesBound(t *testing.T) {
+	skipIfShort(t)
 	for _, m := range []float64{2, 4} {
 		got, err := EmpiricalProbeCount(m, 3<<20, 99)
 		if err != nil {
@@ -93,7 +96,8 @@ func TestExpectedProbesMatchesBound(t *testing.T) {
 // --- Table 1 ---
 
 func TestTable1ErrorMatrix(t *testing.T) {
-	table, err := RunErrorTable()
+	skipIfShort(t)
+	table, err := RunErrorTable(1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,11 +146,12 @@ func TestTable1ErrorMatrix(t *testing.T) {
 // --- §7.3.1 fault injection ---
 
 func TestFaultInjectionDangling(t *testing.T) {
+	skipIfShort(t)
 	const trials = 10
 	// "This high error rate prevents espresso from running to
 	// completion with the default allocator in all runs."
 	libc, err := RunFaultInjection("espresso", KindMalloc,
-		InjectionParams{Kind: InjectDangling}, trials, 1, 16<<20)
+		InjectionParams{Kind: InjectDangling}, trials, 1, 16<<20, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,7 +165,7 @@ func TestFaultInjectionDangling(t *testing.T) {
 	// "However, with DieHard, espresso runs correctly in 9 out of 10
 	// runs."
 	dh, err := RunFaultInjection("espresso", KindDieHard,
-		InjectionParams{Kind: InjectDangling}, trials, 1, 0)
+		InjectionParams{Kind: InjectDangling}, trials, 1, 0, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -170,11 +175,12 @@ func TestFaultInjectionDangling(t *testing.T) {
 }
 
 func TestFaultInjectionOverflow(t *testing.T) {
+	skipIfShort(t)
 	const trials = 10
 	// "With the default allocator, espresso crashes in 9 out of 10 runs
 	// and enters an infinite loop in the tenth."
 	libc, err := RunFaultInjection("espresso", KindMalloc,
-		InjectionParams{Kind: InjectOverflow}, trials, 3, 16<<20)
+		InjectionParams{Kind: InjectOverflow}, trials, 3, 16<<20, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -183,7 +189,7 @@ func TestFaultInjectionOverflow(t *testing.T) {
 	}
 	// "With DieHard, it runs successfully in all 10 of 10 runs."
 	dh, err := RunFaultInjection("espresso", KindDieHard,
-		InjectionParams{Kind: InjectOverflow}, trials, 3, 0)
+		InjectionParams{Kind: InjectOverflow}, trials, 3, 0, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -195,7 +201,8 @@ func TestFaultInjectionOverflow(t *testing.T) {
 // --- §7.3 Squid real fault ---
 
 func TestSquidRealFault(t *testing.T) {
-	results, err := RunSquidExperiment([]string{KindMalloc, KindGC, KindDieHard}, 8, 900, 24<<20)
+	skipIfShort(t)
+	results, err := RunSquidExperiment([]string{KindMalloc, KindGC, KindDieHard}, 8, 900, 24<<20, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -217,7 +224,8 @@ func TestSquidRealFault(t *testing.T) {
 // --- Figure 5 shape ---
 
 func TestFigure5aShape(t *testing.T) {
-	report, err := RunOverhead(PlatformLinux, 1, 0, 0x5a5a)
+	skipIfShort(t)
+	report, err := RunOverhead(PlatformLinux, 1, 0, 0x5a5a, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -254,7 +262,8 @@ func TestFigure5aShape(t *testing.T) {
 }
 
 func TestFigure5bShape(t *testing.T) {
-	report, err := RunOverhead(PlatformWindows, 1, 0, 0xb0b0)
+	skipIfShort(t)
+	report, err := RunOverhead(PlatformWindows, 1, 0, 0xb0b0, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -279,6 +288,7 @@ func TestFigure5bShape(t *testing.T) {
 // --- §7.2.3 replicated scaling ---
 
 func TestReplicatedScaling(t *testing.T) {
+	skipIfShort(t)
 	points, err := RunReplicatedScaling("espresso", []int{1, 16}, 1, 12<<20, 0xca1e)
 	if err != nil {
 		t.Fatal(err)
@@ -339,6 +349,7 @@ func TestGeoMean(t *testing.T) {
 // --- §5 end to end: real workloads under replication ---
 
 func TestAppsAgreeUnderReplication(t *testing.T) {
+	skipIfShort(t)
 	// Deterministic applications produce identical output in every
 	// replica despite fully randomized, randomly-filled heaps; the
 	// voter commits unanimously.
@@ -392,5 +403,14 @@ func TestEmpiricalValidatorErrors(t *testing.T) {
 	}
 	if _, err := EmpiricalOverflowMask(0, 1, 10, 3<<20, 1); err == nil {
 		t.Fatal("zero fullness accepted")
+	}
+}
+
+// skipIfShort skips the long statistical reproductions in -short mode;
+// the race-detector CI job uses it to focus on the concurrency tests.
+func skipIfShort(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("statistical reproduction skipped in short mode")
 	}
 }

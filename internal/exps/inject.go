@@ -71,15 +71,35 @@ func (r *InjectionResult) Failures() int { return r.Trials - r.Correct }
 // injected runs did).
 const injectionWorkLimit = 40_000_000
 
+// injectionSeedBase keys the per-trial seed derivation of the injection
+// campaigns (DeriveSeed); recorded so any single trial can be replayed
+// from its index.
+const injectionSeedBase = 0x7E57AB1E
+
+// trialOutcome classifies one injected run.
+type trialOutcome uint8
+
+const (
+	trialCorrect trialOutcome = iota
+	trialCrashed
+	trialWrongOutput
+	trialHung
+)
+
 // RunFaultInjection reproduces §7.3.1 for one application and allocator:
 // a tracing run collects the allocation log, a plan draws the faults,
 // and `trials` injected runs are classified against the clean run's
-// output.
-func RunFaultInjection(appName, allocKind string, params InjectionParams, trials, scale, heapSize int) (*InjectionResult, error) {
+// output. Trials are independent — every trial's allocator seed and
+// fault plan derive from the trial index — and fan out across `workers`
+// goroutines; the aggregated result is identical for any worker count.
+func RunFaultInjection(appName, allocKind string, params InjectionParams, trials, scale, heapSize, workers int) (*InjectionResult, error) {
 	params.defaults()
 	app, ok := apps.Get(appName)
 	if !ok {
 		return nil, fmt.Errorf("exps: unknown app %q", appName)
+	}
+	if params.Kind != InjectDangling && params.Kind != InjectOverflow {
+		return nil, fmt.Errorf("exps: unknown injection kind %q", params.Kind)
 	}
 	input := app.Input(scale)
 
@@ -101,40 +121,62 @@ func RunFaultInjection(appName, allocKind string, params InjectionParams, trials
 		return nil, fmt.Errorf("clean reference run failed: %w", err)
 	}
 	reference := refOut.String()
+	trace := tracer.Trace()
 
-	res := &InjectionResult{Trials: trials}
-	for trial := 0; trial < trials; trial++ {
-		seed := uint64(trial)*2654435761 + 17
+	type trialResult struct {
+		outcome  trialOutcome
+		injected int
+	}
+	results, err := mapTrials(trials, workers, func(trial int) (trialResult, error) {
+		seed := DeriveSeed(injectionSeedBase, trial)
 		base, err := newAlloc(seed)
 		if err != nil {
-			return nil, err
+			return trialResult{}, err
 		}
 		var alloc heap.Allocator
+		injected := func() int { return 0 }
 		switch params.Kind {
 		case InjectDangling:
-			plan := fault.PlanDangling(tracer.Trace(), params.Freq, params.Distance, seed)
-			inj := fault.NewDanglingInjector(base, plan)
-			alloc = inj
-			res.Injected += plan.Injected
+			plan := fault.PlanDangling(trace, params.Freq, params.Distance, seed)
+			alloc = fault.NewDanglingInjector(base, plan)
+			injected = func() int { return plan.Injected }
 		case InjectOverflow:
 			inj := fault.NewOverflowInjector(base, params.Rate, params.MinSize, params.Delta, seed)
 			alloc = inj
-			defer func() { res.Injected += inj.Injected }()
-		default:
-			return nil, fmt.Errorf("exps: unknown injection kind %q", params.Kind)
+			injected = func() int { return inj.Injected }
 		}
 		var out bytes.Buffer
 		runRT := &apps.Runtime{Alloc: alloc, Mem: base.Mem(), Input: input, Out: &out, WorkLimit: injectionWorkLimit}
-		err = app.Run(runRT)
+		runErr := app.Run(runRT)
+		r := trialResult{injected: injected()}
 		switch {
-		case err == apps.ErrHang:
-			res.Hung++
-		case err != nil:
-			res.Crashed++
+		case runErr == apps.ErrHang:
+			r.outcome = trialHung
+		case runErr != nil:
+			r.outcome = trialCrashed
 		case out.String() != reference:
-			res.WrongOutput++
+			r.outcome = trialWrongOutput
 		default:
+			r.outcome = trialCorrect
+		}
+		return r, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &InjectionResult{Trials: trials}
+	for _, r := range results {
+		res.Injected += r.injected
+		switch r.outcome {
+		case trialCorrect:
 			res.Correct++
+		case trialCrashed:
+			res.Crashed++
+		case trialWrongOutput:
+			res.WrongOutput++
+		case trialHung:
+			res.Hung++
 		}
 	}
 	return res, nil
@@ -151,25 +193,34 @@ type SquidResult struct {
 // RunSquidExperiment reproduces the §7.3 "Real Faults" study: the buggy
 // web cache is fed the ill-formed input under each allocator. The
 // GNU-libc and BDW baselines crash; DieHard survives (probabilistically,
-// hence multiple seeded trials).
-func RunSquidExperiment(allocKinds []string, trials, requests, heapSize int) ([]SquidResult, error) {
+// hence multiple seeded trials). The (allocator, trial) grid fans out
+// across the campaign worker pool with per-trial derived seeds.
+func RunSquidExperiment(allocKinds []string, trials, requests, heapSize, workers int) ([]SquidResult, error) {
 	input := squid.IllFormedInput(requests)
+	survived, err := mapTrials(len(allocKinds)*trials, workers, func(i int) (bool, error) {
+		kind := allocKinds[i/trials]
+		trial := i % trials
+		alloc, err := NewAllocator(AllocConfig{
+			Kind: kind, HeapSize: heapSize, Seed: DeriveSeed(0x5001D, trial),
+		})
+		if err != nil {
+			return false, err
+		}
+		var out bytes.Buffer
+		rt := &apps.Runtime{Alloc: alloc, Mem: alloc.Mem(), Input: input, Out: &out, WorkLimit: injectionWorkLimit}
+		return squid.Run(rt, squid.Options{}) == nil, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	var results []SquidResult
-	for _, kind := range allocKinds {
+	for k, kind := range allocKinds {
 		r := SquidResult{Allocator: kind, Trials: trials}
-		for trial := 0; trial < trials; trial++ {
-			alloc, err := NewAllocator(AllocConfig{
-				Kind: kind, HeapSize: heapSize, Seed: uint64(trial + 1),
-			})
-			if err != nil {
-				return nil, err
-			}
-			var out bytes.Buffer
-			rt := &apps.Runtime{Alloc: alloc, Mem: alloc.Mem(), Input: input, Out: &out, WorkLimit: injectionWorkLimit}
-			if err := squid.Run(rt, squid.Options{}); err != nil {
-				r.Crashed++
-			} else {
+		for t := 0; t < trials; t++ {
+			if survived[k*trials+t] {
 				r.Survived++
+			} else {
+				r.Crashed++
 			}
 		}
 		results = append(results, r)

@@ -55,15 +55,58 @@ type OverheadReport struct {
 // (DESIGN.md §6), with the simulated TLB enabled. The paper's default
 // configuration is used for DieHard (384 MB heap, M = 2) and the same
 // arena budget for the baselines.
-func RunOverhead(platform Platform, scale, heapSize int, seed uint64) (*OverheadReport, error) {
+//
+// The (benchmark, allocator) grid fans out across `workers` goroutines;
+// each run owns its allocator and space, so the modeled cycle counts —
+// and therefore the normalized figures — are identical for any worker
+// count. Wall times remain what they are: host measurements, noisy under
+// co-scheduling.
+func RunOverhead(platform Platform, scale, heapSize int, seed uint64, workers int) (*OverheadReport, error) {
 	if heapSize == 0 {
 		heapSize = 384 << 20
 	}
 	report := &OverheadReport{Platform: platform, GeoMean: make(map[string]float64)}
 	kinds := platform.Allocators()
 	baseline := kinds[0]
+	registry := apps.Registry()
 
-	for _, app := range apps.Registry() {
+	// One input per app, shared read-only by its cells across workers.
+	inputs := make([][]byte, len(registry))
+	for a, app := range registry {
+		inputs[a] = app.Input(scale)
+	}
+
+	type cellResult struct {
+		cycles    uint64
+		wall      time.Duration
+		tlbMisses uint64
+	}
+	cells, err := mapTrials(len(registry)*len(kinds), workers, func(i int) (cellResult, error) {
+		app := registry[i/len(kinds)]
+		kind := kinds[i%len(kinds)]
+		alloc, err := NewAllocator(AllocConfig{
+			Kind: kind, HeapSize: heapSize, Seed: seed, EnableTLB: true,
+		})
+		if err != nil {
+			return cellResult{}, err
+		}
+		var out bytes.Buffer
+		rt := &apps.Runtime{Alloc: alloc, Mem: alloc.Mem(), Input: inputs[i/len(kinds)], Out: &out}
+		start := time.Now()
+		if err := app.Run(rt); err != nil {
+			return cellResult{}, fmt.Errorf("%s on %s: %w", app.Name, kind, err)
+		}
+		return cellResult{
+			cycles:    heap.Cycles(alloc.Mem(), alloc.Stats()),
+			wall:      time.Since(start),
+			tlbMisses: alloc.Mem().Stats().TLBMisses,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	for a, app := range registry {
 		row := OverheadRow{
 			Benchmark:  app.Name,
 			Kind:       app.Kind,
@@ -72,23 +115,11 @@ func RunOverhead(platform Platform, scale, heapSize int, seed uint64) (*Overhead
 			WallTime:   make(map[string]time.Duration),
 			TLBMisses:  make(map[string]uint64),
 		}
-		input := app.Input(scale)
-		for _, kind := range kinds {
-			alloc, err := NewAllocator(AllocConfig{
-				Kind: kind, HeapSize: heapSize, Seed: seed, EnableTLB: true,
-			})
-			if err != nil {
-				return nil, err
-			}
-			var out bytes.Buffer
-			rt := &apps.Runtime{Alloc: alloc, Mem: alloc.Mem(), Input: input, Out: &out}
-			start := time.Now()
-			if err := app.Run(rt); err != nil {
-				return nil, fmt.Errorf("%s on %s: %w", app.Name, kind, err)
-			}
-			row.WallTime[kind] = time.Since(start)
-			row.Cycles[kind] = heap.Cycles(alloc.Mem(), alloc.Stats())
-			row.TLBMisses[kind] = alloc.Mem().Stats().TLBMisses
+		for k, kind := range kinds {
+			cell := cells[a*len(kinds)+k]
+			row.Cycles[kind] = cell.cycles
+			row.WallTime[kind] = cell.wall
+			row.TLBMisses[kind] = cell.tlbMisses
 		}
 		for _, kind := range kinds {
 			row.Normalized[kind] = float64(row.Cycles[kind]) / float64(row.Cycles[baseline])

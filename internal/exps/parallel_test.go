@@ -1,0 +1,117 @@
+package exps
+
+import (
+	"errors"
+	"reflect"
+	"sync/atomic"
+	"testing"
+)
+
+// Determinism tests for the parallel campaign engine (DESIGN.md §7):
+// fanning a campaign across workers must not change a single byte of its
+// result, because every trial's randomness derives from its trial index
+// and results are reduced in index order.
+
+func TestErrorTableParallelDeterminism(t *testing.T) {
+	skipIfShort(t)
+	seq, err := RunErrorTable(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunErrorTable(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("error table differs between workers=1 and workers=8:\nseq: %+v\npar: %+v", seq.Cell, par.Cell)
+	}
+}
+
+func TestInjectionParallelDeterminism(t *testing.T) {
+	params := InjectionParams{Kind: InjectDangling}
+	seq, err := RunFaultInjection("espresso", KindDieHard, params, 8, 1, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunFaultInjection("espresso", KindDieHard, params, 8, 1, 0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("injection campaign differs between workers=1 and workers=8:\nseq: %+v\npar: %+v", seq, par)
+	}
+}
+
+func TestSquidParallelDeterminism(t *testing.T) {
+	kinds := []string{KindMalloc, KindDieHard}
+	seq, err := RunSquidExperiment(kinds, 4, 300, 24<<20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunSquidExperiment(kinds, 4, 300, 24<<20, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("squid campaign differs between workers=1 and workers=8:\nseq: %+v\npar: %+v", seq, par)
+	}
+}
+
+func TestDeriveSeed(t *testing.T) {
+	if DeriveSeed(1, 0) != DeriveSeed(1, 0) {
+		t.Fatal("DeriveSeed not deterministic")
+	}
+	if DeriveSeed(1, 0) == DeriveSeed(1, 1) || DeriveSeed(1, 0) == DeriveSeed(2, 0) {
+		t.Fatal("DeriveSeed collides on adjacent inputs")
+	}
+	seen := map[uint64]bool{}
+	for i := 0; i < 10000; i++ {
+		s := DeriveSeed(0, i)
+		if s == 0 {
+			t.Fatal("DeriveSeed produced 0, which would draw entropy downstream")
+		}
+		if seen[s] {
+			t.Fatal("DeriveSeed collision within one campaign")
+		}
+		seen[s] = true
+	}
+}
+
+func TestMapTrialsOrderAndErrors(t *testing.T) {
+	// Results land by index regardless of claim order.
+	got, err := mapTrials(100, 8, func(i int) (int, error) { return i * i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("result %d = %d, want %d", i, v, i*i)
+		}
+	}
+	// First error wins and cancels the rest.
+	boom := errors.New("boom")
+	var ran atomic.Int64
+	_, err = mapTrials(1000, 4, func(i int) (int, error) {
+		ran.Add(1)
+		if i == 3 {
+			return 0, boom
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if n := ran.Load(); n == 1000 {
+		t.Error("error did not cancel remaining trials")
+	}
+	// Degenerate inputs.
+	if r, err := mapTrials(0, 4, func(i int) (int, error) { return 0, nil }); err != nil || len(r) != 0 {
+		t.Fatalf("empty campaign: %v %v", r, err)
+	}
+	if w := Workers(0); w < 1 {
+		t.Fatalf("Workers(0) = %d", w)
+	}
+	if w := Workers(3); w != 3 {
+		t.Fatalf("Workers(3) = %d", w)
+	}
+}

@@ -13,6 +13,7 @@ package heap
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"diehard/internal/vmem"
 )
@@ -162,6 +163,32 @@ func CountMalloc(st *Stats, size, rounded int) { countMalloc(st, size, rounded) 
 // CountFree is exported for allocator implementations in sibling
 // packages.
 func CountFree(st *Stats, rounded int) { countFree(st, rounded) }
+
+// CountMallocAtomic is CountMalloc for goroutine-safe allocators: every
+// counter update is atomic, and the live-bytes high-water mark is
+// maintained with a CAS loop. The single-goroutine baselines keep the
+// unsynchronized CountMalloc; only allocators that admit concurrent
+// mallocs pay for atomics.
+func CountMallocAtomic(st *Stats, size, rounded int) {
+	atomic.AddUint64(&st.Mallocs, 1)
+	atomic.AddUint64(&st.BytesRequested, uint64(size))
+	atomic.AddUint64(&st.BytesAllocated, uint64(rounded))
+	atomic.AddUint64(&st.LiveObjects, 1)
+	live := atomic.AddUint64(&st.LiveBytes, uint64(rounded))
+	for {
+		peak := atomic.LoadUint64(&st.PeakLiveBytes)
+		if live <= peak || atomic.CompareAndSwapUint64(&st.PeakLiveBytes, peak, live) {
+			return
+		}
+	}
+}
+
+// CountFreeAtomic is CountFree for goroutine-safe allocators.
+func CountFreeAtomic(st *Stats, rounded int) {
+	atomic.AddUint64(&st.Frees, 1)
+	atomic.AddUint64(&st.LiveObjects, ^uint64(0))
+	atomic.AddUint64(&st.LiveBytes, ^(uint64(rounded) - 1))
+}
 
 // Calloc allocates n objects of size bytes each and zeroes the memory,
 // like C's calloc.

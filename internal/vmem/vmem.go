@@ -18,6 +18,18 @@
 // which remain the bookkeeping source of truth for Map/Unmap/Protect
 // argument validation, but extents are never consulted on the access path.
 //
+// Concurrency (DESIGN.md §7): the access path is lock-free. The
+// directory, its leaves, and each page's backing frame are published
+// through atomic pointers, and each PTE's protection word is an atomic
+// — so goroutines may load and store through a Space concurrently with
+// each other and with mapping operations. Map, Unmap, Protect, and
+// first-touch page instantiation serialize on an internal mutex, exactly
+// as a kernel serializes address-space mutation while leaving the TLB
+// fill path unlocked. Per-access statistics default to unsynchronized
+// counters (single-goroutine accessors, the experiment trials); spaces
+// accessed from several goroutines opt into atomic or disabled counting
+// via SetStatsMode.
+//
 // The Space also models two performance-relevant mechanisms the paper
 // discusses: lazy page instantiation (reserved but untouched DieHard
 // partitions consume no memory, §4.5) and a small TLB (the source of the
@@ -33,6 +45,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 )
 
 // PageSize is the size of a simulated page in bytes, matching the x86
@@ -49,10 +63,26 @@ const (
 	leafSlots = 1 << leafBits
 	leafMask  = leafSlots - 1
 
+	// dirBits is the span of the first radix level. The directory is a
+	// fixed array embedded in the Space — exactly a hardware table root —
+	// so lock-free translation needs no directory-growth publication:
+	// one bounds compare against a constant, then an atomic leaf load.
+	// 2^15 leaves x 2 MB = 64 GB of simulated address space per Space.
+	dirBits  = 15
+	dirSlots = 1 << dirBits
+
+	// maxAddr bounds Map: the highest simulated address + 1.
+	maxAddr = uint64(dirSlots) << (leafBits + pageShift)
+
 	// slabPages is the number of page frames carved from one backing
 	// arena chunk (1 MB per chunk).
 	slabPages = 256
 )
+
+// frame is a page's backing store. Frames are published into PTEs via
+// atomic pointers, so a whole page becomes visible to lock-free readers
+// in one store.
+type frame = [PageSize]byte
 
 // Prot describes the access permissions of a mapped page.
 type Prot uint8
@@ -121,7 +151,9 @@ func (f *Fault) Error() string {
 
 // Stats counts memory-system events. Loads and Stores count accesses
 // (word-granularity for bulk operations); TLB counters are only meaningful
-// when the TLB is enabled.
+// when the TLB is enabled. Under StatsShared the counters are updated
+// atomically; read them only after the accessing goroutines have been
+// joined (or via atomic loads).
 type Stats struct {
 	Loads       uint64
 	Stores      uint64
@@ -137,14 +169,38 @@ type Stats struct {
 // Accesses returns the total number of loads and stores.
 func (s *Stats) Accesses() uint64 { return s.Loads + s.Stores }
 
-// pte is a page-table entry. mapped distinguishes a reserved page from a
-// hole; data stays nil until the page is first accessed (lazy
-// instantiation, §4.5), at which point it aliases a frame in one of the
-// backing arenas.
+// StatsMode selects how per-access counters (Loads, Stores) are
+// maintained; see SetStatsMode.
+type StatsMode uint8
+
+const (
+	// StatsPrecise is the default: unsynchronized counters, correct when
+	// each access sequence is confined to one goroutine at a time (the
+	// experiment trials, the replicated runtime's per-replica spaces).
+	StatsPrecise StatsMode = iota
+	// StatsShared counts accesses with atomic adds: exact under
+	// concurrent access, at the cost of one atomic per counted access.
+	StatsShared
+	// StatsOff disables per-access counting entirely: the fastest mode
+	// for concurrent throughput work where counts are not needed.
+	// Mapping counters (PagesMapped, PagesDirty, Faults) still update.
+	StatsOff
+)
+
+// pteMapped marks a reserved page in a PTE's meta word, distinguishing a
+// mapped-but-inaccessible page (ProtNone guard) from a hole.
+const pteMapped = 1 << 2
+
+// pte is a page-table entry. meta packs the protection bits and the
+// mapped flag into one atomic word, the analog of a hardware PTE's
+// permission bits; frame stays nil until the page is first accessed
+// (lazy instantiation, §4.5), at which point it is atomically published.
+// Lock-free readers load meta and frame independently; every observable
+// interleaving corresponds to a legal serialization of the concurrent
+// mapping operations.
 type pte struct {
-	data   []byte
-	prot   Prot
-	mapped bool
+	frame atomic.Pointer[frame]
+	meta  atomic.Uint32
 }
 
 // leaf is the second radix level: a fixed array of page-table entries.
@@ -174,7 +230,8 @@ const (
 // two levels. It is allocated only when EnableTLB is called. Residency
 // is tracked in a dense per-page bitmask (bit 0: first level, bit 1:
 // second level) so the per-access membership test is one array load;
-// the FIFO rings record insertion order for eviction.
+// the FIFO rings record insertion order for eviction. TLB simulation is
+// inherently sequential state; it is accounted only under StatsPrecise.
 type tlbState struct {
 	present  []uint8
 	tlbRing  [tlbSize]uint64
@@ -196,26 +253,40 @@ func (t *tlbState) slot(pn uint64) *uint8 {
 	return &t.present[pn]
 }
 
-// Space is a simulated virtual address space. It is not safe for
-// concurrent use; each simulated process (replica) owns its own Space.
+// Space is a simulated virtual address space. Loads, stores, and the bulk
+// operations are safe for concurrent use by multiple goroutines (choose a
+// stats mode accordingly); Map, Unmap, and Protect serialize internally
+// and their effects are visible to accesses that happen after them.
+// Configuration calls (EnableTLB, SetPageFiller, AddAccessHook,
+// SetStatsMode) must precede concurrent use.
 type Space struct {
-	dir     []*leaf  // first radix level, indexed by pageNumber >> leafBits
-	extents []extent // sorted by start, non-overlapping
-	next    uint64   // next free virtual address for Map
+	// mu serializes address-space mutation: Map/Unmap/Protect, extent
+	// bookkeeping, slab carving, and first-touch instantiation.
+	mu      sync.Mutex
+	extents []extent // sorted by start, non-overlapping; under mu
+	next    uint64   // next free virtual address for Map; under mu
 	stats   Stats
-	filler  func([]byte) // optional initializer for fresh page contents
+	mode    StatsMode
+	filler  func([]byte) // optional initializer for fresh page contents; under mu
 
 	// Slab allocation of page frames: fresh frames are carved from
 	// arena; frames released by Unmap are recycled through freeFrames.
+	// All under mu.
 	arena      []byte
 	arenaOff   int
-	freeFrames [][]byte
+	freeFrames []*frame
 
 	// accessHook, when non-nil, is invoked with the page number of every
 	// successful translation, after TLB accounting. Runs without a hook
 	// and without the TLB pay two predictable nil checks.
 	accessHook func(pn uint64)
 	tlb        *tlbState
+
+	// dir is the first radix level: leaf pointers are published with
+	// atomic stores under mu and read lock-free on every access. The
+	// fixed array keeps the translation chain as short as a mutable
+	// slice field while making publication a single atomic store.
+	dir [dirSlots]atomic.Pointer[leaf]
 }
 
 // NewSpace returns an empty address space. Address 0 is never mapped, so 0
@@ -227,10 +298,19 @@ func NewSpace() *Space {
 	}
 }
 
+// SetStatsMode selects how per-access counters are maintained. The
+// default, StatsPrecise, is exact and free of synchronization but assumes
+// accesses are not concurrent with each other; spaces accessed by several
+// goroutines at once use StatsShared (atomic, exact) or StatsOff
+// (uncounted). Must be called before the space is shared. TLB accounting
+// only runs under StatsPrecise.
+func (s *Space) SetStatsMode(m StatsMode) { s.mode = m }
+
 // AddAccessHook chains an accounting function invoked with the page
 // number of every successful translation, after any hooks installed
 // earlier (and after TLB accounting, which uses a direct call). Runs
-// that install no hook pay nothing on the access path.
+// that install no hook pay nothing on the access path. Hooks run on the
+// accessing goroutine, outside the space mutex.
 func (s *Space) AddAccessHook(fn func(pageNumber uint64)) {
 	if prev := s.accessHook; prev != nil {
 		s.accessHook = func(pn uint64) { prev(pn); fn(pn) }
@@ -241,6 +321,8 @@ func (s *Space) AddAccessHook(fn func(pageNumber uint64)) {
 
 // EnableTLB turns on TLB simulation. Subsequent accesses count hits and
 // misses against a 64-entry FIFO TLB backed by a 1024-entry second level.
+// The TLB models a single hardware context and is accounted only under
+// StatsPrecise (single-goroutine access).
 func (s *Space) EnableTLB() {
 	if s.tlb != nil {
 		return
@@ -252,11 +334,15 @@ func (s *Space) EnableTLB() {
 // store before first use. DieHard's replicated mode uses this to realize
 // §4.1's "fill the heap with random values" lazily: every page a replica
 // ever observes is pre-filled from that replica's private random stream.
-// A nil filler restores zero-fill.
+// A nil filler restores zero-fill. The filler runs under the space
+// mutex, so invocations never overlap, but their order across pages
+// follows first-touch order, which is scheduling-dependent when several
+// goroutines share the space.
 func (s *Space) SetPageFiller(fill func([]byte)) { s.filler = fill }
 
 // Stats returns a pointer to the space's counters. The counters are
-// updated in place by every access.
+// updated in place by every access; under concurrent access, read them
+// only at quiescence.
 func (s *Space) Stats() *Stats { return &s.stats }
 
 // PageGranularBulk marks this memory's bulk operations as page-granular:
@@ -267,45 +353,66 @@ func (s *Space) Stats() *Stats { return &s.stats }
 // must not implement it.
 func (s *Space) PageGranularBulk() {}
 
+// countLoads and countStores account word-granularity accesses in the
+// selected stats mode. The precise branch is the hot default.
+func (s *Space) countLoads(n uint64) {
+	if s.mode == StatsPrecise {
+		s.stats.Loads += n
+	} else if s.mode == StatsShared {
+		atomic.AddUint64(&s.stats.Loads, n)
+	}
+}
+
+func (s *Space) countStores(n uint64) {
+	if s.mode == StatsPrecise {
+		s.stats.Stores += n
+	} else if s.mode == StatsShared {
+		atomic.AddUint64(&s.stats.Stores, n)
+	}
+}
+
+// countFault accounts a fault. Faults are off the hot path and may be
+// raised concurrently, so they are always counted atomically.
+func (s *Space) countFault() { atomic.AddUint64(&s.stats.Faults, 1) }
+
 // lookup returns the page-table entry for a page number, or nil when no
-// leaf covers it. The returned entry may still be unmapped.
+// leaf covers it. The returned entry may still be unmapped. Lock-free.
 func (s *Space) lookup(pn uint64) *pte {
-	di := pn >> leafBits
-	if di < uint64(len(s.dir)) {
-		if l := s.dir[di]; l != nil {
+	if di := pn >> leafBits; di < dirSlots {
+		if l := s.dir[di].Load(); l != nil {
 			return &l.ptes[pn&leafMask]
 		}
 	}
 	return nil
 }
 
-// ensureLeaf grows the directory to cover a page number and returns its
-// leaf, allocating it on demand.
+// ensureLeaf returns the leaf covering a page number, allocating and
+// publishing it on demand. Caller holds mu; readers observe the new
+// leaf through atomic loads.
 func (s *Space) ensureLeaf(pn uint64) *leaf {
 	di := pn >> leafBits
-	for uint64(len(s.dir)) <= di {
-		s.dir = append(s.dir, nil)
+	if l := s.dir[di].Load(); l != nil {
+		return l
 	}
-	if s.dir[di] == nil {
-		s.dir[di] = new(leaf)
-	}
-	return s.dir[di]
+	l := new(leaf)
+	s.dir[di].Store(l)
+	return l
 }
 
 // allocFrame returns a zeroed page frame, recycling frames released by
-// Unmap and otherwise carving them from 1 MB slab arenas.
-func (s *Space) allocFrame() []byte {
+// Unmap and otherwise carving them from 1 MB slab arenas. Caller holds mu.
+func (s *Space) allocFrame() *frame {
 	if n := len(s.freeFrames); n > 0 {
 		f := s.freeFrames[n-1]
 		s.freeFrames = s.freeFrames[:n-1]
-		clear(f)
+		clear(f[:])
 		return f
 	}
 	if s.arenaOff == len(s.arena) {
 		s.arena = make([]byte, slabPages*PageSize)
 		s.arenaOff = 0
 	}
-	f := s.arena[s.arenaOff : s.arenaOff+PageSize : s.arenaOff+PageSize]
+	f := (*frame)(s.arena[s.arenaOff : s.arenaOff+PageSize])
 	s.arenaOff += PageSize
 	return f
 }
@@ -320,13 +427,18 @@ func (s *Space) Map(n int, prot Prot) (uint64, error) {
 	if n <= 0 {
 		return 0, fmt.Errorf("vmem: Map size %d must be positive", n)
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	npages := uint64((n + PageSize - 1) / PageSize)
 	base := s.next
+	if base+(npages+1)*PageSize > maxAddr {
+		return 0, fmt.Errorf("vmem: address space exhausted (%d pages requested at %#x)", npages, base)
+	}
 	s.extents = append(s.extents, extent{start: base, end: base + npages*PageSize, prot: prot})
 	s.next = base + (npages+1)*PageSize // +1: unmapped hole
 	for pn := base >> pageShift; pn < (base>>pageShift)+npages; pn++ {
 		l := s.ensureLeaf(pn)
-		l.ptes[pn&leafMask] = pte{prot: prot, mapped: true}
+		l.ptes[pn&leafMask].meta.Store(uint32(prot) | pteMapped)
 	}
 	s.stats.PagesMapped += npages
 	if s.stats.PagesMapped > s.stats.PagesPeak {
@@ -358,6 +470,7 @@ func (s *Space) MapGuarded(n int) (uint64, error) {
 }
 
 // findExtent returns the index of the extent containing addr, or -1.
+// Caller holds mu.
 func (s *Space) findExtent(addr uint64) int {
 	i := sort.Search(len(s.extents), func(i int) bool { return s.extents[i].end > addr })
 	if i < len(s.extents) && s.extents[i].start <= addr {
@@ -368,7 +481,7 @@ func (s *Space) findExtent(addr uint64) int {
 
 // carve splits extents so that [addr, addr+bytes) is covered exactly by a
 // run of whole extents, returning the index range [lo, hi) of that run.
-// It fails if any page in the range is unmapped.
+// It fails if any page in the range is unmapped. Caller holds mu.
 func (s *Space) carve(addr, bytes uint64) (lo, hi int, err error) {
 	end := addr + bytes
 	// Verify full coverage first so failures have no side effects.
@@ -402,25 +515,31 @@ func (s *Space) carve(addr, bytes uint64) (lo, hi int, err error) {
 
 // Unmap removes the mapping for [addr, addr+n). addr must be page-aligned
 // and the whole range must be mapped; otherwise a *Fault is returned and
-// nothing is unmapped.
+// nothing is unmapped. An access racing with Unmap of the same range
+// either completes before it or faults after it, as on real hardware;
+// racing on memory being unmapped is a bug in the simulated program.
 func (s *Space) Unmap(addr uint64, n int) error {
 	if addr%PageSize != 0 || n <= 0 {
 		return &Fault{Addr: addr, Kind: AccessFree, Reason: "unaligned or empty unmap"}
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	bytes := uint64((n+PageSize-1)/PageSize) * PageSize
 	lo, hi, err := s.carve(addr, bytes)
 	if err != nil {
-		s.stats.Faults++
+		s.countFault()
 		return err
 	}
 	s.extents = append(s.extents[:lo], s.extents[hi:]...)
 	for pn := addr >> pageShift; pn < (addr+bytes)>>pageShift; pn++ {
 		p := s.lookup(pn)
-		if p.data != nil {
-			s.freeFrames = append(s.freeFrames, p.data)
-			s.stats.PagesDirty--
+		// Revoke the translation before recycling the frame so lock-free
+		// readers that re-walk see the hole first.
+		p.meta.Store(0)
+		if f := p.frame.Swap(nil); f != nil {
+			s.freeFrames = append(s.freeFrames, f)
+			atomic.AddUint64(&s.stats.PagesDirty, ^uint64(0))
 		}
-		*p = pte{}
 	}
 	s.stats.PagesMapped -= bytes / PageSize
 	return nil
@@ -433,17 +552,19 @@ func (s *Space) Protect(addr uint64, n int, prot Prot) error {
 	if addr%PageSize != 0 || n <= 0 {
 		return &Fault{Addr: addr, Kind: AccessFree, Reason: "unaligned or empty protect"}
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	bytes := uint64((n+PageSize-1)/PageSize) * PageSize
 	lo, hi, err := s.carve(addr, bytes)
 	if err != nil {
-		s.stats.Faults++
+		s.countFault()
 		return err
 	}
 	for i := lo; i < hi; i++ {
 		s.extents[i].prot = prot
 	}
 	for pn := addr >> pageShift; pn < (addr+bytes)>>pageShift; pn++ {
-		s.lookup(pn).prot = prot
+		s.lookup(pn).meta.Store(uint32(prot) | pteMapped)
 	}
 	return nil
 }
@@ -452,29 +573,34 @@ func (s *Space) Protect(addr uint64, n int, prot Prot) error {
 // protection).
 func (s *Space) Mapped(addr uint64) bool {
 	p := s.lookup(addr >> pageShift)
-	return p != nil && p.mapped
+	return p != nil && p.meta.Load()&pteMapped != 0
 }
 
 // translate resolves an access: a two-level radix walk plus a protection
-// mask test. The fast path covers instantiated pages with sufficient
-// permissions; everything else (faults, lazy instantiation) takes
-// translateSlow. It returns the page's backing frame and the offset
-// within it. kind must be AccessLoad or AccessStore.
+// mask test, all through atomic loads — the lock-free fast path covers
+// instantiated pages with sufficient permissions. Everything else
+// (faults, lazy instantiation) takes translateSlow, which serializes on
+// the space mutex. It returns the page's backing frame — as a slice, so
+// callers skip the array-pointer nil check, which would touch the
+// frame's first cache line on every access — and the offset within it.
+// kind must be AccessLoad or AccessStore.
 func (s *Space) translate(addr uint64, kind AccessKind) ([]byte, uint64, error) {
 	pn := addr >> pageShift
-	if di := pn >> leafBits; di < uint64(len(s.dir)) {
-		if l := s.dir[di]; l != nil {
+	if di := pn >> leafBits; di < dirSlots {
+		if l := s.dir[di].Load(); l != nil {
 			p := &l.ptes[pn&leafMask]
 			// The permission bit for AccessLoad (0) is ProtRead, for
 			// AccessStore (1) ProtWrite = ProtRead<<1.
-			if p.data != nil && p.prot&(ProtRead<<kind) != 0 {
-				if s.tlb != nil {
-					s.tlbTouch(pn)
+			if p.meta.Load()&(uint32(ProtRead)<<kind) != 0 {
+				if f := p.frame.Load(); f != nil {
+					if s.tlb != nil && s.mode == StatsPrecise {
+						s.tlbTouch(pn)
+					}
+					if s.accessHook != nil {
+						s.accessHook(pn)
+					}
+					return f[:], addr & offMask, nil
 				}
-				if s.accessHook != nil {
-					s.accessHook(pn)
-				}
-				return p.data, addr & offMask, nil
 			}
 		}
 	}
@@ -482,40 +608,49 @@ func (s *Space) translate(addr uint64, kind AccessKind) ([]byte, uint64, error) 
 }
 
 // translateSlow handles the cases the fast path rejects: unmapped pages,
-// protection violations, and first-touch instantiation.
+// protection violations, and first-touch instantiation. It re-walks
+// under the space mutex so instantiation races resolve to a single frame
+// and the page filler runs exactly once per page.
 func (s *Space) translateSlow(addr uint64, kind AccessKind) ([]byte, uint64, error) {
 	pn := addr >> pageShift
+	s.mu.Lock()
 	p := s.lookup(pn)
-	if p == nil || !p.mapped {
-		s.stats.Faults++
+	if p == nil || p.meta.Load()&pteMapped == 0 {
+		s.mu.Unlock()
+		s.countFault()
 		return nil, 0, &Fault{Addr: addr, Kind: kind, Reason: "unmapped address"}
 	}
-	need := ProtRead
+	meta := p.meta.Load()
+	need := uint32(ProtRead)
 	if kind == AccessStore {
-		need = ProtWrite
+		need = uint32(ProtWrite)
 	}
-	if p.prot&need == 0 {
-		s.stats.Faults++
+	if meta&need == 0 {
+		s.mu.Unlock()
+		s.countFault()
 		reason := "protection violation"
-		if p.prot == ProtNone {
+		if Prot(meta&^pteMapped) == ProtNone {
 			reason = "guard page"
 		}
 		return nil, 0, &Fault{Addr: addr, Kind: kind, Reason: reason}
 	}
-	if p.data == nil {
-		p.data = s.allocFrame()
+	f := p.frame.Load()
+	if f == nil {
+		f = s.allocFrame()
 		if s.filler != nil {
-			s.filler(p.data)
+			s.filler(f[:])
 		}
-		s.stats.PagesDirty++
+		p.frame.Store(f)
+		atomic.AddUint64(&s.stats.PagesDirty, 1)
 	}
-	if s.tlb != nil {
+	s.mu.Unlock()
+	if s.tlb != nil && s.mode == StatsPrecise {
 		s.tlbTouch(pn)
 	}
 	if s.accessHook != nil {
 		s.accessHook(pn)
 	}
-	return p.data, addr & offMask, nil
+	return f[:], addr & offMask, nil
 }
 
 func (s *Space) tlbTouch(pn uint64) {
@@ -556,7 +691,7 @@ func (s *Space) Load8(addr uint64) (byte, error) {
 	if err != nil {
 		return 0, err
 	}
-	s.stats.Loads++
+	s.countLoads(1)
 	return d[off], nil
 }
 
@@ -566,7 +701,7 @@ func (s *Space) Store8(addr uint64, v byte) error {
 	if err != nil {
 		return err
 	}
-	s.stats.Stores++
+	s.countStores(1)
 	d[off] = v
 	return nil
 }
@@ -579,7 +714,7 @@ func (s *Space) Load32(addr uint64) (uint32, error) {
 		if err != nil {
 			return 0, err
 		}
-		s.stats.Loads++
+		s.countLoads(1)
 		return binary.LittleEndian.Uint32(d[off:]), nil
 	}
 	var v uint32
@@ -600,7 +735,7 @@ func (s *Space) Store32(addr uint64, v uint32) error {
 		if err != nil {
 			return err
 		}
-		s.stats.Stores++
+		s.countStores(1)
 		binary.LittleEndian.PutUint32(d[off:], v)
 		return nil
 	}
@@ -619,7 +754,7 @@ func (s *Space) Load64(addr uint64) (uint64, error) {
 		if err != nil {
 			return 0, err
 		}
-		s.stats.Loads++
+		s.countLoads(1)
 		return binary.LittleEndian.Uint64(d[off:]), nil
 	}
 	var v uint64
@@ -640,7 +775,7 @@ func (s *Space) Store64(addr uint64, v uint64) error {
 		if err != nil {
 			return err
 		}
-		s.stats.Stores++
+		s.countStores(1)
 		binary.LittleEndian.PutUint64(d[off:], v)
 		return nil
 	}
@@ -663,7 +798,7 @@ func (s *Space) ReadBytes(addr uint64, b []byte) error {
 			return err
 		}
 		n := copy(b[read:], d[off:])
-		s.stats.Loads += uint64(n+7) / 8
+		s.countLoads(uint64(n+7) / 8)
 		read += n
 	}
 	return nil
@@ -678,7 +813,7 @@ func (s *Space) WriteBytes(addr uint64, b []byte) error {
 			return err
 		}
 		n := copy(d[off:], b[written:])
-		s.stats.Stores += uint64(n+7) / 8
+		s.countStores(uint64(n+7) / 8)
 		written += n
 	}
 	return nil
@@ -692,7 +827,7 @@ func (s *Space) Memset(addr uint64, v byte, n int) error {
 		if err != nil {
 			return err
 		}
-		chunk := len(d) - int(off)
+		chunk := PageSize - int(off)
 		if chunk > n-done {
 			chunk = n - done
 		}
@@ -700,7 +835,7 @@ func (s *Space) Memset(addr uint64, v byte, n int) error {
 		for i := range sl {
 			sl[i] = v
 		}
-		s.stats.Stores += uint64(chunk+7) / 8
+		s.countStores(uint64(chunk+7) / 8)
 		done += chunk
 	}
 	return nil
@@ -720,16 +855,16 @@ func (s *Space) FindByte(addr uint64, c byte, limit int) (int, bool, error) {
 		if err != nil {
 			return scanned, false, err
 		}
-		chunk := len(d) - int(off)
+		chunk := PageSize - int(off)
 		if chunk > limit-scanned {
 			chunk = limit - scanned
 		}
 		idx := bytes.IndexByte(d[off:int(off)+chunk], c)
 		if idx >= 0 {
-			s.stats.Loads += uint64(idx+1+7) / 8
+			s.countLoads(uint64(idx+1+7) / 8)
 			return scanned + idx, true, nil
 		}
-		s.stats.Loads += uint64(chunk+7) / 8
+		s.countLoads(uint64(chunk+7) / 8)
 		scanned += chunk
 	}
 	return scanned, false, nil
@@ -764,16 +899,16 @@ func (s *Space) MemMove(dst, src uint64, n int) error {
 			return err
 		}
 		chunk := n - copied
-		if c := len(sd) - int(soff); c < chunk {
+		if c := PageSize - int(soff); c < chunk {
 			chunk = c
 		}
-		if c := len(dd) - int(doff); c < chunk {
+		if c := PageSize - int(doff); c < chunk {
 			chunk = c
 		}
 		copy(dd[doff:int(doff)+chunk], sd[soff:int(soff)+chunk])
 		words := uint64(chunk+7) / 8
-		s.stats.Loads += words
-		s.stats.Stores += words
+		s.countLoads(words)
+		s.countStores(words)
 		copied += chunk
 	}
 	return nil
