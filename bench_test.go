@@ -184,7 +184,9 @@ func BenchmarkSquidRealFault(b *testing.B) {
 func BenchmarkReplicatedScaling16(b *testing.B) {
 	var relative float64
 	for i := 0; i < b.N; i++ {
-		points, err := exps.RunReplicatedScaling("espresso", []int{1, 16}, 1, 12<<20, 0xca1e)
+		// workers=1 so the two sweep points don't co-schedule and the
+		// wall ratio stays a scaling measurement.
+		points, err := exps.RunReplicatedScaling("espresso", []int{1, 16}, 1, 12<<20, 0xca1e, 1)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -22,6 +22,7 @@ import (
 	"diehard/internal/core"
 	"diehard/internal/exps"
 	"diehard/internal/heap"
+	"diehard/internal/replicate"
 	"diehard/internal/rng"
 	"diehard/internal/vmem"
 )
@@ -222,6 +223,61 @@ func main() {
 			fatal(err)
 		}
 		results[fmt.Sprintf("sharded_malloc_pair_64B_w%d", w)] = ns
+	}
+
+	// Replica voting, sequential barrier voter vs pipelined
+	// hash-then-vote (DESIGN.md §8): one deterministic program doing
+	// real heap work per 4 KB voting buffer, run at k=2/4/8 replicas
+	// under both engines. Recorded as total run nanoseconds; the
+	// committed output is byte-identical between engines by
+	// construction (internal/replicate TestPipelinedMatchesSequential).
+	{
+		const rounds = 32
+		prog := func(ctx *replicate.Context) error {
+			line := make([]byte, replicate.DefaultBufferSize)
+			for r := 0; r < rounds; r++ {
+				p, err := ctx.Alloc.Malloc(replicate.DefaultBufferSize)
+				if err != nil {
+					return err
+				}
+				if err := ctx.Mem.Memset(p, byte(r), replicate.DefaultBufferSize); err != nil {
+					return err
+				}
+				if err := ctx.Mem.ReadBytes(p, line); err != nil {
+					return err
+				}
+				if err := ctx.Alloc.Free(p); err != nil {
+					return err
+				}
+				if _, err := ctx.Out.Write(line); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		for _, k := range []int{2, 4, 8} {
+			for _, eng := range []struct {
+				name  string
+				voter replicate.VoterMode
+			}{
+				{"seq", replicate.VoterSequential},
+				{"pipe", replicate.VoterPipelined},
+			} {
+				start := time.Now()
+				res, err := replicate.Run(prog, nil, replicate.Options{
+					Replicas: k, HeapSize: 16 << 20, Seed: 0xd1e, Voter: eng.voter,
+				})
+				if err != nil {
+					fatal(err)
+				}
+				if res.Survivors != k || !res.Agreed {
+					fatal(fmt.Errorf("replicated bench k=%d %s: %d survivors, agreed=%v",
+						k, eng.name, res.Survivors, res.Agreed))
+				}
+				results[fmt.Sprintf("replicated_pipeline_%s_k%d", eng.name, k)] =
+					float64(time.Since(start).Nanoseconds())
+			}
+		}
 	}
 
 	// The Figure-6-style error-table campaign, sequential vs fanned out:

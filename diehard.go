@@ -170,6 +170,16 @@ type RunOptions struct {
 	// Seed fixes the per-replica seed derivation; 0 draws true
 	// randomness.
 	Seed uint64
+	// SequentialVoter selects the barrier-synchronized reference voter
+	// instead of the default pipelined hash-then-vote engine
+	// (DESIGN.md §8). Committed output is byte-identical either way;
+	// the sequential voter exists as the semantic reference and the
+	// baseline the pipelined engine is benchmarked against.
+	SequentialVoter bool
+	// PipelineDepth is how many 4 KB voting buffers a replica may run
+	// ahead of the voter before its writes block (pipelined voter
+	// only); 0 selects the default of 4.
+	PipelineDepth int
 }
 
 // Result reports a replicated execution: the voted output, whether
@@ -182,12 +192,24 @@ type Result = replicate.Result
 // output is committed only when replicas agree. A program whose output
 // depends on uninitialized memory is detected (Result.UninitSuspected)
 // and terminated.
+//
+// Voting is pipelined by default: replicas stream hash-tagged 4 KB
+// buffers and keep executing while the voter adjudicates, so a
+// replicated run is not barrier-stalled at every buffer boundary. Set
+// RunOptions.SequentialVoter for the paper's lock-step protocol; the
+// committed output is byte-identical between the two.
 func Run(prog Program, input []byte, opts RunOptions) (*Result, error) {
+	voter := replicate.VoterPipelined
+	if opts.SequentialVoter {
+		voter = replicate.VoterSequential
+	}
 	return replicate.Run(prog, input, replicate.Options{
-		Replicas: opts.Replicas,
-		HeapSize: opts.HeapSize,
-		M:        opts.M,
-		Seed:     opts.Seed,
+		Replicas:      opts.Replicas,
+		HeapSize:      opts.HeapSize,
+		M:             opts.M,
+		Seed:          opts.Seed,
+		Voter:         voter,
+		PipelineDepth: opts.PipelineDepth,
 	})
 }
 

@@ -1,6 +1,7 @@
 package diehard
 
 import (
+	"bytes"
 	"fmt"
 	"math"
 	"strings"
@@ -109,6 +110,34 @@ func TestPublicReplicatedRun(t *testing.T) {
 	}
 	if string(res.Output) != "replicated hello" || !res.Agreed {
 		t.Fatalf("%q %+v", res.Output, res)
+	}
+}
+
+func TestPublicVoterEnginesAgree(t *testing.T) {
+	// The facade exposes both voting engines; for the same seed they
+	// must commit identical bytes (DESIGN.md §8).
+	prog := func(ctx *Context) error {
+		for i := 0; i < 2000; i++ {
+			if _, err := fmt.Fprintf(ctx.Out, "line %04d\n", i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	pipe, err := Run(prog, nil, RunOptions{Replicas: 3, HeapSize: 12 << 20, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := Run(prog, nil, RunOptions{Replicas: 3, HeapSize: 12 << 20, Seed: 6, SequentialVoter: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(pipe.Output, seq.Output) || pipe.Rounds != seq.Rounds {
+		t.Fatalf("engines diverge: pipelined %d bytes/%d rounds, sequential %d bytes/%d rounds",
+			len(pipe.Output), pipe.Rounds, len(seq.Output), seq.Rounds)
+	}
+	if pipe.Rounds < 4 {
+		t.Fatalf("expected a multi-round run, got %d rounds", pipe.Rounds)
 	}
 }
 

@@ -1,24 +1,35 @@
 // Replicated-mode demo (§5): output voting across randomized replicas,
 // including the detection of an uninitialized read (§3.2).
 //
-// Two programs run under three replicas each. The first is correct:
-// every replica produces the same output despite completely different
-// heap layouts, and the voter commits it. The second reads memory it
-// never initialized; each replica's randomized fill gives it a
-// different value, no two replicas agree, and the runtime terminates
-// the computation — the error is detected rather than silently wrong.
+// Two programs run under -replicas replicas each (default 3). The first
+// is correct: every replica produces the same output despite completely
+// different heap layouts, and the pipelined voter commits it. The
+// second reads memory it never initialized; each replica's randomized
+// fill gives it a different value, no two replicas agree, and the
+// runtime terminates the computation — the error is detected rather
+// than silently wrong. A final §7.2.3-style sweep reruns an application
+// at several replica counts, fanning the sweep points across -workers
+// goroutines.
 //
 //	go run ./examples/replicated
+//	go run ./examples/replicated -replicas 5 -workers 4
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
 	"diehard"
+	"diehard/internal/exps"
 )
 
 func main() {
+	var (
+		replicas = flag.Int("replicas", 3, "replica count for the demos (1, or at least 3)")
+		workers  = flag.Int("workers", 1, "goroutines for the scaling sweep's points (0 = GOMAXPROCS); voted outputs are identical for any value")
+	)
+	flag.Parse()
 	// A correct program: builds a linked list in the simulated heap and
 	// sums it.
 	correct := func(ctx *diehard.Context) error {
@@ -53,7 +64,7 @@ func main() {
 		return err
 	}
 
-	res, err := diehard.Run(correct, nil, diehard.RunOptions{Replicas: 3, Seed: 7})
+	res, err := diehard.Run(correct, nil, diehard.RunOptions{Replicas: *replicas, Seed: 7})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -85,11 +96,31 @@ func main() {
 		return err
 	}
 
-	res, err = diehard.Run(buggy, nil, diehard.RunOptions{Replicas: 3, Seed: 8})
+	res, err = diehard.Run(buggy, nil, diehard.RunOptions{Replicas: *replicas, Seed: 8})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("\nbuggy program: uninitialized read detected = %v\n", res.UninitSuspected)
-	fmt.Println("(each replica filled the forgotten field with different random values,")
-	fmt.Println(" so no two replicas agreed and the voter terminated execution — §3.2)")
+	if res.UninitSuspected {
+		fmt.Println("(each replica filled the forgotten field with different random values,")
+		fmt.Println(" so no two replicas agreed and the voter terminated execution — §3.2)")
+	} else {
+		fmt.Println("(detection needs replicas to disagree; with -replicas 1 there is no")
+		fmt.Println(" one to disagree with, and the wrong result streams through — §6)")
+	}
+
+	// §7.2.3 in miniature: the same application at growing replica
+	// counts. The sweep points fan out across -workers goroutines on the
+	// campaign engine; each point's seed derives from its index, so the
+	// voted outputs (the hashes below) never depend on the worker count.
+	counts := []int{1, 2, *replicas}
+	points, err := exps.RunReplicatedScaling("espresso", counts, 1, 12<<20, 0xca1e, *workers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nreplicated scaling sweep (espresso, sweep workers=%d):\n", *workers)
+	for _, p := range points {
+		fmt.Printf("  k=%-3d wall=%-12v survivors=%-3d agreed=%-5v output-hash=%#016x\n",
+			p.Replicas, p.Wall.Round(1e6), p.Survivors, p.Agreed, p.OutputHash)
+	}
 }

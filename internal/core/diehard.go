@@ -570,7 +570,7 @@ func (h *Heap) Free(p heap.Ptr) error {
 			delete(h.large, p)
 			h.largeMu.Unlock()
 			h.addStat(&h.stats.WorkUnits, heap.WorkMmap)
-			h.countFree((lo.mapLength/vmem.PageSize-2)*vmem.PageSize)
+			h.countFree((lo.mapLength/vmem.PageSize - 2) * vmem.PageSize)
 			return nil
 		}
 		h.largeMu.Unlock()

@@ -11,12 +11,13 @@ import (
 
 // ShardedHeap is a Hoard-style scalable front end over N independent
 // DieHard heaps (Berger et al., ASPLOS 2000 lineage; here each per-shard
-// heap is a full randomized DieHard allocator). All shards allocate out
-// of one shared address space, so a pointer from any shard is usable
-// through Mem() like any other pointer, while the randomized metadata —
-// bitmaps, counters, probe streams — stays private per shard. Throughput
-// scales because concurrent mallocs land on different shards (and, within
-// a shard, on different size-class locks).
+// heap is a full randomized DieHard allocator) — the multi-worker
+// malloc path of the concurrency model (DESIGN.md §7). All shards
+// allocate out of one shared address space, so a pointer from any shard
+// is usable through Mem() like any other pointer, while the randomized
+// metadata — bitmaps, counters, probe streams — stays private per
+// shard. Throughput scales because concurrent mallocs land on different
+// shards (and, within a shard, on different size-class locks).
 //
 // DieHard's per-heap guarantees are preserved shard-wise: each shard is
 // its own M-expanded heap, so Theorem 1/2 masking probabilities hold for

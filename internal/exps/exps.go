@@ -1,7 +1,21 @@
 // Package exps is the experiment harness: every table and figure of the
 // paper's evaluation (§6-§7) has an entry point here that regenerates
-// its data on the simulated substrate. The cmd/ executables and the
-// repository-level benchmarks are thin wrappers over this package.
+// its data on the simulated substrate — the error-tolerance grid
+// (RunErrorTable, Table 1/Figure 6), targeted fault injection
+// (RunFaultInjection, §7.1), the Squid leak scenario
+// (RunSquidExperiment), the Figure 5 runtime grid (RunOverhead), and
+// the §7.2.3 replicated-scaling sweep (RunReplicatedScaling). The cmd/
+// executables and the repository-level benchmarks are thin wrappers
+// over this package.
+//
+// Every campaign is a fixed list of independent trials fanned across a
+// deterministic work-stealing pool (mapTrials): each trial's randomness
+// derives from the campaign seed and its trial index alone (DeriveSeed),
+// each trial owns its allocator and space, and results are reduced in
+// trial-index order — so every Run* function takes a workers parameter
+// and produces byte-identical results for any value of it (DESIGN.md
+// §7). Wall-clock fields are the exception: they are host measurements
+// and co-schedule when workers > 1.
 package exps
 
 import (

@@ -289,7 +289,9 @@ func TestFigure5bShape(t *testing.T) {
 
 func TestReplicatedScaling(t *testing.T) {
 	skipIfShort(t)
-	points, err := RunReplicatedScaling("espresso", []int{1, 16}, 1, 12<<20, 0xca1e)
+	// workers=1: the assertion below is about wall-clock ratios, which
+	// only mean something when the sweep points run one at a time.
+	points, err := RunReplicatedScaling("espresso", []int{1, 16}, 1, 12<<20, 0xca1e, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -311,7 +313,7 @@ func TestReplicatedScaling(t *testing.T) {
 }
 
 func TestReplicatedScalingRejectsLindsay(t *testing.T) {
-	if _, err := RunReplicatedScaling("lindsay", []int{1}, 1, 12<<20, 1); err == nil {
+	if _, err := RunReplicatedScaling("lindsay", []int{1}, 1, 12<<20, 1, 1); err == nil {
 		t.Fatal("lindsay must be rejected, as the paper excludes it")
 	}
 }

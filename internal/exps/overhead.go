@@ -3,6 +3,7 @@ package exps
 import (
 	"bytes"
 	"fmt"
+	"hash/fnv"
 	"time"
 
 	"diehard/internal/apps"
@@ -149,7 +150,16 @@ type ScalingPoint struct {
 	Wall      time.Duration
 	Survivors int
 	Agreed    bool
-	// RelativeToOne is wall time divided by the 1-replica wall time.
+	// Seed is the replicate master seed of this sweep point, derived
+	// from the campaign seed and the point index (DeriveSeed), so any
+	// point is replayable on its own.
+	Seed uint64
+	// OutputHash is 64-bit FNV-1a over the point's committed (voted)
+	// output: the deterministic fingerprint the workers=1-vs-N
+	// determinism tests compare.
+	OutputHash uint64
+	// RelativeToOne is wall time divided by the first point's wall time
+	// (campaigns conventionally put replicas=1 first).
 	RelativeToOne float64
 }
 
@@ -159,9 +169,16 @@ type ScalingPoint struct {
 // ratios. Replicas execute on separate goroutines, so the measurement
 // reflects the host's available parallelism, as the original did.
 //
+// The sweep points fan out across `workers` goroutines on the campaign
+// engine; each point's replicate seed derives from the campaign seed and
+// its index alone, so Survivors, Agreed, and OutputHash are identical
+// for any worker count. Wall times (and RelativeToOne) are host
+// measurements: with workers > 1 the points co-schedule and their wall
+// ratios lose meaning, so measure wall with workers = 1.
+//
 // lindsay is rejected: its uninitialized read makes replicas disagree,
 // which is exactly why the paper excludes it (§7.2.3).
-func RunReplicatedScaling(appName string, replicaCounts []int, scale, heapSize int, seed uint64) ([]ScalingPoint, error) {
+func RunReplicatedScaling(appName string, replicaCounts []int, scale, heapSize int, seed uint64, workers int) ([]ScalingPoint, error) {
 	if appName == "lindsay" {
 		return nil, fmt.Errorf("exps: lindsay cannot run replicated (uninitialized read); the paper excludes it too")
 	}
@@ -174,29 +191,33 @@ func RunReplicatedScaling(appName string, replicaCounts []int, scale, heapSize i
 		rt := &apps.Runtime{Alloc: ctx.Alloc, Mem: ctx.Mem, Input: ctx.Input, Out: ctx.Out}
 		return app.Run(rt)
 	}
-	var points []ScalingPoint
-	var base time.Duration
-	for _, k := range replicaCounts {
+	points, err := mapTrials(len(replicaCounts), workers, func(i int) (ScalingPoint, error) {
+		pointSeed := DeriveSeed(seed, i)
 		start := time.Now()
 		res, err := replicate.Run(prog, input, replicate.Options{
-			Replicas: k,
+			Replicas: replicaCounts[i],
 			HeapSize: heapSize,
-			Seed:     seed,
+			Seed:     pointSeed,
 		})
 		if err != nil {
-			return nil, err
+			return ScalingPoint{}, err
 		}
-		wall := time.Since(start)
-		if base == 0 {
-			base = wall
-		}
-		points = append(points, ScalingPoint{
-			Replicas:      k,
-			Wall:          wall,
-			Survivors:     res.Survivors,
-			Agreed:        res.Agreed,
-			RelativeToOne: float64(wall) / float64(base),
-		})
+		h := fnv.New64a()
+		h.Write(res.Output)
+		return ScalingPoint{
+			Replicas:   replicaCounts[i],
+			Wall:       time.Since(start),
+			Survivors:  res.Survivors,
+			Agreed:     res.Agreed,
+			Seed:       pointSeed,
+			OutputHash: h.Sum64(),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i := range points {
+		points[i].RelativeToOne = float64(points[i].Wall) / float64(points[0].Wall)
 	}
 	return points, nil
 }

@@ -57,6 +57,33 @@ func TestSquidParallelDeterminism(t *testing.T) {
 	}
 }
 
+func TestReplicatedScalingParallelDeterminism(t *testing.T) {
+	// The §7.2.3 sweep on the campaign engine: every deterministic field
+	// of every point — seeds, fates, and the hash of the voted output —
+	// must be identical whether the points run one at a time or fanned
+	// out. Wall times are host measurements and are excluded.
+	counts := []int{1, 2, 3}
+	seq, err := RunReplicatedScaling("espresso", counts, 1, 12<<20, 0xca1e, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunReplicatedScaling("espresso", counts, 1, 12<<20, 0xca1e, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seq {
+		a, b := seq[i], par[i]
+		a.Wall, a.RelativeToOne = 0, 0
+		b.Wall, b.RelativeToOne = 0, 0
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("point %d differs between workers=1 and workers=8:\nseq: %+v\npar: %+v", i, a, b)
+		}
+		if a.OutputHash == 0 {
+			t.Errorf("point %d committed no output", i)
+		}
+	}
+}
+
 func TestDeriveSeed(t *testing.T) {
 	if DeriveSeed(1, 0) != DeriveSeed(1, 0) {
 		t.Fatal("DeriveSeed not deterministic")

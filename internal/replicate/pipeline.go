@@ -1,0 +1,161 @@
+package replicate
+
+import "bytes"
+
+// The pipelined voting engine (DESIGN.md §8). Three changes over the
+// sequential barrier protocol, none of which alter what gets committed:
+//
+//  1. Each replica hashes its buffer in its own goroutine and sends it
+//     through a channel buffered to PipelineDepth, so a replica only
+//     blocks once it has run PipelineDepth buffers ahead of the voter —
+//     surviving replicas keep executing while the current round is
+//     being voted, instead of stalling at a barrier.
+//  2. The voter groups buffers by hash and byte-compares only within
+//     hash-equal groups (adjudicate), so a round over k replicas that
+//     all agree costs k hash lookups and one byte comparison chain
+//     instead of k full concatenation-keyed map inserts.
+//  3. Kills are delivered by closing a per-replica channel rather than
+//     by a negative acknowledgement, because a killed replica may be
+//     anywhere — computing, blocked on a full pipeline, or already in
+//     its final handshake.
+//
+// Rounds are still adjudicated strictly in order: the voter takes the
+// next buffer from every live replica's FIFO channel, so round r is
+// always every replica's r-th buffer and the committed output is
+// byte-identical to the sequential engine's for any replica count.
+
+// pipeWriter stages a replica's output into a buffered channel. The
+// voter kills the replica by closing kill; the writer observes the kill
+// on its next write or while blocked on a full pipeline.
+type pipeWriter struct {
+	buf    []byte
+	size   int
+	ch     chan chunk
+	kill   chan struct{}
+	killed bool
+}
+
+func newPipeWriter(size, depth int) *pipeWriter {
+	return &pipeWriter{
+		size: size,
+		ch:   make(chan chunk, depth),
+		kill: make(chan struct{}),
+	}
+}
+
+func (w *pipeWriter) Write(p []byte) (int, error) {
+	if w.killed {
+		return 0, ErrKilled
+	}
+	select {
+	case <-w.kill:
+		w.killed = true
+		return 0, ErrKilled
+	default:
+	}
+	w.buf = append(w.buf, p...)
+	for len(w.buf) >= w.size {
+		out := make([]byte, w.size)
+		copy(out, w.buf[:w.size])
+		w.buf = w.buf[w.size:]
+		select {
+		case w.ch <- chunk{data: out, hash: chunkHash(out, false)}:
+		case <-w.kill:
+			w.killed = true
+			return 0, ErrKilled
+		}
+	}
+	return len(p), nil
+}
+
+// finish sends the final (possibly empty) partial buffer; unlike the
+// sequential writer there is no acknowledgement to wait for — the
+// replica goroutine exits as soon as the buffer is queued.
+func (w *pipeWriter) finish(progErr error) {
+	if w.killed {
+		return
+	}
+	select {
+	case w.ch <- chunk{data: w.buf, hash: chunkHash(w.buf, true), done: true, err: progErr}:
+	case <-w.kill:
+	}
+}
+
+// runPipelined drives a replicated run through the pipelined voter,
+// filling res (everything except Survivors, which Run derives from the
+// per-replica reports).
+func runPipelined(prog Program, input []byte, opts Options, seeds []uint64, res *Result) {
+	k := opts.Replicas
+	writers := make([]*pipeWriter, k)
+	rws := make([]replicaWriter, k)
+	for i := range writers {
+		writers[i] = newPipeWriter(opts.BufferSize, opts.PipelineDepth)
+		rws[i] = writers[i]
+	}
+	wg := spawnReplicas(prog, input, opts, seeds, rws)
+
+	states := make([]replicaState, k)
+	var output bytes.Buffer
+
+	kill := func(i int) {
+		states[i] = rsKilled
+		res.Replicas[i].Killed = true
+		close(writers[i].kill)
+	}
+
+	for liveCount(states) > 0 {
+		res.Rounds++
+		// Round r is every live replica's r-th buffer: channels are
+		// FIFO, and exactly one buffer per replica is consumed per
+		// round, so the receive below blocks only on replicas that have
+		// not yet produced this round's buffer — the others were
+		// already queued while earlier rounds were being voted.
+		msgs := make(map[int]chunk)
+		var ids []int
+		for i := 0; i < k; i++ {
+			if states[i] != rsRunning {
+				continue
+			}
+			m := <-writers[i].ch
+			if m.err != nil {
+				// Crashed replicas are dropped and their final partial
+				// buffer is discarded. Full buffers the replica queued
+				// before crashing belong to earlier rounds (the err
+				// chunk is FIFO-last) and were adjudicated normally.
+				states[i] = rsCrashed
+				res.Replicas[i].Err = m.err
+				continue
+			}
+			msgs[i] = m
+			ids = append(ids, i)
+		}
+		if len(ids) == 0 {
+			break
+		}
+		d := adjudicate(ids, msgs, k)
+		if d.noAgreement {
+			res.UninitSuspected = true
+			res.Agreed = false
+			for _, i := range d.losers {
+				kill(i)
+			}
+			break
+		}
+		if d.quorumLost {
+			res.Agreed = false
+		}
+		output.Write(msgs[d.winner[0]].data)
+		for _, i := range d.losers {
+			kill(i)
+		}
+		for _, i := range d.winner {
+			if msgs[i].done {
+				states[i] = rsFinished
+				res.Replicas[i].Completed = true
+			}
+		}
+	}
+
+	wg.Wait()
+	res.Output = output.Bytes()
+}

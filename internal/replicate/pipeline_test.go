@@ -1,0 +1,270 @@
+package replicate
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// Tests for the pipelined hash-then-vote engine (DESIGN.md §8). The
+// contract under test: pipelining changes when replicas execute, never
+// what the voter commits.
+
+// chunkedProgram writes `rounds` buffers of `size` bytes with
+// deterministic contents, doing a little heap work per round so there is
+// real execution to overlap with voting.
+func chunkedProgram(rounds, size int, deviant int, deviateAt int) Program {
+	return func(ctx *Context) error {
+		for r := 0; r < rounds; r++ {
+			p, err := ctx.Alloc.Malloc(size)
+			if err != nil {
+				return err
+			}
+			fill := byte(r + 1)
+			if ctx.Replica == deviant && r >= deviateAt {
+				fill = 0xBD // the corrupted replica's divergent output
+			}
+			if err := ctx.Mem.Memset(p, fill, size); err != nil {
+				return err
+			}
+			out := make([]byte, size)
+			if err := ctx.Mem.ReadBytes(p, out); err != nil {
+				return err
+			}
+			if err := ctx.Alloc.Free(p); err != nil {
+				return err
+			}
+			if _, err := ctx.Out.Write(out); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// resultFingerprint strips the fields a voting engine may not influence
+// down to a comparable value.
+func resultFingerprint(res *Result) string {
+	s := fmt.Sprintf("agreed=%v uninit=%v survivors=%d rounds=%d out=%x",
+		res.Agreed, res.UninitSuspected, res.Survivors, res.Rounds, res.Output)
+	for _, r := range res.Replicas {
+		s += fmt.Sprintf(" [seed=%x killed=%v completed=%v]", r.Seed, r.Killed, r.Completed)
+	}
+	return s
+}
+
+func TestPipelinedMatchesSequential(t *testing.T) {
+	// The golden acceptance test: for any replica count, with and
+	// without a mid-stream deviant, both engines commit byte-identical
+	// output and report identical fates.
+	for _, k := range []int{1, 2, 3, 4, 5, 8} {
+		for _, deviant := range []int{-1, 1} {
+			if deviant >= k || (deviant >= 0 && k < 3) {
+				continue // a deviant needs a majority to lose against
+			}
+			name := fmt.Sprintf("k=%d/deviant=%d", k, deviant)
+			prog := chunkedProgram(6, 512, deviant, 3)
+			opts := Options{Replicas: k, HeapSize: testHeap, Seed: 77, BufferSize: 512}
+			optsSeq := opts
+			optsSeq.Voter = VoterSequential
+			seq, err := Run(prog, nil, optsSeq)
+			if err != nil {
+				t.Fatalf("%s sequential: %v", name, err)
+			}
+			optsPipe := opts
+			optsPipe.Voter = VoterPipelined
+			pipe, err := Run(prog, nil, optsPipe)
+			if err != nil {
+				t.Fatalf("%s pipelined: %v", name, err)
+			}
+			if a, b := resultFingerprint(seq), resultFingerprint(pipe); a != b {
+				t.Errorf("%s: engines disagree\nsequential: %s\npipelined:  %s", name, a, b)
+			}
+		}
+	}
+}
+
+func TestPipelinedMidStreamDivergenceWithLaggingReplica(t *testing.T) {
+	// Replica 1 emits three correct buffers and then diverges; replica 2
+	// lags behind the others, so the healthy majority runs several
+	// buffers ahead through the pipeline while rounds are still being
+	// adjudicated. The deviant must die at its fourth buffer and the
+	// majority's full output must be committed.
+	const (
+		rounds = 8
+		size   = 256
+	)
+	prog := chunkedProgram(rounds, size, 1, 3)
+	lagged := func(ctx *Context) error {
+		if ctx.Replica == 2 {
+			orig := ctx.Out
+			ctx.Out = writerFunc(func(p []byte) (int, error) {
+				time.Sleep(time.Millisecond)
+				return orig.Write(p)
+			})
+		}
+		return prog(ctx)
+	}
+	res, err := Run(lagged, nil, Options{Replicas: 3, HeapSize: testHeap, Seed: 31, BufferSize: size})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	for r := 0; r < rounds; r++ {
+		want.Write(bytes.Repeat([]byte{byte(r + 1)}, size))
+	}
+	if !bytes.Equal(res.Output, want.Bytes()) {
+		t.Fatalf("committed output corrupted: got %d bytes, want %d", len(res.Output), want.Len())
+	}
+	if !res.Replicas[1].Killed {
+		t.Fatalf("mid-stream deviant survived: %+v", res)
+	}
+	if res.Survivors != 2 || !res.Agreed {
+		t.Fatalf("result %+v", res)
+	}
+}
+
+type writerFunc func(p []byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }
+
+func TestPipelinedAllDisagreeTerminates(t *testing.T) {
+	// Every replica produces a different stream (the signature of an
+	// uninitialized read, §3.2): the run must terminate at the first
+	// round, commit nothing, and unwind every replica with ErrKilled.
+	errs := make(chan error, 3)
+	prog := func(ctx *Context) error {
+		payload := bytes.Repeat([]byte{byte(ctx.Replica + 1)}, DefaultBufferSize)
+		for i := 0; i < DefaultPipelineDepth+2; i++ {
+			if _, err := ctx.Out.Write(payload); err != nil {
+				errs <- err
+				return err
+			}
+		}
+		errs <- nil
+		return nil
+	}
+	res, err := Run(prog, nil, Options{Replicas: 3, HeapSize: testHeap, Seed: 33})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.UninitSuspected || res.Agreed || len(res.Output) != 0 {
+		t.Fatalf("result %+v", res)
+	}
+	for i := 0; i < 3; i++ {
+		if e := <-errs; !errors.Is(e, ErrKilled) {
+			t.Fatalf("replica unwound with %v, want ErrKilled", e)
+		}
+	}
+}
+
+func TestPipelinedCrashDuringVoteIsDiscarded(t *testing.T) {
+	// Replica 0 crashes (a wild read, the simulated SIGSEGV) after two
+	// good buffers while the survivors — slowed so the crash message
+	// waits in the pipeline during adjudication — continue to the end.
+	// The crash must discard replica 0's staged partial output and
+	// nothing else.
+	const (
+		rounds = 6
+		size   = 256
+	)
+	prog := chunkedProgram(rounds, size, -1, 0)
+	crashy := func(ctx *Context) error {
+		if ctx.Replica == 0 {
+			crashAfter := 2 * size
+			written := 0
+			orig := ctx.Out
+			ctx.Out = writerFunc(func(p []byte) (int, error) {
+				if written >= crashAfter {
+					if _, err := ctx.Mem.Load8(0xdead0000); err != nil {
+						return 0, err
+					}
+				}
+				written += len(p)
+				return orig.Write(p)
+			})
+		} else if ctx.Replica == 2 {
+			orig := ctx.Out
+			ctx.Out = writerFunc(func(p []byte) (int, error) {
+				time.Sleep(time.Millisecond)
+				return orig.Write(p)
+			})
+		}
+		return prog(ctx)
+	}
+	res, err := Run(crashy, nil, Options{Replicas: 3, HeapSize: testHeap, Seed: 34, BufferSize: size})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	for r := 0; r < rounds; r++ {
+		want.Write(bytes.Repeat([]byte{byte(r + 1)}, size))
+	}
+	if !bytes.Equal(res.Output, want.Bytes()) {
+		t.Fatalf("survivor output corrupted: got %d bytes, want %d", len(res.Output), want.Len())
+	}
+	if res.Replicas[0].Err == nil {
+		t.Fatal("crashed replica has no recorded error")
+	}
+	if res.Replicas[0].Killed || res.Replicas[0].Completed {
+		t.Fatalf("crash misclassified: %+v", res.Replicas[0])
+	}
+	if res.Survivors != 2 || !res.Agreed {
+		t.Fatalf("result %+v", res)
+	}
+}
+
+func TestPipelinedVoterStress(t *testing.T) {
+	// Eight replicas, many small rounds, a mid-stream deviant and a
+	// laggard: the concurrency soak the CI race job runs. Output
+	// correctness is asserted exactly, not statistically.
+	const (
+		k      = 8
+		rounds = 48
+		size   = 512
+	)
+	prog := chunkedProgram(rounds, size, 5, 17)
+	mixed := func(ctx *Context) error {
+		if ctx.Replica == 3 {
+			orig := ctx.Out
+			ctx.Out = writerFunc(func(p []byte) (int, error) {
+				time.Sleep(50 * time.Microsecond)
+				return orig.Write(p)
+			})
+		}
+		return prog(ctx)
+	}
+	res, err := Run(mixed, nil, Options{Replicas: k, HeapSize: testHeap, Seed: 35, BufferSize: size})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	for r := 0; r < rounds; r++ {
+		want.Write(bytes.Repeat([]byte{byte(r + 1)}, size))
+	}
+	if !bytes.Equal(res.Output, want.Bytes()) {
+		t.Fatalf("stress output corrupted: got %d bytes, want %d", len(res.Output), want.Len())
+	}
+	if !res.Replicas[5].Killed || res.Survivors != k-1 || !res.Agreed {
+		t.Fatalf("result %+v", res)
+	}
+}
+
+func TestPipelineDepthBoundsRunahead(t *testing.T) {
+	// With PipelineDepth = 1 the engine degrades gracefully toward
+	// lock-step; the committed output must not change.
+	prog := chunkedProgram(5, 256, -1, 0)
+	deep, err := Run(prog, nil, Options{Replicas: 3, HeapSize: testHeap, Seed: 36, BufferSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shallow, err := Run(prog, nil, Options{Replicas: 3, HeapSize: testHeap, Seed: 36, BufferSize: 256, PipelineDepth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(deep.Output, shallow.Output) {
+		t.Fatal("pipeline depth changed the committed output")
+	}
+}

@@ -6,8 +6,8 @@
 // The paper runs replicas as processes wired up with pipes and shared
 // memory; here each replica is a goroutine owning a private simulated
 // address space (DESIGN.md §1), its output staged through a buffer the
-// size of a pipe transfer unit (4 KB). The voter synchronizes replicas
-// at buffer-full or termination barriers, exactly like §5.2:
+// size of a pipe transfer unit (4 KB). A voter adjudicates the stream of
+// buffers exactly as §5.2 prescribes:
 //
 //   - if all live replicas produced identical buffers, the contents are
 //     committed to the output;
@@ -18,6 +18,19 @@
 //   - if no two replicas agree, an uninitialized read (or equivalent
 //     divergence) has been detected and execution terminates.
 //
+// Two voting engines implement those semantics (DESIGN.md §8). The
+// default pipelined engine tags every buffer with a 64-bit hash in the
+// replica's own goroutine and streams it through a buffered per-replica
+// channel, so surviving replicas keep executing their next buffers while
+// the current round is being voted; agreement is decided hash-first,
+// with byte comparison only between hash-equal buffers, so the committed
+// output is exactly what §5.2's byte-wise comparison would commit. The
+// sequential engine (Options.Voter = VoterSequential) barrier-stalls
+// every replica at each voting round, which is the paper's lock-step
+// pipe protocol and the baseline the pipelined engine is benchmarked
+// against. Both engines share one adjudication function, so they commit
+// byte-identical output for any replica count.
+//
 // Replicas that crash are discarded and the live-replica count drops,
 // mirroring the signal handling of the real system. Functions that would
 // let replicas observe the environment differently (the clock) are
@@ -25,7 +38,6 @@
 package replicate
 
 import (
-	"bytes"
 	"errors"
 	"fmt"
 	"io"
@@ -41,13 +53,34 @@ import (
 // pipe, as in §5.2.
 const DefaultBufferSize = 4096
 
+// DefaultPipelineDepth is how many voting buffers a replica may run
+// ahead of the voter before its writes block (pipelined engine only).
+const DefaultPipelineDepth = 4
+
 // ErrKilled is returned from output writes of a replica the voter has
-// killed for disagreeing. The replica's program unwinds on it.
+// killed for disagreeing. The replica's program unwinds on it. Under the
+// pipelined voter the error surfaces on the first write after the kill
+// is observed, which may be up to PipelineDepth buffers after the
+// disagreeing one; none of the intervening output is ever committed.
 var ErrKilled = errors.New("replicate: replica killed by voter")
 
 // ErrNoAgreement reports a barrier at which no two replicas agreed — the
 // signature of an uninitialized read propagating to output.
 var ErrNoAgreement = errors.New("replicate: no two replicas agree; uninitialized read suspected")
+
+// VoterMode selects the voting engine.
+type VoterMode int
+
+const (
+	// VoterPipelined is the default hash-then-vote engine: replicas
+	// stream hashed buffers through buffered channels and keep executing
+	// while the voter adjudicates (DESIGN.md §8).
+	VoterPipelined VoterMode = iota
+	// VoterSequential is the paper's lock-step protocol: every replica
+	// stalls at each voting barrier until the round is committed. Kept
+	// as the semantic reference and benchmark baseline.
+	VoterSequential
+)
 
 // Context is a replica's view of the world, passed to the Program.
 type Context struct {
@@ -89,6 +122,13 @@ type Options struct {
 	Seed uint64
 	// BufferSize is the voting granularity; defaults to 4 KB.
 	BufferSize int
+	// Voter selects the voting engine; the zero value is the pipelined
+	// hash-then-vote engine. Committed output is byte-identical between
+	// engines for any replica count.
+	Voter VoterMode
+	// PipelineDepth is how many buffers a replica may run ahead of the
+	// voter (pipelined engine only); defaults to DefaultPipelineDepth.
+	PipelineDepth int
 }
 
 // ReplicaReport describes one replica's fate.
@@ -118,48 +158,12 @@ type Result struct {
 	Replicas []ReplicaReport
 }
 
-// chunk is one message from a replica to the voter.
-type chunk struct {
-	data []byte
-	done bool
-	err  error
-}
-
-// chunkWriter stages a replica's output and synchronizes with the voter
-// at buffer boundaries.
-type chunkWriter struct {
-	buf    []byte
-	size   int
-	ch     chan chunk
-	ack    chan bool
-	killed bool
-}
-
-func (w *chunkWriter) Write(p []byte) (int, error) {
-	if w.killed {
-		return 0, ErrKilled
-	}
-	w.buf = append(w.buf, p...)
-	for len(w.buf) >= w.size {
-		out := make([]byte, w.size)
-		copy(out, w.buf[:w.size])
-		w.buf = w.buf[w.size:]
-		w.ch <- chunk{data: out}
-		if !<-w.ack {
-			w.killed = true
-			return 0, ErrKilled
-		}
-	}
-	return len(p), nil
-}
-
-// finish sends the final (possibly empty) partial buffer.
-func (w *chunkWriter) finish(progErr error) {
-	if w.killed {
-		return
-	}
-	w.ch <- chunk{data: w.buf, done: true, err: progErr}
-	<-w.ack
+// replicaWriter is the staging writer a voting engine hands each
+// replica: an io.Writer that chunks output at the voting granularity,
+// plus the end-of-program handshake.
+type replicaWriter interface {
+	io.Writer
+	finish(progErr error)
 }
 
 // Run executes prog under replication and votes on its output.
@@ -173,180 +177,32 @@ func Run(prog Program, input []byte, opts Options) (*Result, error) {
 	if opts.BufferSize == 0 {
 		opts.BufferSize = DefaultBufferSize
 	}
+	if opts.PipelineDepth <= 0 {
+		opts.PipelineDepth = DefaultPipelineDepth
+	}
 	k := opts.Replicas
 	master := rng.NewSeeded(opts.Seed)
 	if opts.Seed == 0 {
 		master = rng.New()
 	}
-
 	res := &Result{
 		Agreed:   true,
 		Replicas: make([]ReplicaReport, k),
 	}
-	writers := make([]*chunkWriter, k)
 	seeds := make([]uint64, k)
 	for i := 0; i < k; i++ {
 		seeds[i] = master.Next64() | 1 // never zero: zero means "draw entropy"
 		res.Replicas[i].Seed = seeds[i]
-		writers[i] = &chunkWriter{
-			size: opts.BufferSize,
-			ch:   make(chan chunk),
-			ack:  make(chan bool),
-		}
 	}
-
-	runReplica := func(i int) {
-		w := writers[i]
-		var progErr error
-		func() {
-			defer func() {
-				if r := recover(); r != nil {
-					progErr = fmt.Errorf("replica panic: %v", r)
-				}
-			}()
-			h, err := core.New(core.Options{
-				HeapSize:   opts.HeapSize,
-				M:          opts.M,
-				Seed:       seeds[i],
-				RandomFill: true,
-			})
-			if err != nil {
-				progErr = err
-				return
-			}
-			in := make([]byte, len(input))
-			copy(in, input)
-			var clock int64
-			ctx := &Context{
-				Alloc:   h,
-				Mem:     h.Mem(),
-				Bounds:  h,
-				Input:   in,
-				Out:     w,
-				Replica: i,
-				Now: func() int64 {
-					clock++
-					return 1_150_000_000 + clock // fixed virtual epoch
-				},
-			}
-			progErr = prog(ctx)
-		}()
-		if errors.Is(progErr, ErrKilled) {
-			return // voter already knows
-		}
-		w.finish(progErr)
+	switch opts.Voter {
+	case VoterSequential:
+		runSequential(prog, input, opts, seeds, res)
+	default:
+		runPipelined(prog, input, opts, seeds, res)
 	}
-
-	var wg sync.WaitGroup
-	for i := 0; i < k; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			runReplica(i)
-		}(i)
-	}
-
-	type state int
-	const (
-		running state = iota
-		finished
-		crashed
-		killedState
-	)
-	states := make([]state, k)
-	var output bytes.Buffer
-
-	liveCount := func() int {
-		n := 0
-		for _, s := range states {
-			if s == running {
-				n++
-			}
-		}
-		return n
-	}
-
-	for liveCount() > 0 {
-		res.Rounds++
-		// Barrier: collect one message from every running replica.
-		msgs := make(map[int]chunk)
-		for i := 0; i < k; i++ {
-			if states[i] == running {
-				msgs[i] = <-writers[i].ch
-			}
-		}
-		// Crashed replicas are dropped; their output is discarded.
-		voterIDs := make([]int, 0, len(msgs))
-		for i, m := range msgs {
-			if m.err != nil {
-				states[i] = crashed
-				res.Replicas[i].Err = m.err
-				writers[i].ack <- true // release the goroutine
-				continue
-			}
-			voterIDs = append(voterIDs, i)
-		}
-		if len(voterIDs) == 0 {
-			break
-		}
-		// Group identical buffers.
-		groups := make(map[string][]int)
-		for _, i := range voterIDs {
-			key := string(msgs[i].data) + fmt.Sprintf("|done=%v", msgs[i].done)
-			groups[key] = append(groups[key], i)
-		}
-		var winner []int
-		for _, ids := range groups {
-			if len(ids) > len(winner) {
-				winner = ids
-			}
-		}
-		if len(groups) > 1 && len(winner) < 2 {
-			// No two replicas agree: §3.2's uninitialized-read
-			// detection. Terminate.
-			res.UninitSuspected = true
-			res.Agreed = false
-			for _, i := range voterIDs {
-				states[i] = killedState
-				res.Replicas[i].Killed = true
-				writers[i].ack <- false
-			}
-			break
-		}
-		if k > 1 && len(winner) < 2 {
-			// A lone survivor has no one to agree with; stream its
-			// output for availability but note the lost quorum.
-			res.Agreed = false
-		}
-		output.Write(msgs[winner[0]].data)
-		for _, i := range voterIDs {
-			agreeing := false
-			for _, w := range winner {
-				if w == i {
-					agreeing = true
-					break
-				}
-			}
-			if !agreeing {
-				// Quorum held; the minority is killed and the run can
-				// still count as agreed.
-				states[i] = killedState
-				res.Replicas[i].Killed = true
-				writers[i].ack <- false
-				continue
-			}
-			if msgs[i].done {
-				states[i] = finished
-				res.Replicas[i].Completed = true
-			}
-			writers[i].ack <- true
-		}
-	}
-
-	wg.Wait()
-	res.Output = output.Bytes()
-	for _, s := range states {
-		if s == finished {
+	res.Survivors = 0
+	for i := range res.Replicas {
+		if res.Replicas[i].Completed {
 			res.Survivors++
 		}
 	}
@@ -354,4 +210,64 @@ func Run(prog Program, input []byte, opts Options) (*Result, error) {
 		res.Agreed = false
 	}
 	return res, nil
+}
+
+// spawnReplicas starts one goroutine per replica, each with a private
+// randomized heap seeded from seeds[i] and its output staged through
+// writers[i]. The returned WaitGroup is done when every replica has
+// unwound (completed, crashed, or killed).
+func spawnReplicas(prog Program, input []byte, opts Options, seeds []uint64, writers []replicaWriter) *sync.WaitGroup {
+	var wg sync.WaitGroup
+	for i := range writers {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			runReplica(i, prog, input, opts, seeds[i], writers[i])
+		}(i)
+	}
+	return &wg
+}
+
+// runReplica executes one replica to completion: heap construction,
+// input copy, the program itself (panics demoted to crashes), and the
+// final partial-buffer handshake with the voter.
+func runReplica(i int, prog Program, input []byte, opts Options, seed uint64, w replicaWriter) {
+	var progErr error
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				progErr = fmt.Errorf("replica panic: %v", r)
+			}
+		}()
+		h, err := core.New(core.Options{
+			HeapSize:   opts.HeapSize,
+			M:          opts.M,
+			Seed:       seed,
+			RandomFill: true,
+		})
+		if err != nil {
+			progErr = err
+			return
+		}
+		in := make([]byte, len(input))
+		copy(in, input)
+		var clock int64
+		ctx := &Context{
+			Alloc:   h,
+			Mem:     h.Mem(),
+			Bounds:  h,
+			Input:   in,
+			Out:     w,
+			Replica: i,
+			Now: func() int64 {
+				clock++
+				return 1_150_000_000 + clock // fixed virtual epoch
+			},
+		}
+		progErr = prog(ctx)
+	}()
+	if errors.Is(progErr, ErrKilled) {
+		return // voter already knows
+	}
+	w.finish(progErr)
 }

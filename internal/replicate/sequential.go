@@ -1,0 +1,132 @@
+package replicate
+
+import "bytes"
+
+// The sequential voting engine: the paper's lock-step pipe protocol.
+// Every replica rendezvouses with the voter at each buffer boundary and
+// stalls until the round is adjudicated — the exact §5.2 barrier, kept
+// as the semantic reference and the baseline the pipelined engine
+// (pipeline.go) is benchmarked against.
+
+// seqWriter stages a replica's output and synchronizes with the voter at
+// buffer boundaries: an unbuffered send followed by an acknowledgement
+// the replica blocks on, so a replica never runs ahead of the vote.
+type seqWriter struct {
+	buf    []byte
+	size   int
+	ch     chan chunk
+	ack    chan bool
+	killed bool
+}
+
+func newSeqWriter(size int) *seqWriter {
+	return &seqWriter{
+		size: size,
+		ch:   make(chan chunk),
+		ack:  make(chan bool),
+	}
+}
+
+func (w *seqWriter) Write(p []byte) (int, error) {
+	if w.killed {
+		return 0, ErrKilled
+	}
+	w.buf = append(w.buf, p...)
+	for len(w.buf) >= w.size {
+		out := make([]byte, w.size)
+		copy(out, w.buf[:w.size])
+		w.buf = w.buf[w.size:]
+		w.ch <- chunk{data: out, hash: chunkHash(out, false)}
+		if !<-w.ack {
+			w.killed = true
+			return 0, ErrKilled
+		}
+	}
+	return len(p), nil
+}
+
+// finish sends the final (possibly empty) partial buffer.
+func (w *seqWriter) finish(progErr error) {
+	if w.killed {
+		return
+	}
+	w.ch <- chunk{data: w.buf, hash: chunkHash(w.buf, true), done: true, err: progErr}
+	<-w.ack
+}
+
+// runSequential drives a replicated run through the barrier voter,
+// filling res (everything except Survivors, which Run derives from the
+// per-replica reports).
+func runSequential(prog Program, input []byte, opts Options, seeds []uint64, res *Result) {
+	k := opts.Replicas
+	writers := make([]*seqWriter, k)
+	rws := make([]replicaWriter, k)
+	for i := range writers {
+		writers[i] = newSeqWriter(opts.BufferSize)
+		rws[i] = writers[i]
+	}
+	wg := spawnReplicas(prog, input, opts, seeds, rws)
+
+	states := make([]replicaState, k)
+	var output bytes.Buffer
+
+	for liveCount(states) > 0 {
+		res.Rounds++
+		// Barrier: collect one message from every running replica.
+		msgs := make(map[int]chunk)
+		var ids []int
+		for i := 0; i < k; i++ {
+			if states[i] != rsRunning {
+				continue
+			}
+			m := <-writers[i].ch
+			if m.err != nil {
+				// Crashed replicas are dropped; their output is
+				// discarded.
+				states[i] = rsCrashed
+				res.Replicas[i].Err = m.err
+				writers[i].ack <- true // release the goroutine
+				continue
+			}
+			msgs[i] = m
+			ids = append(ids, i)
+		}
+		if len(ids) == 0 {
+			break
+		}
+		d := adjudicate(ids, msgs, k)
+		if d.noAgreement {
+			res.UninitSuspected = true
+			res.Agreed = false
+			for _, i := range d.losers {
+				states[i] = rsKilled
+				res.Replicas[i].Killed = true
+				writers[i].ack <- false
+			}
+			break
+		}
+		if d.quorumLost {
+			// A lone survivor has no one to agree with; stream its
+			// output for availability but note the lost quorum.
+			res.Agreed = false
+		}
+		output.Write(msgs[d.winner[0]].data)
+		for _, i := range d.losers {
+			// Quorum held; the minority is killed and the run can still
+			// count as agreed.
+			states[i] = rsKilled
+			res.Replicas[i].Killed = true
+			writers[i].ack <- false
+		}
+		for _, i := range d.winner {
+			if msgs[i].done {
+				states[i] = rsFinished
+				res.Replicas[i].Completed = true
+			}
+			writers[i].ack <- true
+		}
+	}
+
+	wg.Wait()
+	res.Output = output.Bytes()
+}
