@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"diehard/internal/core"
+	"diehard/internal/detect"
 	"diehard/internal/exps"
 	"diehard/internal/heap"
 	"diehard/internal/replicate"
@@ -83,8 +84,25 @@ func main() {
 	var (
 		label = flag.String("label", "current", "label for this measurement set")
 		out   = flag.String("out", "BENCH_vmem.json", "output file (merged in place)")
+		force = flag.Bool("force", false, "allow a 1-CPU rerun to overwrite an entry recorded on a multicore host")
 	)
 	flag.Parse()
+
+	// Read the baseline once: the provenance guard decides from it and
+	// the final merge writes into it, so both see the same contents.
+	file, err := readFile(*out)
+	if err != nil && !os.IsNotExist(err) {
+		fatal(fmt.Errorf("%s: %w", *out, err))
+	}
+
+	// Provenance guard: the concurrent and pipeline numbers only mean
+	// something on the host class they were recorded on. A 1-CPU rerun
+	// silently replacing a multicore recording would erase the scaling
+	// curves the ROADMAP asks to capture, so it requires -force.
+	if run, ok := file.Runs[*label]; ok && run.CPUs > 1 && runtime.NumCPU() == 1 && !*force {
+		fatal(fmt.Errorf("label %q in %s was recorded with %d CPUs; rerunning on 1 CPU would overwrite the multicore scaling numbers (pass -force to do it anyway)",
+			*label, *out, run.CPUs))
+	}
 
 	results := map[string]float64{}
 
@@ -151,6 +169,47 @@ func main() {
 					b.Fatal(err)
 				}
 				ptrs[j] = p
+			}
+		})
+	}
+
+	// Canary-detection overhead (internal/detect): the same steady-state
+	// free/malloc churn on a detection heap — every free audits 16 slack
+	// bytes and re-arms 64 canary bytes, every reuse audits the slot —
+	// plus the cost of a heap-check barrier over the populated heap.
+	// Compare detect_overhead_malloc_pair_48B against malloc_free_pair_64B
+	// for the detection tax on the allocator hot path.
+	{
+		dh, err := detect.New(core.Options{HeapSize: 48 << 20, Seed: 1}, detect.Options{})
+		if err != nil {
+			fatal(err)
+		}
+		_, maxInUse := dh.ClassSlots(core.ClassFor(48))
+		ptrs := make([]heap.Ptr, maxInUse)
+		for i := range ptrs {
+			p, err := dh.Malloc(48) // class 64: 16 bytes of audited slack
+			if err != nil {
+				fatal(err)
+			}
+			ptrs[i] = p
+		}
+		r := rng.NewSeeded(2)
+		results["detect_overhead_malloc_pair_48B"] = bench(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				j := r.Intn(len(ptrs))
+				_ = dh.Free(ptrs[j])
+				p, err := dh.Malloc(48)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ptrs[j] = p
+			}
+		})
+		results["detect_overhead_heapcheck"] = bench(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if n := dh.Detector().HeapCheck(); n != 0 {
+					b.Fatalf("bench heap reported %d violations", n)
+				}
 			}
 		})
 	}
@@ -292,12 +351,6 @@ func main() {
 		results[fmt.Sprintf("errortable_campaign_w%d", w)] = float64(time.Since(start).Nanoseconds())
 	}
 
-	file := File{PageSize: vmem.PageSize, Runs: map[string]Run{}}
-	if raw, err := os.ReadFile(*out); err == nil {
-		if err := json.Unmarshal(raw, &file); err != nil {
-			fatal(fmt.Errorf("%s: %w", *out, err))
-		}
-	}
 	if file.Runs == nil {
 		file.Runs = map[string]Run{}
 	}
@@ -319,6 +372,20 @@ func main() {
 		fmt.Printf("%-24s %8.2f ns/op\n", name, ns)
 	}
 	fmt.Printf("recorded as %q in %s\n", *label, *out)
+}
+
+// readFile loads an existing baseline file; a missing file returns the
+// os.IsNotExist error and an empty File.
+func readFile(path string) (File, error) {
+	f := File{PageSize: vmem.PageSize, Runs: map[string]Run{}}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return f, err
+	}
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return f, err
+	}
+	return f, nil
 }
 
 func fatal(err error) {

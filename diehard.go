@@ -34,6 +34,7 @@ import (
 
 	"diehard/internal/analysis"
 	"diehard/internal/core"
+	"diehard/internal/detect"
 	"diehard/internal/heap"
 	"diehard/internal/libc"
 	"diehard/internal/replicate"
@@ -70,6 +71,18 @@ type HeapOptions struct {
 	// atomic updates. Without it, the heap (and data access through
 	// Mem()) must be confined to one goroutine at a time.
 	Concurrent bool
+	// DetectCanaries layers the probabilistic error detector
+	// (internal/detect) over the heap: free space carries a seeded
+	// canary pattern, audited on free, on reuse, and at heap-check
+	// barriers, and damage is classified as buffer overflow, dangling
+	// write, or uninitialized read with per-error Evidence records.
+	// Detection is sequential and incompatible with Concurrent and
+	// ReplicatedMode (the canary pattern is the fill).
+	DetectCanaries bool
+	// HeapCheckEvery, with DetectCanaries, runs an automatic canary
+	// heap check every that many allocations; 0 leaves barriers to
+	// explicit HeapCheck calls.
+	HeapCheckEvery int
 }
 
 // Heap is a DieHard randomized heap. Built with HeapOptions.Concurrent,
@@ -80,23 +93,33 @@ type HeapOptions struct {
 // randomized allocator. See core.ShardedHeap for a scalable multi-worker
 // front end.
 type Heap struct {
-	h *core.Heap
+	h   *core.Heap
+	det *detect.Detector
+	mem heap.Memory // canary-checking view with DetectCanaries, else the raw space
 }
 
 // NewHeap creates a DieHard heap.
 func NewHeap(opts HeapOptions) (*Heap, error) {
-	h, err := core.New(core.Options{
+	copts := core.Options{
 		HeapSize:   opts.HeapSize,
 		M:          opts.M,
 		Seed:       opts.Seed,
 		RandomFill: opts.ReplicatedMode,
 		Adaptive:   opts.Adaptive,
 		Concurrent: opts.Concurrent,
-	})
+	}
+	if opts.DetectCanaries {
+		dh, err := detect.New(copts, detect.Options{HeapCheckEvery: opts.HeapCheckEvery})
+		if err != nil {
+			return nil, err
+		}
+		return &Heap{h: dh.Heap, det: dh.Detector(), mem: dh.Memory()}, nil
+	}
+	h, err := core.New(copts)
 	if err != nil {
 		return nil, err
 	}
-	return &Heap{h: h}, nil
+	return &Heap{h: h, mem: h.Mem()}, nil
 }
 
 // Malloc allocates size bytes at a uniformly random heap location and
@@ -115,6 +138,32 @@ func (h *Heap) Realloc(p Ptr, size int) (Ptr, error) { return heap.Realloc(h.h, 
 
 // Mem returns the heap's simulated memory, used for all data access.
 func (h *Heap) Mem() *vmem.Space { return h.h.Mem() }
+
+// Memory returns the data-access view of the heap: with DetectCanaries
+// it is the canary-checking wrapper whose 32/64-bit loads audit for
+// uninitialized reads; otherwise it is the raw address space. Programs
+// that want uninitialized-read detection must load through this view.
+func (h *Heap) Memory() Memory { return h.mem }
+
+// HeapCheck runs a canary barrier audit now (DetectCanaries only) and
+// returns the number of new evidence records; without detection it
+// reports 0.
+func (h *Heap) HeapCheck() int {
+	if h.det == nil {
+		return 0
+	}
+	return h.det.HeapCheck()
+}
+
+// DetectionReport snapshots the detector's findings: every audited
+// violation with its page, offset, damaged span, neighbor objects, and
+// culprit allocation-site candidate. Nil without DetectCanaries.
+func (h *Heap) DetectionReport() *DetectionReport {
+	if h.det == nil {
+		return nil
+	}
+	return h.det.Report()
+}
 
 // SizeOf reports the usable size of a live allocation.
 func (h *Heap) SizeOf(p Ptr) (int, bool) { return h.h.SizeOf(p) }
@@ -180,6 +229,16 @@ type RunOptions struct {
 	// ahead of the voter before its writes block (pipelined voter
 	// only); 0 selects the default of 4.
 	PipelineDepth int
+	// MaxRestarts lets the pipelined voter replace killed divergent
+	// replicas: a fresh replica with a newly derived seed replays the
+	// broadcast input, is checked against the committed output prefix,
+	// and rejoins the quorum (DESIGN.md §9). 0 disables restarts.
+	MaxRestarts int
+	// DetectCanaries gives every replica a canary detection heap
+	// instead of the random fill: divergence detection still works, and
+	// killed replicas contribute heap-error Evidence to the Result for
+	// TriageKilled.
+	DetectCanaries bool
 }
 
 // Result reports a replicated execution: the voted output, whether
@@ -210,6 +269,8 @@ func Run(prog Program, input []byte, opts RunOptions) (*Result, error) {
 		Seed:          opts.Seed,
 		Voter:         voter,
 		PipelineDepth: opts.PipelineDepth,
+		MaxRestarts:   opts.MaxRestarts,
+		Detect:        opts.DetectCanaries,
 	})
 }
 
@@ -270,3 +331,33 @@ func (h *Heap) Snapshot() ([]ObjectRecord, error) { return h.h.Snapshot() }
 // heap-differencing debugger the paper sketches in §9 ("report these as
 // part of a crash dump without the crash").
 func DiffSnapshots(a, b []ObjectRecord) []Divergence { return core.DiffSnapshots(a, b) }
+
+// Evidence is one detected heap violation (DetectCanaries): kind, audit
+// point, damaged page/offset/span, the nearest neighbor objects, and
+// the culprit allocation-site candidate.
+type Evidence = detect.Evidence
+
+// DetectionReport is a detection heap's evidence snapshot.
+type DetectionReport = detect.Report
+
+// DetectKind classifies detected errors.
+type DetectKind = detect.Kind
+
+// Detected error kinds.
+const (
+	KindOverflow = detect.KindOverflow
+	KindDangling = detect.KindDangling
+	KindUninit   = detect.KindUninit
+)
+
+// TriageResult is the cross-layout culprit adjudication.
+type TriageResult = detect.TriageResult
+
+// Triage intersects detection evidence of one kind across reports from
+// independently seeded heaps running the same deterministic program,
+// and localizes the culprit allocation site: the true culprit's site is
+// layout-invariant, while coincidentally damaged neighbors re-randomize
+// away (Exterminator's insight, applied to the DieHard substrate).
+func Triage(kind DetectKind, reports []*DetectionReport) *TriageResult {
+	return detect.Triage(kind, reports)
+}

@@ -257,3 +257,70 @@ func TestPublicStrcatStrdup(t *testing.T) {
 		t.Fatalf("strdup got %q", s)
 	}
 }
+
+func TestFacadeDetection(t *testing.T) {
+	h, err := NewHeap(HeapOptions{HeapSize: 12 << 20, Seed: 7, DetectCanaries: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := h.Malloc(56)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An uninitialized read through the checked view...
+	if _, err := h.Memory().Load64(p); err != nil {
+		t.Fatal(err)
+	}
+	// ...then a 4-byte overflow, audited when the object is freed.
+	if err := h.Memory().Memset(p, 'A', 60); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Free(p); err != nil {
+		t.Fatal(err)
+	}
+	rep := h.DetectionReport()
+	if rep == nil {
+		t.Fatal("no detection report from a DetectCanaries heap")
+	}
+	var kinds []DetectKind
+	for _, ev := range rep.Evidence {
+		kinds = append(kinds, ev.Kind)
+	}
+	if len(kinds) != 2 || kinds[0] != KindUninit || kinds[1] != KindOverflow {
+		t.Fatalf("evidence kinds = %v, want [uninit, overflow]", kinds)
+	}
+	if n := h.HeapCheck(); n != 0 {
+		t.Errorf("post-free HeapCheck found %d records on an already-audited heap", n)
+	}
+	// Triage across seeded layouts through the facade.
+	var reports []*DetectionReport
+	for seed := uint64(1); seed <= 4; seed++ {
+		hh, err := NewHeap(HeapOptions{HeapSize: 12 << 20, Seed: seed, DetectCanaries: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		q, err := hh.Malloc(56)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := hh.Memory().Memset(q, 'B', 60); err != nil {
+			t.Fatal(err)
+		}
+		if err := hh.Free(q); err != nil {
+			t.Fatal(err)
+		}
+		reports = append(reports, hh.DetectionReport())
+	}
+	tri := Triage(KindOverflow, reports)
+	if tri.Culprit != 0 || tri.Detected != 4 {
+		t.Fatalf("triage = %+v, want culprit site 0 detected in all 4 layouts", tri)
+	}
+	// A detection-less heap answers benignly.
+	plain, err := NewHeap(HeapOptions{HeapSize: 12 << 20, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.DetectionReport() != nil || plain.HeapCheck() != 0 {
+		t.Error("plain heap pretends to detect")
+	}
+}

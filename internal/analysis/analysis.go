@@ -71,6 +71,28 @@ func UninitDetectProb(bits, replicas int) float64 {
 	return math.Exp(logP)
 }
 
+// CanaryOverflowDetectProb is the detection counterpart of Theorem 1
+// for the canary engine (internal/detect): an overflow of `objects`
+// object-widths past a random live object is detected iff at least one
+// of the overwritten slots is free — free space is canary-filled, and
+// damaged canaries are caught at the next audit — so at class fullness
+// L/H the detection probability is
+//
+//	P(detect) = 1 - fullness^O = 1 - OverflowMaskProb(1-fullness, O, 1)
+//
+// Detection and masking are complementary faces of the same randomized
+// placement: the same free space that lets a replica mask an overflow
+// lets a detector fingerprint it.
+func CanaryOverflowDetectProb(fullness float64, objects int) float64 {
+	if fullness < 0 || fullness > 1 {
+		panic(fmt.Sprintf("analysis: fullness %v out of [0,1]", fullness))
+	}
+	if objects < 0 {
+		panic("analysis: objects must be >= 0")
+	}
+	return 1 - math.Pow(fullness, float64(objects))
+}
+
 // Series is one labeled curve of a figure.
 type Series struct {
 	Label string

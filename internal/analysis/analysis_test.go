@@ -240,3 +240,26 @@ func TestPanicsOnBadInput(t *testing.T) {
 		}()
 	}
 }
+
+func TestCanaryOverflowDetectProb(t *testing.T) {
+	// Complementarity with Theorem 1: detection = 1 - masking with the
+	// fullness axis flipped (the overflow is masked from the detector
+	// exactly when every overwritten slot is live).
+	for _, f := range []float64{0, 0.25, 0.5, 1} {
+		for _, o := range []int{0, 1, 3} {
+			got := CanaryOverflowDetectProb(f, o)
+			want := 1 - OverflowMaskProb(1-f, o, 1)
+			if math.Abs(got-want) > 1e-12 {
+				t.Errorf("f=%v O=%d: detect %v, 1-mask %v", f, o, got, want)
+			}
+		}
+	}
+	// Monotonic: emptier heaps detect more.
+	if CanaryOverflowDetectProb(0.25, 1) <= CanaryOverflowDetectProb(0.5, 1) {
+		t.Error("detection probability not decreasing in fullness")
+	}
+	// An overflow of zero objects cannot be detected.
+	if CanaryOverflowDetectProb(0.5, 0) != 0 {
+		t.Error("zero-width overflow has nonzero detection probability")
+	}
+}

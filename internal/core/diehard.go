@@ -94,6 +94,23 @@ type Options struct {
 	// Structural metadata is lock-guarded regardless; Concurrent is
 	// about the counters, and sequential heaps skip its atomics.
 	Concurrent bool
+	// OnAlloc, when non-nil, is invoked after every successful
+	// allocation with the object's address, the requested size, and the
+	// size of the backing slot (the size-class object size, or the
+	// page-rounded usable size for large objects). It runs on the
+	// allocating goroutine, outside the class locks, before the pointer
+	// is returned — so a detection engine (internal/detect) can audit
+	// and re-arm canaries before the program can touch the object. The
+	// heap does not synchronize hook invocations; heaps with hooks
+	// installed must be confined to one goroutine at a time.
+	OnAlloc func(p heap.Ptr, reqSize, slotSize int)
+	// OnFree, when non-nil, is invoked after every successful free
+	// (ignored invalid and double frees do not fire it) with the freed
+	// object's address and slot size. For large objects the backing
+	// mapping has already been unmapped when the hook runs; the hook can
+	// tell them apart because their OnAlloc reported reqSize >
+	// MaxObjectSize.
+	OnFree func(p heap.Ptr, slotSize int)
 }
 
 func (o *Options) withDefaults() Options {
@@ -484,6 +501,9 @@ func (h *Heap) Malloc(size int) (heap.Ptr, error) {
 	h.addStat(&h.stats.WorkUnits,
 		heap.WorkSizeClass+uint64(probes)*heap.WorkProbe+heap.WorkBitmap)
 	h.countMalloc(size, cl.size)
+	if h.opts.OnAlloc != nil {
+		h.opts.OnAlloc(ptr, size, cl.size)
+	}
 	return ptr, nil
 }
 
@@ -548,6 +568,9 @@ func (h *Heap) allocateLargeObject(size int) (heap.Ptr, error) {
 	}
 	h.addStat(&h.stats.WorkUnits, heap.WorkMmap)
 	h.countMalloc(size, npages*vmem.PageSize)
+	if h.opts.OnAlloc != nil {
+		h.opts.OnAlloc(base, size, npages*vmem.PageSize)
+	}
 	return base, nil
 }
 
@@ -571,6 +594,9 @@ func (h *Heap) Free(p heap.Ptr) error {
 			h.largeMu.Unlock()
 			h.addStat(&h.stats.WorkUnits, heap.WorkMmap)
 			h.countFree((lo.mapLength/vmem.PageSize - 2) * vmem.PageSize)
+			if h.opts.OnFree != nil {
+				h.opts.OnFree(p, (lo.mapLength/vmem.PageSize-2)*vmem.PageSize)
+			}
 			return nil
 		}
 		h.largeMu.Unlock()
@@ -592,6 +618,9 @@ func (h *Heap) Free(p heap.Ptr) error {
 	cl.mu.Unlock()
 	h.addStat(&h.stats.WorkUnits, heap.WorkBitmap)
 	h.countFree(cl.size)
+	if h.opts.OnFree != nil {
+		h.opts.OnFree(p, cl.size)
+	}
 	return nil
 }
 
@@ -666,6 +695,55 @@ func (h *Heap) ObjectBounds(p heap.Ptr) (start heap.Ptr, size int, ok bool) {
 		return 0, 0, false
 	}
 	return sub.base + uint64(local)<<cl.shift, cl.size, true
+}
+
+// SlotAt resolves any address inside the small-object heap to its
+// containing slot: the slot's base address, its size-class object size,
+// and whether it currently holds a live object. This is the O(1)
+// page-index primitive behind the detection engine's neighbor lookups
+// (internal/detect): evidence records name the nearest live and free
+// slots around a damaged byte. ok is false for addresses outside the
+// small-object subregions (holes, guards, large objects).
+func (h *Heap) SlotAt(addr heap.Ptr) (base heap.Ptr, size int, live, ok bool) {
+	cl, sub, local := h.find(addr)
+	if cl == nil {
+		return 0, 0, false, false
+	}
+	cl.mu.Lock()
+	live = sub.get(local)
+	cl.mu.Unlock()
+	return sub.base + uint64(local)<<cl.shift, cl.size, live, true
+}
+
+// FreeSlots calls fn with the base address of every currently free slot
+// of class c, in ascending address order, until fn returns false. The
+// class bitmaps are snapshotted under the class lock and walked outside
+// it, so fn may access heap memory freely; the snapshot is a consistent
+// point-in-time view. The detection engine's full-heap canary sweep is
+// built on this walk.
+func (h *Heap) FreeSlots(c int, fn func(p heap.Ptr) bool) {
+	cl := &h.classes[c]
+	cl.mu.Lock()
+	type snap struct {
+		base  uint64
+		slots int
+		bits  []uint64
+	}
+	snaps := make([]snap, len(cl.subs))
+	for i, sub := range cl.subs {
+		snaps[i] = snap{base: sub.base, slots: sub.slots, bits: append([]uint64(nil), sub.bits...)}
+	}
+	shift := cl.shift
+	cl.mu.Unlock()
+	for _, s := range snaps {
+		for i := 0; i < s.slots; i++ {
+			if s.bits[i>>6]&(1<<(i&63)) == 0 {
+				if !fn(s.base + uint64(i)<<shift) {
+					return
+				}
+			}
+		}
+	}
 }
 
 // InHeap reports whether p lies within the small-object heap regions,

@@ -1,0 +1,87 @@
+package detect
+
+import "sort"
+
+// Exterminator-style triage: detection says *that* memory was damaged;
+// triage says *which allocation site did it*. One randomized layout
+// cannot: an escaped overflow damages whichever slot chance placed after
+// the culprit, so per-layout evidence carries candidate sites that are
+// partly coincidental. But the true culprit is a property of the
+// program, not the layout — its allocation index recurs in the evidence
+// of every independently seeded heap that detected the error, while
+// coincidental neighbors are re-randomized away. Intersecting candidate
+// sites across N layouts therefore isolates the culprit with
+// exponentially growing confidence in N.
+
+// TriageResult is the cross-layout adjudication for one error kind.
+type TriageResult struct {
+	// Kind is the error kind triaged.
+	Kind Kind
+	// Trials is the number of layout reports examined; Detected how many
+	// carried at least one matching-kind evidence record with a culprit
+	// candidate.
+	Trials   int
+	Detected int
+	// Votes maps each candidate allocation site to the number of
+	// detected layouts whose evidence names it.
+	Votes map[int]int
+	// Culprit is the localized allocation site: the candidate named by a
+	// strict majority of detected layouts (ties broken to the smallest
+	// site, so triage is deterministic). -1 when no candidate reaches a
+	// majority.
+	Culprit int
+	// Confidence is Votes[Culprit]/Detected (0 when unresolved).
+	Confidence float64
+	// OverflowLen is the largest inferred error extent among the
+	// evidence that named the culprit: for overflows, the reach past the
+	// culprit object's requested end.
+	OverflowLen int
+}
+
+// Triage intersects evidence of one kind across independently seeded
+// layout reports and localizes the culprit allocation site.
+func Triage(kind Kind, reports []*Report) *TriageResult {
+	res := &TriageResult{Kind: kind, Votes: make(map[int]int), Culprit: -1}
+	lengths := make(map[int]int) // site -> max inferred extent
+	for _, r := range reports {
+		res.Trials++
+		sites := make(map[int]bool)
+		for _, ev := range r.Evidence {
+			if ev.Kind != kind || ev.AllocSite < 0 {
+				continue
+			}
+			sites[ev.AllocSite] = true
+			if ev.Length > lengths[ev.AllocSite] {
+				lengths[ev.AllocSite] = ev.Length
+			}
+		}
+		if len(sites) == 0 {
+			continue
+		}
+		res.Detected++
+		for s := range sites {
+			res.Votes[s]++
+		}
+	}
+	if res.Detected == 0 {
+		return res
+	}
+	// Deterministic winner: most votes, smallest site on ties.
+	cands := make([]int, 0, len(res.Votes))
+	for s := range res.Votes {
+		cands = append(cands, s)
+	}
+	sort.Ints(cands)
+	best, bestVotes := -1, 0
+	for _, s := range cands {
+		if res.Votes[s] > bestVotes {
+			best, bestVotes = s, res.Votes[s]
+		}
+	}
+	if 2*bestVotes > res.Detected {
+		res.Culprit = best
+		res.Confidence = float64(bestVotes) / float64(res.Detected)
+		res.OverflowLen = lengths[best]
+	}
+	return res
+}

@@ -1,0 +1,120 @@
+package exps
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"diehard/internal/analysis"
+)
+
+// tinyDetectParams keeps the always-run determinism test fast.
+func tinyDetectParams() DetectParams {
+	return DetectParams{
+		Trials:      4,
+		Layouts:     4,
+		Multipliers: []float64{2},
+		HeapSize:    1 << 20,
+		Allocs:      80,
+		Live:        16,
+		Seed:        0xFACE,
+	}
+}
+
+func TestDetectionTableParallelDeterminism(t *testing.T) {
+	seq, err := RunDetectionTable(tinyDetectParams(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunDetectionTable(tinyDetectParams(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("detection table differs between workers=1 and workers=8:\nseq: %+v\npar: %+v", seq.Cells, par.Cells)
+	}
+	for _, c := range seq.Cells {
+		if c.OutputHash == 0 {
+			t.Errorf("cell %s x%v recorded no output hash", c.Error, c.Multiplier)
+		}
+	}
+}
+
+// TestDetectionTableAcceptance is the campaign's headline claim: at
+// multiplier 2 with the 8-byte canary, injected overflows are flagged
+// with precision >= 0.99, and the cross-layout triage localizes the
+// culprit allocation site in >= 90% of detected overflow trials across
+// 16 seeded layouts.
+func TestDetectionTableAcceptance(t *testing.T) {
+	skipIfShort(t)
+	table, err := RunDetectionTable(DetectParams{}, 0) // defaults: 16 trials, 16 layouts
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range table.Cells {
+		if c.Multiplier != 2 {
+			continue
+		}
+		switch c.Error {
+		case DetectOverflow:
+			if c.Precision < 0.99 {
+				t.Errorf("overflow precision %.3f < 0.99 at M=2 (%+v)", c.Precision, c)
+			}
+			if c.Recall < 0.9 {
+				t.Errorf("overflow recall %.3f < 0.9 at M=2 (%+v)", c.Recall, c)
+			}
+			if c.TriageTrials == 0 {
+				t.Errorf("no overflow trials reached triage (%+v)", c)
+			} else if rate := float64(c.TriageLocalized) / float64(c.TriageTrials); rate < 0.9 {
+				t.Errorf("triage localized %.3f < 0.9 of detected overflow trials (%+v)", rate, c)
+			}
+		case DetectDangling:
+			if c.Precision < 0.99 {
+				t.Errorf("dangling precision %.3f < 0.99 (%+v)", c.Precision, c)
+			}
+			if c.Recall < 0.75 {
+				t.Errorf("dangling recall %.3f implausibly low (%+v)", c.Recall, c)
+			}
+		case DetectUninit:
+			// The canary read check is at least as strong as the
+			// replicated detector's distinct-fill argument: Theorem 3
+			// gives the probability that 3 replicas' 32-bit fills are
+			// pairwise distinct, and a read of a never-written word here
+			// always observes the canary.
+			if want := analysis.UninitDetectProb(32, 3) - 0.01; c.Recall < want {
+				t.Errorf("uninit recall %.3f below the Theorem 3 floor %.3f (%+v)", c.Recall, want, c)
+			}
+			if c.Precision < 0.99 {
+				t.Errorf("uninit precision %.3f < 0.99 (%+v)", c.Precision, c)
+			}
+		}
+	}
+}
+
+// TestCanaryDetectMatchesTheorem1Complement brackets the measured
+// detection rate of escaped overflows against the closed form: an
+// overflow of O object-widths is caught iff it touches free (canary)
+// space, so the rate must track 1 - fullness^O — the complement of
+// Theorem 1's masking probability (analysis.CanaryOverflowDetectProb).
+func TestCanaryDetectMatchesTheorem1Complement(t *testing.T) {
+	skipIfShort(t)
+	const heapSize = 3 << 20
+	for _, tc := range []struct {
+		fullness float64
+		objects  int
+	}{
+		{0.25, 1},
+		{0.5, 1},
+		{0.5, 2},
+	} {
+		got, err := EmpiricalOverflowDetect(tc.fullness, tc.objects, 300, heapSize, 0xCAFE)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := analysis.CanaryOverflowDetectProb(tc.fullness, tc.objects)
+		if math.Abs(got-want) > 0.07 {
+			t.Errorf("fullness=%v O=%d: empirical detect %.3f vs closed form %.3f",
+				tc.fullness, tc.objects, got, want)
+		}
+	}
+}

@@ -18,6 +18,7 @@ package fault
 
 import (
 	"fmt"
+	"sort"
 
 	"diehard/internal/heap"
 	"diehard/internal/rng"
@@ -129,6 +130,19 @@ func PlanDangling(trace *Trace, freq float64, distance int, seed uint64) *Dangli
 		plan.Injected++
 	}
 	return plan
+}
+
+// Victims returns the allocation IDs selected for premature freeing, in
+// ascending order. The detection campaigns (exps.RunDetectionTable)
+// grade the canary detector's culprit attribution against this ground
+// truth.
+func (p *DanglingPlan) Victims() []int {
+	ids := make([]int, 0, len(p.victim))
+	for id := range p.victim {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
 }
 
 // DanglingInjector replays a program against a base allocator while
@@ -269,3 +283,97 @@ func (o *OverflowInjector) Stats() *heap.Stats { return o.base.Stats() }
 
 // Name identifies the injector in reports.
 func (o *OverflowInjector) Name() string { return o.base.Name() + "+overflow" }
+
+// OverflowPlan selects, by allocation ID drawn from a trace, the exact
+// requests to under-allocate. Unlike OverflowInjector's independent
+// coin flips, a plan makes the injected error sites known ground truth:
+// the detection campaigns (exps.RunDetectionTable) grade the canary
+// detector's culprit attribution against Victims.
+type OverflowPlan struct {
+	victim  map[int]bool
+	victims []int
+	// MinSize and Delta are the eligibility floor and the
+	// under-allocation amount, recorded for the injector.
+	MinSize int
+	Delta   int
+}
+
+// PlanOverflow chooses count victims uniformly without replacement from
+// the trace's allocations of at least minSize bytes, each to be
+// under-allocated by delta bytes. Deterministic in (trace, seed); if
+// fewer than count allocations are eligible, all of them are chosen.
+func PlanOverflow(trace *Trace, count, minSize, delta int, seed uint64) *OverflowPlan {
+	r := rng.NewSeeded(seed)
+	var eligible []int
+	for _, lt := range trace.Lifetimes {
+		if lt.Size >= minSize {
+			eligible = append(eligible, lt.ID)
+		}
+	}
+	if count > len(eligible) {
+		count = len(eligible)
+	}
+	// Partial Fisher-Yates: the first count entries end up a uniform
+	// sample without replacement.
+	for i := 0; i < count; i++ {
+		j := i + r.Intn(len(eligible)-i)
+		eligible[i], eligible[j] = eligible[j], eligible[i]
+	}
+	plan := &OverflowPlan{victim: make(map[int]bool, count), MinSize: minSize, Delta: delta}
+	plan.victims = append(plan.victims, eligible[:count]...)
+	sort.Ints(plan.victims)
+	for _, id := range plan.victims {
+		plan.victim[id] = true
+	}
+	return plan
+}
+
+// Victims returns the selected allocation IDs in ascending order.
+func (p *OverflowPlan) Victims() []int { return append([]int(nil), p.victims...) }
+
+// IsVictim reports whether allocation id is planned for under-allocation.
+func (p *OverflowPlan) IsVictim(id int) bool { return p.victim[id] }
+
+// PlannedOverflowInjector under-allocates exactly the planned victim
+// requests, so every injected overflow's allocation site is known.
+type PlannedOverflowInjector struct {
+	base  heap.Allocator
+	plan  *OverflowPlan
+	clock int
+
+	// Injected counts under-allocated requests.
+	Injected int
+}
+
+var _ heap.Allocator = (*PlannedOverflowInjector)(nil)
+
+// NewPlannedOverflowInjector wraps base with the plan.
+func NewPlannedOverflowInjector(base heap.Allocator, plan *OverflowPlan) *PlannedOverflowInjector {
+	return &PlannedOverflowInjector{base: base, plan: plan}
+}
+
+// Malloc under-allocates the planned victims.
+func (o *PlannedOverflowInjector) Malloc(size int) (heap.Ptr, error) {
+	id := o.clock
+	o.clock++
+	if o.plan.victim[id] && size >= o.plan.MinSize {
+		o.Injected++
+		size -= o.plan.Delta
+	}
+	return o.base.Malloc(size)
+}
+
+// Free forwards to the base allocator.
+func (o *PlannedOverflowInjector) Free(p heap.Ptr) error { return o.base.Free(p) }
+
+// SizeOf forwards to the base allocator.
+func (o *PlannedOverflowInjector) SizeOf(p heap.Ptr) (int, bool) { return o.base.SizeOf(p) }
+
+// Mem forwards to the base allocator.
+func (o *PlannedOverflowInjector) Mem() *vmem.Space { return o.base.Mem() }
+
+// Stats forwards to the base allocator.
+func (o *PlannedOverflowInjector) Stats() *heap.Stats { return o.base.Stats() }
+
+// Name identifies the injector in reports.
+func (o *PlannedOverflowInjector) Name() string { return o.base.Name() + "+overflow-plan" }

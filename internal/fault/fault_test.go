@@ -1,6 +1,7 @@
 package fault
 
 import (
+	"reflect"
 	"testing"
 
 	"diehard/internal/core"
@@ -285,4 +286,80 @@ func leaHeap(t *testing.T) heap.Allocator {
 		t.Fatal(err)
 	}
 	return h
+}
+
+func TestPlanOverflowGroundTruth(t *testing.T) {
+	trace := &Trace{}
+	for i := 0; i < 40; i++ {
+		size := 16
+		if i%2 == 1 {
+			size = 64 // eligible
+		}
+		trace.Lifetimes = append(trace.Lifetimes, Lifetime{ID: i, Size: size, AllocTime: i, FreeTime: -1})
+	}
+	plan := PlanOverflow(trace, 3, 32, 4, 77)
+	v := plan.Victims()
+	if len(v) != 3 {
+		t.Fatalf("planned %d victims, want 3", len(v))
+	}
+	for _, id := range v {
+		if id%2 != 1 {
+			t.Errorf("victim %d is not an eligible allocation", id)
+		}
+		if !plan.IsVictim(id) {
+			t.Errorf("IsVictim(%d) = false for planned victim", id)
+		}
+	}
+	// Deterministic in (trace, seed).
+	again := PlanOverflow(trace, 3, 32, 4, 77)
+	if !reflect.DeepEqual(plan.Victims(), again.Victims()) {
+		t.Fatalf("PlanOverflow not deterministic: %v vs %v", v, again.Victims())
+	}
+	// More victims requested than eligible: all eligible selected.
+	all := PlanOverflow(trace, 100, 32, 4, 1)
+	if len(all.Victims()) != 20 {
+		t.Fatalf("clamped plan selected %d, want all 20 eligible", len(all.Victims()))
+	}
+}
+
+// recordingAlloc records malloc request sizes, standing in for a heap.
+type recordingAlloc struct {
+	heap.Allocator
+	sizes []int
+}
+
+func (r *recordingAlloc) Malloc(size int) (heap.Ptr, error) {
+	r.sizes = append(r.sizes, size)
+	return r.Allocator.Malloc(size)
+}
+
+func TestPlannedOverflowInjectorShrinksExactlyVictims(t *testing.T) {
+	base, err := core.New(core.Options{HeapSize: 12 << 20, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &recordingAlloc{Allocator: base}
+	trace := &Trace{}
+	for i := 0; i < 10; i++ {
+		trace.Lifetimes = append(trace.Lifetimes, Lifetime{ID: i, Size: 64, AllocTime: i, FreeTime: -1})
+	}
+	plan := PlanOverflow(trace, 2, 32, 4, 5)
+	inj := NewPlannedOverflowInjector(rec, plan)
+	for i := 0; i < 10; i++ {
+		if _, err := inj.Malloc(64); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if inj.Injected != 2 {
+		t.Fatalf("Injected = %d, want 2", inj.Injected)
+	}
+	for i, size := range rec.sizes {
+		want := 64
+		if plan.IsVictim(i) {
+			want = 60
+		}
+		if size != want {
+			t.Errorf("allocation %d reached the heap with size %d, want %d", i, size, want)
+		}
+	}
 }

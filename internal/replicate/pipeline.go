@@ -1,6 +1,9 @@
 package replicate
 
-import "bytes"
+import (
+	"bytes"
+	"sync"
+)
 
 // The pipelined voting engine (DESIGN.md §8). Three changes over the
 // sequential barrier protocol, none of which alter what gets committed:
@@ -83,24 +86,85 @@ func (w *pipeWriter) finish(progErr error) {
 
 // runPipelined drives a replicated run through the pipelined voter,
 // filling res (everything except Survivors, which Run derives from the
-// per-replica reports).
-func runPipelined(prog Program, input []byte, opts Options, seeds []uint64, res *Result) {
+// per-replica reports). When Options.MaxRestarts is positive, each kill
+// of a divergent replica is followed by a restart attempt: a fresh
+// replica with a seed from nextSeed re-executes the program over the
+// broadcast input, the voter replays its output against the committed
+// prefix, and on a byte-exact match the replacement joins the next
+// voting round — restoring the quorum, as §5 suggests for long-running
+// services.
+func runPipelined(prog Program, input []byte, opts Options, seeds []uint64, nextSeed func() uint64, res *Result) {
 	k := opts.Replicas
-	writers := make([]*pipeWriter, k)
-	rws := make([]replicaWriter, k)
-	for i := range writers {
-		writers[i] = newPipeWriter(opts.BufferSize, opts.PipelineDepth)
-		rws[i] = writers[i]
-	}
-	wg := spawnReplicas(prog, input, opts, seeds, rws)
+	writers := make([]*pipeWriter, 0, k+opts.MaxRestarts)
+	reps := make([]*ReplicaReport, 0, k+opts.MaxRestarts)
+	states := make([]replicaState, 0, k+opts.MaxRestarts)
+	var wg sync.WaitGroup
 
-	states := make([]replicaState, k)
+	// spawn starts one replica goroutine. Reports are individually heap
+	// allocated because restarts grow the slices mid-run; res.Replicas
+	// is assembled from them once every goroutine has unwound.
+	spawn := func(seed uint64, restarted bool) int {
+		i := len(writers)
+		w := newPipeWriter(opts.BufferSize, opts.PipelineDepth)
+		rep := &ReplicaReport{Seed: seed, Restarted: restarted}
+		writers = append(writers, w)
+		reps = append(reps, rep)
+		states = append(states, rsRunning)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			runReplica(i, prog, input, opts, seed, w, rep)
+		}()
+		return i
+	}
+	for i := 0; i < k; i++ {
+		spawn(seeds[i], false)
+	}
+
 	var output bytes.Buffer
+	restarts := 0
 
 	kill := func(i int) {
 		states[i] = rsKilled
-		res.Replicas[i].Killed = true
+		reps[i].Killed = true
 		close(writers[i].kill)
+	}
+
+	// restart spawns and catches up one replacement replica, retrying
+	// (within the budget) if a replacement itself diverges from the
+	// committed prefix or crashes during replay. Restart is only
+	// attempted while the committed output is buffer-aligned: a partial
+	// committed chunk means some replica already finished, so the run is
+	// ending and the replayed stream could not be re-chunked to match.
+	restart := func() {
+		for restarts < opts.MaxRestarts {
+			if output.Len()%opts.BufferSize != 0 {
+				return
+			}
+			restarts++
+			idx := spawn(nextSeed(), true)
+			committed := output.Bytes()
+			ok := true
+			for off := 0; off < len(committed); off += opts.BufferSize {
+				m := <-writers[idx].ch
+				if m.err != nil {
+					states[idx] = rsCrashed
+					reps[idx].Err = m.err
+					ok = false
+					break
+				}
+				if m.done || !bytes.Equal(m.data, committed[off:off+opts.BufferSize]) {
+					// The replacement's replay diverged: it is as useless
+					// as the replica it was meant to replace.
+					kill(idx)
+					ok = false
+					break
+				}
+			}
+			if ok {
+				return // caught up; joins the next round as a voter
+			}
+		}
 	}
 
 	for liveCount(states) > 0 {
@@ -109,10 +173,12 @@ func runPipelined(prog Program, input []byte, opts Options, seeds []uint64, res 
 		// FIFO, and exactly one buffer per replica is consumed per
 		// round, so the receive below blocks only on replicas that have
 		// not yet produced this round's buffer — the others were
-		// already queued while earlier rounds were being voted.
+		// already queued while earlier rounds were being voted. A
+		// caught-up replacement's next buffer is exactly the next
+		// round's, by construction of the replay.
 		msgs := make(map[int]chunk)
 		var ids []int
-		for i := 0; i < k; i++ {
+		for i := 0; i < len(writers); i++ {
 			if states[i] != rsRunning {
 				continue
 			}
@@ -123,7 +189,7 @@ func runPipelined(prog Program, input []byte, opts Options, seeds []uint64, res 
 				// before crashing belong to earlier rounds (the err
 				// chunk is FIFO-last) and were adjudicated normally.
 				states[i] = rsCrashed
-				res.Replicas[i].Err = m.err
+				reps[i].Err = m.err
 				continue
 			}
 			msgs[i] = m
@@ -134,6 +200,9 @@ func runPipelined(prog Program, input []byte, opts Options, seeds []uint64, res 
 		}
 		d := adjudicate(ids, msgs, k)
 		if d.noAgreement {
+			// All live replicas disagree: an uninitialized read, not a
+			// killable minority — terminating, not restarting, is the
+			// detection (§3.2).
 			res.UninitSuspected = true
 			res.Agreed = false
 			for _, i := range d.losers {
@@ -145,17 +214,25 @@ func runPipelined(prog Program, input []byte, opts Options, seeds []uint64, res 
 			res.Agreed = false
 		}
 		output.Write(msgs[d.winner[0]].data)
+		killed := len(d.losers)
 		for _, i := range d.losers {
 			kill(i)
 		}
 		for _, i := range d.winner {
 			if msgs[i].done {
 				states[i] = rsFinished
-				res.Replicas[i].Completed = true
+				reps[i].Completed = true
 			}
+		}
+		for ; killed > 0; killed-- {
+			restart()
 		}
 	}
 
 	wg.Wait()
 	res.Output = output.Bytes()
+	res.Replicas = make([]ReplicaReport, len(reps))
+	for i, r := range reps {
+		res.Replicas[i] = *r
+	}
 }

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"testing"
 	"time"
+
+	"diehard/internal/detect"
 )
 
 // Tests for the pipelined hash-then-vote engine (DESIGN.md §8). The
@@ -266,5 +268,164 @@ func TestPipelineDepthBoundsRunahead(t *testing.T) {
 	}
 	if !bytes.Equal(deep.Output, shallow.Output) {
 		t.Fatal("pipeline depth changed the committed output")
+	}
+}
+
+// --- replica restart (Options.MaxRestarts) ---
+
+func TestRestartRestoresQuorum(t *testing.T) {
+	const rounds = 6
+	prog := chunkedProgram(rounds, DefaultBufferSize, 2, 2)
+	res, err := Run(prog, nil, Options{
+		Replicas: 3, Seed: 0x0e57a87, HeapSize: 8 << 20, MaxRestarts: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	for r := 0; r < rounds; r++ {
+		want.Write(bytes.Repeat([]byte{byte(r + 1)}, DefaultBufferSize))
+	}
+	if !bytes.Equal(res.Output, want.Bytes()) {
+		t.Fatalf("restarted run committed wrong output (%d bytes, want %d)", len(res.Output), want.Len())
+	}
+	if !res.Agreed {
+		t.Error("quorum was restored but the run is not marked agreed")
+	}
+	if res.Survivors != 3 {
+		t.Errorf("survivors = %d, want 3 (replacement restored the quorum)", res.Survivors)
+	}
+	if len(res.Replicas) != 4 {
+		t.Fatalf("replica reports = %d, want 4 (3 originals + 1 replacement)", len(res.Replicas))
+	}
+	if !res.Replicas[2].Killed {
+		t.Error("the deviant replica was not killed")
+	}
+	rep := res.Replicas[3]
+	if !rep.Restarted || !rep.Completed || rep.Killed {
+		t.Errorf("replacement report = %+v, want restarted and completed", rep)
+	}
+	if rep.Seed == 0 || rep.Seed == res.Replicas[2].Seed {
+		t.Error("replacement did not get a fresh derived seed")
+	}
+}
+
+func TestRestartBudgetExhaustedByPersistentDivergence(t *testing.T) {
+	// Every replica index >= 2 deviates, so each replacement's replay
+	// diverges from the committed prefix and is killed in turn until the
+	// budget runs out; the two honest replicas finish as the quorum.
+	const rounds = 4
+	prog := func(ctx *Context) error {
+		for r := 0; r < rounds; r++ {
+			fill := byte(r + 1)
+			if ctx.Replica >= 2 && r >= 1 {
+				fill = 0xBD ^ byte(ctx.Replica)
+			}
+			if _, err := ctx.Out.Write(bytes.Repeat([]byte{fill}, DefaultBufferSize)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	res, err := Run(prog, nil, Options{
+		Replicas: 3, Seed: 0xbad5eed, HeapSize: 8 << 20, MaxRestarts: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Replicas) != 5 {
+		t.Fatalf("replica reports = %d, want 5 (3 originals + 2 failed replacements)", len(res.Replicas))
+	}
+	killed := 0
+	for _, rep := range res.Replicas {
+		if rep.Killed {
+			killed++
+		}
+	}
+	if killed != 3 {
+		t.Errorf("killed = %d, want 3 (deviant + both replacements)", killed)
+	}
+	if res.Survivors != 2 {
+		t.Errorf("survivors = %d, want the 2 honest replicas", res.Survivors)
+	}
+	var want bytes.Buffer
+	for r := 0; r < rounds; r++ {
+		want.Write(bytes.Repeat([]byte{byte(r + 1)}, DefaultBufferSize))
+	}
+	if !bytes.Equal(res.Output, want.Bytes()) {
+		t.Error("committed output corrupted by failed restarts")
+	}
+}
+
+func TestRestartIgnoredBySequentialVoter(t *testing.T) {
+	prog := chunkedProgram(3, DefaultBufferSize, 1, 1)
+	res, err := Run(prog, nil, Options{
+		Replicas: 3, Seed: 0x5e9, HeapSize: 8 << 20, MaxRestarts: 2, Voter: VoterSequential,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Replicas) != 3 {
+		t.Fatalf("sequential voter spawned replacements: %d reports", len(res.Replicas))
+	}
+	if res.Survivors != 2 {
+		t.Errorf("survivors = %d, want 2", res.Survivors)
+	}
+}
+
+// TestKilledReplicaEvidenceFeedsTriage is the detection integration:
+// the deviant replica corrupts its own heap (an overflow) before
+// diverging; after the voter kills it, its canary evidence is in the
+// report and TriageKilled localizes the culprit allocation site.
+func TestKilledReplicaEvidenceFeedsTriage(t *testing.T) {
+	prog := func(ctx *Context) error {
+		p, err := ctx.Alloc.Malloc(56)
+		if err != nil {
+			return err
+		}
+		n := 56
+		if ctx.Replica == 2 {
+			n = 60 // 4 bytes past the request: the heap error
+		}
+		if err := ctx.Mem.Memset(p, 'A', n); err != nil {
+			return err
+		}
+		if err := ctx.Alloc.Free(p); err != nil {
+			return err
+		}
+		out := bytes.Repeat([]byte{'o'}, DefaultBufferSize)
+		if ctx.Replica == 2 {
+			out[17] = 'X' // ...and the divergent output that gets it killed
+		}
+		_, err = ctx.Out.Write(out)
+		return err
+	}
+	res, err := Run(prog, nil, Options{
+		Replicas: 3, Seed: 0xde7ec7, HeapSize: 8 << 20, Detect: true, MaxRestarts: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Replicas[2].Killed {
+		t.Fatal("deviant replica was not killed")
+	}
+	if len(res.Replicas[2].Evidence) == 0 {
+		t.Fatal("killed replica carried no detection evidence")
+	}
+	tri := res.TriageKilled(detect.KindOverflow)
+	if tri == nil {
+		t.Fatal("TriageKilled returned nil")
+	}
+	if tri.Culprit != 0 {
+		t.Errorf("culprit site = %d (votes %v), want 0", tri.Culprit, tri.Votes)
+	}
+	// Honest replicas carry no evidence; their reports must stay clean.
+	for i := 0; i < 2; i++ {
+		if len(res.Replicas[i].Evidence) != 0 {
+			t.Errorf("honest replica %d has evidence: %+v", i, res.Replicas[i].Evidence)
+		}
+	}
+	if res.Survivors != 3 {
+		t.Errorf("survivors = %d, want 3 (restart restored the quorum)", res.Survivors)
 	}
 }

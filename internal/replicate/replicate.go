@@ -44,6 +44,7 @@ import (
 	"sync"
 
 	"diehard/internal/core"
+	"diehard/internal/detect"
 	"diehard/internal/heap"
 	"diehard/internal/libc"
 	"diehard/internal/rng"
@@ -129,6 +130,22 @@ type Options struct {
 	// PipelineDepth is how many buffers a replica may run ahead of the
 	// voter (pipelined engine only); defaults to DefaultPipelineDepth.
 	PipelineDepth int
+	// MaxRestarts lets the pipelined voter replenish the quorum: each
+	// time it kills a divergent replica, a fresh replica with a newly
+	// derived seed re-executes the program over the broadcast input, its
+	// replayed output is checked against the committed prefix, and —
+	// when the replay matches — it joins the vote (§5's long-running
+	// service story). A replacement whose replay diverges is killed in
+	// turn; each attempt consumes one restart. 0 disables restarts; the
+	// sequential reference voter ignores them.
+	MaxRestarts int
+	// Detect swaps each replica's random fill for the canary detection
+	// engine (internal/detect): replicas still diverge on uninitialized
+	// reads (their canary patterns derive from their distinct seeds), and
+	// every replica's heap-error evidence is collected into its
+	// ReplicaReport — so when the voter kills a divergent replica, the
+	// evidence from its heap feeds Result.TriageKilled.
+	Detect bool
 }
 
 // ReplicaReport describes one replica's fate.
@@ -137,6 +154,13 @@ type ReplicaReport struct {
 	Err       error // program error; nil if it completed or was killed
 	Killed    bool
 	Completed bool
+	// Restarted marks a replacement replica spawned by the pipelined
+	// voter after a kill (Options.MaxRestarts).
+	Restarted bool
+	// Evidence is the replica's heap-error evidence (Options.Detect
+	// only), collected after the program unwound — completed, crashed,
+	// or killed.
+	Evidence []detect.Evidence
 }
 
 // Result is the outcome of a replicated run.
@@ -198,7 +222,11 @@ func Run(prog Program, input []byte, opts Options) (*Result, error) {
 	case VoterSequential:
 		runSequential(prog, input, opts, seeds, res)
 	default:
-		runPipelined(prog, input, opts, seeds, res)
+		// Replacement replicas draw from the same master stream the
+		// original seeds came from, so restarted runs stay reproducible
+		// from Options.Seed alone.
+		nextSeed := func() uint64 { return master.Next64() | 1 }
+		runPipelined(prog, input, opts, seeds, nextSeed, res)
 	}
 	res.Survivors = 0
 	for i := range res.Replicas {
@@ -212,17 +240,37 @@ func Run(prog Program, input []byte, opts Options) (*Result, error) {
 	return res, nil
 }
 
+// TriageKilled intersects the heap-error evidence of the replicas the
+// voter killed or that crashed (Options.Detect runs only) across their
+// independently seeded layouts, localizing the culprit allocation site
+// of the error that made them diverge. Returns nil when no such replica
+// carried evidence.
+func (r *Result) TriageKilled(kind detect.Kind) *detect.TriageResult {
+	var reports []*detect.Report
+	for i := range r.Replicas {
+		rep := &r.Replicas[i]
+		if (rep.Killed || rep.Err != nil) && len(rep.Evidence) > 0 {
+			reports = append(reports, &detect.Report{Seed: rep.Seed, Evidence: rep.Evidence})
+		}
+	}
+	if len(reports) == 0 {
+		return nil
+	}
+	return detect.Triage(kind, reports)
+}
+
 // spawnReplicas starts one goroutine per replica, each with a private
 // randomized heap seeded from seeds[i] and its output staged through
-// writers[i]. The returned WaitGroup is done when every replica has
-// unwound (completed, crashed, or killed).
-func spawnReplicas(prog Program, input []byte, opts Options, seeds []uint64, writers []replicaWriter) *sync.WaitGroup {
+// writers[i]; detection evidence (Options.Detect) lands in reps[i]. The
+// returned WaitGroup is done when every replica has unwound (completed,
+// crashed, or killed).
+func spawnReplicas(prog Program, input []byte, opts Options, seeds []uint64, writers []replicaWriter, reps []*ReplicaReport) *sync.WaitGroup {
 	var wg sync.WaitGroup
 	for i := range writers {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			runReplica(i, prog, input, opts, seeds[i], writers[i])
+			runReplica(i, prog, input, opts, seeds[i], writers[i], reps[i])
 		}(i)
 	}
 	return &wg
@@ -230,32 +278,56 @@ func spawnReplicas(prog Program, input []byte, opts Options, seeds []uint64, wri
 
 // runReplica executes one replica to completion: heap construction,
 // input copy, the program itself (panics demoted to crashes), and the
-// final partial-buffer handshake with the voter.
-func runReplica(i int, prog Program, input []byte, opts Options, seed uint64, w replicaWriter) {
+// final partial-buffer handshake with the voter. After the program has
+// unwound — however it unwound — a detection replica runs a final heap
+// check and stashes its evidence in rep, which is what feeds the triage
+// of killed replicas.
+func runReplica(i int, prog Program, input []byte, opts Options, seed uint64, w replicaWriter, rep *ReplicaReport) {
 	var progErr error
+	var det *detect.Detector
 	func() {
 		defer func() {
 			if r := recover(); r != nil {
 				progErr = fmt.Errorf("replica panic: %v", r)
 			}
 		}()
-		h, err := core.New(core.Options{
-			HeapSize:   opts.HeapSize,
-			M:          opts.M,
-			Seed:       seed,
-			RandomFill: true,
-		})
-		if err != nil {
-			progErr = err
-			return
+		var (
+			alloc  heap.Allocator
+			mem    heap.Memory
+			bounds libc.Bounds
+		)
+		if opts.Detect {
+			dh, err := detect.New(core.Options{
+				HeapSize: opts.HeapSize,
+				M:        opts.M,
+				Seed:     seed,
+			}, detect.Options{})
+			if err != nil {
+				progErr = err
+				return
+			}
+			det = dh.Detector()
+			alloc, mem, bounds = dh, dh.Memory(), dh
+		} else {
+			h, err := core.New(core.Options{
+				HeapSize:   opts.HeapSize,
+				M:          opts.M,
+				Seed:       seed,
+				RandomFill: true,
+			})
+			if err != nil {
+				progErr = err
+				return
+			}
+			alloc, mem, bounds = h, h.Mem(), h
 		}
 		in := make([]byte, len(input))
 		copy(in, input)
 		var clock int64
 		ctx := &Context{
-			Alloc:   h,
-			Mem:     h.Mem(),
-			Bounds:  h,
+			Alloc:   alloc,
+			Mem:     mem,
+			Bounds:  bounds,
 			Input:   in,
 			Out:     w,
 			Replica: i,
@@ -266,6 +338,10 @@ func runReplica(i int, prog Program, input []byte, opts Options, seed uint64, w 
 		}
 		progErr = prog(ctx)
 	}()
+	if det != nil {
+		det.HeapCheck()
+		rep.Evidence = det.Report().Evidence
+	}
 	if errors.Is(progErr, ErrKilled) {
 		return // voter already knows
 	}

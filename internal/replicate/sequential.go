@@ -61,11 +61,13 @@ func runSequential(prog Program, input []byte, opts Options, seeds []uint64, res
 	k := opts.Replicas
 	writers := make([]*seqWriter, k)
 	rws := make([]replicaWriter, k)
+	reps := make([]*ReplicaReport, k)
 	for i := range writers {
 		writers[i] = newSeqWriter(opts.BufferSize)
 		rws[i] = writers[i]
+		reps[i] = &res.Replicas[i] // fixed-size slice: pointers stay valid
 	}
-	wg := spawnReplicas(prog, input, opts, seeds, rws)
+	wg := spawnReplicas(prog, input, opts, seeds, rws, reps)
 
 	states := make([]replicaState, k)
 	var output bytes.Buffer

@@ -261,3 +261,37 @@ func TestStatsOff(t *testing.T) {
 		t.Errorf("mapping counters wrong under StatsOff: %+v", *st)
 	}
 }
+
+// TestStatsSharedDrain checks the striped shared-mode counters: counts
+// accumulate in per-page cells and are folded into Stats on read, so
+// interleaved Stats calls must never lose or double-count accesses.
+func TestStatsSharedDrain(t *testing.T) {
+	s := NewSpace()
+	s.SetStatsMode(StatsShared)
+	const pages = 3 * statsCells // several pages per cell
+	base, err := s.Map(pages*PageSize, ProtRW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := uint64(0); p < pages; p++ {
+		if err := s.Store64(base+p*PageSize, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.Stats().Stores; got != pages {
+		t.Fatalf("Stores after first drain = %d, want %d", got, pages)
+	}
+	// A second drain with no intervening accesses must be a no-op.
+	if got := s.Stats().Stores; got != pages {
+		t.Fatalf("Stores after idempotent drain = %d, want %d", got, pages)
+	}
+	for p := uint64(0); p < pages; p++ {
+		if _, err := s.Load64(base + p*PageSize); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.Loads != pages || st.Stores != pages {
+		t.Fatalf("after loads: loads=%d stores=%d, want %d each", st.Loads, st.Stores, pages)
+	}
+}

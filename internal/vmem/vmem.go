@@ -178,14 +178,33 @@ const (
 	// each access sequence is confined to one goroutine at a time (the
 	// experiment trials, the replicated runtime's per-replica spaces).
 	StatsPrecise StatsMode = iota
-	// StatsShared counts accesses with atomic adds: exact under
-	// concurrent access, at the cost of one atomic per counted access.
+	// StatsShared counts accesses exactly under concurrency through a
+	// bank of cache-line-padded counter cells striped by page number,
+	// aggregated into Stats on read. Workers operating on disjoint page
+	// ranges — per-shard heap regions, per-worker page stripes — land on
+	// different cells, so shared-mode accounting no longer serializes
+	// every access on one contended cacheline.
 	StatsShared
 	// StatsOff disables per-access counting entirely: the fastest mode
 	// for concurrent throughput work where counts are not needed.
 	// Mapping counters (PagesMapped, PagesDirty, Faults) still update.
 	StatsOff
 )
+
+// statsCells is the number of striped counter cells in StatsShared mode.
+// A power of two so the per-access cell choice is one mask of the page
+// number; 64 cells keeps the bank at one page of padded counters while
+// making collisions between concurrent workers on disjoint working sets
+// unlikely.
+const statsCells = 64
+
+// counterCell is one stripe of the shared-mode access counters, padded
+// to a cache line so adjacent cells never false-share.
+type counterCell struct {
+	loads  atomic.Uint64
+	stores atomic.Uint64
+	_      [48]byte
+}
 
 // pteMapped marks a reserved page in a PTE's meta word, distinguishing a
 // mapped-but-inaccessible page (ProtNone guard) from a hole.
@@ -267,7 +286,8 @@ type Space struct {
 	next    uint64   // next free virtual address for Map; under mu
 	stats   Stats
 	mode    StatsMode
-	filler  func([]byte) // optional initializer for fresh page contents; under mu
+	cells   *[statsCells]counterCell // striped access counters; StatsShared only
+	filler  func([]byte)             // optional initializer for fresh page contents; under mu
 
 	// Slab allocation of page frames: fresh frames are carved from
 	// arena; frames released by Unmap are recycled through freeFrames.
@@ -301,10 +321,15 @@ func NewSpace() *Space {
 // SetStatsMode selects how per-access counters are maintained. The
 // default, StatsPrecise, is exact and free of synchronization but assumes
 // accesses are not concurrent with each other; spaces accessed by several
-// goroutines at once use StatsShared (atomic, exact) or StatsOff
-// (uncounted). Must be called before the space is shared. TLB accounting
-// only runs under StatsPrecise.
-func (s *Space) SetStatsMode(m StatsMode) { s.mode = m }
+// goroutines at once use StatsShared (striped atomic cells, exact,
+// aggregated by Stats) or StatsOff (uncounted). Must be called before the
+// space is shared. TLB accounting only runs under StatsPrecise.
+func (s *Space) SetStatsMode(m StatsMode) {
+	s.mode = m
+	if m == StatsShared && s.cells == nil {
+		s.cells = new([statsCells]counterCell)
+	}
+}
 
 // AddAccessHook chains an accounting function invoked with the page
 // number of every successful translation, after any hooks installed
@@ -340,10 +365,24 @@ func (s *Space) EnableTLB() {
 // goroutines share the space.
 func (s *Space) SetPageFiller(fill func([]byte)) { s.filler = fill }
 
-// Stats returns a pointer to the space's counters. The counters are
-// updated in place by every access; under concurrent access, read them
-// only at quiescence.
-func (s *Space) Stats() *Stats { return &s.stats }
+// Stats returns a pointer to the space's counters. In StatsShared mode
+// the striped access cells are drained into the struct first (so read
+// Loads/Stores through a fresh Stats call, not a pointer held across
+// accesses); under concurrent access, read the result only at
+// quiescence.
+func (s *Space) Stats() *Stats {
+	if s.cells != nil {
+		for i := range s.cells {
+			if n := s.cells[i].loads.Swap(0); n != 0 {
+				atomic.AddUint64(&s.stats.Loads, n)
+			}
+			if n := s.cells[i].stores.Swap(0); n != 0 {
+				atomic.AddUint64(&s.stats.Stores, n)
+			}
+		}
+	}
+	return &s.stats
+}
 
 // PageGranularBulk marks this memory's bulk operations as page-granular:
 // a chunked read or write touches exactly the pages a byte-at-a-time
@@ -354,20 +393,23 @@ func (s *Space) Stats() *Stats { return &s.stats }
 func (s *Space) PageGranularBulk() {}
 
 // countLoads and countStores account word-granularity accesses in the
-// selected stats mode. The precise branch is the hot default.
-func (s *Space) countLoads(n uint64) {
+// selected stats mode, given the address of the access (bulk operations
+// pass their starting address). The precise branch is the hot default;
+// shared mode stripes the atomic add across cells by page number so
+// workers on disjoint pages do not contend on one cacheline.
+func (s *Space) countLoads(addr, n uint64) {
 	if s.mode == StatsPrecise {
 		s.stats.Loads += n
 	} else if s.mode == StatsShared {
-		atomic.AddUint64(&s.stats.Loads, n)
+		s.cells[(addr>>pageShift)&(statsCells-1)].loads.Add(n)
 	}
 }
 
-func (s *Space) countStores(n uint64) {
+func (s *Space) countStores(addr, n uint64) {
 	if s.mode == StatsPrecise {
 		s.stats.Stores += n
 	} else if s.mode == StatsShared {
-		atomic.AddUint64(&s.stats.Stores, n)
+		s.cells[(addr>>pageShift)&(statsCells-1)].stores.Add(n)
 	}
 }
 
@@ -691,7 +733,7 @@ func (s *Space) Load8(addr uint64) (byte, error) {
 	if err != nil {
 		return 0, err
 	}
-	s.countLoads(1)
+	s.countLoads(addr, 1)
 	return d[off], nil
 }
 
@@ -701,7 +743,7 @@ func (s *Space) Store8(addr uint64, v byte) error {
 	if err != nil {
 		return err
 	}
-	s.countStores(1)
+	s.countStores(addr, 1)
 	d[off] = v
 	return nil
 }
@@ -714,7 +756,7 @@ func (s *Space) Load32(addr uint64) (uint32, error) {
 		if err != nil {
 			return 0, err
 		}
-		s.countLoads(1)
+		s.countLoads(addr, 1)
 		return binary.LittleEndian.Uint32(d[off:]), nil
 	}
 	var v uint32
@@ -735,7 +777,7 @@ func (s *Space) Store32(addr uint64, v uint32) error {
 		if err != nil {
 			return err
 		}
-		s.countStores(1)
+		s.countStores(addr, 1)
 		binary.LittleEndian.PutUint32(d[off:], v)
 		return nil
 	}
@@ -754,7 +796,7 @@ func (s *Space) Load64(addr uint64) (uint64, error) {
 		if err != nil {
 			return 0, err
 		}
-		s.countLoads(1)
+		s.countLoads(addr, 1)
 		return binary.LittleEndian.Uint64(d[off:]), nil
 	}
 	var v uint64
@@ -775,7 +817,7 @@ func (s *Space) Store64(addr uint64, v uint64) error {
 		if err != nil {
 			return err
 		}
-		s.countStores(1)
+		s.countStores(addr, 1)
 		binary.LittleEndian.PutUint64(d[off:], v)
 		return nil
 	}
@@ -798,7 +840,7 @@ func (s *Space) ReadBytes(addr uint64, b []byte) error {
 			return err
 		}
 		n := copy(b[read:], d[off:])
-		s.countLoads(uint64(n+7) / 8)
+		s.countLoads(addr+uint64(read), uint64(n+7)/8)
 		read += n
 	}
 	return nil
@@ -813,7 +855,7 @@ func (s *Space) WriteBytes(addr uint64, b []byte) error {
 			return err
 		}
 		n := copy(d[off:], b[written:])
-		s.countStores(uint64(n+7) / 8)
+		s.countStores(addr+uint64(written), uint64(n+7)/8)
 		written += n
 	}
 	return nil
@@ -835,7 +877,7 @@ func (s *Space) Memset(addr uint64, v byte, n int) error {
 		for i := range sl {
 			sl[i] = v
 		}
-		s.countStores(uint64(chunk+7) / 8)
+		s.countStores(addr+uint64(done), uint64(chunk+7)/8)
 		done += chunk
 	}
 	return nil
@@ -861,10 +903,10 @@ func (s *Space) FindByte(addr uint64, c byte, limit int) (int, bool, error) {
 		}
 		idx := bytes.IndexByte(d[off:int(off)+chunk], c)
 		if idx >= 0 {
-			s.countLoads(uint64(idx+1+7) / 8)
+			s.countLoads(addr+uint64(scanned), uint64(idx+1+7)/8)
 			return scanned + idx, true, nil
 		}
-		s.countLoads(uint64(chunk+7) / 8)
+		s.countLoads(addr+uint64(scanned), uint64(chunk+7)/8)
 		scanned += chunk
 	}
 	return scanned, false, nil
@@ -907,8 +949,8 @@ func (s *Space) MemMove(dst, src uint64, n int) error {
 		}
 		copy(dd[doff:int(doff)+chunk], sd[soff:int(soff)+chunk])
 		words := uint64(chunk+7) / 8
-		s.countLoads(words)
-		s.countStores(words)
+		s.countLoads(src+uint64(copied), words)
+		s.countStores(dst+uint64(copied), words)
 		copied += chunk
 	}
 	return nil
