@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-baseline fig5
+.PHONY: all build vet test race bench bench-baseline bench-smoke fig5
 
 all: build vet test
 
@@ -30,6 +30,11 @@ bench:
 LABEL ?= current
 bench-baseline:
 	$(GO) run ./cmd/vmembench -label $(LABEL) -out BENCH_vmem.json
+
+# Perf gate: lock-free malloc w1 within 15% of the locked reference
+# engine (writes nothing; safe on any host).
+bench-smoke:
+	$(GO) run ./cmd/vmembench -smoke
 
 # Reproduce Figure 5 on both platforms.
 fig5:

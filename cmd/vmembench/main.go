@@ -85,8 +85,14 @@ func main() {
 		label = flag.String("label", "current", "label for this measurement set")
 		out   = flag.String("out", "BENCH_vmem.json", "output file (merged in place)")
 		force = flag.Bool("force", false, "allow a 1-CPU rerun to overwrite an entry recorded on a multicore host")
+		smoke = flag.Bool("smoke", false, "run only the malloc-pair pair (locked baseline vs lock-free w1), assert the lock-free engine is within 15% of the locked one, and exit without writing the baseline file")
 	)
 	flag.Parse()
+
+	if *smoke {
+		runSmoke()
+		return
+	}
 
 	// Read the baseline once: the provenance guard decides from it and
 	// the final merge writes into it, so both see the same contents.
@@ -144,33 +150,24 @@ func main() {
 
 	// DieHard steady-state free/malloc pair at the 1/M threshold: the
 	// repository-level BenchmarkMallocProbes, reproduced here so the
-	// baseline file captures it without the testing harness.
-	{
-		h, err := core.New(core.Options{HeapSize: 48 << 20, Seed: 1})
+	// baseline file captures it without the testing harness. Since the
+	// lock-free engine landed, this entry pins Options.LockedHeap so the
+	// series keeps measuring the same per-class-mutex reference path it
+	// always has; lockfree_malloc_pair_w1 is the CAS engine's number on
+	// the identical workload.
+	results["malloc_free_pair_64B"] = benchMallocPairLocked()
+
+	// Lock-free malloc/free pairs at the 1/M threshold, w workers
+	// hammering the same size class of one heap: w1 against
+	// malloc_free_pair_64B is the price of CAS over an uncontended
+	// mutex (the acceptance bound is +15%); w4/w8 measure the contended
+	// path, which the per-class mutex serialized before.
+	for _, w := range []int{1, 4, 8} {
+		ns, err := benchMallocPairLockFree(w)
 		if err != nil {
 			fatal(err)
 		}
-		_, maxInUse := h.ClassSlots(core.ClassFor(64))
-		ptrs := make([]heap.Ptr, maxInUse)
-		for i := range ptrs {
-			p, err := h.Malloc(64)
-			if err != nil {
-				fatal(err)
-			}
-			ptrs[i] = p
-		}
-		r := rng.NewSeeded(2)
-		results["malloc_free_pair_64B"] = bench(func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				j := r.Intn(len(ptrs))
-				_ = h.Free(ptrs[j])
-				p, err := h.Malloc(64)
-				if err != nil {
-					b.Fatal(err)
-				}
-				ptrs[j] = p
-			}
-		})
+		results[fmt.Sprintf("lockfree_malloc_pair_w%d", w)] = ns
 	}
 
 	// Canary-detection overhead (internal/detect): the same steady-state
@@ -251,37 +248,50 @@ func main() {
 	}
 
 	// Sharded malloc/free throughput: one pinned DieHard shard per
-	// worker over a shared space (the Hoard-style front end).
+	// worker over a shared space (the Hoard-style front end), and the
+	// same workload routed through the occupancy-aware stealing front
+	// door (sharded_steal_pair: every malloc reads the per-shard
+	// occupancy estimates and lands on the emptiest shard, every free
+	// routes to the owner).
 	for _, w := range []int{1, 4, 8} {
-		sh, err := core.NewSharded(w, core.Options{HeapSize: w * 12 << 20, Seed: 3})
-		if err != nil {
-			fatal(err)
-		}
-		const slotsPerWorker = 1024
-		ptrs := make([][]heap.Ptr, w)
-		for i := range ptrs {
-			ptrs[i] = make([]heap.Ptr, slotsPerWorker)
-		}
-		const ops = 100_000
-		ns, err := benchWorkers(w, ops, func(worker, i int) error {
-			shard := sh.Shard(worker)
-			slot := i % slotsPerWorker
-			if p := ptrs[worker][slot]; p != heap.Null {
-				if err := shard.Free(p); err != nil {
+		for _, routed := range []bool{false, true} {
+			sh, err := core.NewSharded(w, core.Options{HeapSize: w * 12 << 20, Seed: 3})
+			if err != nil {
+				fatal(err)
+			}
+			const slotsPerWorker = 1024
+			ptrs := make([][]heap.Ptr, w)
+			for i := range ptrs {
+				ptrs[i] = make([]heap.Ptr, slotsPerWorker)
+			}
+			const ops = 100_000
+			ns, err := benchWorkers(w, ops, func(worker, i int) error {
+				var alloc heap.Allocator = sh
+				if !routed {
+					alloc = sh.Shard(worker)
+				}
+				slot := i % slotsPerWorker
+				if p := ptrs[worker][slot]; p != heap.Null {
+					if err := alloc.Free(p); err != nil {
+						return err
+					}
+				}
+				p, err := alloc.Malloc(64)
+				if err != nil {
 					return err
 				}
-			}
-			p, err := shard.Malloc(64)
+				ptrs[worker][slot] = p
+				return nil
+			})
 			if err != nil {
-				return err
+				fatal(err)
 			}
-			ptrs[worker][slot] = p
-			return nil
-		})
-		if err != nil {
-			fatal(err)
+			name := fmt.Sprintf("sharded_malloc_pair_64B_w%d", w)
+			if routed {
+				name = fmt.Sprintf("sharded_steal_pair_64B_w%d", w)
+			}
+			results[name] = ns
 		}
-		results[fmt.Sprintf("sharded_malloc_pair_64B_w%d", w)] = ns
 	}
 
 	// Replica voting, sequential barrier voter vs pipelined
@@ -372,6 +382,109 @@ func main() {
 		fmt.Printf("%-24s %8.2f ns/op\n", name, ns)
 	}
 	fmt.Printf("recorded as %q in %s\n", *label, *out)
+}
+
+// benchMallocPairLocked measures the steady-state free/malloc pair at
+// the 1/M threshold on the per-class-mutex reference engine
+// (core.Options.LockedHeap) — the series BENCH_vmem.json has carried
+// since the radix rewrite, and the baseline the lock-free engine is
+// graded against.
+func benchMallocPairLocked() float64 {
+	h, err := core.New(core.Options{HeapSize: 48 << 20, Seed: 1, LockedHeap: true})
+	if err != nil {
+		fatal(err)
+	}
+	_, maxInUse := h.ClassSlots(core.ClassFor(64))
+	ptrs := make([]heap.Ptr, maxInUse)
+	for i := range ptrs {
+		p, err := h.Malloc(64)
+		if err != nil {
+			fatal(err)
+		}
+		ptrs[i] = p
+	}
+	r := rng.NewSeeded(2)
+	return bench(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			j := r.Intn(len(ptrs))
+			_ = h.Free(ptrs[j])
+			p, err := h.Malloc(64)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ptrs[j] = p
+		}
+	})
+}
+
+// benchMallocPairLockFree is the identical threshold workload on the
+// default lock-free CAS engine, fanned across `workers` goroutines
+// hammering the same size class: the region is pre-filled to its 1/M
+// threshold, partitioned across workers, and each operation frees one
+// slot and CAS-claims a replacement.
+func benchMallocPairLockFree(workers int) (float64, error) {
+	h, err := core.New(core.Options{HeapSize: 48 << 20, Seed: 1, Concurrent: workers > 1})
+	if err != nil {
+		return 0, err
+	}
+	_, maxInUse := h.ClassSlots(core.ClassFor(64))
+	per := maxInUse / workers
+	ptrs := make([][]heap.Ptr, workers)
+	for w := range ptrs {
+		ptrs[w] = make([]heap.Ptr, per)
+		for i := range ptrs[w] {
+			p, err := h.Malloc(64)
+			if err != nil {
+				return 0, err
+			}
+			ptrs[w][i] = p
+		}
+	}
+	// Top up to the exact threshold so the probe fullness matches the
+	// locked baseline's workload.
+	for i := workers * per; i < maxInUse; i++ {
+		if _, err := h.Malloc(64); err != nil {
+			return 0, err
+		}
+	}
+	seeds := make([]*rng.MWC, workers)
+	for w := range seeds {
+		seeds[w] = rng.NewSeeded(uint64(w) + 2)
+	}
+	const ops = 200_000
+	return benchWorkers(workers, ops, func(worker, i int) error {
+		mine := ptrs[worker]
+		j := seeds[worker].Intn(len(mine))
+		if err := h.Free(mine[j]); err != nil {
+			return err
+		}
+		p, err := h.Malloc(64)
+		if err != nil {
+			return err
+		}
+		mine[j] = p
+		return nil
+	})
+}
+
+// runSmoke is the CI perf gate: the lock-free engine's single-worker
+// malloc pair must stay within 15% of the locked reference engine on
+// the identical workload. It writes nothing, so the provenance guard on
+// BENCH_vmem.json (multicore entries vs 1-CPU reruns) is never at risk
+// from CI hosts.
+func runSmoke() {
+	locked := benchMallocPairLocked()
+	lockfree, err := benchMallocPairLockFree(1)
+	if err != nil {
+		fatal(err)
+	}
+	ratio := lockfree / locked
+	fmt.Printf("malloc_free_pair_64B (locked)   %8.2f ns/op\n", locked)
+	fmt.Printf("lockfree_malloc_pair_w1         %8.2f ns/op\n", lockfree)
+	fmt.Printf("ratio                           %8.3f (bound 1.15)\n", ratio)
+	if ratio > 1.15 {
+		fatal(fmt.Errorf("lock-free malloc fast path is %.1f%% slower than the locked baseline (bound: 15%%)", (ratio-1)*100))
+	}
 }
 
 // readFile loads an existing baseline file; a missing file returns the

@@ -71,6 +71,13 @@ type HeapOptions struct {
 	// atomic updates. Without it, the heap (and data access through
 	// Mem()) must be confined to one goroutine at a time.
 	Concurrent bool
+	// LockedHeap selects the per-class-mutex malloc engine instead of
+	// the default lock-free CAS fast path (DESIGN.md §10). Placement is
+	// byte-identical between the two engines for the same seed when one
+	// goroutine allocates; the locked engine is retained as the
+	// reference the lock-free path is differenced and benchmarked
+	// against. ReplicatedMode heaps always use it.
+	LockedHeap bool
 	// DetectCanaries layers the probabilistic error detector
 	// (internal/detect) over the heap: free space carries a seeded
 	// canary pattern, audited on free, on reuse, and at heap-check
@@ -86,12 +93,12 @@ type HeapOptions struct {
 }
 
 // Heap is a DieHard randomized heap. Built with HeapOptions.Concurrent,
-// it is safe for use by multiple goroutines (metadata behind
-// fine-grained per-size-class locks, statistics atomic); without it, the
-// heap must be confined to one goroutine at a time, and each simulated
-// process owns its own Heap, just as each replica owns its own
-// randomized allocator. See core.ShardedHeap for a scalable multi-worker
-// front end.
+// it is safe for use by multiple goroutines (lock-free CAS malloc fast
+// path, statistics atomic; or fine-grained per-size-class locks with
+// LockedHeap); without it, the heap must be confined to one goroutine at
+// a time, and each simulated process owns its own Heap, just as each
+// replica owns its own randomized allocator. See core.ShardedHeap for a
+// scalable multi-worker front end with occupancy-aware shard routing.
 type Heap struct {
 	h   *core.Heap
 	det *detect.Detector
@@ -107,6 +114,7 @@ func NewHeap(opts HeapOptions) (*Heap, error) {
 		RandomFill: opts.ReplicatedMode,
 		Adaptive:   opts.Adaptive,
 		Concurrent: opts.Concurrent,
+		LockedHeap: opts.LockedHeap,
 	}
 	if opts.DetectCanaries {
 		dh, err := detect.New(copts, detect.Options{HeapCheckEvery: opts.HeapCheckEvery})

@@ -187,6 +187,40 @@ func TestSeedReproducesLayout(t *testing.T) {
 	}
 }
 
+// TestLockedHeapEngineMatchesDefault: the facade's LockedHeap option
+// selects the per-class-mutex reference engine, and for the same seed a
+// single goroutine gets byte-identical placement from either engine
+// (DESIGN.md §10).
+func TestLockedHeapEngineMatchesDefault(t *testing.T) {
+	lf, err := NewHeap(HeapOptions{HeapSize: 12 << 20, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lk, err := NewHeap(HeapOptions{HeapSize: 12 << 20, Seed: 7, LockedHeap: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		size := 8 + (i*29)%2000
+		pa, errA := lf.Malloc(size)
+		pb, errB := lk.Malloc(size)
+		if errA != nil || errB != nil {
+			t.Fatal(errA, errB)
+		}
+		if pa != pb {
+			t.Fatalf("alloc %d: lock-free engine placed %#x, locked engine %#x", i, pa, pb)
+		}
+		if i%3 == 0 {
+			if err := lf.Free(pa); err != nil {
+				t.Fatal(err)
+			}
+			if err := lk.Free(pb); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
 func TestDiscardWriter(t *testing.T) {
 	n, err := Discard.Write([]byte("ignored"))
 	if err != nil || n != 7 {

@@ -93,6 +93,24 @@ func CanaryOverflowDetectProb(fullness float64, objects int) float64 {
 	return 1 - math.Pow(fullness, float64(objects))
 }
 
+// ExpectedProbes is the expected length of the allocator's probe
+// sequence at the given heap fullness (§4.2): each probe hits a free
+// slot independently with probability 1 - fullness, so the probe count
+// is geometric with mean
+//
+//	E[probes] = 1 / (1 - fullness)
+//
+// — two at the default M = 2 threshold. The concurrency test battery
+// brackets the lock-free CAS probe loop's empirical mean against this
+// expectation, pinning that the CAS rewrite preserved the uniform
+// randomized placement the Theorems quantify.
+func ExpectedProbes(fullness float64) float64 {
+	if fullness < 0 || fullness >= 1 {
+		panic(fmt.Sprintf("analysis: fullness %v out of [0,1)", fullness))
+	}
+	return 1 / (1 - fullness)
+}
+
 // Series is one labeled curve of a figure.
 type Series struct {
 	Label string

@@ -241,6 +241,28 @@ func TestPanicsOnBadInput(t *testing.T) {
 	}
 }
 
+func TestExpectedProbes(t *testing.T) {
+	if got := ExpectedProbes(0.5); got != 2 {
+		t.Errorf("ExpectedProbes(1/2) = %v, want 2 (§4.2: two probes at M=2)", got)
+	}
+	if got, want := ExpectedProbes(5.0/6.0), 6.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("ExpectedProbes(5/6) = %v, want %v", got, want)
+	}
+	if got := ExpectedProbes(0); got != 1 {
+		t.Errorf("ExpectedProbes(0) = %v, want 1 (empty heap: first probe hits)", got)
+	}
+	for _, bad := range []float64{-0.1, 1, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("ExpectedProbes(%v) did not panic", bad)
+				}
+			}()
+			ExpectedProbes(bad)
+		}()
+	}
+}
+
 func TestCanaryOverflowDetectProb(t *testing.T) {
 	// Complementarity with Theorem 1: detection = 1 - masking with the
 	// fullness axis flipped (the overflow is masked from the detector

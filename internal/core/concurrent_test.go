@@ -67,43 +67,55 @@ func TestConcurrentHeapStress(t *testing.T) {
 	const workers = 8
 	const rounds = 400
 
-	h, err := New(Options{HeapSize: 48 << 20, Seed: 42, Concurrent: true})
-	if err != nil {
-		t.Fatal(err)
-	}
-	var wg sync.WaitGroup
-	errs := make([]error, workers)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			errs[w] = stressWorker(h, h.Mem(), w, rounds)
-		}(w)
-	}
-	wg.Wait()
-	for w, err := range errs {
-		if err != nil {
-			t.Fatalf("worker %d: %v", w, err)
-		}
-	}
-	if err := h.CheckInvariants(); err != nil {
-		t.Fatal(err)
-	}
-	st := h.Stats()
-	if st.Mallocs != workers*rounds {
-		t.Errorf("Mallocs = %d, want %d", st.Mallocs, workers*rounds)
-	}
-	if st.Frees != st.Mallocs {
-		t.Errorf("Frees = %d != Mallocs %d after full teardown", st.Frees, st.Mallocs)
-	}
-	if st.LiveObjects != 0 || st.LiveBytes != 0 {
-		t.Errorf("live accounting nonzero after teardown: %d objects, %d bytes", st.LiveObjects, st.LiveBytes)
-	}
-	if st.IgnoredFrees == 0 {
-		t.Error("misaligned frees were not exercised")
-	}
-	if h.LargeObjects() != 0 {
-		t.Errorf("%d large objects leaked", h.LargeObjects())
+	// Both engines stay raced: the default lock-free CAS path and the
+	// retained LockedHeap reference engine (DESIGN.md §10).
+	for _, tc := range []struct {
+		name   string
+		locked bool
+	}{
+		{"lockfree", false},
+		{"locked", true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			h, err := New(Options{HeapSize: 48 << 20, Seed: 42, Concurrent: true, LockedHeap: tc.locked})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var wg sync.WaitGroup
+			errs := make([]error, workers)
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					errs[w] = stressWorker(h, h.Mem(), w, rounds)
+				}(w)
+			}
+			wg.Wait()
+			for w, err := range errs {
+				if err != nil {
+					t.Fatalf("worker %d: %v", w, err)
+				}
+			}
+			if err := h.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+			st := h.Stats()
+			if st.Mallocs != workers*rounds {
+				t.Errorf("Mallocs = %d, want %d", st.Mallocs, workers*rounds)
+			}
+			if st.Frees != st.Mallocs {
+				t.Errorf("Frees = %d != Mallocs %d after full teardown", st.Frees, st.Mallocs)
+			}
+			if st.LiveObjects != 0 || st.LiveBytes != 0 {
+				t.Errorf("live accounting nonzero after teardown: %d objects, %d bytes", st.LiveObjects, st.LiveBytes)
+			}
+			if st.IgnoredFrees == 0 {
+				t.Error("misaligned frees were not exercised")
+			}
+			if h.LargeObjects() != 0 {
+				t.Errorf("%d large objects leaked", h.LargeObjects())
+			}
+		})
 	}
 }
 

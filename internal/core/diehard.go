@@ -21,16 +21,23 @@
 // which is what lets the voter in internal/replicate detect uninitialized
 // reads (§3.2, Theorem 3).
 //
-// Concurrency (DESIGN.md §7): allocator metadata operations are
-// goroutine-safe. Each size class carries its own mutex and its own
-// random stream, so mallocs in different classes never contend, and the
-// page index that resolves pointers for Free/SizeOf/ObjectBounds is read
-// lock-free. Concurrent use requires Options.Concurrent, which switches
-// the aggregate Stats and the space's access accounting to atomic
-// updates; heaps built without it keep unsynchronized counters and must
-// be confined to one goroutine at a time, as the sequential experiment
-// trials are. The structural metadata — bitmaps, occupancy, the random
-// streams — is guarded by the per-class locks unconditionally.
+// Concurrency (DESIGN.md §7, §10): allocator metadata operations are
+// goroutine-safe, and malloc is lock-free in the common case. The probe
+// loop draws from a per-class random stream kept in an atomic word
+// (advanced by compare-and-swap, so one goroutine preserves the exact
+// seeded sequence) and claims slots by CASing the allocation bitmap
+// word directly; occupancy is an atomic counter reserved with a bounded
+// CAS increment, so the 1/M threshold can never be overshot. The
+// per-class mutex survives only for adaptive region growth — and, with
+// Options.LockedHeap, as the retained lock-per-malloc reference engine
+// the lock-free engine is differenced against (placement is
+// byte-identical between the two at one goroutine). Pointer resolution
+// for Free/SizeOf/ObjectBounds reads the page index lock-free.
+// Concurrent use requires Options.Concurrent, which switches the
+// aggregate Stats and the space's access accounting to atomic updates;
+// heaps built without it keep unsynchronized counters and must be
+// confined to one goroutine at a time, as the sequential experiment
+// trials are.
 package core
 
 import (
@@ -91,9 +98,22 @@ type Options struct {
 	// Concurrent prepares the heap for use by multiple goroutines at
 	// once: allocator statistics are maintained atomically and the
 	// underlying space counts accesses atomically (vmem.StatsShared).
-	// Structural metadata is lock-guarded regardless; Concurrent is
-	// about the counters, and sequential heaps skip its atomics.
+	// Structural metadata is goroutine-safe regardless (lock-free CAS,
+	// or per-class locks with LockedHeap); Concurrent is about the
+	// counters, and sequential heaps skip its atomics.
 	Concurrent bool
+	// LockedHeap selects the per-class-mutex malloc engine (the PR-2
+	// design) instead of the default lock-free CAS engine: every probe
+	// and bitmap update runs under the size class's lock. The engine is
+	// retained as the semantic reference the lock-free path is
+	// differenced against — with the same seed and one goroutine the two
+	// engines place every object at the same address (DESIGN.md §10) —
+	// and as the baseline vmembench compares malloc latency to.
+	// RandomFill heaps always use it: the object fill draws from the
+	// same per-class stream the probes do, which only stays cheap under
+	// the class lock, and replicated-mode heaps are per-replica
+	// sequential anyway.
+	LockedHeap bool
 	// OnAlloc, when non-nil, is invoked after every successful
 	// allocation with the object's address, the requested size, and the
 	// size of the backing slot (the size-class object size, or the
@@ -104,12 +124,15 @@ type Options struct {
 	// heap does not synchronize hook invocations; heaps with hooks
 	// installed must be confined to one goroutine at a time.
 	OnAlloc func(p heap.Ptr, reqSize, slotSize int)
-	// OnFree, when non-nil, is invoked after every successful free
-	// (ignored invalid and double frees do not fire it) with the freed
-	// object's address and slot size. For large objects the backing
-	// mapping has already been unmapped when the hook runs; the hook can
-	// tell them apart because their OnAlloc reported reqSize >
-	// MaxObjectSize.
+	// OnFree, when non-nil, is invoked on every successful free (ignored
+	// invalid and double frees do not fire it) with the freed object's
+	// address and slot size. For large objects the hook runs *before*
+	// the guarded mapping is unmapped, so a detection engine can audit
+	// the trailing-page slack that the unmap destroys; the hook can tell
+	// them apart because their OnAlloc reported reqSize > MaxObjectSize.
+	// On the lock-free engine the hooks fire exactly once per CAS
+	// winner: the goroutine that set (or cleared) the slot's bit is the
+	// one that runs the hook, outside any lock.
 	OnFree func(p heap.Ptr, slotSize int)
 }
 
@@ -132,8 +155,16 @@ func (o *Options) withDefaults() Options {
 // subregions as demand grows. The class back-pointer and the shift
 // duplicate (log2 of the class's object size) let a pointer-to-
 // subregion resolved through the page index compute its slot without a
-// second indirection. The bitmap is guarded by the owning class's
-// mutex; base, slots, and shift are immutable after construction.
+// second indirection. Bitmap access follows the engine's discipline
+// (DESIGN.md §10): the locked engine uses the plain accessors, always
+// under the class mutex (readers included); a concurrent lock-free heap
+// claims and releases bits by CAS and reads them with atomic loads; a
+// sequential (non-Concurrent) lock-free heap is confined to one
+// goroutine, where the plain accessors are exact without any fence. On
+// amd64 an atomic load is an ordinary MOV, so the read paths use atomic
+// loads wherever an engine might race — the cost shows up only in
+// stores, which Go compiles to XCHG. base, slots, and shift are
+// immutable after construction.
 type subregion struct {
 	base  uint64
 	slots int
@@ -146,25 +177,99 @@ func (s *subregion) get(i int) bool { return s.bits[i>>6]&(1<<(i&63)) != 0 }
 func (s *subregion) set(i int)      { s.bits[i>>6] |= 1 << (i & 63) }
 func (s *subregion) clear(i int)    { s.bits[i>>6] &^= 1 << (i & 63) }
 
-// sizeClass holds the segregated metadata for one power-of-two region.
-// Each class is an independent lock domain: its mutex guards the bitmap,
-// the occupancy counters, and the class's private random stream, so
-// concurrent mallocs in different classes proceed without contention —
-// the fine-grained analog of Hoard's per-heap locks.
-type sizeClass struct {
-	mu      sync.Mutex
-	rand    rng.MWC // per-class probe/fill stream; under mu
-	fillBuf []byte  // RandomFill staging; under mu
+func (s *subregion) getAtomic(i int) bool {
+	return atomic.LoadUint64(&s.bits[i>>6])&(1<<(i&63)) != 0
+}
 
-	size       int
-	shift      uint   // log2(size), for divisions on the hot path
-	mask       uint64 // size - 1, for alignment checks on the hot path
+// casSet claims slot i on the lock-free path: it retries until either
+// this goroutine's CAS sets the bit (true — the caller owns the slot) or
+// the bit is observed already set (false — a racing winner or an
+// existing allocation holds it; the caller redraws). Retries only happen
+// when a concurrent operation changed another bit of the same word, so
+// the loop is lock-free: every failed CAS means someone else progressed.
+func (s *subregion) casSet(i int) bool {
+	w := &s.bits[i>>6]
+	bit := uint64(1) << (i & 63)
+	for {
+		old := atomic.LoadUint64(w)
+		if old&bit != 0 {
+			return false
+		}
+		if atomic.CompareAndSwapUint64(w, old, old|bit) {
+			return true
+		}
+	}
+}
+
+// casClear releases slot i on the lock-free path; false means the bit
+// was already clear (a double free, detected exactly as §4.3 requires —
+// of two racing frees of the same pointer, exactly one clears the bit).
+func (s *subregion) casClear(i int) bool {
+	w := &s.bits[i>>6]
+	bit := uint64(1) << (i & 63)
+	for {
+		old := atomic.LoadUint64(w)
+		if old&bit == 0 {
+			return false
+		}
+		if atomic.CompareAndSwapUint64(w, old, old&^bit) {
+			return true
+		}
+	}
+}
+
+// classRegions is a size class's immutable subregion list plus its slot
+// total, published as one unit behind an atomic pointer so the lock-free
+// probe loop always sees a slot count consistent with the subregions it
+// indexes into. Adaptive growth publishes a copy; non-adaptive classes
+// publish exactly once, at construction.
+type classRegions struct {
 	subs       []*subregion
 	totalSlots int
-	inUse      int
-	maxInUse   int // threshold: floor(totalSlots / M)
-	capSlots   int // adaptive growth stops here
-	mallocs    uint64
+}
+
+// locate maps a class-wide slot index to its subregion and local index.
+// Non-adaptive heaps always hit the single-subregion fast path.
+func (r *classRegions) locate(idx int) (*subregion, int) {
+	if idx < r.subs[0].slots {
+		return r.subs[0], idx
+	}
+	idx -= r.subs[0].slots
+	for i := 1; i < len(r.subs); i++ {
+		if idx < r.subs[i].slots {
+			return r.subs[i], idx
+		}
+		idx -= r.subs[i].slots
+	}
+	panic("diehard: slot index out of range") // unreachable when invariants hold
+}
+
+// sizeClass holds the segregated metadata for one power-of-two region.
+// On the default lock-free engine the mutex is touched only by adaptive
+// growth: probing draws from randState (the packed rng.Step stream),
+// slots are claimed by bitmap CAS, and occupancy is reserved with a
+// bounded CAS increment on inUse so the 1/M threshold holds at every
+// instant, not just at quiescence — with the CAS machinery engaged only
+// when Options.Concurrent declares real multi-goroutine use; sequential
+// lock-free heaps run the same protocol fence-free. With
+// Options.LockedHeap the mutex guards the whole malloc/free path, the
+// fine-grained analog of Hoard's per-heap locks that PR 2 shipped; both
+// engines share this storage, differing only in how they serialize
+// access to it (plain fields + sync/atomic function calls, so each
+// engine pays only for the ordering it needs).
+type sizeClass struct {
+	mu        sync.Mutex // adaptive growth; the whole path under LockedHeap
+	randState uint64     // packed MWC probe/fill stream (rng.Step)
+	fillBuf   []byte     // RandomFill staging; under mu (locked engine only)
+
+	size     int
+	shift    uint                         // log2(size), for divisions on the hot path
+	mask     uint64                       // size - 1, for alignment checks on the hot path
+	regions  atomic.Pointer[classRegions] // subregions + slot total, copy-on-write
+	inUse    int64                        // live slots; never exceeds maxInUse
+	maxInUse atomic.Int64                 // threshold: floor(totalSlots / M)
+	capSlots int                          // adaptive growth stops here
+	mallocs  uint64
 }
 
 // largeObject records an mmap'd allocation (> MaxObjectSize), which lives
@@ -195,6 +300,7 @@ type Heap struct {
 	space       *vmem.Space
 	seed        uint64
 	atomicStats bool // Concurrent heaps maintain stats atomically
+	lockfree    bool // CAS malloc engine; false = LockedHeap/RandomFill
 	classes     [NumClasses]sizeClass
 	stats       heap.Stats
 
@@ -261,6 +367,7 @@ func newHeap(opts Options, space *vmem.Space) (*Heap, error) {
 		opts:        o,
 		space:       space,
 		atomicStats: o.Concurrent,
+		lockfree:    !o.LockedHeap && !o.RandomFill,
 		large:       make(map[heap.Ptr]largeObject),
 	}
 	if h.space == nil {
@@ -300,9 +407,9 @@ func newHeap(opts Options, space *vmem.Space) (*Heap, error) {
 		// Every class draws from its own stream, deterministically
 		// derived from the master seed, so the probe sequence of one
 		// class is independent of activity in the others — the property
-		// that keeps per-class locking deterministic per allocation
-		// sequence.
-		cl.rand = *master.Split()
+		// that keeps placement deterministic per class allocation
+		// sequence on either engine.
+		cl.randState = master.Split().Seed()
 		initial := capSlots
 		if o.Adaptive {
 			initial = o.AdaptiveInitial / size
@@ -323,7 +430,12 @@ func newHeap(opts Options, space *vmem.Space) (*Heap, error) {
 
 // addSubregion maps a new stretch of slots for class c, recomputes the
 // 1/M threshold, and registers the new pages in the page index. The
-// caller holds the class mutex (or is the constructor).
+// caller holds the class mutex (or is the constructor). Publication
+// order matters for the lock-free engine's unlocked readers: the page
+// index is extended first (so any pointer handed out of the new
+// subregion resolves), then the region list (so probes can land there),
+// and the threshold is raised last (so no occupancy is reserved for
+// slots that are not yet probe-visible).
 func (h *Heap) addSubregion(c, slots int) error {
 	cl := &h.classes[c]
 	bytes := slots * cl.size
@@ -343,10 +455,15 @@ func (h *Heap) addSubregion(c, slots int) error {
 		cl:    cl,
 		shift: cl.shift,
 	}
-	cl.subs = append(cl.subs, sub)
-	cl.totalSlots += slots
-	cl.maxInUse = int(float64(cl.totalSlots) / h.opts.M)
 	h.indexSubregion(sub, base, uint64(slots)<<cl.shift)
+	next := &classRegions{totalSlots: slots}
+	if cur := cl.regions.Load(); cur != nil {
+		next.subs = append(next.subs, cur.subs...)
+		next.totalSlots += cur.totalSlots
+	}
+	next.subs = append(next.subs, sub)
+	cl.regions.Store(next)
+	cl.maxInUse.Store(int64(float64(next.totalSlots) / h.opts.M))
 	return nil
 }
 
@@ -400,8 +517,9 @@ func ClassSize(c int) int { return MinObjectSize << c }
 
 // Malloc allocates size bytes, placing the object uniformly at random
 // within its size class region (DieHardMalloc, Figure 2 of the paper).
-// Safe for concurrent use; mallocs in different size classes do not
-// contend.
+// Safe for concurrent use; on the default engine the small-object path
+// is lock-free (DESIGN.md §10), and on the LockedHeap reference engine
+// mallocs in different size classes do not contend.
 func (h *Heap) Malloc(size int) (heap.Ptr, error) {
 	if size < 0 {
 		h.addStat(&h.stats.FailedMallocs, 1)
@@ -414,19 +532,192 @@ func (h *Heap) Malloc(size int) (heap.Ptr, error) {
 		return h.allocateLargeObject(size)
 	}
 	c := ClassFor(size)
+	if h.lockfree {
+		return h.mallocLockFree(c, size)
+	}
+	return h.mallocLocked(c, size)
+}
+
+// mallocLockFree is the default small-object malloc: a bounded CAS
+// increment reserves occupancy below the 1/M threshold, then the probe
+// loop draws slots from the class stream and claims the first free one
+// by CASing its bitmap word (DESIGN.md §10). No mutex is touched unless
+// the class must grow. Exactly one goroutine wins each slot, so the
+// observation hooks fire exactly once per allocation.
+//
+// The stream advance is batched: the whole probe sequence draws against
+// a register-resident copy of the packed state, and one CAS publishes
+// the consumed draws. If the CAS fails a racing malloc advanced the
+// stream first; the probe sequence replays from the fresh state (its
+// candidate slot was never claimed, so nothing needs undoing). A lone
+// goroutine therefore consumes exactly the draw sequence the locked
+// engine would — the determinism the campaign recordings pin — at one
+// RMW instead of one per draw.
+func (h *Heap) mallocLockFree(c, size int) (heap.Ptr, error) {
+	cl := &h.classes[c]
+	if err := h.reserve(c); err != nil {
+		h.addStat(&h.stats.FailedMallocs, 1)
+		return heap.Null, err
+	}
+	// Probe for a free slot. The region is at most 1/M full, so the
+	// expected number of probes is 1/(1 - 1/M): two for M = 2 (§4.2).
+	// The cap guards against metadata-accounting bugs, not against bad
+	// luck; it is astronomically unlikely to trigger when invariants
+	// hold. The region list is reloaded every replay so a probe
+	// sequence spanning adaptive growth sees the fresh slots.
+	// probes accumulates across replays: an abandoned attempt's probes
+	// were work actually performed (and draws actually consumed by the
+	// racing winner's stream advance notwithstanding, ours were real
+	// bitmap examinations), so they are charged to Stats like the locked
+	// engine charges every probe it runs.
+	var (
+		sub    *subregion
+		local  int
+		probes int
+	)
+	for {
+		st0 := atomic.LoadUint64(&cl.randState)
+		st := st0
+		regs := cl.regions.Load()
+		n := uint32(regs.totalSlots)
+		single := len(regs.subs) == 1
+		rejectBelow := -n % n
+		for {
+			if probes >= 64*regs.totalSlots+64 {
+				h.releaseReservation(cl)
+				return heap.Null, &heap.CorruptionError{Detail: "diehard: no free slot found below fill threshold"}
+			}
+			probes++
+			// Lemire multiply-shift with rejection: the identical draw
+			// stream to the locked engine's probe loop.
+			var v uint32
+			st, v = rng.Step(st)
+			m := uint64(v) * uint64(n)
+			for uint32(m) < rejectBelow {
+				st, v = rng.Step(st)
+				m = uint64(v) * uint64(n)
+			}
+			if single {
+				sub, local = regs.subs[0], int(m>>32)
+			} else {
+				sub, local = regs.locate(int(m >> 32))
+			}
+			if !sub.getAtomic(local) {
+				break
+			}
+		}
+		if !h.atomicStats {
+			// Single-goroutine contract: no stream racer, no slot racer —
+			// commit plainly and claim without fences.
+			cl.randState = st
+			sub.set(local)
+			cl.mallocs++
+			break
+		}
+		if !atomic.CompareAndSwapUint64(&cl.randState, st0, st) {
+			continue // draws consumed by a racing malloc: replay
+		}
+		if sub.casSet(local) {
+			atomic.AddUint64(&cl.mallocs, 1)
+			break
+		}
+		// The observed-free slot was claimed between the stream commit
+		// and the bitmap CAS; draw again from the advanced stream.
+	}
+	ptr := sub.base + uint64(local)<<cl.shift
+	h.addStat(&h.stats.Probes, uint64(probes))
+	h.addStat(&h.stats.WorkUnits,
+		heap.WorkSizeClass+uint64(probes)*heap.WorkProbe+heap.WorkBitmap)
+	h.countMalloc(size, cl.size)
+	if h.opts.OnAlloc != nil {
+		h.opts.OnAlloc(ptr, size, cl.size)
+	}
+	return ptr, nil
+}
+
+// reserve claims one unit of class occupancy with a bounded CAS
+// increment: the threshold test and the increment are one atomic step,
+// so inUse can never overshoot maxInUse even mid-race. At the threshold
+// it falls into the growth engine (the one surviving use of the class
+// mutex) and retries; non-adaptive heaps fail immediately (Figure 2,
+// line 6). Sequential (non-Concurrent) heaps run the same bounded
+// increment without the RMW, which their one-goroutine contract makes
+// exact.
+func (h *Heap) reserve(c int) error {
+	cl := &h.classes[c]
+	for {
+		cur := atomic.LoadInt64(&cl.inUse)
+		if cur < cl.maxInUse.Load() {
+			if !h.atomicStats {
+				cl.inUse = cur + 1
+				return nil
+			}
+			if atomic.CompareAndSwapInt64(&cl.inUse, cur, cur+1) {
+				return nil
+			}
+			continue
+		}
+		if !h.opts.Adaptive {
+			return heap.ErrOutOfMemory
+		}
+		if err := h.growClass(c); err != nil {
+			return err
+		}
+	}
+}
+
+// releaseReservation hands back an occupancy unit on a failed lock-free
+// malloc.
+func (h *Heap) releaseReservation(cl *sizeClass) {
+	if h.atomicStats {
+		atomic.AddInt64(&cl.inUse, -1)
+	} else {
+		cl.inUse--
+	}
+}
+
+// growClass doubles class c under its mutex (adaptive heaps only). The
+// threshold is re-checked under the lock: if a racing grower or a free
+// already made room, the grow is skipped and the caller's reservation
+// loop retries.
+func (h *Heap) growClass(c int) error {
 	cl := &h.classes[c]
 	cl.mu.Lock()
-	if cl.inUse >= cl.maxInUse {
-		if h.opts.Adaptive && cl.totalSlots < cl.capSlots {
-			grow := cl.totalSlots
-			if cl.totalSlots+grow > cl.capSlots {
-				grow = cl.capSlots - cl.totalSlots
+	defer cl.mu.Unlock()
+	if atomic.LoadInt64(&cl.inUse) < cl.maxInUse.Load() {
+		return nil
+	}
+	regs := cl.regions.Load()
+	if regs.totalSlots >= cl.capSlots {
+		return heap.ErrOutOfMemory
+	}
+	grow := regs.totalSlots
+	if regs.totalSlots+grow > cl.capSlots {
+		grow = cl.capSlots - regs.totalSlots
+	}
+	return h.addSubregion(c, grow)
+}
+
+// mallocLocked is the retained per-class-mutex reference engine
+// (Options.LockedHeap, and every RandomFill heap): the PR-2 design,
+// byte-identical in placement to the lock-free engine at one goroutine
+// because both consume the same per-class draw stream.
+func (h *Heap) mallocLocked(c, size int) (heap.Ptr, error) {
+	cl := &h.classes[c]
+	cl.mu.Lock()
+	regs := cl.regions.Load()
+	if cl.inUse >= cl.maxInUse.Load() {
+		if h.opts.Adaptive && regs.totalSlots < cl.capSlots {
+			grow := regs.totalSlots
+			if regs.totalSlots+grow > cl.capSlots {
+				grow = cl.capSlots - regs.totalSlots
 			}
 			if err := h.addSubregion(c, grow); err != nil {
 				cl.mu.Unlock()
 				h.addStat(&h.stats.FailedMallocs, 1)
 				return heap.Null, err
 			}
+			regs = cl.regions.Load()
 		} else {
 			// At threshold: no more memory (Figure 2, line 6).
 			cl.mu.Unlock()
@@ -434,54 +725,64 @@ func (h *Heap) Malloc(size int) (heap.Ptr, error) {
 			return heap.Null, heap.ErrOutOfMemory
 		}
 	}
-	// Probe for a free slot. The region is at most 1/M full, so the
-	// expected number of probes is 1/(1 - 1/M): two for M = 2 (§4.2).
-	// The cap guards against metadata-accounting bugs, not against bad
-	// luck; it is astronomically unlikely to trigger when invariants
-	// hold. The single-subregion case (every non-adaptive heap) runs a
-	// specialized loop; probes are accounted in bulk afterwards.
-	probeCap := 64*cl.totalSlots + 64
-	n := uint32(cl.totalSlots)
-	sub := cl.subs[0]
+	// Probe for a free slot, consuming exactly the draw stream the
+	// lock-free engine does, with the class mutex held and the stream
+	// state register-resident. The single-subregion case (every
+	// non-adaptive heap) runs a specialized loop; probes are accounted
+	// in bulk afterwards.
+	probeCap := 64*regs.totalSlots + 64
+	n := uint32(regs.totalSlots)
+	sub := regs.subs[0]
 	var local int
 	probes := 0
-	if len(cl.subs) == 1 {
+	st := cl.randState
+	rejectBelow := -n % n
+	if len(regs.subs) == 1 {
 		// Single-subregion fast loop: generator state in a local so the
 		// probe iterations run register-to-register; the reduction is
 		// the same Lemire multiply-shift-with-rejection as rng.Uint32n,
 		// so the draw stream is identical.
-		rr := cl.rand
-		rejectBelow := -n % n
 		for {
 			if probes == probeCap {
-				cl.rand = rr
+				cl.randState = st
 				cl.mu.Unlock()
 				return heap.Null, &heap.CorruptionError{Detail: "diehard: no free slot found below fill threshold"}
 			}
 			probes++
-			m := uint64(rr.Next()) * uint64(n)
+			var v uint32
+			st, v = rng.Step(st)
+			m := uint64(v) * uint64(n)
 			for uint32(m) < rejectBelow {
-				m = uint64(rr.Next()) * uint64(n)
+				st, v = rng.Step(st)
+				m = uint64(v) * uint64(n)
 			}
 			local = int(m >> 32)
 			if sub.bits[local>>6]&(1<<(local&63)) == 0 {
 				break
 			}
 		}
-		cl.rand = rr
 	} else {
 		for {
 			if probes == probeCap {
+				cl.randState = st
 				cl.mu.Unlock()
 				return heap.Null, &heap.CorruptionError{Detail: "diehard: no free slot found below fill threshold"}
 			}
 			probes++
-			sub, local = cl.locate(int(cl.rand.Uint32n(n)))
-			if !sub.get(local) {
+			var v uint32
+			st, v = rng.Step(st)
+			m := uint64(v) * uint64(n)
+			for uint32(m) < rejectBelow {
+				st, v = rng.Step(st)
+				m = uint64(v) * uint64(n)
+			}
+			sub, local = regs.locate(int(m >> 32))
+			if sub.bits[local>>6]&(1<<(local&63)) == 0 {
 				break
 			}
 		}
 	}
+	cl.randState = st
 	sub.set(local)
 	cl.inUse++
 	cl.mallocs++
@@ -491,7 +792,7 @@ func (h *Heap) Malloc(size int) (heap.Ptr, error) {
 		// Fill under the class lock, from the class stream: each
 		// class's sequence of fill values is deterministic in its own
 		// allocation order (Figure 2, DieHardMalloc lines 18-20).
-		fillErr = h.fillRandom(&cl.rand, &cl.fillBuf, ptr, cl.size)
+		fillErr = h.fillClassRandom(cl, ptr, cl.size)
 	}
 	cl.mu.Unlock()
 	if fillErr != nil {
@@ -507,20 +808,14 @@ func (h *Heap) Malloc(size int) (heap.Ptr, error) {
 	return ptr, nil
 }
 
-// locate maps a class-wide slot index to its subregion and local index.
-// Non-adaptive heaps always hit the single-subregion fast path.
-func (cl *sizeClass) locate(idx int) (*subregion, int) {
-	if idx < cl.subs[0].slots {
-		return cl.subs[0], idx
-	}
-	idx -= cl.subs[0].slots
-	for i := 1; i < len(cl.subs); i++ {
-		if idx < cl.subs[i].slots {
-			return cl.subs[i], idx
-		}
-		idx -= cl.subs[i].slots
-	}
-	panic("diehard: slot index out of range") // unreachable when invariants hold
+// fillClassRandom fills an allocated object from the class stream,
+// round-tripping the packed state through an MWC value. The caller holds
+// the class mutex (RandomFill implies the locked engine).
+func (h *Heap) fillClassRandom(cl *sizeClass, ptr heap.Ptr, n int) error {
+	r := rng.NewSeeded(cl.randState)
+	err := h.fillRandom(r, &cl.fillBuf, ptr, n)
+	cl.randState = r.Seed()
+	return err
 }
 
 // fillRandom fills an allocated object with random values drawn from the
@@ -585,37 +880,66 @@ func (h *Heap) Free(p heap.Ptr) error {
 	cl, sub, local := h.find(p)
 	if cl == nil {
 		h.largeMu.Lock()
-		if lo, ok := h.large[p]; ok {
-			if err := h.space.Unmap(lo.mapBase, lo.mapLength); err != nil {
-				h.largeMu.Unlock()
-				return err // cannot happen unless internal state is corrupt
-			}
-			delete(h.large, p)
+		lo, ok := h.large[p]
+		if !ok {
 			h.largeMu.Unlock()
-			h.addStat(&h.stats.WorkUnits, heap.WorkMmap)
-			h.countFree((lo.mapLength/vmem.PageSize - 2) * vmem.PageSize)
-			if h.opts.OnFree != nil {
-				h.opts.OnFree(p, (lo.mapLength/vmem.PageSize-2)*vmem.PageSize)
-			}
+			h.addStat(&h.stats.IgnoredFrees, 1) // not our pointer: ignore (§4.3)
 			return nil
 		}
+		delete(h.large, p) // delete-first: exactly one racing free wins
 		h.largeMu.Unlock()
-		h.addStat(&h.stats.IgnoredFrees, 1) // not our pointer: ignore (§4.3)
+		usable := (lo.mapLength/vmem.PageSize - 2) * vmem.PageSize
+		if h.opts.OnFree != nil {
+			// Fire while the guarded mapping is still live, so a
+			// detection hook can audit the trailing-page slack that
+			// disappears with the unmap (the large-object canary gap).
+			h.opts.OnFree(p, usable)
+		}
+		if err := h.space.Unmap(lo.mapBase, lo.mapLength); err != nil {
+			// Cannot happen unless internal state is corrupt; re-list
+			// the object so accounting stays consistent and the free
+			// can be retried.
+			h.largeMu.Lock()
+			h.large[p] = lo
+			h.largeMu.Unlock()
+			return err
+		}
+		h.addStat(&h.stats.WorkUnits, heap.WorkMmap)
+		h.countFree(usable)
 		return nil
 	}
 	if (p-sub.base)&cl.mask != 0 {
 		h.addStat(&h.stats.IgnoredFrees, 1) // misaligned interior pointer: ignore
 		return nil
 	}
-	cl.mu.Lock()
-	if !sub.get(local) {
+	if h.lockfree {
+		if h.atomicStats {
+			// CAS release: of any set of racing frees of this pointer,
+			// exactly one clears the bit; the rest are double frees.
+			if !sub.casClear(local) {
+				h.addStat(&h.stats.IgnoredFrees, 1) // double free: ignore
+				return nil
+			}
+			atomic.AddInt64(&cl.inUse, -1)
+		} else {
+			if !sub.get(local) {
+				h.addStat(&h.stats.IgnoredFrees, 1) // double free: ignore
+				return nil
+			}
+			sub.clear(local)
+			cl.inUse--
+		}
+	} else {
+		cl.mu.Lock()
+		if !sub.get(local) {
+			cl.mu.Unlock()
+			h.addStat(&h.stats.IgnoredFrees, 1) // double free: ignore
+			return nil
+		}
+		sub.clear(local)
+		cl.inUse--
 		cl.mu.Unlock()
-		h.addStat(&h.stats.IgnoredFrees, 1) // double free: ignore
-		return nil
 	}
-	sub.clear(local)
-	cl.inUse--
-	cl.mu.Unlock()
 	h.addStat(&h.stats.WorkUnits, heap.WorkBitmap)
 	h.countFree(cl.size)
 	if h.opts.OnFree != nil {
@@ -661,13 +985,24 @@ func (h *Heap) SizeOf(p heap.Ptr) (int, bool) {
 	if cl == nil || (p-sub.base)&cl.mask != 0 {
 		return 0, false
 	}
-	cl.mu.Lock()
-	live := sub.get(local)
-	cl.mu.Unlock()
-	if !live {
+	if !h.slotLive(cl, sub, local) {
 		return 0, false
 	}
 	return cl.size, true
+}
+
+// slotLive reads slot local's bitmap bit under the engine's discipline:
+// an unlocked atomic load on the lock-free engine, a mutex-guarded plain
+// read on the locked engine (whose writers update words plainly under
+// the same mutex).
+func (h *Heap) slotLive(cl *sizeClass, sub *subregion, local int) bool {
+	if h.lockfree {
+		return sub.getAtomic(local)
+	}
+	cl.mu.Lock()
+	live := sub.get(local)
+	cl.mu.Unlock()
+	return live
 }
 
 // ObjectBounds resolves any pointer into the heap (including interior
@@ -688,10 +1023,7 @@ func (h *Heap) ObjectBounds(p heap.Ptr) (start heap.Ptr, size int, ok bool) {
 	if cl == nil {
 		return 0, 0, false
 	}
-	cl.mu.Lock()
-	live := sub.get(local)
-	cl.mu.Unlock()
-	if !live {
+	if !h.slotLive(cl, sub, local) {
 		return 0, 0, false
 	}
 	return sub.base + uint64(local)<<cl.shift, cl.size, true
@@ -709,10 +1041,7 @@ func (h *Heap) SlotAt(addr heap.Ptr) (base heap.Ptr, size int, live, ok bool) {
 	if cl == nil {
 		return 0, 0, false, false
 	}
-	cl.mu.Lock()
-	live = sub.get(local)
-	cl.mu.Unlock()
-	return sub.base + uint64(local)<<cl.shift, cl.size, live, true
+	return sub.base + uint64(local)<<cl.shift, cl.size, h.slotLive(cl, sub, local), true
 }
 
 // FreeSlots calls fn with the base address of every currently free slot
@@ -729,9 +1058,19 @@ func (h *Heap) FreeSlots(c int, fn func(p heap.Ptr) bool) {
 		slots int
 		bits  []uint64
 	}
-	snaps := make([]snap, len(cl.subs))
-	for i, sub := range cl.subs {
-		snaps[i] = snap{base: sub.base, slots: sub.slots, bits: append([]uint64(nil), sub.bits...)}
+	// The mutex freezes the region list in both engines and the bitmaps
+	// in the locked engine; on the lock-free engine bitmap words are
+	// copied with atomic loads, so a sweep racing CAS claimants is
+	// consistent per word (the callers that need an exact view — the
+	// detection engine — are sequential anyway).
+	regs := cl.regions.Load()
+	snaps := make([]snap, len(regs.subs))
+	for i, sub := range regs.subs {
+		words := make([]uint64, len(sub.bits))
+		for w := range sub.bits {
+			words[w] = atomic.LoadUint64(&sub.bits[w])
+		}
+		snaps[i] = snap{base: sub.base, slots: sub.slots, bits: words}
 	}
 	shift := cl.shift
 	cl.mu.Unlock()
@@ -789,17 +1128,20 @@ func (h *Heap) M() float64 { return h.opts.M }
 // exposed for the analytical validation experiments.
 func (h *Heap) ClassSlots(c int) (total, maxInUse int) {
 	cl := &h.classes[c]
-	cl.mu.Lock()
-	defer cl.mu.Unlock()
-	return cl.totalSlots, cl.maxInUse
+	return cl.regions.Load().totalSlots, int(cl.maxInUse.Load())
 }
 
-// ClassInUse returns the number of live objects in class c.
+// ClassInUse returns the number of live objects in class c: on the
+// lock-free engine an atomic read of the class occupancy counter, cheap
+// enough that the sharded front end consults it on every routed malloc.
 func (h *Heap) ClassInUse(c int) int {
 	cl := &h.classes[c]
+	if h.lockfree {
+		return int(atomic.LoadInt64(&cl.inUse))
+	}
 	cl.mu.Lock()
 	defer cl.mu.Unlock()
-	return cl.inUse
+	return int(cl.inUse)
 }
 
 // ClassMallocs returns the cumulative allocation count of class c,
@@ -807,6 +1149,9 @@ func (h *Heap) ClassInUse(c int) int {
 // wide size mix of the 300.twolf analog).
 func (h *Heap) ClassMallocs(c int) uint64 {
 	cl := &h.classes[c]
+	if h.lockfree {
+		return atomic.LoadUint64(&cl.mallocs)
+	}
 	cl.mu.Lock()
 	defer cl.mu.Unlock()
 	return cl.mallocs
@@ -815,10 +1160,7 @@ func (h *Heap) ClassMallocs(c int) uint64 {
 // ClassBase returns the base address of the first subregion of class c,
 // exposed for tests that aim overflow writes at precise heap locations.
 func (h *Heap) ClassBase(c int) heap.Ptr {
-	cl := &h.classes[c]
-	cl.mu.Lock()
-	defer cl.mu.Unlock()
-	return cl.subs[0].base
+	return h.classes[c].regions.Load().subs[0].base
 }
 
 // LargeObjects returns the number of live large objects.
@@ -832,7 +1174,10 @@ func (h *Heap) LargeObjects() int {
 // class live counts match bitmap population, thresholds are respected,
 // and subregion accounting is consistent. Property tests call this after
 // randomized (including concurrent) workloads; each class is checked
-// under its own lock.
+// under its own lock. On the lock-free engine the bitmap-population ==
+// inUse comparison is exact only at quiescence — every CAS winner pairs
+// its bit with a counter reservation, but the two updates are not one
+// atomic step — which is precisely when the stress tests call it.
 func (h *Heap) CheckInvariants() error {
 	for c := range h.classes {
 		cl := &h.classes[c]
@@ -849,31 +1194,33 @@ func (h *Heap) CheckInvariants() error {
 func (cl *sizeClass) checkLocked(c int) error {
 	pop := 0
 	slots := 0
-	for s := range cl.subs {
-		sub := cl.subs[s]
+	regs := cl.regions.Load()
+	for _, sub := range regs.subs {
 		slots += sub.slots
-		for _, w := range sub.bits {
-			pop += bits.OnesCount64(w)
+		for w := range sub.bits {
+			pop += bits.OnesCount64(atomic.LoadUint64(&sub.bits[w]))
 		}
 		// Bits beyond the slot count must be zero.
 		if tail := sub.slots & 63; tail != 0 {
-			last := sub.bits[len(sub.bits)-1]
+			last := atomic.LoadUint64(&sub.bits[len(sub.bits)-1])
 			if last>>uint(tail) != 0 {
 				return fmt.Errorf("class %d: bitmap bits set beyond slot count", c)
 			}
 		}
 	}
-	if slots != cl.totalSlots {
-		return fmt.Errorf("class %d: totalSlots %d != sum of subregions %d", c, cl.totalSlots, slots)
+	if slots != regs.totalSlots {
+		return fmt.Errorf("class %d: totalSlots %d != sum of subregions %d", c, regs.totalSlots, slots)
 	}
-	if pop != cl.inUse {
-		return fmt.Errorf("class %d: inUse %d != bitmap population %d", c, cl.inUse, pop)
+	inUse := int(atomic.LoadInt64(&cl.inUse))
+	maxInUse := int(cl.maxInUse.Load())
+	if pop != inUse {
+		return fmt.Errorf("class %d: inUse %d != bitmap population %d", c, inUse, pop)
 	}
-	if cl.inUse > cl.maxInUse {
-		return fmt.Errorf("class %d: inUse %d exceeds threshold %d", c, cl.inUse, cl.maxInUse)
+	if inUse > maxInUse {
+		return fmt.Errorf("class %d: inUse %d exceeds threshold %d", c, inUse, maxInUse)
 	}
-	if cl.totalSlots > cl.capSlots {
-		return fmt.Errorf("class %d: totalSlots %d exceeds cap %d", c, cl.totalSlots, cl.capSlots)
+	if regs.totalSlots > cl.capSlots {
+		return fmt.Errorf("class %d: totalSlots %d exceeds cap %d", c, regs.totalSlots, cl.capSlots)
 	}
 	return nil
 }

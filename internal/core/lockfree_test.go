@@ -1,0 +1,421 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"diehard/internal/analysis"
+	"diehard/internal/heap"
+	"diehard/internal/rng"
+)
+
+// The lock-free malloc engine's test battery (DESIGN.md §10): the CAS
+// probe loop must survive contention with its segregated metadata
+// exactly consistent, place objects byte-identically to the locked
+// reference engine when one goroutine allocates, keep the probe-count
+// distribution the randomized-placement analysis predicts, and never
+// touch a class mutex on the fast path.
+
+// popcountVsInUse asserts, per class, that the allocation bitmap's
+// population equals the atomic occupancy counter — the explicit pairing
+// invariant behind every CAS winner (one bit set <=> one reservation).
+func popcountVsInUse(t *testing.T, h *Heap) {
+	t.Helper()
+	for c := range h.classes {
+		cl := &h.classes[c]
+		pop := 0
+		for _, sub := range cl.regions.Load().subs {
+			for w := range sub.bits {
+				pop += bits.OnesCount64(atomic.LoadUint64(&sub.bits[w]))
+			}
+		}
+		if inUse := int(atomic.LoadInt64(&cl.inUse)); pop != inUse {
+			t.Errorf("class %d: bitmap popcount %d != atomic inUse %d", c, pop, inUse)
+		}
+	}
+}
+
+// TestLockFreeMallocStress hammers the CAS fast path: several goroutines
+// per size class churn malloc/free (plus the §4.3 ignore paths) against
+// one lock-free heap, and the metadata must come out exactly consistent.
+// Runs under -race in CI.
+func TestLockFreeMallocStress(t *testing.T) {
+	const workersPerClass = 4
+	const rounds = 500
+	classSizes := []int{8, 64, 1024}
+
+	h, err := New(Options{HeapSize: 48 << 20, Seed: 1337, Concurrent: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.lockfree {
+		t.Fatal("default engine is not lock-free")
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, len(classSizes)*workersPerClass)
+	for ci, size := range classSizes {
+		for w := 0; w < workersPerClass; w++ {
+			wg.Add(1)
+			go func(id, size, seed int) {
+				defer wg.Done()
+				r := rng.NewSeeded(uint64(seed)*0x9E3779B9 + 7)
+				live := make([]heap.Ptr, 0, 48)
+				for i := 0; i < rounds; i++ {
+					p, err := h.Malloc(size)
+					if err != nil {
+						errs[id] = err
+						return
+					}
+					live = append(live, p)
+					if len(live) > 32 {
+						victim := r.Intn(len(live))
+						if err := h.Free(live[victim]); err != nil {
+							errs[id] = err
+							return
+						}
+						live[victim] = live[len(live)-1]
+						live = live[:len(live)-1]
+					}
+					if i%13 == 0 {
+						// Racing double and misaligned frees must be
+						// ignored without ever corrupting the bitmaps.
+						_ = h.Free(p + 1)
+					}
+				}
+				for _, p := range live {
+					if err := h.Free(p); err != nil {
+						errs[id] = err
+						return
+					}
+				}
+			}(ci*workersPerClass+w, size, ci*workersPerClass+w)
+		}
+	}
+	wg.Wait()
+	for id, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", id, err)
+		}
+	}
+	if err := h.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	popcountVsInUse(t, h)
+	st := h.Stats()
+	if st.Mallocs != uint64(len(classSizes)*workersPerClass*rounds) {
+		t.Errorf("Mallocs = %d, want %d", st.Mallocs, len(classSizes)*workersPerClass*rounds)
+	}
+	if st.Frees != st.Mallocs {
+		t.Errorf("Frees = %d != Mallocs %d after full teardown", st.Frees, st.Mallocs)
+	}
+}
+
+// TestLockFreeDoubleFreeRace frees every pointer from two goroutines at
+// once: exactly one CAS clear may win per pointer, so the ignored-free
+// count and the occupancy must both come out exact.
+func TestLockFreeDoubleFreeRace(t *testing.T) {
+	h, err := New(Options{HeapSize: 12 << 20, Seed: 5, Concurrent: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 2000
+	ptrs := make([]heap.Ptr, n)
+	for i := range ptrs {
+		p, err := h.Malloc(64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ptrs[i] = p
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, p := range ptrs {
+				_ = h.Free(p)
+			}
+		}()
+	}
+	wg.Wait()
+	st := h.Stats()
+	if st.Frees != n {
+		t.Errorf("Frees = %d, want exactly %d (one winner per racing pair)", st.Frees, n)
+	}
+	if st.IgnoredFrees != n {
+		t.Errorf("IgnoredFrees = %d, want %d (one loser per racing pair)", st.IgnoredFrees, n)
+	}
+	if err := h.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	popcountVsInUse(t, h)
+}
+
+// TestLockFreeMatchesLockedLayout is the engine-differencing regression:
+// with the same seed and one goroutine, the lock-free engine must place
+// every object at exactly the address the locked reference engine does —
+// both consume the same per-class draw stream — across mixed sizes,
+// frees, large objects, and adaptive growth.
+func TestLockFreeMatchesLockedLayout(t *testing.T) {
+	for _, adaptive := range []bool{false, true} {
+		run := func(locked bool) []heap.Ptr {
+			h, err := New(Options{
+				HeapSize: 16 << 20, Seed: 0xD1FF, LockedHeap: locked,
+				Adaptive: adaptive, AdaptiveInitial: 16 << 10,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if h.lockfree == locked {
+				t.Fatalf("engine selection wrong: lockfree=%v for LockedHeap=%v", h.lockfree, locked)
+			}
+			r := rng.NewSeeded(99)
+			sizes := []int{8, 24, 64, 300, 2048, MaxObjectSize + 100}
+			var placed []heap.Ptr
+			live := make([]heap.Ptr, 0, 512)
+			for i := 0; i < 3000; i++ {
+				p, err := h.Malloc(sizes[r.Intn(len(sizes))])
+				if err != nil {
+					t.Fatal(err)
+				}
+				placed = append(placed, p)
+				live = append(live, p)
+				if len(live) > 400 {
+					victim := r.Intn(len(live))
+					if err := h.Free(live[victim]); err != nil {
+						t.Fatal(err)
+					}
+					live[victim] = live[len(live)-1]
+					live = live[:len(live)-1]
+				}
+			}
+			return placed
+		}
+		lockfree, locked := run(false), run(true)
+		for i := range lockfree {
+			if lockfree[i] != locked[i] {
+				t.Fatalf("adaptive=%v alloc %d: lock-free placed %#x, locked reference placed %#x",
+					adaptive, i, lockfree[i], locked[i])
+			}
+		}
+	}
+}
+
+// TestLockFreeSnapshotMatchesLocked runs the same deterministic program
+// on both engines and diffs the full heap snapshots: not just addresses
+// but live contents must be indistinguishable.
+func TestLockFreeSnapshotMatchesLocked(t *testing.T) {
+	run := func(locked bool) []ObjectRecord {
+		h, err := New(Options{HeapSize: 12 << 20, Seed: 0xFEED, LockedHeap: locked})
+		if err != nil {
+			t.Fatal(err)
+		}
+		live := make([]heap.Ptr, 0, 128)
+		for i := 0; i < 600; i++ {
+			p, err := h.Malloc(16 + i%200)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := h.Mem().Store64(p, uint64(i)); err != nil {
+				t.Fatal(err)
+			}
+			live = append(live, p)
+			if i%3 == 0 && len(live) > 1 {
+				if err := h.Free(live[0]); err != nil {
+					t.Fatal(err)
+				}
+				live = live[1:]
+			}
+		}
+		snap, err := h.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return snap
+	}
+	if div := DiffSnapshots(run(false), run(true)); len(div) != 0 {
+		t.Fatalf("lock-free and locked snapshots diverge: %v", div)
+	}
+}
+
+// TestLockFreeProbeDistribution brackets the CAS probe loop's empirical
+// mean probe count against the geometric expectation 1/(1 - fullness)
+// (analysis.ExpectedProbes) at half-full and five-sixths-full heaps: the
+// statistical witness that the lock-free rewrite preserved uniform
+// randomized placement.
+func TestLockFreeProbeDistribution(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical reproduction; skipped in -short mode")
+	}
+	const pairs = 20000
+	for _, m := range []float64{2, 1.2} {
+		h, err := New(Options{HeapSize: 8 << 20, M: m, Seed: 0xAB5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !h.lockfree {
+			t.Fatal("default engine is not lock-free")
+		}
+		c := ClassFor(64)
+		total, maxInUse := h.ClassSlots(c)
+		ptrs := make([]heap.Ptr, maxInUse)
+		for i := range ptrs {
+			p, err := h.Malloc(64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ptrs[i] = p
+		}
+		r := rng.NewSeeded(7)
+		before := h.Stats().Probes
+		for i := 0; i < pairs; i++ {
+			j := r.Intn(len(ptrs))
+			if err := h.Free(ptrs[j]); err != nil {
+				t.Fatal(err)
+			}
+			p, err := h.Malloc(64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ptrs[j] = p
+		}
+		mean := float64(h.Stats().Probes-before) / pairs
+		// Each steady-state malloc probes with maxInUse-1 slots occupied.
+		fullness := float64(maxInUse-1) / float64(total)
+		want := analysis.ExpectedProbes(fullness)
+		if math.Abs(mean-want)/want > 0.10 {
+			t.Errorf("M=%v: mean probes %.3f, geometric expectation %.3f (fullness %.3f)",
+				m, mean, want, fullness)
+		}
+	}
+}
+
+// TestLockFreeMallocAvoidsClassMutex is the no-mutex-on-the-fast-path
+// acceptance check: with a class's mutex deliberately held, malloc and
+// free of that class must still complete on a non-adaptive lock-free
+// heap (only adaptive growth may block on the lock).
+func TestLockFreeMallocAvoidsClassMutex(t *testing.T) {
+	h, err := New(Options{HeapSize: 12 << 20, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := &h.classes[ClassFor(64)]
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	done := make(chan error, 1)
+	go func() {
+		p, err := h.Malloc(64)
+		if err == nil {
+			err = h.Free(p)
+		}
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("malloc/free blocked on the class mutex: fast path is not lock-free")
+	}
+}
+
+// TestShardedStealRouting pins the occupancy-aware router: with shard
+// 0's size class driven to its 1/M threshold, routed mallocs must steal
+// from the emptier shards instead of failing — the exact situation where
+// round-robin routing trips one shard's threshold early (it would hand
+// every len(shards)-th request to the full shard and get ErrOutOfMemory).
+func TestShardedStealRouting(t *testing.T) {
+	const shards = 4
+	sh, err := NewSharded(shards, Options{HeapSize: shards << 20, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := ClassFor(64)
+	_, maxInUse := sh.Shard(0).ClassSlots(c)
+	for i := 0; i < maxInUse; i++ {
+		if _, err := sh.Shard(0).Malloc(64); err != nil {
+			t.Fatalf("filling shard 0: %v", err)
+		}
+	}
+	// Shard 0 is at threshold: every routed malloc must now succeed by
+	// stealing a slot elsewhere.
+	for i := 0; i < 3*maxInUse/2; i++ {
+		p, err := sh.Malloc(64)
+		if err != nil {
+			t.Fatalf("routed malloc %d failed with shard 0 full: %v", i, err)
+		}
+		if sh.Shard(0).InHeap(p) {
+			t.Fatalf("routed malloc %d landed in the full shard", i)
+		}
+	}
+	if use := sh.Shard(0).ClassInUse(c); use != maxInUse {
+		t.Errorf("shard 0 occupancy changed to %d during steals", use)
+	}
+	if err := sh.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardedStealExhaustion drives the router to genuine exhaustion:
+// every shard's class capacity must be usable through sh.Malloc (the
+// refused-shard retry pass), and only when all shards are at their 1/M
+// thresholds may the router return out-of-memory.
+func TestShardedStealExhaustion(t *testing.T) {
+	const shards = 3
+	sh, err := NewSharded(shards, Options{HeapSize: shards << 20, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := ClassFor(64)
+	_, maxInUse := sh.Shard(0).ClassSlots(c)
+	for i := 0; i < shards*maxInUse; i++ {
+		if _, err := sh.Malloc(64); err != nil {
+			t.Fatalf("routed malloc %d/%d failed before exhaustion: %v", i, shards*maxInUse, err)
+		}
+	}
+	if _, err := sh.Malloc(64); !errors.Is(err, heap.ErrOutOfMemory) {
+		t.Fatalf("past exhaustion: err = %v, want ErrOutOfMemory", err)
+	}
+	for i := 0; i < shards; i++ {
+		if use := sh.Shard(i).ClassInUse(c); use != maxInUse {
+			t.Errorf("shard %d occupancy %d != threshold %d at exhaustion", i, use, maxInUse)
+		}
+	}
+}
+
+// TestShardedStealBalancesSkew drives all mallocs through the router and
+// checks the per-shard occupancy spread stays tight: emptiest-shard
+// stealing is self-balancing, landing each request on a least-loaded
+// shard, so the max-min spread cannot exceed a handful of slots.
+func TestShardedStealBalancesSkew(t *testing.T) {
+	const shards = 4
+	sh, err := NewSharded(shards, Options{HeapSize: shards * 12 << 20, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := ClassFor(64)
+	for i := 0; i < 4000; i++ {
+		if _, err := sh.Malloc(64); err != nil {
+			t.Fatal(err)
+		}
+	}
+	minUse, maxUse := int(^uint(0)>>1), 0
+	for i := 0; i < shards; i++ {
+		use := sh.Shard(i).ClassInUse(c)
+		if use < minUse {
+			minUse = use
+		}
+		if use > maxUse {
+			maxUse = use
+		}
+	}
+	if maxUse-minUse > 1 {
+		t.Errorf("sequential steal routing spread %d..%d; want within 1 slot", minUse, maxUse)
+	}
+}

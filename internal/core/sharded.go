@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sync/atomic"
 
@@ -26,6 +27,14 @@ import (
 // case (O(1) page-index lookup per shard), and invalid or double frees
 // are ignored just as §4.3 prescribes.
 //
+// Unpinned mallocs are routed by occupancy (DESIGN.md §10): the request
+// steals a slot from the shard whose target size class is emptiest right
+// now, read from the per-shard atomic occupancy counters the lock-free
+// engine maintains anyway. Shards are equal-sized, so comparing raw
+// counts compares fullness — the slot-granular analog of Hoard stealing
+// the emptiest superblock — and skewed worker load can no longer drive
+// one shard into its 1/M threshold while its siblings sit empty.
+//
 // RandomFill (replicated mode) is not supported: replica voting gives
 // each replica a private space, which is exactly what sharding gives up.
 // TLB simulation is likewise sequential-only.
@@ -33,8 +42,7 @@ type ShardedHeap struct {
 	space  *vmem.Space
 	shards []*Heap
 	seed   uint64
-	cursor atomic.Uint64 // round-robin shard choice for unpinned callers
-	stats  heap.Stats    // aggregate snapshot storage is per-call; this holds sharded-level counters (ignored frees)
+	stats  heap.Stats // aggregate snapshot storage is per-call; this holds sharded-level counters (ignored frees)
 }
 
 var _ heap.Allocator = (*ShardedHeap)(nil)
@@ -73,6 +81,9 @@ func NewSharded(n int, opts Options) (*ShardedHeap, error) {
 		so.HeapSize = perShard
 		so.Seed = master.Split().Seed()
 		so.Concurrent = true
+		// Shards always run the lock-free engine: the router's unlocked
+		// occupancy reads are only race-free against atomic writers.
+		so.LockedHeap = false
 		h, err := newHeap(so, sh.space)
 		if err != nil {
 			return nil, fmt.Errorf("diehard: shard %d: %w", i, err)
@@ -92,12 +103,61 @@ func (sh *ShardedHeap) Shards() int { return len(sh.shards) }
 // itself.
 func (sh *ShardedHeap) Shard(i int) *Heap { return sh.shards[i%len(sh.shards)] }
 
-// Malloc allocates from the next shard in round-robin order. Workers
-// that want stable placement (and no shared cursor) should allocate
-// through Shard(i) instead.
+// Malloc allocates from the emptiest shard for the request's size class
+// (ties break to the lowest shard index, so routing is deterministic in
+// the observed occupancies). The estimate is one atomic load per shard —
+// the same counter the lock-free malloc path reserves against — so
+// routing costs O(shards) loads and no locks, and a shard near its 1/M
+// threshold stops attracting requests instead of failing them while its
+// siblings have room. If the chosen shard still refuses (a reservation
+// race at its threshold boundary, or an exact occupancy tie), the
+// remaining shards are retried in ascending occupancy, so a routed
+// request fails only when every shard is genuinely out of memory.
+// Workers that want stable placement should allocate through Shard(i)
+// instead.
 func (sh *ShardedHeap) Malloc(size int) (heap.Ptr, error) {
-	i := sh.cursor.Add(1)
-	return sh.shards[i%uint64(len(sh.shards))].Malloc(size)
+	load := func(s *Heap) int64 {
+		// Large objects bypass the size classes; balance them by total
+		// live bytes instead of class occupancy.
+		return int64(atomic.LoadUint64(&s.stats.LiveBytes))
+	}
+	if size <= MaxObjectSize {
+		c := ClassFor(size)
+		load = func(s *Heap) int64 { return atomic.LoadInt64(&s.classes[c].inUse) }
+	}
+	best := sh.emptiest(load, nil)
+	p, err := best.Malloc(size)
+	if err == nil || !errors.Is(err, heap.ErrOutOfMemory) {
+		return p, err
+	}
+	// Rare: the shard filled between the occupancy read and its
+	// reservation. The retry pass allocates its exclusion set off the
+	// hot path.
+	tried := map[*Heap]bool{best: true}
+	for len(tried) < len(sh.shards) {
+		next := sh.emptiest(load, tried)
+		if p, err = next.Malloc(size); err == nil || !errors.Is(err, heap.ErrOutOfMemory) {
+			return p, err
+		}
+		tried[next] = true
+	}
+	return heap.Null, err
+}
+
+// emptiest returns the non-excluded shard minimizing load, ties to the
+// lowest index.
+func (sh *ShardedHeap) emptiest(load func(*Heap) int64, excluded map[*Heap]bool) *Heap {
+	var best *Heap
+	var bestLoad int64
+	for _, s := range sh.shards {
+		if excluded[s] {
+			continue
+		}
+		if use := load(s); best == nil || use < bestLoad {
+			best, bestLoad = s, use
+		}
+	}
+	return best
 }
 
 // owner returns the shard owning p, or nil. Small objects resolve via

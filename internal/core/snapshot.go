@@ -38,10 +38,15 @@ func (h *Heap) Snapshot() ([]ObjectRecord, error) {
 		cl := &h.classes[c]
 		cl.mu.Lock()
 		slotBase := 0
-		for s := range cl.subs {
-			sub := cl.subs[s]
+		regs := cl.regions.Load()
+		for s := range regs.subs {
+			sub := regs.subs[s]
 			for i := 0; i < sub.slots; i++ {
-				if !sub.get(i) {
+				// Atomic bit read: on the lock-free engine the class
+				// mutex no longer excludes CAS claimants, so the scan
+				// must load words atomically (the quiescence the doc
+				// asks for is what makes the result meaningful).
+				if !sub.getAtomic(i) {
 					continue
 				}
 				ptr := sub.base + uint64(i*cl.size)

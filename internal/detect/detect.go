@@ -12,9 +12,11 @@
 //     8-byte canary pattern, aligned to absolute addresses, so all
 //     never-allocated space is canary;
 //   - Free audits the freed object's slack — the bytes between the
-//     requested size and the size-class slot size, canary since
-//     allocation — and classifies damage there as a buffer overflow by
-//     that object (the culprit allocation site is exact);
+//     requested size and the size-class slot size (for large objects,
+//     the trailing-page slack of the guarded mapping, audited before
+//     the unmap destroys it), canary since allocation — and classifies
+//     damage there as a buffer overflow by that object (the culprit
+//     allocation site is exact);
 //   - Free then refills the whole slot with canary and tracks it, so a
 //     write through a stale pointer lands on canary;
 //   - Malloc audits a reused tracked slot before the program can touch
@@ -396,8 +398,13 @@ func (d *Detector) onFree(p heap.Ptr, slot int) {
 	}
 	delete(d.objects, p)
 	if rec.large {
-		// The guarded mapping is already unmapped; overflows within its
-		// last page are audited by HeapCheck while the object lives.
+		// Core fires OnFree for large objects *before* the guarded
+		// mapping is unmapped, so the trailing-page slack — canary since
+		// the page filler instantiated it — gets its audit here, at
+		// free, not only at heap-check barriers while the object lived
+		// (the PR-4 gap). There is nothing to re-arm or track: the
+		// mapping disappears as soon as this hook returns.
+		d.auditSlack(p, rec, AuditFree)
 		return
 	}
 	d.auditSlack(p, rec, AuditFree)
@@ -541,8 +548,8 @@ func (d *Detector) HeapCheck() int {
 	}
 	for _, p := range sortedPtrs(d.objects) {
 		// Large objects are audited here too: their slack (requested size
-		// to the end of the last mapped page) is canary while they live,
-		// and free unmaps them, so the barrier is their only audit point.
+		// to the end of the last mapped page) is canary while they live.
+		// Their final audit happens at free, just before the unmap.
 		d.auditSlack(p, d.objects[p], AuditHeapCheck)
 	}
 	return len(d.evidence) + d.dropped - before

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"diehard/internal/core"
+	"diehard/internal/fault"
 	"diehard/internal/heap"
 )
 
@@ -324,6 +325,79 @@ func TestLargeObjectLifecycle(t *testing.T) {
 	h.Detector().HeapCheck()
 	if r := h.Detector().Report(); len(r.Evidence) != 0 {
 		t.Fatalf("clean large-object lifecycle produced evidence: %+v", r.Evidence)
+	}
+}
+
+// TestLargeObjectOverflowCaughtAtFree closes the PR-4 gap: an overflow
+// into a large object's trailing-page slack is audited at free — core
+// fires OnFree before the guarded mapping is unmapped — not only at
+// heap-check barriers while the object lives. The overflow is planned
+// (fault.PlanOverflow), so the culprit allocation site is known ground
+// truth and the evidence must name it exactly.
+func TestLargeObjectOverflowCaughtAtFree(t *testing.T) {
+	const largeReq = core.MaxObjectSize + 1000
+	// The program: a few small warm-up objects, then one large object
+	// written at its full intended size, then freed.
+	program := func(alloc heap.Allocator, mem heap.Memory) error {
+		for i := 0; i < 4; i++ {
+			p, err := alloc.Malloc(64)
+			if err != nil {
+				return err
+			}
+			if err := mem.Memset(p, 'a', 64); err != nil {
+				return err
+			}
+			if err := alloc.Free(p); err != nil {
+				return err
+			}
+		}
+		p, err := alloc.Malloc(largeReq)
+		if err != nil {
+			return err
+		}
+		if err := mem.Memset(p, 'L', largeReq); err != nil {
+			return err
+		}
+		return alloc.Free(p)
+	}
+
+	// Trace run: record the allocation log the plan draws from.
+	th, err := core.New(core.Options{HeapSize: 12 << 20, Seed: 0xACE})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracer := fault.NewTracer(th)
+	if err := program(tracer, th.Mem()); err != nil {
+		t.Fatal(err)
+	}
+	// Only the large allocation is eligible: the plan's victim set is
+	// exactly it, which makes the expected culprit site unambiguous.
+	plan := fault.PlanOverflow(tracer.Trace(), 1, core.MaxObjectSize+1, 8, 0xBEEF)
+	victims := plan.Victims()
+	if len(victims) != 1 || victims[0] != 4 {
+		t.Fatalf("planned victims = %v, want exactly the large allocation (site 4)", victims)
+	}
+
+	// Injection run: the under-allocated large object's full-size write
+	// runs 8 bytes into the trailing-page slack.
+	dh := newDetectHeap(t, 77)
+	inj := fault.NewPlannedOverflowInjector(dh, plan)
+	if err := program(inj, dh.Mem()); err != nil {
+		t.Fatal(err)
+	}
+	evs := evidenceOf(dh.Detector().Report(), KindOverflow)
+	if len(evs) != 1 {
+		t.Fatalf("got %d overflow evidence records, want 1: %+v", len(evs), evs)
+	}
+	ev := evs[0]
+	if ev.Audit != AuditFree {
+		t.Errorf("audit point = %s, want %s (caught at free, no barrier ran)", ev.Audit, AuditFree)
+	}
+	if ev.AllocSite != victims[0] {
+		t.Errorf("culprit site = %d, want planned victim %d", ev.AllocSite, victims[0])
+	}
+	if ev.Span != plan.Delta {
+		t.Errorf("damage span = %d, want the injected %d bytes", ev.Span, plan.Delta)
 	}
 }
 

@@ -1,0 +1,64 @@
+package exps
+
+import (
+	"fmt"
+	"hash/fnv"
+	"testing"
+)
+
+// Golden campaign fingerprints, recorded at PR 4 — before the lock-free
+// malloc engine — with workers=1 on the per-class-mutex allocator. The
+// lock-free CAS engine consumes exactly the same per-class draw stream
+// when one goroutine allocates (DESIGN.md §10), so every campaign cell
+// must still hash to these values; a mismatch means the concurrency
+// refactor changed placement, and with it the randomized-placement
+// guarantees the campaigns measure.
+
+// goldenDetectHashes are the per-cell OutputHash values of the tiny
+// detection table (tinyDetectParams, workers=1) in cell order
+// (overflow, dangling, uninit at multiplier 2).
+var goldenDetectHashes = map[DetectError]uint64{
+	DetectOverflow: 0x2a79411f06e748cb,
+	DetectDangling: 0xc529cc2338e92028,
+	DetectUninit:   0xe88b9d83855ef1e5,
+}
+
+// goldenErrorTableHash is 64-bit FNV-1a over fmt's rendering of the
+// Table 1 cell map (map printing is key-sorted, so the rendering is
+// deterministic).
+const goldenErrorTableHash = 0x4f362baa046c63a5
+
+func TestDetectionTableMatchesPR4Recording(t *testing.T) {
+	table, err := RunDetectionTable(tinyDetectParams(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Cells) != len(goldenDetectHashes) {
+		t.Fatalf("table has %d cells, recording has %d", len(table.Cells), len(goldenDetectHashes))
+	}
+	for _, c := range table.Cells {
+		want, ok := goldenDetectHashes[c.Error]
+		if !ok {
+			t.Errorf("cell %s x%v not in the PR 4 recording", c.Error, c.Multiplier)
+			continue
+		}
+		if c.OutputHash != want {
+			t.Errorf("cell %s x%v OutputHash = %#x, PR 4 recorded %#x — the engine refactor changed campaign output",
+				c.Error, c.Multiplier, c.OutputHash, want)
+		}
+	}
+}
+
+func TestErrorTableMatchesPR4Recording(t *testing.T) {
+	skipIfShort(t)
+	table, err := RunErrorTable(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%+v", table.Cell)
+	if got := h.Sum64(); got != goldenErrorTableHash {
+		t.Errorf("error table hash = %#x, PR 4 recorded %#x — a Table 1 cell changed:\n%+v",
+			got, goldenErrorTableHash, table.Cell)
+	}
+}

@@ -66,6 +66,23 @@ func (r *MWC) Next64() uint64 {
 	return hi<<32 | lo
 }
 
+// Step advances a packed MWC state by one draw and returns the successor
+// state and the drawn value. The state encoding is the one Seed reports
+// and NewSeeded consumes (z in the high half, w in the low half), and the
+// recurrence is exactly Next's, so a stream advanced through Step is
+// bit-identical to one advanced through the method. The DieHard
+// allocator's lock-free malloc path keeps each size class's stream in an
+// atomic word and advances it by compare-and-swap of (state, Step(state));
+// nonzero halves are preserved by the recurrence, so packed states
+// round-trip exactly.
+func Step(state uint64) (next uint64, value uint32) {
+	z := uint32(state >> 32)
+	w := uint32(state)
+	z = 36969*(z&65535) + (z >> 16)
+	w = 18000*(w&65535) + (w >> 16)
+	return uint64(z)<<32 | uint64(w), z<<16 + w
+}
+
 // Uintn returns a uniform value in [0, n). n must be positive.
 // DieHard's slot probing only needs modulo-style uniformity; we use
 // rejection sampling to avoid modulo bias so the analytical results in
