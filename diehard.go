@@ -30,6 +30,7 @@
 package diehard
 
 import (
+	"fmt"
 	"io"
 
 	"diehard/internal/analysis"
@@ -182,6 +183,28 @@ func (h *Heap) Seed() uint64 { return h.h.Seed() }
 
 // Stats reports allocator activity counters.
 func (h *Heap) Stats() heap.Stats { return *h.h.Stats() }
+
+// Magazine is a per-worker allocation front end over a lock-free heap:
+// it holds pre-claimed slots per hot size class and buffers frees, so
+// fast-path Malloc/Free touch no shared cache lines; refills and
+// flushes batch the lock-free protocol (DESIGN.md §11). One magazine
+// serves one goroutine at a time. Obtain via Heap.NewMagazine (or
+// core.ShardedHeap.NewMagazine for the sharded front end); Drain at
+// barriers needing exact counters, Close when done.
+type Magazine = core.Magazine
+
+// NewMagazine returns a per-worker magazine over this heap. The heap
+// must use the default lock-free engine without canary detection:
+// batching is incompatible with per-operation audit hooks, and the
+// locked engine serializes anyway.
+func (h *Heap) NewMagazine() (*Magazine, error) {
+	if h.det != nil {
+		return nil, errDetectMagazine
+	}
+	return h.h.NewMagazine()
+}
+
+var errDetectMagazine = fmt.Errorf("diehard: magazines cannot batch past canary detection (DetectCanaries)")
 
 // Strcpy is DieHard's checked replacement for strcpy (§4.4): the copy
 // is capped at the destination object's remaining capacity, so it can

@@ -39,6 +39,57 @@ func TestPublicHeapLifecycle(t *testing.T) {
 	}
 }
 
+func TestPublicMagazine(t *testing.T) {
+	h, err := NewHeap(HeapOptions{HeapSize: 12 << 20, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := h.NewMagazine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := make([]Ptr, 0, 100)
+	for i := 0; i < 100; i++ {
+		p, err := m.Malloc(64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := h.Mem().Store64(p, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+		live = append(live, p)
+	}
+	for i, p := range live {
+		if v, err := h.Mem().Load64(p); err != nil || v != uint64(i) {
+			t.Fatalf("object %d: round trip %d %v", i, v, err)
+		}
+		if err := m.Free(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Free(live[0]); err != nil { // double free through the magazine
+		t.Fatal(err)
+	}
+	m.Close()
+	st := h.Stats()
+	if st.Mallocs != 100 || st.Frees != 100 || st.LiveObjects != 0 {
+		t.Fatalf("drained stats: Mallocs=%d Frees=%d Live=%d, want 100/100/0",
+			st.Mallocs, st.Frees, st.LiveObjects)
+	}
+	if st.IgnoredFrees != 1 {
+		t.Fatalf("IgnoredFrees = %d, want 1", st.IgnoredFrees)
+	}
+	// Magazines refuse detection heaps: batching cannot preserve
+	// per-operation canary audit points.
+	dh, err := NewHeap(HeapOptions{HeapSize: 12 << 20, Seed: 1, DetectCanaries: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dh.NewMagazine(); err == nil {
+		t.Fatal("NewMagazine on a DetectCanaries heap succeeded; want error")
+	}
+}
+
 func TestPublicCallocRealloc(t *testing.T) {
 	h, err := NewHeap(HeapOptions{HeapSize: 12 << 20, Seed: 2, ReplicatedMode: true})
 	if err != nil {

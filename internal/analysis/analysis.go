@@ -111,6 +111,30 @@ func ExpectedProbes(fullness float64) float64 {
 	return 1 / (1 - fullness)
 }
 
+// ExpectedBatchProbes is the expected total probe count of a magazine
+// refill that claims batch slots from a class of total slots with live
+// already occupied (DESIGN.md §11). Claims are made as drawn, so the
+// i-th claim of the batch probes against fullness (live+i)/total and
+// its probe count is geometric with mean total/(total-live-i):
+//
+//	E[probes] = Σ_{i=0}^{batch-1} total / (total - live - i)
+//
+// With batch = 1 this reduces to ExpectedProbes(live/total). The
+// magazine probe-distribution tests bracket empirical refill probe
+// counts against this sum, pinning that batching preserved uniform
+// randomized placement at every intermediate fullness.
+func ExpectedBatchProbes(total, live, batch int) float64 {
+	if total <= 0 || live < 0 || batch < 0 || live+batch > total {
+		panic(fmt.Sprintf("analysis: batch probes of %d from %d live of %d total out of range",
+			batch, live, total))
+	}
+	sum := 0.0
+	for i := 0; i < batch; i++ {
+		sum += float64(total) / float64(total-live-i)
+	}
+	return sum
+}
+
 // Series is one labeled curve of a figure.
 type Series struct {
 	Label string

@@ -263,6 +263,48 @@ func TestExpectedProbes(t *testing.T) {
 	}
 }
 
+func TestExpectedBatchProbes(t *testing.T) {
+	// A batch of one is exactly the single-malloc expectation.
+	for _, tc := range []struct{ total, live int }{{1000, 500}, {1200, 1000}, {64, 0}} {
+		got := ExpectedBatchProbes(tc.total, tc.live, 1)
+		want := ExpectedProbes(float64(tc.live) / float64(tc.total))
+		if math.Abs(got-want) > 1e-12 {
+			t.Errorf("ExpectedBatchProbes(%d, %d, 1) = %v, want ExpectedProbes = %v",
+				tc.total, tc.live, got, want)
+		}
+	}
+	// A batch is the sum of its per-claim geometric means: each claim
+	// raises the fullness the next one probes against.
+	want := 0.0
+	for i := 0; i < 8; i++ {
+		want += ExpectedProbes(float64(500+i) / 1000)
+	}
+	if got := ExpectedBatchProbes(1000, 500, 8); math.Abs(got-want) > 1e-12 {
+		t.Errorf("ExpectedBatchProbes(1000, 500, 8) = %v, want per-claim sum %v", got, want)
+	}
+	// An empty batch probes nowhere.
+	if got := ExpectedBatchProbes(100, 50, 0); got != 0 {
+		t.Errorf("ExpectedBatchProbes(100, 50, 0) = %v, want 0", got)
+	}
+	// A batch may run exactly to a full heap, but never past it.
+	if got := ExpectedBatchProbes(4, 0, 4); math.Abs(got-(1+4.0/3+2+4)) > 1e-12 {
+		t.Errorf("ExpectedBatchProbes(4, 0, 4) = %v, want %v", got, 1+4.0/3+2+4)
+	}
+	for _, bad := range []struct{ total, live, batch int }{
+		{0, 0, 1}, {100, -1, 1}, {100, 50, -1}, {100, 99, 2},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("ExpectedBatchProbes(%d, %d, %d) did not panic",
+						bad.total, bad.live, bad.batch)
+				}
+			}()
+			ExpectedBatchProbes(bad.total, bad.live, bad.batch)
+		}()
+	}
+}
+
 func TestCanaryOverflowDetectProb(t *testing.T) {
 	// Complementarity with Theorem 1: detection = 1 - masking with the
 	// fullness axis flipped (the overflow is masked from the detector

@@ -44,6 +44,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math/bits"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -311,6 +312,9 @@ type Heap struct {
 
 	idxMu   sync.Mutex // serializes pageIdx publication
 	pageIdx atomic.Pointer[pageIndex]
+
+	magMu     sync.Mutex // guards the magazine registry, not the magazines
+	magazines map[*Magazine]struct{}
 }
 
 var _ heap.Allocator = (*Heap)(nil)
@@ -571,9 +575,10 @@ func (h *Heap) mallocLockFree(c, size int) (heap.Ptr, error) {
 	// bitmap examinations), so they are charged to Stats like the locked
 	// engine charges every probe it runs.
 	var (
-		sub    *subregion
-		local  int
-		probes int
+		sub     *subregion
+		local   int
+		probes  int
+		replays int
 	)
 	for {
 		st0 := atomic.LoadUint64(&cl.randState)
@@ -615,7 +620,14 @@ func (h *Heap) mallocLockFree(c, size int) (heap.Ptr, error) {
 			break
 		}
 		if !atomic.CompareAndSwapUint64(&cl.randState, st0, st) {
-			continue // draws consumed by a racing malloc: replay
+			// Draws consumed by a racing malloc: replay. A class losing
+			// repeatedly is contended — back off (bounded exponential +
+			// jitter from the already-consumed local draw state) so the
+			// losers stop replaying whole probe sequences against each
+			// other; replays surface in Stats.CASRetries.
+			replays++
+			backoffSpin(replays, uint32(st)^uint32(st0>>32))
+			continue
 		}
 		if sub.casSet(local) {
 			atomic.AddUint64(&cl.mallocs, 1)
@@ -626,6 +638,9 @@ func (h *Heap) mallocLockFree(c, size int) (heap.Ptr, error) {
 	}
 	ptr := sub.base + uint64(local)<<cl.shift
 	h.addStat(&h.stats.Probes, uint64(probes))
+	if replays > 0 {
+		h.addStat(&h.stats.CASRetries, uint64(replays))
+	}
 	h.addStat(&h.stats.WorkUnits,
 		heap.WorkSizeClass+uint64(probes)*heap.WorkProbe+heap.WorkBitmap)
 	h.countMalloc(size, cl.size)
@@ -633,6 +648,40 @@ func (h *Heap) mallocLockFree(c, size int) (heap.Ptr, error) {
 		h.opts.OnAlloc(ptr, size, cl.size)
 	}
 	return ptr, nil
+}
+
+// backoffSink absorbs the spin loop below so the compiler cannot
+// eliminate it; the store is atomic only to stay clean under -race.
+var backoffSink atomic.Uint64
+
+// backoffSpin delays a CAS replay loop that keeps losing: bounded
+// exponential spin (capped at 64 iterations) plus jitter, yielding the
+// processor once the class is severely contended. The jitter is derived
+// from state the loser already holds — a consumed draw value or an
+// observed counter — never from a fresh draw, so the shared per-class
+// probe stream is untouched and placement stays seed-deterministic. At
+// one goroutine a CAS never loses, so this path never runs and the
+// sequential engines are bit-for-bit unaffected; the first loss retries
+// immediately (the common transient), and only repeat losers pay.
+func backoffSpin(attempt int, jitter uint32) {
+	if attempt < 2 {
+		return
+	}
+	exp := uint(attempt)
+	if exp > 6 {
+		exp = 6
+	}
+	spins := 1<<exp + int(jitter&uint32(1<<exp-1))
+	acc := uint64(0)
+	for i := 0; i < spins; i++ {
+		acc += uint64(i)
+	}
+	backoffSink.Store(acc)
+	if attempt > 3 {
+		// Heavily contended (or oversubscribed cores): hand the CPU to
+		// the racing winner instead of spinning against it.
+		runtime.Gosched()
+	}
 }
 
 // reserve claims one unit of class occupancy with a bounded CAS
@@ -645,6 +694,7 @@ func (h *Heap) mallocLockFree(c, size int) (heap.Ptr, error) {
 // exact.
 func (h *Heap) reserve(c int) error {
 	cl := &h.classes[c]
+	replays := 0
 	for {
 		cur := atomic.LoadInt64(&cl.inUse)
 		if cur < cl.maxInUse.Load() {
@@ -653,8 +703,13 @@ func (h *Heap) reserve(c int) error {
 				return nil
 			}
 			if atomic.CompareAndSwapInt64(&cl.inUse, cur, cur+1) {
+				if replays > 0 {
+					h.addStat(&h.stats.CASRetries, uint64(replays))
+				}
 				return nil
 			}
+			replays++
+			backoffSpin(replays, uint32(cur))
 			continue
 		}
 		if !h.opts.Adaptive {
@@ -1177,8 +1232,13 @@ func (h *Heap) LargeObjects() int {
 // under its own lock. On the lock-free engine the bitmap-population ==
 // inUse comparison is exact only at quiescence — every CAS winner pairs
 // its bit with a counter reservation, but the two updates are not one
-// atomic step — which is precisely when the stress tests call it.
+// atomic step — which is precisely when the stress tests call it. Every
+// registered magazine is drained first (the drain barrier of DESIGN.md
+// §11), so pre-claimed slots and buffered frees cannot masquerade as
+// live objects; like the popcount comparison, draining requires the
+// magazines' owner goroutines to be quiescent.
 func (h *Heap) CheckInvariants() error {
+	h.DrainMagazines()
 	for c := range h.classes {
 		cl := &h.classes[c]
 		cl.mu.Lock()

@@ -391,8 +391,10 @@ func TestShardedStealExhaustion(t *testing.T) {
 
 // TestShardedStealBalancesSkew drives all mallocs through the router and
 // checks the per-shard occupancy spread stays tight: emptiest-shard
-// stealing is self-balancing, landing each request on a least-loaded
-// shard, so the max-min spread cannot exceed a handful of slots.
+// stealing is self-balancing, landing each routing decision on a
+// least-loaded shard. With routing hysteresis a decision is reused for
+// up to routeWindow requests before occupancy is re-read, so the
+// max-min spread is bounded by the window, not by one slot.
 func TestShardedStealBalancesSkew(t *testing.T) {
 	const shards = 4
 	sh, err := NewSharded(shards, Options{HeapSize: shards * 12 << 20, Seed: 8})
@@ -415,7 +417,61 @@ func TestShardedStealBalancesSkew(t *testing.T) {
 			maxUse = use
 		}
 	}
-	if maxUse-minUse > 1 {
-		t.Errorf("sequential steal routing spread %d..%d; want within 1 slot", minUse, maxUse)
+	if maxUse-minUse > routeWindow {
+		t.Errorf("sequential steal routing spread %d..%d; want within routeWindow (%d) slots",
+			minUse, maxUse, routeWindow)
+	}
+}
+
+// TestShardedRoutingHysteresis pins the hysteresis contract itself: one
+// routing decision sticks for exactly routeWindow consecutive
+// same-class mallocs (they all land on the chosen shard), and the next
+// request re-reads occupancy and routes to the emptiest shard.
+func TestShardedRoutingHysteresis(t *testing.T) {
+	const shards = 4
+	sh, err := NewSharded(shards, Options{HeapSize: shards * 12 << 20, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := ClassFor(64)
+	occupancy := func() []int {
+		use := make([]int, shards)
+		for i := range use {
+			use[i] = sh.Shard(i).ClassInUse(c)
+		}
+		return use
+	}
+	before := occupancy()
+	for i := 0; i < routeWindow; i++ {
+		if _, err := sh.Malloc(64); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after := occupancy()
+	changed := -1
+	for i := range after {
+		if after[i] != before[i] {
+			if changed >= 0 {
+				t.Fatalf("window of %d mallocs split across shards %d and %d; want one sticky shard",
+					routeWindow, changed, i)
+			}
+			changed = i
+			if after[i]-before[i] != routeWindow {
+				t.Fatalf("sticky shard %d took %d mallocs; want the full window %d",
+					i, after[i]-before[i], routeWindow)
+			}
+		}
+	}
+	if changed != 0 {
+		t.Fatalf("first window landed on shard %d; want shard 0 (emptiest, ties to lowest index)", changed)
+	}
+	// The window is spent: the next malloc re-routes to an emptiest
+	// shard, which shard 0 (now routeWindow ahead) cannot be.
+	if _, err := sh.Malloc(64); err != nil {
+		t.Fatal(err)
+	}
+	if use := sh.Shard(0).ClassInUse(c); use != after[0] {
+		t.Errorf("expired window still routed to shard 0 (occupancy %d -> %d); want re-route to an emptier shard",
+			after[0], use)
 	}
 }

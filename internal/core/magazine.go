@@ -1,0 +1,636 @@
+package core
+
+// The per-worker allocation magazine (DESIGN.md §11): the Hoard/
+// tcmalloc-style front end that makes the lock-free malloc path scale
+// instead of merely exist. PR 5 removed the locks but left every malloc
+// touching three shared atomics (occupancy CAS, probe-stream CAS,
+// bitmap CAS) and every free two more; under contention the losers
+// replay whole probe sequences. A Magazine amortizes all of that: it
+// holds a small store of pre-claimed slots per hot size class, refilled
+// by ONE batched CAS occupancy reservation plus a batched draw of the
+// class probe stream (a contiguous prefix of the per-class MWC
+// sequence, published with a single CAS), and a local free buffer whose
+// bitmap clears, occupancy decrements, and statistics publish in
+// batches. A malloc on the fast path pops a pre-claimed slot and a free
+// pushes into the local buffer — zero shared cache lines touched.
+//
+// The randomized-placement guarantees behind Theorem 1 survive batching
+// by construction: a refill consumes exactly the prefix of the class
+// draw stream that the same number of back-to-back unbatched mallocs
+// would have consumed, against the same bitmap state (claims are made
+// slot-by-slot as drawn, so each draw sees its predecessors exactly as
+// the unbatched probe loop does). At one goroutine the publication CAS
+// never loses, so a magazine-fed sequential workload places every
+// object at the address the unbatched engine places it — the prefix
+// property TestMagazinePrefixPlacement pins, which is what keeps the
+// golden campaign OutputHash recordings meaningful as the ground truth.
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"diehard/internal/heap"
+	"diehard/internal/rng"
+)
+
+const (
+	// magInitialCap is a fresh magazine's per-class capacity; each
+	// refill doubles it up to MagazineMaxCap, so one-shot classes stay
+	// nearly batch-free while hot classes earn full batching.
+	magInitialCap = 8
+	// MagazineMaxCap is the largest per-class magazine: the bound on
+	// slots a worker can hold pre-claimed (and on frees it can buffer)
+	// per class, and therefore on how far a magazine-held class's
+	// apparent occupancy can lead its true live count between drains.
+	MagazineMaxCap = 64
+	// minObjectShift is log2(MinObjectSize): subregion shifts map to
+	// class indices by subtracting it.
+	minObjectShift = 3
+)
+
+// magFree is one locally buffered free: the slot stays bitmap-live (so
+// probes and double frees keep treating it exactly like a live object)
+// until the flush publishes the clear. shard indexes the owning shard
+// for sharded magazines (always 0 in single-heap mode); the struct
+// carries one pointer so buffering a free costs one write barrier.
+type magFree struct {
+	sub   *subregion
+	local int32
+	shard int32
+}
+
+// classMagazine is one size class's local state: pre-claimed slots in
+// draw order, pending (unpublished) malloc counters, and the free
+// buffer. scratch is the refill's claim-undo buffer (class-wide slot
+// indexes), reused across refills so the hot loop allocates nothing.
+type classMagazine struct {
+	owner          *Heap      // shard the claimed slots and pending stats belong to
+	slots          []heap.Ptr // pre-claimed slots, FIFO in stream draw order
+	next           int        // pop cursor into slots
+	cap            int        // current refill batch size (adaptive)
+	pendingMallocs int        // popped slots not yet published to owner stats
+	pendingReq     uint64     // requested bytes of those pops
+	free           []magFree  // buffered frees awaiting batch publication
+	scratch        []int32    // refill claim indexes, for undo on CAS loss
+}
+
+// Magazine is a per-worker allocation front end over a lock-free
+// DieHard heap (or a ShardedHeap, where each refill re-routes to the
+// emptiest shard for the class — the occupancy hysteresis of DESIGN.md
+// §11: shard occupancy is re-read once per magazine lifetime instead of
+// once per malloc). A Magazine is owned by exactly one goroutine at a
+// time; the backing heap remains safe for any number of magazines plus
+// unbatched callers concurrently. Create with Heap.NewMagazine or
+// ShardedHeap.NewMagazine; call Drain at barriers where exact counters
+// or an exact free-slot view are needed, and Close when done.
+//
+// Invalid frees keep DieHard's §4.3 semantics with one batching-shaped
+// shift: a pre-claimed (not yet served) slot is bitmap-live, so a wild
+// free forging its address is accepted the way a wild free of any live
+// object always was, where the unbatched engine would have ignored it
+// (the slot would still have been free). The exposure is bounded by
+// MagazineMaxCap slots per class per magazine.
+type Magazine struct {
+	h       *Heap        // single-heap mode: the pinned heap
+	sh      *ShardedHeap // sharded mode: refills re-route by occupancy
+	classes [NumClasses]classMagazine
+}
+
+// NewMagazine returns a per-worker magazine over this heap. The heap
+// must run the lock-free engine (LockedHeap and RandomFill heaps
+// serialize on the class mutex anyway, so batching would buy nothing)
+// and must not have observation hooks installed: a detection engine
+// audits canaries at every alloc and free boundary, which is exactly
+// the per-operation precision batching gives up.
+func (h *Heap) NewMagazine() (*Magazine, error) {
+	if !h.lockfree {
+		return nil, fmt.Errorf("diehard: magazines require the lock-free engine (not LockedHeap/RandomFill)")
+	}
+	if h.opts.OnAlloc != nil || h.opts.OnFree != nil {
+		return nil, fmt.Errorf("diehard: magazines cannot batch past per-operation observation hooks")
+	}
+	m := &Magazine{h: h}
+	m.init()
+	h.registerMagazine(m)
+	return m, nil
+}
+
+// NewMagazine returns a per-worker magazine over the sharded heap: the
+// registration handle workers use instead of pinning a shard. Each
+// class refill routes to the shard whose class occupancy is lowest at
+// refill time (falling over to the others if it is at its threshold),
+// so routing reads amortize across a whole magazine instead of every
+// malloc; frees route to the owning shard by page index as always.
+func (sh *ShardedHeap) NewMagazine() (*Magazine, error) {
+	if s := sh.shards[0]; s.opts.OnAlloc != nil || s.opts.OnFree != nil {
+		return nil, fmt.Errorf("diehard: magazines cannot batch past per-operation observation hooks")
+	}
+	m := &Magazine{sh: sh}
+	m.init()
+	sh.registerMagazine(m)
+	return m, nil
+}
+
+func (m *Magazine) init() {
+	for c := range m.classes {
+		m.classes[c].cap = magInitialCap
+	}
+}
+
+// backing is the allocator behind this magazine, for the paths that
+// bypass batching (large objects, foreign and misaligned pointers).
+func (m *Magazine) backing() heap.Allocator {
+	if m.sh != nil {
+		return m.sh
+	}
+	return m.h
+}
+
+// Malloc serves size bytes from the magazine: the common case pops a
+// pre-claimed slot and touches only magazine-local memory. An empty
+// class refills through the batched lock-free protocol; large objects
+// fall through to the backing allocator unbatched.
+func (m *Magazine) Malloc(size int) (heap.Ptr, error) {
+	if size > MaxObjectSize || size < 0 {
+		return m.backing().Malloc(size)
+	}
+	if size == 0 {
+		size = 1 // malloc(0) returns a distinct pointer, as in C
+	}
+	c := ClassFor(size)
+	cm := &m.classes[c]
+	if cm.next == len(cm.slots) {
+		if err := m.refill(c, cm); err != nil {
+			return heap.Null, err
+		}
+	}
+	p := cm.slots[cm.next]
+	cm.next++
+	cm.pendingMallocs++
+	cm.pendingReq += uint64(size)
+	return p, nil
+}
+
+// Free releases p: a small object of the backing heap is buffered
+// locally and published in a batch (its bitmap bit stays set until
+// then, so the slot keeps reading as live everywhere); everything else
+// — large objects, foreign pointers, misaligned interior pointers —
+// takes the backing allocator's unbatched path, which already counts
+// the §4.3 ignores.
+func (m *Magazine) Free(p heap.Ptr) error {
+	if p == heap.Null {
+		return nil
+	}
+	var (
+		sub   *subregion
+		local int
+		shard int32
+	)
+	if m.sh == nil {
+		_, sub, local = m.h.find(p)
+	} else {
+		for i, s := range m.sh.shards {
+			if _, sub, local = s.find(p); sub != nil {
+				shard = int32(i)
+				break
+			}
+		}
+	}
+	if sub == nil {
+		return m.backing().Free(p)
+	}
+	if (p-sub.base)&sub.cl.mask != 0 {
+		return m.backing().Free(p) // misaligned interior pointer: ignored there
+	}
+	c := int(sub.shift) - minObjectShift
+	cm := &m.classes[c]
+	cm.free = append(cm.free, magFree{sub: sub, local: int32(local), shard: shard})
+	if len(cm.free) >= cm.cap {
+		m.flushFrees(c, cm)
+	}
+	return nil
+}
+
+// refill restocks class c: pending malloc stats are published to the
+// outgoing owner, buffered frees are recycled first (their occupancy
+// must be visible before reserving more, or a heap at its 1/M threshold
+// would refuse a refill its own buffer has already paid for), and then
+// one batched reservation plus one batched stream draw claims the next
+// stretch of slots. In sharded mode the refill lands on the emptiest
+// shard for the class, falling over to the others at its threshold —
+// the same steal order ShardedHeap.Malloc uses, amortized to once per
+// magazine.
+func (m *Magazine) refill(c int, cm *classMagazine) error {
+	m.publishMallocs(c, cm)
+	m.flushFrees(c, cm)
+	want := cm.cap
+	if cm.cap < MagazineMaxCap {
+		cm.cap *= 2
+	}
+	owner := m.h
+	if m.sh != nil {
+		owner = m.sh.refillShard(c)
+	}
+	got, err := owner.magazineRefill(c, want, &cm.slots, &cm.scratch)
+	if err != nil && m.sh != nil && errors.Is(err, heap.ErrOutOfMemory) {
+		tried := map[*Heap]bool{owner: true}
+		for len(tried) < len(m.sh.shards) {
+			next, _ := m.sh.emptiest(m.sh.classLoad(c), tried)
+			if got, err = next.magazineRefill(c, want, &cm.slots, &cm.scratch); err == nil {
+				owner = next
+				break
+			}
+			if !errors.Is(err, heap.ErrOutOfMemory) {
+				return err
+			}
+			tried[next] = true
+		}
+	}
+	if err != nil {
+		return err
+	}
+	cm.owner = owner
+	cm.slots = cm.slots[:got]
+	cm.next = 0
+	return nil
+}
+
+// publishMallocs pushes the class's served-malloc counters to the owner
+// the slots came from, in one batched stats update.
+func (m *Magazine) publishMallocs(c int, cm *classMagazine) {
+	if cm.pendingMallocs == 0 {
+		return
+	}
+	owner := cm.owner
+	alloc := uint64(cm.pendingMallocs) * uint64(ClassSize(c))
+	if owner.atomicStats {
+		heap.CountMallocBatchAtomic(&owner.stats, cm.pendingMallocs, cm.pendingReq, alloc)
+	} else {
+		heap.CountMallocBatch(&owner.stats, cm.pendingMallocs, cm.pendingReq, alloc)
+	}
+	cm.pendingMallocs = 0
+	cm.pendingReq = 0
+}
+
+// flushFrees publishes the class's buffered frees: one bitmap clear per
+// slot (CAS on concurrent heaps — of racing frees of one pointer,
+// exactly one wins, preserving §4.3 double-free detection across
+// magazines) and then, per owning shard, one occupancy decrement and
+// one batched stats update for all the winners together.
+func (m *Magazine) flushFrees(c int, cm *classMagazine) {
+	if len(cm.free) == 0 {
+		return
+	}
+	if m.sh == nil {
+		// Single-heap magazines have exactly one owner: count wins and
+		// §4.3 ignores straight through, no per-shard accounting.
+		wins, ignored := 0, 0
+		if m.h.atomicStats {
+			for _, e := range cm.free {
+				if e.sub.casClear(int(e.local)) {
+					wins++
+				} else {
+					ignored++
+				}
+			}
+		} else {
+			for _, e := range cm.free {
+				if local := int(e.local); e.sub.get(local) {
+					e.sub.clear(local)
+					wins++
+				} else {
+					ignored++
+				}
+			}
+		}
+		m.h.finishBatchedFrees(c, wins, ignored)
+		cm.free = cm.free[:0]
+		return
+	}
+	wins := make([]int, len(m.sh.shards))
+	ignored := make([]int, len(m.sh.shards))
+	for _, e := range cm.free {
+		if e.sub.casClear(int(e.local)) { // shards are always concurrent
+			wins[e.shard]++
+		} else {
+			ignored[e.shard]++
+		}
+	}
+	for i, s := range m.sh.shards {
+		if wins[i] != 0 || ignored[i] != 0 {
+			s.finishBatchedFrees(c, wins[i], ignored[i])
+		}
+	}
+	cm.free = cm.free[:0]
+}
+
+// Drain publishes everything the magazine holds back: pending malloc
+// statistics, buffered frees, and every unconsumed pre-claimed slot
+// (returned to its heap: bit cleared, occupancy released — they were
+// never served, so no free is counted). After a drain the backing
+// heap's counters, bitmaps, and FreeSlots walks are exact, which is why
+// CheckInvariants and detection barriers drain registered magazines
+// first. The magazine remains usable; the next malloc simply refills.
+func (m *Magazine) Drain() {
+	for c := range m.classes {
+		cm := &m.classes[c]
+		m.publishMallocs(c, cm)
+		m.flushFrees(c, cm)
+		m.returnClaims(c, cm)
+	}
+}
+
+// returnClaims hands unconsumed pre-claimed slots back to their owner.
+func (m *Magazine) returnClaims(c int, cm *classMagazine) {
+	if cm.next == len(cm.slots) {
+		cm.slots = cm.slots[:0]
+		cm.next = 0
+		return
+	}
+	owner := cm.owner
+	cl := &owner.classes[c]
+	wins := 0
+	for _, p := range cm.slots[cm.next:] {
+		_, sub, local := owner.find(p)
+		if owner.atomicStats {
+			if sub.casClear(local) {
+				wins++
+			}
+		} else if sub.get(local) {
+			sub.clear(local)
+			wins++
+		}
+	}
+	// Only winners release occupancy: a pre-claimed slot stolen by a
+	// wild free already gave its unit back at that free's flush.
+	if wins > 0 {
+		if owner.atomicStats {
+			atomic.AddInt64(&cl.inUse, -int64(wins))
+		} else {
+			cl.inUse -= int64(wins)
+		}
+	}
+	cm.slots = cm.slots[:0]
+	cm.next = 0
+}
+
+// Close drains the magazine and unregisters it from its heap's drain
+// barrier. The magazine must not be used afterwards.
+func (m *Magazine) Close() {
+	m.Drain()
+	if m.sh != nil {
+		m.sh.unregisterMagazine(m)
+	} else {
+		m.h.unregisterMagazine(m)
+	}
+}
+
+// registerMagazine adds m to the heap's drain barrier.
+func (h *Heap) registerMagazine(m *Magazine) {
+	h.magMu.Lock()
+	if h.magazines == nil {
+		h.magazines = make(map[*Magazine]struct{})
+	}
+	h.magazines[m] = struct{}{}
+	h.magMu.Unlock()
+}
+
+func (h *Heap) unregisterMagazine(m *Magazine) {
+	h.magMu.Lock()
+	delete(h.magazines, m)
+	h.magMu.Unlock()
+}
+
+// DrainMagazines drains every magazine registered on this heap: the
+// drain barrier detection audits and invariant checks run behind. Like
+// the quiescent-exactness contract of CheckInvariants itself, the
+// magazines' owner goroutines must not be mid-operation.
+func (h *Heap) DrainMagazines() {
+	h.magMu.Lock()
+	mags := make([]*Magazine, 0, len(h.magazines))
+	for m := range h.magazines {
+		mags = append(mags, m)
+	}
+	h.magMu.Unlock()
+	for _, m := range mags {
+		m.Drain()
+	}
+}
+
+// finishBatchedFrees publishes a flush batch's outcome for this heap:
+// wins release occupancy and count as frees in one shot; losers are the
+// §4.3 double frees, detected (their CAS found the bit already clear)
+// and ignored.
+func (h *Heap) finishBatchedFrees(c, wins, ignored int) {
+	if wins > 0 {
+		cl := &h.classes[c]
+		if h.atomicStats {
+			atomic.AddInt64(&cl.inUse, -int64(wins))
+		} else {
+			cl.inUse -= int64(wins)
+		}
+		h.addStat(&h.stats.WorkUnits, uint64(wins)*heap.WorkBitmap)
+		if h.atomicStats {
+			heap.CountFreeBatchAtomic(&h.stats, wins, uint64(wins)*uint64(cl.size))
+		} else {
+			heap.CountFreeBatch(&h.stats, wins, uint64(wins)*uint64(cl.size))
+		}
+	}
+	if ignored > 0 {
+		h.addStat(&h.stats.IgnoredFrees, uint64(ignored))
+	}
+}
+
+// reserveBatch claims up to want units of class occupancy (at least
+// one) with one bounded CAS increment — the batched analog of reserve:
+// the threshold test and the whole batch increment are one atomic step,
+// so the 1/M invariant holds at every instant. At the threshold it
+// takes whatever partial batch remains, grows (adaptive heaps), or
+// reports out of memory.
+func (h *Heap) reserveBatch(c, want int) (int, error) {
+	cl := &h.classes[c]
+	replays := 0
+	for {
+		cur := atomic.LoadInt64(&cl.inUse)
+		if avail := cl.maxInUse.Load() - cur; avail > 0 {
+			take := int64(want)
+			if take > avail {
+				take = avail
+			}
+			if !h.atomicStats {
+				cl.inUse = cur + take
+				return int(take), nil
+			}
+			if atomic.CompareAndSwapInt64(&cl.inUse, cur, cur+take) {
+				if replays > 0 {
+					h.addStat(&h.stats.CASRetries, uint64(replays))
+				}
+				return int(take), nil
+			}
+			replays++
+			backoffSpin(replays, uint32(cur))
+			continue
+		}
+		if !h.opts.Adaptive {
+			return 0, heap.ErrOutOfMemory
+		}
+		if err := h.growClass(c); err != nil {
+			return 0, err
+		}
+	}
+}
+
+// magazineRefill claims up to want slots of class c for a magazine:
+// one batched occupancy reservation, then slots drawn and claimed
+// one-by-one against a register-resident copy of the class stream
+// (rng.Batch) — each draw seeing its batch predecessors' bits exactly
+// as the unbatched probe loop would — and the whole advance published
+// with a single CAS. If that CAS loses, a racing consumer advanced the
+// stream first: the claims are undone and the refill replays from the
+// fresh state (with backoff; losses surface in Stats.CASRetries), so a
+// committed refill is always a contiguous prefix of the class stream.
+// At one goroutine the CAS never loses, which makes the sequence of
+// claimed slots bit-identical to want back-to-back unbatched mallocs.
+func (h *Heap) magazineRefill(c, want int, out *[]heap.Ptr, scratch *[]int32) (int, error) {
+	cl := &h.classes[c]
+	got, err := h.reserveBatch(c, want)
+	if err != nil {
+		h.addStat(&h.stats.FailedMallocs, 1)
+		return 0, err
+	}
+	// idxs remembers each claim's class-wide slot index for undo on a
+	// lost publication CAS; slots accumulates the handed-out addresses
+	// in draw order. Both live in caller-owned scratch (idxs holds no
+	// pointers), so a steady-state refill allocates nothing.
+	idxs := (*scratch)[:0]
+	slots := (*out)[:0]
+	probes := 0
+	replays := 0
+	for {
+		regs := cl.regions.Load()
+		n := uint32(regs.totalSlots)
+		single := len(regs.subs) == 1
+		rejectBelow := -n % n
+		b := rng.StartBatch(atomic.LoadUint64(&cl.randState))
+		idxs = idxs[:0]
+		slots = slots[:0]
+		overflowed := false
+		probeCap := 64*regs.totalSlots + 64
+		if single && !h.atomicStats {
+			// Every non-adaptive sequential heap: one subregion, no
+			// fences — the bitmap words are addressed directly and the
+			// whole claim loop runs register-to-register, mirroring
+			// mallocLocked's specialized inner loop.
+			sub := regs.subs[0]
+			bitsW := sub.bits
+			base, shift := sub.base, cl.shift
+			for len(idxs) < got {
+				if probes >= probeCap {
+					overflowed = true
+					break
+				}
+				probes++
+				// Lemire multiply-shift with rejection on the batch
+				// cursor: the identical draw stream to the unbatched
+				// probe loops (b.Next inlines to rng.Step).
+				m := uint64(b.Next()) * uint64(n)
+				for uint32(m) < rejectBelow {
+					m = uint64(b.Next()) * uint64(n)
+				}
+				local := int(m >> 32)
+				w, bit := local>>6, uint64(1)<<(local&63)
+				if bitsW[w]&bit != 0 {
+					continue
+				}
+				// Claim as drawn, so each draw probes the bitmap state
+				// its unbatched twin would see.
+				bitsW[w] |= bit
+				idxs = append(idxs, int32(local))
+				slots = append(slots, base+uint64(local)<<shift)
+			}
+		} else {
+			for len(idxs) < got {
+				if probes >= probeCap {
+					overflowed = true
+					break
+				}
+				probes++
+				m := uint64(b.Next()) * uint64(n)
+				for uint32(m) < rejectBelow {
+					m = uint64(b.Next()) * uint64(n)
+				}
+				idx := int(m >> 32)
+				sub, local := regs.subs[0], idx
+				if !single {
+					sub, local = regs.locate(idx)
+				}
+				if h.atomicStats {
+					if !sub.casSet(local) {
+						continue
+					}
+				} else {
+					if sub.get(local) {
+						continue
+					}
+					sub.set(local)
+				}
+				idxs = append(idxs, int32(idx))
+				slots = append(slots, sub.base+uint64(local)<<cl.shift)
+			}
+		}
+		if overflowed {
+			// Metadata-accounting failure (the same astronomically
+			// unlikely guard the unbatched loop carries): undo and
+			// release everything this refill holds.
+			h.undoClaims(regs, idxs)
+			if h.atomicStats {
+				atomic.AddInt64(&cl.inUse, -int64(got))
+			} else {
+				cl.inUse -= int64(got)
+			}
+			return 0, &heap.CorruptionError{Detail: "diehard: no free slot found below fill threshold"}
+		}
+		if !h.atomicStats {
+			cl.randState = b.State()
+			cl.mallocs += uint64(got)
+			break
+		}
+		if atomic.CompareAndSwapUint64(&cl.randState, b.Start(), b.State()) {
+			atomic.AddUint64(&cl.mallocs, uint64(got))
+			break
+		}
+		// A racing consumer advanced the stream: this batch's draws are
+		// no longer the stream prefix, so un-claim and replay.
+		h.undoClaims(regs, idxs)
+		replays++
+		backoffSpin(replays, uint32(b.State()))
+	}
+	if replays > 0 {
+		h.addStat(&h.stats.CASRetries, uint64(replays))
+	}
+	*out = slots
+	*scratch = idxs
+	h.addStat(&h.stats.Probes, uint64(probes))
+	h.addStat(&h.stats.WorkUnits,
+		uint64(got)*(heap.WorkSizeClass+heap.WorkBitmap)+uint64(probes)*heap.WorkProbe)
+	return got, nil
+}
+
+// undoClaims releases the bitmap bits of an abandoned refill attempt,
+// resolving each claim's class-wide index against the region list the
+// claims were made under.
+func (h *Heap) undoClaims(regs *classRegions, idxs []int32) {
+	single := len(regs.subs) == 1
+	for _, idx := range idxs {
+		sub, local := regs.subs[0], int(idx)
+		if !single {
+			sub, local = regs.locate(int(idx))
+		}
+		if h.atomicStats {
+			sub.casClear(local)
+		} else {
+			sub.clear(local)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"diehard/internal/heap"
@@ -43,7 +44,25 @@ type ShardedHeap struct {
 	shards []*Heap
 	seed   uint64
 	stats  heap.Stats // aggregate snapshot storage is per-call; this holds sharded-level counters (ignored frees)
+
+	// route is the per-class steal-routing hysteresis word (DESIGN.md
+	// §11): shard index in the high half, requests remaining in the low.
+	// While remaining > 0, Malloc reuses the sticky shard instead of
+	// re-reading every shard's occupancy; the counter updates are plain
+	// racy stores (lost decrements just stretch or shrink a window — the
+	// route is a heuristic, never a correctness input), and a shard that
+	// reports out-of-memory zeroes the window so rerouting is immediate.
+	route [NumClasses]atomic.Uint64
+
+	magMu     sync.Mutex // guards the magazine registry, not the magazines
+	magazines map[*Magazine]struct{}
 }
+
+// routeWindow is how many small-object mallocs reuse one occupancy
+// decision before the router re-reads the per-shard counters. Magazines
+// make their own routing decision once per refill; this window is the
+// equivalent amortization for unbatched callers.
+const routeWindow = 32
 
 var _ heap.Allocator = (*ShardedHeap)(nil)
 
@@ -116,26 +135,55 @@ func (sh *ShardedHeap) Shard(i int) *Heap { return sh.shards[i%len(sh.shards)] }
 // Workers that want stable placement should allocate through Shard(i)
 // instead.
 func (sh *ShardedHeap) Malloc(size int) (heap.Ptr, error) {
-	load := func(s *Heap) int64 {
+	if size > MaxObjectSize {
 		// Large objects bypass the size classes; balance them by total
-		// live bytes instead of class occupancy.
-		return int64(atomic.LoadUint64(&s.stats.LiveBytes))
+		// live bytes instead of class occupancy. No hysteresis: large
+		// allocations are rare and each shifts the balance materially.
+		load := func(s *Heap) int64 {
+			return int64(atomic.LoadUint64(&s.stats.LiveBytes))
+		}
+		best, _ := sh.emptiest(load, nil)
+		return sh.mallocRetrying(best, size, load)
 	}
-	if size <= MaxObjectSize {
-		c := ClassFor(size)
-		load = func(s *Heap) int64 { return atomic.LoadInt64(&s.classes[c].inUse) }
+	c := ClassFor(size)
+	load := sh.classLoad(c)
+	// Hysteresis fast path: reuse the last routing decision while its
+	// window lasts — one load+store on one shared word instead of a load
+	// per shard. The decrement is a plain racy store; a lost update only
+	// perturbs the window length.
+	if st := sh.route[c].Load(); uint32(st) > 0 {
+		sh.route[c].Store(st - 1)
+		s := sh.shards[st>>32]
+		p, err := s.Malloc(size)
+		if err == nil || !errors.Is(err, heap.ErrOutOfMemory) {
+			return p, err
+		}
+		sh.route[c].Store(0) // sticky shard is full: reroute now
 	}
-	best := sh.emptiest(load, nil)
+	best, idx := sh.emptiest(load, nil)
 	p, err := best.Malloc(size)
+	if err == nil {
+		sh.route[c].Store(uint64(idx)<<32 | (routeWindow - 1))
+		return p, nil
+	}
+	if !errors.Is(err, heap.ErrOutOfMemory) {
+		return p, err
+	}
+	return sh.mallocRetrying(best, size, load)
+}
+
+// mallocRetrying runs the slow routing pass after the preferred shard
+// refused: the remaining shards in ascending load order, so a routed
+// request fails only when every shard is genuinely out of memory. The
+// exclusion set is allocated off the hot path.
+func (sh *ShardedHeap) mallocRetrying(first *Heap, size int, load func(*Heap) int64) (heap.Ptr, error) {
+	p, err := first.Malloc(size)
 	if err == nil || !errors.Is(err, heap.ErrOutOfMemory) {
 		return p, err
 	}
-	// Rare: the shard filled between the occupancy read and its
-	// reservation. The retry pass allocates its exclusion set off the
-	// hot path.
-	tried := map[*Heap]bool{best: true}
+	tried := map[*Heap]bool{first: true}
 	for len(tried) < len(sh.shards) {
-		next := sh.emptiest(load, tried)
+		next, _ := sh.emptiest(load, tried)
 		if p, err = next.Malloc(size); err == nil || !errors.Is(err, heap.ErrOutOfMemory) {
 			return p, err
 		}
@@ -144,20 +192,36 @@ func (sh *ShardedHeap) Malloc(size int) (heap.Ptr, error) {
 	return heap.Null, err
 }
 
-// emptiest returns the non-excluded shard minimizing load, ties to the
-// lowest index.
-func (sh *ShardedHeap) emptiest(load func(*Heap) int64, excluded map[*Heap]bool) *Heap {
+// classLoad returns the routing load function for size class c: the
+// shard's class occupancy, one atomic read of the counter the lock-free
+// malloc path reserves against.
+func (sh *ShardedHeap) classLoad(c int) func(*Heap) int64 {
+	return func(s *Heap) int64 { return atomic.LoadInt64(&s.classes[c].inUse) }
+}
+
+// refillShard picks the shard a magazine refill of class c should land
+// on: the emptiest right now. Magazines re-route once per refill, so
+// this read amortizes over the whole batch.
+func (sh *ShardedHeap) refillShard(c int) *Heap {
+	best, _ := sh.emptiest(sh.classLoad(c), nil)
+	return best
+}
+
+// emptiest returns the non-excluded shard minimizing load and its
+// index, ties to the lowest index.
+func (sh *ShardedHeap) emptiest(load func(*Heap) int64, excluded map[*Heap]bool) (*Heap, int) {
 	var best *Heap
 	var bestLoad int64
-	for _, s := range sh.shards {
+	bestIdx := 0
+	for i, s := range sh.shards {
 		if excluded[s] {
 			continue
 		}
 		if use := load(s); best == nil || use < bestLoad {
-			best, bestLoad = s, use
+			best, bestLoad, bestIdx = s, use, i
 		}
 	}
-	return best
+	return best, bestIdx
 }
 
 // owner returns the shard owning p, or nil. Small objects resolve via
@@ -239,6 +303,7 @@ func (sh *ShardedHeap) Stats() *heap.Stats {
 		agg.PeakLiveBytes += atomic.LoadUint64(&st.PeakLiveBytes)
 		agg.WorkUnits += atomic.LoadUint64(&st.WorkUnits)
 		agg.Probes += atomic.LoadUint64(&st.Probes)
+		agg.CASRetries += atomic.LoadUint64(&st.CASRetries)
 	}
 	return &agg
 }
@@ -251,8 +316,41 @@ func (sh *ShardedHeap) Name() string {
 // Seed returns the master seed the per-shard seeds derive from.
 func (sh *ShardedHeap) Seed() uint64 { return sh.seed }
 
-// CheckInvariants verifies every shard's segregated metadata.
+// registerMagazine adds m to the sharded heap's drain barrier.
+func (sh *ShardedHeap) registerMagazine(m *Magazine) {
+	sh.magMu.Lock()
+	if sh.magazines == nil {
+		sh.magazines = make(map[*Magazine]struct{})
+	}
+	sh.magazines[m] = struct{}{}
+	sh.magMu.Unlock()
+}
+
+func (sh *ShardedHeap) unregisterMagazine(m *Magazine) {
+	sh.magMu.Lock()
+	delete(sh.magazines, m)
+	sh.magMu.Unlock()
+}
+
+// DrainMagazines drains every magazine registered on the sharded heap;
+// like Heap.DrainMagazines, the owner goroutines must be quiescent.
+func (sh *ShardedHeap) DrainMagazines() {
+	sh.magMu.Lock()
+	mags := make([]*Magazine, 0, len(sh.magazines))
+	for m := range sh.magazines {
+		mags = append(mags, m)
+	}
+	sh.magMu.Unlock()
+	for _, m := range mags {
+		m.Drain()
+	}
+}
+
+// CheckInvariants verifies every shard's segregated metadata, draining
+// this heap's registered magazines first so pre-claimed slots and
+// buffered frees cannot masquerade as live objects.
 func (sh *ShardedHeap) CheckInvariants() error {
+	sh.DrainMagazines()
 	for i, s := range sh.shards {
 		if err := s.CheckInvariants(); err != nil {
 			return fmt.Errorf("shard %d: %w", i, err)

@@ -78,6 +78,7 @@ type Stats struct {
 	PeakLiveBytes  uint64
 	WorkUnits      uint64
 	Probes         uint64 // DieHard bitmap probes (§4.2 expected-probe bound)
+	CASRetries     uint64 // lock-free CAS replays (probe-stream/occupancy/refill losses)
 	Collections    uint64 // GC only
 }
 
@@ -188,6 +189,55 @@ func CountFreeAtomic(st *Stats, rounded int) {
 	atomic.AddUint64(&st.Frees, 1)
 	atomic.AddUint64(&st.LiveObjects, ^uint64(0))
 	atomic.AddUint64(&st.LiveBytes, ^(uint64(rounded) - 1))
+}
+
+// CountMallocBatch publishes n allocations' counters at once: the
+// magazine front end (DESIGN.md §11) counts served mallocs locally and
+// pushes them here at refill/flush/drain boundaries, so the malloc fast
+// path touches no shared counter at all. reqBytes is the sum of the
+// requested sizes; allocBytes the sum of the rounded slot sizes.
+func CountMallocBatch(st *Stats, n int, reqBytes, allocBytes uint64) {
+	st.Mallocs += uint64(n)
+	st.BytesRequested += reqBytes
+	st.BytesAllocated += allocBytes
+	st.LiveObjects += uint64(n)
+	st.LiveBytes += allocBytes
+	if st.LiveBytes > st.PeakLiveBytes {
+		st.PeakLiveBytes = st.LiveBytes
+	}
+}
+
+// CountMallocBatchAtomic is CountMallocBatch for goroutine-safe
+// allocators. Because the batch is published after the allocations were
+// served, the live-bytes high-water mark is a lower bound on the true
+// instantaneous peak (the same quiescent-exactness contract the
+// magazine's drain barrier restores).
+func CountMallocBatchAtomic(st *Stats, n int, reqBytes, allocBytes uint64) {
+	atomic.AddUint64(&st.Mallocs, uint64(n))
+	atomic.AddUint64(&st.BytesRequested, reqBytes)
+	atomic.AddUint64(&st.BytesAllocated, allocBytes)
+	atomic.AddUint64(&st.LiveObjects, uint64(n))
+	live := atomic.AddUint64(&st.LiveBytes, allocBytes)
+	for {
+		peak := atomic.LoadUint64(&st.PeakLiveBytes)
+		if live <= peak || atomic.CompareAndSwapUint64(&st.PeakLiveBytes, peak, live) {
+			return
+		}
+	}
+}
+
+// CountFreeBatch publishes n frees' counters at once (magazine flush).
+func CountFreeBatch(st *Stats, n int, allocBytes uint64) {
+	st.Frees += uint64(n)
+	st.LiveObjects -= uint64(n)
+	st.LiveBytes -= allocBytes
+}
+
+// CountFreeBatchAtomic is CountFreeBatch for goroutine-safe allocators.
+func CountFreeBatchAtomic(st *Stats, n int, allocBytes uint64) {
+	atomic.AddUint64(&st.Frees, uint64(n))
+	atomic.AddUint64(&st.LiveObjects, ^(uint64(n) - 1))
+	atomic.AddUint64(&st.LiveBytes, ^(allocBytes - 1))
 }
 
 // Calloc allocates n objects of size bytes each and zeroes the memory,
