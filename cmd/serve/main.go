@@ -1,0 +1,193 @@
+// Command serve runs the allocator-as-a-service soak (internal/serve)
+// and records its grade — sustained sessions/sec and p50/p99/p999
+// session latency — into a JSON baseline keyed by label:
+//
+//	go run ./cmd/serve -label serve -out BENCH_serve.json
+//
+// Three soaks are recorded: closed-loop saturation with synchronous
+// cross-worker frees, the same with remote-free rings, and an open-loop
+// Poisson+burst run at roughly half the measured saturation throughput
+// (so the tail percentiles grade queueing behavior, not just service
+// time). With -smoke it instead runs a seconds-long deterministic soak
+// in both free modes, asserts zero invariant violations and a generous
+// p99 ceiling, and writes nothing — safe for 1-CPU CI hosts, whose
+// numbers must never overwrite a multicore recording (the same
+// provenance guard cmd/vmembench uses).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"diehard/internal/serve"
+)
+
+// Run is one labeled soak set. CPUs records the host parallelism the
+// numbers were measured under — tail latency on a 1-CPU host grades
+// scheduler queueing, not the allocator.
+type Run struct {
+	Date    string             `json:"date"`
+	Go      string             `json:"go"`
+	CPUs    int                `json:"cpus,omitempty"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// File is the on-disk schema of BENCH_serve.json.
+type File struct {
+	Runs map[string]Run `json:"runs"`
+}
+
+func main() {
+	var (
+		label    = flag.String("label", "serve", "label for this measurement set")
+		out      = flag.String("out", "BENCH_serve.json", "output file (merged in place)")
+		force    = flag.Bool("force", false, "allow a 1-CPU rerun to overwrite an entry recorded on a multicore host")
+		smoke    = flag.Bool("smoke", false, "run the seconds-long CI soak (both free modes, zero-violation + p99 gate) and write nothing")
+		sessions = flag.Int64("sessions", 400_000, "sessions per recorded soak")
+		shards   = flag.Int("shards", 8, "heap shards")
+		workers  = flag.Int("workers", 8, "worker goroutines")
+	)
+	flag.Parse()
+
+	if *smoke {
+		runSmoke()
+		return
+	}
+
+	file, err := readFile(*out)
+	if err != nil && !os.IsNotExist(err) {
+		fatal(fmt.Errorf("%s: %w", *out, err))
+	}
+	if run, ok := file.Runs[*label]; ok && run.CPUs > 1 && runtime.NumCPU() == 1 && !*force {
+		fatal(fmt.Errorf("label %q in %s was recorded with %d CPUs; rerunning on 1 CPU would overwrite the multicore numbers (pass -force to do it anyway)",
+			*label, *out, run.CPUs))
+	}
+
+	base := serve.Config{
+		Shards:   *shards,
+		Workers:  *workers,
+		Sessions: *sessions,
+		Seed:     0x5e44e,
+	}
+	metrics := map[string]float64{}
+	record := func(name string, res *serve.Result) {
+		metrics[name+"_sessions_per_sec"] = res.SessionsPerSec
+		metrics[name+"_p50_ns"] = float64(res.P50)
+		metrics[name+"_p99_ns"] = float64(res.P99)
+		metrics[name+"_p999_ns"] = float64(res.P999)
+		metrics[name+"_fullness_drift"] = res.FullnessEnd
+		metrics[name+"_cas_retries"] = float64(res.Stats.CASRetries)
+		fmt.Printf("%-22s %10.0f sessions/s  p50 %8dns  p99 %8dns  p999 %8dns\n",
+			name, res.SessionsPerSec, res.P50, res.P99, res.P999)
+	}
+
+	cfg := base
+	cfg.FreeMode = serve.FreeSync
+	sync, err := serve.Run(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	record("serve_soak_sat_sync", sync)
+
+	cfg = base
+	cfg.FreeMode = serve.FreeRemote
+	remote, err := serve.Run(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	record("serve_soak_sat_remote", remote)
+	metrics["serve_soak_remote_frees"] = float64(remote.Stats.RemoteFrees)
+	metrics["serve_soak_remote_drains"] = float64(remote.Stats.RemoteDrains)
+
+	// Open loop at ~50% of the just-measured saturation throughput,
+	// with bursts: the percentiles now include queueing delay from the
+	// scheduled Poisson arrivals.
+	cfg = base
+	cfg.FreeMode = serve.FreeRemote
+	cfg.Rate = remote.SessionsPerSec * 0.5
+	cfg.BurstProb = 0.02
+	cfg.BurstLen = 64
+	open, err := serve.Run(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	record("serve_soak_open_burst", open)
+
+	if file.Runs == nil {
+		file.Runs = map[string]Run{}
+	}
+	file.Runs[*label] = Run{
+		Date:    time.Now().UTC().Format("2006-01-02"),
+		Go:      runtime.Version(),
+		CPUs:    runtime.NumCPU(),
+		Metrics: metrics,
+	}
+	enc, err := json.MarshalIndent(&file, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*out, append(enc, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("recorded as %q in %s\n", *label, *out)
+}
+
+// runSmoke is the CI gate: a deterministic seconds-long soak in each
+// free mode must complete with zero invariant violations (serve.Run
+// fails otherwise), zero leftover fullness, and a p99 under a ceiling
+// generous enough for a loaded 1-CPU runner yet low enough to catch a
+// pathological drain stall (seconds-scale tail).
+func runSmoke() {
+	const p99Ceiling = 250 * time.Millisecond
+	for _, mode := range []struct {
+		name string
+		fm   serve.FreeMode
+	}{
+		{"sync", serve.FreeSync},
+		{"remote", serve.FreeRemote},
+	} {
+		res, err := serve.Run(serve.Config{
+			Shards:   4,
+			Workers:  4,
+			Sessions: 120_000,
+			Seed:     0x5e44e,
+			FreeMode: mode.fm,
+		})
+		if err != nil {
+			fatal(fmt.Errorf("smoke %s: %w", mode.name, err))
+		}
+		fmt.Printf("smoke %-6s %10.0f sessions/s  p50 %8dns  p99 %8dns  p999 %8dns\n",
+			mode.name, res.SessionsPerSec, res.P50, res.P99, res.P999)
+		if res.FullnessEnd != 0 {
+			fatal(fmt.Errorf("smoke %s: leaked %v fullness", mode.name, res.FullnessEnd))
+		}
+		if res.P99 > p99Ceiling.Nanoseconds() {
+			fatal(fmt.Errorf("smoke %s: p99 %v exceeds %v", mode.name, time.Duration(res.P99), p99Ceiling))
+		}
+		if mode.fm == serve.FreeRemote && res.Stats.RemoteFrees == 0 {
+			fatal(fmt.Errorf("smoke remote: ring never used"))
+		}
+	}
+	fmt.Println("serve smoke passed")
+}
+
+func readFile(path string) (File, error) {
+	f := File{Runs: map[string]Run{}}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return f, err
+	}
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return f, err
+	}
+	return f, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "serve: %v\n", err)
+	os.Exit(1)
+}

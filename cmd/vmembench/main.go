@@ -13,6 +13,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
 	"sync"
@@ -184,6 +185,29 @@ func main() {
 			fatal(err)
 		}
 		results[fmt.Sprintf("magazine_malloc_pair_w%d", w)] = ns
+	}
+
+	// Cross-worker free churn, synchronous vs remote-free rings
+	// (DESIGN.md §12): a ring of workers each allocating batches
+	// through its magazine and freeing the previous worker's batch —
+	// every free is foreign, the worst case for owner-bitmap CAS
+	// traffic. The sync series CAS-clears the owner's bitmap from the
+	// freeing worker; the remote series enqueues on the owner's ring
+	// and lets the owner batch the clears at its next drain. Both are
+	// measured in the same process run so the ratio is host-honest;
+	// the -smoke gate holds remote w4 at-or-under sync w4.
+	for _, w := range []int{1, 4, 8} {
+		for _, remote := range []bool{false, true} {
+			ns, err := benchCrossFreePair(w, remote)
+			if err != nil {
+				fatal(err)
+			}
+			name := fmt.Sprintf("syncfree_pair_w%d", w)
+			if remote {
+				name = fmt.Sprintf("remotefree_pair_w%d", w)
+			}
+			results[name] = ns
+		}
 	}
 
 	// Canary-detection overhead (internal/detect): the same steady-state
@@ -534,6 +558,87 @@ func benchMallocPairMagazine(workers int) (float64, error) {
 	})
 }
 
+// benchCrossFreePair measures the cross-worker free protocol: workers
+// form a ring over one sharded heap with remote-free rings enabled;
+// each round a worker allocates a batch of 64 B objects through its
+// magazine, hands the batch to the next worker, and frees the batch it
+// receives from the previous one — through ShardedHeap.Free (the
+// freeing worker CAS-clears the owner shard's bitmap) or
+// ShardedHeap.RemoteFree (one ring enqueue; the owner batches the
+// clears at its next drain). The reported number is wall nanoseconds
+// per malloc+free pair across all workers. The heap is identical
+// between the two series, so within one process run the sync/remote
+// ratio isolates the free-protocol cost.
+func benchCrossFreePair(workers int, remote bool) (float64, error) {
+	sh, err := core.NewSharded(workers, core.Options{
+		HeapSize: workers * 12 << 20, Seed: 7, Concurrent: true, RemoteRing: true,
+	})
+	if err != nil {
+		return 0, err
+	}
+	const (
+		batch  = 64
+		rounds = 2000
+	)
+	chans := make([]chan []heap.Ptr, workers)
+	for i := range chans {
+		chans[i] = make(chan []heap.Ptr, 2)
+	}
+	mags := make([]*core.Magazine, workers)
+	for w := range mags {
+		if mags[w], err = sh.NewMagazine(); err != nil {
+			return 0, err
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for round := 0; round < rounds; round++ {
+				ptrs := make([]heap.Ptr, batch)
+				for i := range ptrs {
+					p, err := mags[w].Malloc(64)
+					if err != nil {
+						errs[w] = err
+						return
+					}
+					ptrs[i] = p
+				}
+				chans[(w+1)%workers] <- ptrs
+				for _, p := range <-chans[w] {
+					var err error
+					if remote {
+						err = sh.RemoteFree(p)
+					} else {
+						err = sh.Free(p)
+					}
+					if err != nil {
+						errs[w] = err
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return 0, err
+		}
+	}
+	for _, m := range mags {
+		m.Close()
+	}
+	if err := sh.CheckInvariants(); err != nil {
+		return 0, fmt.Errorf("cross-free bench (remote=%v, w=%d): %w", remote, workers, err)
+	}
+	return float64(wall.Nanoseconds()) / float64(workers*rounds*batch), nil
+}
+
 // runSmoke is the CI perf gate: the lock-free engine's single-worker
 // malloc pair must stay within 15% of the locked reference engine, and
 // the magazine front end within 10% of the raw lock-free path, on the
@@ -562,6 +667,34 @@ func runSmoke() {
 	}
 	if magRatio > 1.10 {
 		fatal(fmt.Errorf("magazine malloc fast path is %.1f%% slower than the raw lock-free path (bound: 10%%)", (magRatio-1)*100))
+	}
+	// Remote-free rings must not lose to synchronous cross-worker frees
+	// on the contended 4-worker churn, measured back-to-back in this
+	// same process so the comparison is host-honest. Best-of-3 damps
+	// scheduler noise on loaded CI runners; the bound allows 5% to keep
+	// a 1-CPU host (where contention wins shrink to batching wins) from
+	// flaking the gate.
+	best := func(remote bool) float64 {
+		bestNs := math.Inf(1)
+		for i := 0; i < 3; i++ {
+			ns, err := benchCrossFreePair(4, remote)
+			if err != nil {
+				fatal(err)
+			}
+			if ns < bestNs {
+				bestNs = ns
+			}
+		}
+		return bestNs
+	}
+	syncNs := best(false)
+	remoteNs := best(true)
+	crossRatio := remoteNs / syncNs
+	fmt.Printf("syncfree_pair_w4                %8.2f ns/op\n", syncNs)
+	fmt.Printf("remotefree_pair_w4              %8.2f ns/op\n", remoteNs)
+	fmt.Printf("ratio remote/sync cross-free    %8.3f (bound 1.05)\n", crossRatio)
+	if crossRatio > 1.05 {
+		fatal(fmt.Errorf("remote-free cross-worker churn is %.1f%% slower than synchronous frees (bound: 5%%)", (crossRatio-1)*100))
 	}
 }
 

@@ -79,6 +79,13 @@ type HeapOptions struct {
 	// reference the lock-free path is differenced and benchmarked
 	// against. ReplicatedMode heaps always use it.
 	LockedHeap bool
+	// RemoteFreeRing equips the heap with a bounded remote-free ring
+	// (DESIGN.md §12): RemoteFree from a non-owning goroutine enqueues
+	// the address instead of CAS-clearing the shared bitmap, and the
+	// heap applies queued frees in batches at its next malloc miss or
+	// invariant barrier. Requires Concurrent and the lock-free engine;
+	// incompatible with LockedHeap, ReplicatedMode, and DetectCanaries.
+	RemoteFreeRing bool
 	// DetectCanaries layers the probabilistic error detector
 	// (internal/detect) over the heap: free space carries a seeded
 	// canary pattern, audited on free, on reuse, and at heap-check
@@ -116,8 +123,12 @@ func NewHeap(opts HeapOptions) (*Heap, error) {
 		Adaptive:   opts.Adaptive,
 		Concurrent: opts.Concurrent,
 		LockedHeap: opts.LockedHeap,
+		RemoteRing: opts.RemoteFreeRing,
 	}
 	if opts.DetectCanaries {
+		if opts.RemoteFreeRing {
+			return nil, fmt.Errorf("diehard: RemoteFreeRing cannot batch past canary detection (DetectCanaries)")
+		}
 		dh, err := detect.New(copts, detect.Options{HeapCheckEvery: opts.HeapCheckEvery})
 		if err != nil {
 			return nil, err
@@ -138,6 +149,16 @@ func (h *Heap) Malloc(size int) (Ptr, error) { return h.h.Malloc(size) }
 // Free releases an allocation. Invalid, misaligned, and double frees
 // are detected and ignored — they can never corrupt the heap (§4.3).
 func (h *Heap) Free(p Ptr) error { return h.h.Free(p) }
+
+// RemoteFree releases an allocation from a goroutine that does not own
+// the heap's hot path: with HeapOptions.RemoteFreeRing the address is
+// enqueued on the heap's remote-free ring (one atomic ticket and a slot
+// write — no CAS on the shared bitmap) and applied in a batch at the
+// heap's next malloc miss or invariant barrier. Without the ring — or
+// when the ring is momentarily full — it behaves exactly like Free.
+// The §4.3 ignore semantics are unchanged: of any set of racing frees
+// of the same object, exactly one wins.
+func (h *Heap) RemoteFree(p Ptr) error { return h.h.RemoteFree(p) }
 
 // Calloc allocates zeroed memory for n objects of size bytes.
 func (h *Heap) Calloc(n, size int) (Ptr, error) { return heap.Calloc(h.h, n, size) }

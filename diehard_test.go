@@ -409,3 +409,73 @@ func TestFacadeDetection(t *testing.T) {
 		t.Error("plain heap pretends to detect")
 	}
 }
+
+func TestFacadeRemoteFreeRing(t *testing.T) {
+	// The public remote-free surface: frees enqueued from another
+	// goroutine are deferred but exactly-once, and the option rejects
+	// configurations the ring cannot batch past.
+	h, err := NewHeap(HeapOptions{HeapSize: 12 << 20, Seed: 5, Concurrent: true, RemoteFreeRing: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill class 64 to its 1/M threshold, so every further malloc can
+	// succeed only by draining queued remote frees.
+	var ptrs []Ptr
+	for {
+		p, err := h.Malloc(64)
+		if err != nil {
+			break
+		}
+		ptrs = append(ptrs, p)
+	}
+	const n = 200
+	victims := ptrs[:n]
+	done := make(chan error, 1)
+	go func() {
+		for _, p := range victims {
+			if err := h.RemoteFree(p); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	// The heap is at threshold and the frees are parked on the ring:
+	// these mallocs succeed only because the malloc miss drains it.
+	for i := 0; i < n; i++ {
+		if _, err := h.Malloc(64); err != nil {
+			t.Fatalf("malloc %d at threshold with %d queued remote frees: %v", i, n, err)
+		}
+	}
+	st := h.Stats()
+	if st.Frees != n || st.RemoteFrees != n {
+		t.Fatalf("Frees = %d, RemoteFrees = %d; want both %d (drained exactly once)", st.Frees, st.RemoteFrees, n)
+	}
+	for _, bad := range []HeapOptions{
+		{HeapSize: 12 << 20, Seed: 5, RemoteFreeRing: true},                                     // not Concurrent
+		{HeapSize: 12 << 20, Seed: 5, Concurrent: true, LockedHeap: true, RemoteFreeRing: true}, // locked engine
+		{HeapSize: 12 << 20, Seed: 5, DetectCanaries: true, RemoteFreeRing: true},               // canary hooks
+	} {
+		if _, err := NewHeap(bad); err == nil {
+			t.Fatalf("options %+v accepted with RemoteFreeRing", bad)
+		}
+	}
+	// Without the ring, RemoteFree degrades to Free.
+	plain, err := NewHeap(HeapOptions{HeapSize: 12 << 20, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := plain.Malloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plain.RemoteFree(p); err != nil {
+		t.Fatal(err)
+	}
+	if st := plain.Stats(); st.Frees != 1 || st.RemoteFrees != 0 {
+		t.Fatalf("ring-less RemoteFree: Frees = %d, RemoteFrees = %d; want 1, 0", st.Frees, st.RemoteFrees)
+	}
+}

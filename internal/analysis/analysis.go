@@ -135,6 +135,31 @@ func ExpectedBatchProbes(total, live, batch int) float64 {
 	return sum
 }
 
+// ExpectedDrainBatch is the expected number of remote frees a shard
+// applies per ring drain (DESIGN.md §12). Cross-worker frees arrive on
+// the owner's ring at remoteRate frees per owner operation, and the
+// owner drains every opsPerDrain of its own operations (its refill /
+// malloc-miss cadence), so a drain finds remoteRate × opsPerDrain
+// entries in expectation — clamped at the ring capacity, beyond which
+// producers fall back to the synchronous path and the batch cannot
+// grow:
+//
+//	E[batch] = min(remoteRate × opsPerDrain, ringCap)
+//
+// The drain amortizes one occupancy update and one stats update over
+// the whole batch, so this is also the batching dividend: the remote
+// protocol replaces ~E[batch] bitmap-CAS round trips of foreign-owner
+// traffic with E[batch] ring slots and one consumer pass. The ratio
+// Stats.RemoteFrees / Stats.RemoteDrains of a steady-state run is the
+// empirical counterpart the serve soak reports.
+func ExpectedDrainBatch(remoteRate, opsPerDrain float64, ringCap int) float64 {
+	if remoteRate < 0 || opsPerDrain < 0 || ringCap <= 0 {
+		panic(fmt.Sprintf("analysis: drain batch of rate %v over %v ops, cap %d out of range",
+			remoteRate, opsPerDrain, ringCap))
+	}
+	return math.Min(remoteRate*opsPerDrain, float64(ringCap))
+}
+
 // Series is one labeled curve of a figure.
 type Series struct {
 	Label string

@@ -327,3 +327,39 @@ func TestCanaryOverflowDetectProb(t *testing.T) {
 		t.Error("zero-width overflow has nonzero detection probability")
 	}
 }
+
+func TestExpectedDrainBatch(t *testing.T) {
+	// Below the ring capacity the batch is the arrival count per drain
+	// interval; monotone in both the remote rate and the cadence.
+	if got := ExpectedDrainBatch(0.25, 64, 1024); got != 16 {
+		t.Errorf("ExpectedDrainBatch(0.25, 64, 1024) = %v, want 16", got)
+	}
+	if ExpectedDrainBatch(0.5, 64, 1024) <= ExpectedDrainBatch(0.25, 64, 1024) {
+		t.Error("batch not monotone in remote rate")
+	}
+	if ExpectedDrainBatch(0.25, 128, 1024) <= ExpectedDrainBatch(0.25, 64, 1024) {
+		t.Error("batch not monotone in drain cadence")
+	}
+	// The ring capacity clamps: overflow falls back to synchronous
+	// frees, so no drain can apply more than the ring holds.
+	if got := ExpectedDrainBatch(1, 1<<20, 1024); got != 1024 {
+		t.Errorf("ExpectedDrainBatch over capacity = %v, want clamp 1024", got)
+	}
+	// No remote traffic, no batch.
+	if got := ExpectedDrainBatch(0, 64, 1024); got != 0 {
+		t.Errorf("ExpectedDrainBatch(0, ...) = %v, want 0", got)
+	}
+	for _, bad := range []struct {
+		rate, ops float64
+		cap       int
+	}{{-1, 64, 1024}, {0.5, -1, 1024}, {0.5, 64, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("ExpectedDrainBatch(%v, %v, %d) did not panic", bad.rate, bad.ops, bad.cap)
+				}
+			}()
+			ExpectedDrainBatch(bad.rate, bad.ops, bad.cap)
+		}()
+	}
+}

@@ -103,6 +103,16 @@ type Options struct {
 	// or per-class locks with LockedHeap); Concurrent is about the
 	// counters, and sequential heaps skip its atomics.
 	Concurrent bool
+	// RemoteRing attaches a bounded multi-producer free ring to the heap
+	// (DESIGN.md §12): RemoteFree enqueues the address with one atomic
+	// ticket and the owner applies the clears in batches at its drain
+	// points (magazine refill, threshold miss, CheckInvariants), so
+	// cross-worker frees stop contending on the owner's bitmap and
+	// occupancy cache lines. Sharded heaps propagate the option to every
+	// shard. Requires Concurrent and the lock-free engine; incompatible
+	// with observation hooks (hooked heaps are confined to one goroutine,
+	// which is exactly what a remote producer is not).
+	RemoteRing bool
 	// LockedHeap selects the per-class-mutex malloc engine (the PR-2
 	// design) instead of the default lock-free CAS engine: every probe
 	// and bitmap update runs under the size class's lock. The engine is
@@ -315,6 +325,9 @@ type Heap struct {
 
 	magMu     sync.Mutex // guards the magazine registry, not the magazines
 	magazines map[*Magazine]struct{}
+
+	remote  *freeRing  // remote-free ring (Options.RemoteRing), nil otherwise
+	drainMu sync.Mutex // serializes ring drains: the single-consumer side
 }
 
 var _ heap.Allocator = (*Heap)(nil)
@@ -373,6 +386,18 @@ func newHeap(opts Options, space *vmem.Space) (*Heap, error) {
 		atomicStats: o.Concurrent,
 		lockfree:    !o.LockedHeap && !o.RandomFill,
 		large:       make(map[heap.Ptr]largeObject),
+	}
+	if o.RemoteRing {
+		if !o.Concurrent {
+			return nil, fmt.Errorf("diehard: RemoteRing is a cross-goroutine free path and requires Concurrent")
+		}
+		if !h.lockfree {
+			return nil, fmt.Errorf("diehard: RemoteRing requires the lock-free engine (not LockedHeap/RandomFill)")
+		}
+		if o.OnAlloc != nil || o.OnFree != nil {
+			return nil, fmt.Errorf("diehard: RemoteRing cannot batch past per-operation observation hooks")
+		}
+		h.remote = newFreeRing(remoteRingSize)
 	}
 	if h.space == nil {
 		h.space = vmem.NewSpace()
@@ -710,6 +735,13 @@ func (h *Heap) reserve(c int) error {
 			}
 			replays++
 			backoffSpin(replays, uint32(cur))
+			continue
+		}
+		// At threshold: the queued remote frees may be exactly the room
+		// this class needs — drain them before growing or failing (the
+		// mandatory malloc-miss drain of DESIGN.md §12). Retrying is
+		// productive only if the drain won frees for *this* class.
+		if h.remote != nil && h.drainRemote(c) > 0 {
 			continue
 		}
 		if !h.opts.Adaptive {
@@ -1234,11 +1266,15 @@ func (h *Heap) LargeObjects() int {
 // its bit with a counter reservation, but the two updates are not one
 // atomic step — which is precisely when the stress tests call it. Every
 // registered magazine is drained first (the drain barrier of DESIGN.md
-// §11), so pre-claimed slots and buffered frees cannot masquerade as
-// live objects; like the popcount comparison, draining requires the
-// magazines' owner goroutines to be quiescent.
+// §11), then the remote-free ring (§12) — queued remote frees hold
+// their bit and occupancy unit until drained, so they never break the
+// popcount comparison, but draining them here restores exact Frees/
+// LiveObjects counters and exact FreeSlots walks at the barrier. Like
+// the popcount comparison, draining requires the magazines' owner
+// goroutines to be quiescent.
 func (h *Heap) CheckInvariants() error {
 	h.DrainMagazines()
+	h.drainRemote(-1)
 	for c := range h.classes {
 		cl := &h.classes[c]
 		cl.mu.Lock()

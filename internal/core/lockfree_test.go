@@ -475,3 +475,64 @@ func TestShardedRoutingHysteresis(t *testing.T) {
 			after[0], use)
 	}
 }
+
+// TestShardedRoutingDropsThresholdClass pins the mid-window reroute on
+// class fullness: when the sticky shard's routed *class* reaches its
+// 1/M threshold, the very next routed malloc must abandon the window
+// and land elsewhere — before, only an observed out-of-memory dropped
+// the window, which an adaptive shard never reports while it can still
+// grow (it grew itself while emptier siblings sat idle) and which a
+// non-adaptive shard only reports by burning a failed malloc.
+func TestShardedRoutingDropsThresholdClass(t *testing.T) {
+	const shards = 2
+	c := ClassFor(64)
+	for _, tc := range []struct {
+		name     string
+		adaptive bool
+	}{
+		{"adaptive-no-self-grow", true},
+		{"nonadaptive-no-failed-malloc", false},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			sh, err := NewSharded(shards, Options{HeapSize: shards * 6 << 20, Seed: 9, Adaptive: tc.adaptive})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Establish a sticky window on shard 0 (emptiest, ties low).
+			if _, err := sh.Malloc(64); err != nil {
+				t.Fatal(err)
+			}
+			if use := sh.Shard(0).ClassInUse(c); use != 1 {
+				t.Fatalf("window opener landed off shard 0 (occupancy %d)", use)
+			}
+			// Fill shard 0's class to exactly its threshold behind the
+			// router's back, mid-window.
+			_, maxInUse := sh.Shard(0).ClassSlots(c)
+			for sh.Shard(0).ClassInUse(c) < maxInUse {
+				if _, err := sh.Shard(0).Malloc(64); err != nil {
+					t.Fatalf("filling shard 0: %v", err)
+				}
+			}
+			slotsBefore, _ := sh.Shard(0).ClassSlots(c)
+			// The window has routeWindow-1 requests left, but the routed
+			// class is now full: the next routed malloc must reroute.
+			p, err := sh.Malloc(64)
+			if err != nil {
+				t.Fatalf("routed malloc at sticky-shard threshold: %v", err)
+			}
+			if sh.Shard(0).InHeap(p) {
+				t.Fatal("routed malloc landed on the full sticky shard")
+			}
+			if slotsAfter, _ := sh.Shard(0).ClassSlots(c); slotsAfter != slotsBefore {
+				t.Errorf("sticky shard grew itself (%d -> %d slots) instead of reroute",
+					slotsBefore, slotsAfter)
+			}
+			if failed := sh.Stats().FailedMallocs; failed != 0 {
+				t.Errorf("reroute burned %d failed mallocs; want 0", failed)
+			}
+			if err := sh.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

@@ -207,7 +207,7 @@ func (m *Magazine) Free(p heap.Ptr) error {
 	cm := &m.classes[c]
 	cm.free = append(cm.free, magFree{sub: sub, local: int32(local), shard: shard})
 	if len(cm.free) >= cm.cap {
-		m.flushFrees(c, cm)
+		m.flushFrees(c, cm, false)
 	}
 	return nil
 }
@@ -223,7 +223,7 @@ func (m *Magazine) Free(p heap.Ptr) error {
 // magazine.
 func (m *Magazine) refill(c int, cm *classMagazine) error {
 	m.publishMallocs(c, cm)
-	m.flushFrees(c, cm)
+	m.flushFrees(c, cm, false)
 	want := cm.cap
 	if cm.cap < MagazineMaxCap {
 		cm.cap *= 2
@@ -278,7 +278,16 @@ func (m *Magazine) publishMallocs(c int, cm *classMagazine) {
 // exactly one wins, preserving §4.3 double-free detection across
 // magazines) and then, per owning shard, one occupancy decrement and
 // one batched stats update for all the winners together.
-func (m *Magazine) flushFrees(c int, cm *classMagazine) {
+//
+// On a sharded heap with remote rings, an incremental flush (sync ==
+// false) hands frees of *foreign* shards — any shard other than the one
+// this magazine currently refills from — to that shard's ring instead
+// of CAS-ing its bitmap from here; the owner applies them at its own
+// drain points. Barrier flushes (sync == true, from Drain) apply
+// everything in place, so the drain contract stays as strong as rings
+// allow: after Drain plus the owners' ring drains (which
+// CheckInvariants performs), every counter is exact.
+func (m *Magazine) flushFrees(c int, cm *classMagazine, sync bool) {
 	if len(cm.free) == 0 {
 		return
 	}
@@ -311,6 +320,12 @@ func (m *Magazine) flushFrees(c int, cm *classMagazine) {
 	wins := make([]int, len(m.sh.shards))
 	ignored := make([]int, len(m.sh.shards))
 	for _, e := range cm.free {
+		if !sync {
+			if s := m.sh.shards[e.shard]; s != cm.owner && s.remote != nil &&
+				s.remote.enqueue(e.sub.base+uint64(e.local)<<e.sub.shift) {
+				continue // the foreign owner will clear it at its next drain
+			}
+		}
 		if e.sub.casClear(int(e.local)) { // shards are always concurrent
 			wins[e.shard]++
 		} else {
@@ -326,17 +341,20 @@ func (m *Magazine) flushFrees(c int, cm *classMagazine) {
 }
 
 // Drain publishes everything the magazine holds back: pending malloc
-// statistics, buffered frees, and every unconsumed pre-claimed slot
-// (returned to its heap: bit cleared, occupancy released — they were
-// never served, so no free is counted). After a drain the backing
-// heap's counters, bitmaps, and FreeSlots walks are exact, which is why
-// CheckInvariants and detection barriers drain registered magazines
-// first. The magazine remains usable; the next malloc simply refills.
+// statistics, buffered frees (applied in place, never rerouted to remote
+// rings), and every unconsumed pre-claimed slot (returned to its heap:
+// bit cleared, occupancy released — they were never served, so no free
+// is counted). After a drain the backing heap's counters, bitmaps, and
+// FreeSlots walks are exact up to frees earlier incremental flushes
+// handed to remote-free rings; CheckInvariants drains magazines and then
+// the rings, restoring full exactness at that barrier (heaps without
+// Options.RemoteRing are exact after Drain alone, as before). The
+// magazine remains usable; the next malloc simply refills.
 func (m *Magazine) Drain() {
 	for c := range m.classes {
 		cm := &m.classes[c]
 		m.publishMallocs(c, cm)
-		m.flushFrees(c, cm)
+		m.flushFrees(c, cm, true)
 		m.returnClaims(c, cm)
 	}
 }
@@ -472,6 +490,11 @@ func (h *Heap) reserveBatch(c, want int) (int, error) {
 			backoffSpin(replays, uint32(cur))
 			continue
 		}
+		// At threshold: absorb queued remote frees before growing or
+		// failing, exactly as reserve does (DESIGN.md §12).
+		if h.remote != nil && h.drainRemote(c) > 0 {
+			continue
+		}
 		if !h.opts.Adaptive {
 			return 0, heap.ErrOutOfMemory
 		}
@@ -493,6 +516,11 @@ func (h *Heap) reserveBatch(c, want int) (int, error) {
 // At one goroutine the CAS never loses, which makes the sequence of
 // claimed slots bit-identical to want back-to-back unbatched mallocs.
 func (h *Heap) magazineRefill(c, want int, out *[]heap.Ptr, scratch *[]int32) (int, error) {
+	// Refill is the owner's natural housekeeping point: apply whatever
+	// the remote-free ring has accumulated (opportunistically — if
+	// another goroutine is mid-drain, skip) before reserving occupancy,
+	// so queued frees keep feeding the classes being refilled.
+	h.tryDrainRemote()
 	cl := &h.classes[c]
 	got, err := h.reserveBatch(c, want)
 	if err != nil {

@@ -152,13 +152,24 @@ func (sh *ShardedHeap) Malloc(size int) (heap.Ptr, error) {
 	// per shard. The decrement is a plain racy store; a lost update only
 	// perturbs the window length.
 	if st := sh.route[c].Load(); uint32(st) > 0 {
-		sh.route[c].Store(st - 1)
 		s := sh.shards[st>>32]
-		p, err := s.Malloc(size)
-		if err == nil || !errors.Is(err, heap.ErrOutOfMemory) {
-			return p, err
+		cl := &s.classes[c]
+		if atomic.LoadInt64(&cl.inUse) >= cl.maxInUse.Load() {
+			// The routed *class* hit its 1/M threshold mid-window: drop
+			// the sticky shard now, before wasting a malloc on it. Riding
+			// the window used to reroute only after an observed
+			// out-of-memory — which an adaptive shard never reports while
+			// it can still grow, so a full-but-growable shard kept
+			// absorbing the whole window while emptier siblings sat idle.
+			sh.route[c].Store(0)
+		} else {
+			sh.route[c].Store(st - 1)
+			p, err := s.Malloc(size)
+			if err == nil || !errors.Is(err, heap.ErrOutOfMemory) {
+				return p, err
+			}
+			sh.route[c].Store(0) // sticky shard is full: reroute now
 		}
-		sh.route[c].Store(0) // sticky shard is full: reroute now
 	}
 	best, idx := sh.emptiest(load, nil)
 	p, err := best.Malloc(size)
@@ -304,6 +315,8 @@ func (sh *ShardedHeap) Stats() *heap.Stats {
 		agg.WorkUnits += atomic.LoadUint64(&st.WorkUnits)
 		agg.Probes += atomic.LoadUint64(&st.Probes)
 		agg.CASRetries += atomic.LoadUint64(&st.CASRetries)
+		agg.RemoteFrees += atomic.LoadUint64(&st.RemoteFrees)
+		agg.RemoteDrains += atomic.LoadUint64(&st.RemoteDrains)
 	}
 	return &agg
 }

@@ -79,6 +79,8 @@ type Stats struct {
 	WorkUnits      uint64
 	Probes         uint64 // DieHard bitmap probes (§4.2 expected-probe bound)
 	CASRetries     uint64 // lock-free CAS replays (probe-stream/occupancy/refill losses)
+	RemoteFrees    uint64 // frees routed through the remote-free ring (counted at drain)
+	RemoteDrains   uint64 // non-empty ring drain batches (mean batch = RemoteFrees/RemoteDrains)
 	Collections    uint64 // GC only
 }
 

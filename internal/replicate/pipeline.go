@@ -26,24 +26,99 @@ import (
 // next buffer from every live replica's FIFO channel, so round r is
 // always every replica's r-th buffer and the committed output is
 // byte-identical to the sequential engine's for any replica count.
+//
+// How far a replica may run ahead is adaptive (open since PR 3): each
+// writer carries a run-ahead window that resizes toward the voter lag
+// the voter measures when it releases the chunk's credit — after the
+// chunk's round adjudicates — within [1, 2×depth]. A
+// replica the voter keeps waiting on (its queue is drained on arrival)
+// shrinks toward a window of 1 — it is the laggard; buffering ahead of
+// it buys nothing. A replica that keeps saturating its allowance while
+// the voter is stuck on a slower sibling widens toward 2×depth, so the
+// buffer memory migrates to exactly the replicas that can use it. The
+// window gates only how far execution runs ahead of adjudication —
+// round order, and therefore the committed output, is untouched
+// (TestPipelinedMatchesSequential pins this against the sequential
+// engine).
 
 // pipeWriter stages a replica's output into a buffered channel. The
 // voter kills the replica by closing kill; the writer observes the kill
-// on its next write or while blocked on a full pipeline.
+// on its next write or while waiting for run-ahead credit. The channel
+// capacity is the hard 2×depth bound, so once acquire grants credit the
+// send itself never blocks.
 type pipeWriter struct {
 	buf    []byte
 	size   int
 	ch     chan chunk
 	kill   chan struct{}
 	killed bool
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	inFlight int  // chunks granted credit and not yet consumed by the voter
+	window   int  // adaptive run-ahead allowance, within [1, 2*base]
+	base     int  // configured PipelineDepth
+	dead     bool // kill observed; wakes acquire waiters
 }
 
 func newPipeWriter(size, depth int) *pipeWriter {
-	return &pipeWriter{
-		size: size,
-		ch:   make(chan chunk, depth),
-		kill: make(chan struct{}),
+	w := &pipeWriter{
+		size:   size,
+		ch:     make(chan chunk, 2*depth),
+		kill:   make(chan struct{}),
+		window: depth,
+		base:   depth,
 	}
+	w.cond = sync.NewCond(&w.mu)
+	return w
+}
+
+// acquire blocks until the replica holds run-ahead credit for one more
+// chunk (or the voter killed it — false). This is the only place a
+// healthy writer waits: the channel itself never fills.
+func (w *pipeWriter) acquire() bool {
+	w.mu.Lock()
+	for w.inFlight >= w.window && !w.dead {
+		w.cond.Wait()
+	}
+	ok := !w.dead
+	if ok {
+		w.inFlight++
+	}
+	w.mu.Unlock()
+	return ok
+}
+
+// release is the voter half of the window: called once per consumed
+// chunk, it returns the credit and steps the window one unit toward the
+// lag the voter just observed (the chunks still queued on arrival). A
+// writer found saturated widens — the voter was the laggard here; a
+// writer found drained narrows — the replica was. Returns the new
+// window for Result.PipelineDepthPeak.
+func (w *pipeWriter) release() int {
+	w.mu.Lock()
+	w.inFlight--
+	switch lag := w.inFlight; {
+	case lag+1 >= w.window:
+		if w.window < 2*w.base {
+			w.window++
+		}
+	case w.window > lag+1:
+		w.window--
+	}
+	win := w.window
+	w.cond.Signal()
+	w.mu.Unlock()
+	return win
+}
+
+// markDead wakes any acquire waiter after a kill; the closed kill
+// channel covers the writer's other blocking points.
+func (w *pipeWriter) markDead() {
+	w.mu.Lock()
+	w.dead = true
+	w.cond.Broadcast()
+	w.mu.Unlock()
 }
 
 func (w *pipeWriter) Write(p []byte) (int, error) {
@@ -61,12 +136,11 @@ func (w *pipeWriter) Write(p []byte) (int, error) {
 		out := make([]byte, w.size)
 		copy(out, w.buf[:w.size])
 		w.buf = w.buf[w.size:]
-		select {
-		case w.ch <- chunk{data: out, hash: chunkHash(out, false)}:
-		case <-w.kill:
+		if !w.acquire() {
 			w.killed = true
 			return 0, ErrKilled
 		}
+		w.ch <- chunk{data: out, hash: chunkHash(out, false)}
 	}
 	return len(p), nil
 }
@@ -78,10 +152,10 @@ func (w *pipeWriter) finish(progErr error) {
 	if w.killed {
 		return
 	}
-	select {
-	case w.ch <- chunk{data: w.buf, hash: chunkHash(w.buf, true), done: true, err: progErr}:
-	case <-w.kill:
+	if !w.acquire() {
+		return
 	}
+	w.ch <- chunk{data: w.buf, hash: chunkHash(w.buf, true), done: true, err: progErr}
 }
 
 // runPipelined drives a replicated run through the pipelined voter,
@@ -128,6 +202,21 @@ func runPipelined(prog Program, input []byte, opts Options, seeds []uint64, next
 		states[i] = rsKilled
 		reps[i].Killed = true
 		close(writers[i].kill)
+		writers[i].markDead()
+	}
+
+	// recv consumes replica i's next chunk; release returns its
+	// run-ahead credit and folds the window into the result's peak.
+	// Credit is released only after the chunk's round adjudicates, and
+	// only for survivors: a loser never regains credit for the round
+	// that kills it, so a replica that diverges blocks in acquire within
+	// window+1 buffers of the divergence and markDead unwinds it with
+	// ErrKilled — the same observation bound as a fixed-depth pipeline.
+	recv := func(i int) chunk { return <-writers[i].ch }
+	release := func(i int) {
+		if win := writers[i].release(); win > res.PipelineDepthPeak {
+			res.PipelineDepthPeak = win
+		}
 	}
 
 	// restart spawns and catches up one replacement replica, retrying
@@ -146,7 +235,7 @@ func runPipelined(prog Program, input []byte, opts Options, seeds []uint64, next
 			committed := output.Bytes()
 			ok := true
 			for off := 0; off < len(committed); off += opts.BufferSize {
-				m := <-writers[idx].ch
+				m := recv(idx)
 				if m.err != nil {
 					states[idx] = rsCrashed
 					reps[idx].Err = m.err
@@ -160,6 +249,7 @@ func runPipelined(prog Program, input []byte, opts Options, seeds []uint64, next
 					ok = false
 					break
 				}
+				release(idx)
 			}
 			if ok {
 				return // caught up; joins the next round as a voter
@@ -182,7 +272,7 @@ func runPipelined(prog Program, input []byte, opts Options, seeds []uint64, next
 			if states[i] != rsRunning {
 				continue
 			}
-			m := <-writers[i].ch
+			m := recv(i)
 			if m.err != nil {
 				// Crashed replicas are dropped and their final partial
 				// buffer is discarded. Full buffers the replica queued
@@ -219,6 +309,7 @@ func runPipelined(prog Program, input []byte, opts Options, seeds []uint64, next
 			kill(i)
 		}
 		for _, i := range d.winner {
+			release(i)
 			if msgs[i].done {
 				states[i] = rsFinished
 				reps[i].Completed = true

@@ -271,6 +271,110 @@ func TestPipelineDepthBoundsRunahead(t *testing.T) {
 	}
 }
 
+func TestAdaptiveWindowController(t *testing.T) {
+	// Drives one pipeWriter's credit window directly. A writer the
+	// voter always finds saturated widens one unit per release up to
+	// the 2×base cap; a writer the voter always finds drained narrows
+	// to the lock-step floor (window 1, with ±1 dither because a
+	// exactly-matched pair re-triggers the saturation rule).
+	const base = 4
+	w := newPipeWriter(64, base)
+	fill := func() {
+		for {
+			w.mu.Lock()
+			full := w.inFlight >= w.window
+			w.mu.Unlock()
+			if full {
+				return
+			}
+			if !w.acquire() {
+				t.Fatal("acquire refused credit on a live writer")
+			}
+		}
+	}
+	win := base
+	for i := 0; i < 3*base; i++ {
+		fill()
+		win = w.release()
+		if win < 1 || win > 2*base {
+			t.Fatalf("window %d escaped [1, %d]", win, 2*base)
+		}
+	}
+	if win != 2*base {
+		t.Fatalf("saturated writer's window = %d, want cap %d", win, 2*base)
+	}
+	w.mu.Lock()
+	pending := w.inFlight
+	w.mu.Unlock()
+	for j := 0; j < pending; j++ {
+		win = w.release()
+	}
+	for i := 0; i < 4*base; i++ {
+		if !w.acquire() {
+			t.Fatal("acquire refused credit on a live writer")
+		}
+		win = w.release()
+		if win < 1 {
+			t.Fatalf("window %d fell below 1", win)
+		}
+	}
+	if win > 2 {
+		t.Fatalf("drained writer's window = %d, want lock-step floor (1, dither 2)", win)
+	}
+	w.markDead()
+	if w.acquire() {
+		t.Fatal("acquire granted credit after markDead")
+	}
+}
+
+func TestAdaptiveWindowWidensUnderLaggard(t *testing.T) {
+	// One replica sleeps on every write; the fast siblings saturate
+	// their allowance while the voter waits on it, so their windows
+	// widen past the configured base — and the committed output is
+	// still byte-exact. The sequential voter has no window at all:
+	// its peak stays zero.
+	const (
+		rounds = 32
+		size   = 256
+		depth  = 3
+	)
+	prog := chunkedProgram(rounds, size, -1, 0)
+	mixed := func(ctx *Context) error {
+		if ctx.Replica == 0 {
+			orig := ctx.Out
+			ctx.Out = writerFunc(func(p []byte) (int, error) {
+				time.Sleep(200 * time.Microsecond)
+				return orig.Write(p)
+			})
+		}
+		return prog(ctx)
+	}
+	res, err := Run(mixed, nil, Options{Replicas: 3, HeapSize: testHeap, Seed: 37, BufferSize: size, PipelineDepth: depth})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	for r := 0; r < rounds; r++ {
+		want.Write(bytes.Repeat([]byte{byte(r + 1)}, size))
+	}
+	if !bytes.Equal(res.Output, want.Bytes()) {
+		t.Fatalf("laggard run corrupted output: got %d bytes, want %d", len(res.Output), want.Len())
+	}
+	if !res.Agreed || res.Survivors != 3 {
+		t.Fatalf("result %+v", res)
+	}
+	if res.PipelineDepthPeak <= depth || res.PipelineDepthPeak > 2*depth {
+		t.Fatalf("peak window %d, want in (%d, %d]", res.PipelineDepthPeak, depth, 2*depth)
+	}
+	seq, err := Run(mixed, nil, Options{Replicas: 3, HeapSize: testHeap, Seed: 37, BufferSize: size, PipelineDepth: depth, Voter: VoterSequential})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.PipelineDepthPeak != 0 {
+		t.Fatalf("sequential voter reported a pipeline window peak %d", seq.PipelineDepthPeak)
+	}
+}
+
 // --- replica restart (Options.MaxRestarts) ---
 
 func TestRestartRestoresQuorum(t *testing.T) {

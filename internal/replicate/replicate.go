@@ -54,8 +54,9 @@ import (
 // pipe, as in §5.2.
 const DefaultBufferSize = 4096
 
-// DefaultPipelineDepth is how many voting buffers a replica may run
-// ahead of the voter before its writes block (pipelined engine only).
+// DefaultPipelineDepth is the base run-ahead allowance of the pipelined
+// engine: the starting point of each replica's adaptive window (see
+// Options.PipelineDepth).
 const DefaultPipelineDepth = 4
 
 // ErrKilled is returned from output writes of a replica the voter has
@@ -127,8 +128,13 @@ type Options struct {
 	// hash-then-vote engine. Committed output is byte-identical between
 	// engines for any replica count.
 	Voter VoterMode
-	// PipelineDepth is how many buffers a replica may run ahead of the
-	// voter (pipelined engine only); defaults to DefaultPipelineDepth.
+	// PipelineDepth is the base run-ahead allowance of the pipelined
+	// engine: each replica's window starts here and adapts toward the
+	// measured voter lag within [1, 2×PipelineDepth] (laggards shrink
+	// to 1, replicas the voter keeps waiting behind a slower sibling
+	// widen to 2×). Defaults to DefaultPipelineDepth. The window never
+	// affects committed output, only how far execution runs ahead of
+	// adjudication.
 	PipelineDepth int
 	// MaxRestarts lets the pipelined voter replenish the quorum: each
 	// time it kills a divergent replica, a fresh replica with a newly
@@ -177,6 +183,13 @@ type Result struct {
 	Survivors int
 	// Rounds is the number of voting barriers.
 	Rounds int
+	// PipelineDepthPeak is the widest adaptive run-ahead window any
+	// replica earned during the run (pipelined voter only; zero under
+	// the sequential engine or when no chunk was ever voted). The
+	// window starts at Options.PipelineDepth and resizes toward the
+	// measured voter lag within [1, 2×PipelineDepth]; the peak reports
+	// how much run-ahead the workload actually used.
+	PipelineDepthPeak int
 	// Replicas holds per-replica reports, including the exact seeds for
 	// reproduction.
 	Replicas []ReplicaReport

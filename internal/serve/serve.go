@@ -1,0 +1,417 @@
+// Package serve soaks the concurrent allocator stack as a service:
+// worker goroutines process simulated sessions — a burst of mallocs
+// with a skewed size mix, a word-sized access to every object, and a
+// split of local frees (through the worker's magazine) and cross-worker
+// frees (handed to a neighbor and routed back through the sharded front
+// door, synchronously or via the remote-free rings) — and every session
+// is graded on its end-to-end malloc+access+free latency.
+//
+// Arrivals are open-loop (DESIGN.md §12): each worker draws Poisson
+// inter-arrival gaps, optionally modulated by bursts, and a session's
+// latency is measured from its scheduled arrival, not from when the
+// worker got to it — so queueing delay under load shows up in the tail
+// percentiles instead of silently stretching the run, the way a
+// closed-loop harness would hide it. Rate = 0 degenerates to a
+// closed-loop saturation soak (pure service time, maximum throughput).
+//
+// The harness may also inject DieHard-ignorable errors (double frees
+// and wild frees) at a configured rate, so long soaks exercise the
+// §4.3 ignore paths under full concurrency; the run fails if
+// CheckInvariants finds anything wrong afterwards.
+package serve
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"diehard/internal/core"
+	"diehard/internal/heap"
+	"diehard/internal/rng"
+)
+
+// FreeMode selects how cross-worker frees travel back to the heap.
+type FreeMode int
+
+const (
+	// FreeSync routes cross-worker frees through ShardedHeap.Free: the
+	// freeing worker CAS-clears the owner shard's bitmap itself.
+	FreeSync FreeMode = iota
+	// FreeRemote routes them through ShardedHeap.RemoteFree: the
+	// freeing worker enqueues on the owner's remote-free ring and the
+	// owner applies the clear at its next drain.
+	FreeRemote
+)
+
+// Config parameterizes a soak. The zero value is not runnable: Sessions
+// must be positive. Everything else defaults sensibly.
+type Config struct {
+	// Shards is the ShardedHeap width (default 4).
+	Shards int
+	// Workers is the number of session-serving goroutines (default
+	// Shards). Each owns a magazine and a latency histogram.
+	Workers int
+	// HeapSize is the total heap across shards (default 32 MB/shard).
+	HeapSize int
+	// Seed fixes the randomized layout and the workload streams.
+	Seed uint64
+	// Sessions is the total session count across all workers.
+	Sessions int64
+	// SessionObjects is the number of objects a session allocates,
+	// accesses, and frees (default 16).
+	SessionObjects int
+	// Rate is the total arrival rate in sessions/sec across all
+	// workers — the long-run mean including burst mass, so bursts
+	// clump arrivals without raising the offered load. 0 runs
+	// closed-loop saturation (no pacing).
+	Rate float64
+	// BurstProb, with Rate > 0, is the per-draw probability that the
+	// arrival process emits a burst of BurstLen back-to-back sessions
+	// (zero gap) instead of one Poisson-spaced arrival.
+	BurstProb float64
+	// BurstLen is the burst size (default 32 when BurstProb > 0).
+	BurstLen int
+	// CrossFraction of each session's objects are freed by the next
+	// worker instead of the allocating one (default 0.25).
+	CrossFraction float64
+	// FreeMode routes those cross-worker frees (default FreeSync).
+	FreeMode FreeMode
+	// ErrorRate is the per-session probability of injecting one double
+	// free and one wild free through the cross-free path. Both are
+	// DieHard-ignorable; the soak asserts they stay that way.
+	ErrorRate float64
+}
+
+// Result is the grade sheet of one soak.
+type Result struct {
+	Sessions       int64
+	Elapsed        time.Duration
+	SessionsPerSec float64
+	// P50/P99/P999 are session latencies in nanoseconds: scheduled
+	// arrival to completion (malloc + access + free + queueing).
+	P50, P99, P999 int64
+	Hist           *Histogram
+	// FullnessEnd is live objects over the aggregate 1/M threshold
+	// after magazines closed and rings drained — the heap-fullness
+	// drift from the empty start. A leak-free soak ends at 0.
+	FullnessEnd float64
+	Stats       heap.Stats
+}
+
+const crossBatch = 64
+
+type worker struct {
+	id    int
+	sh    *core.ShardedHeap
+	mag   *core.Magazine
+	mem   heap.Memory
+	r     *rng.MWC
+	hist  Histogram
+	mode  FreeMode
+	inbox chan []heap.Ptr
+	out   chan []heap.Ptr // the next worker's inbox
+	cross []heap.Ptr      // outgoing batch under accumulation
+}
+
+// skewedSize draws from the session size mix: mostly small objects,
+// a medium band, and a thin large tail — four size classes apart, so
+// cross-class contention and per-class magazine traffic both happen.
+func skewedSize(r *rng.MWC) int {
+	switch p := r.Intn(100); {
+	case p < 55:
+		return 16 + r.Intn(49) // 16–64 B
+	case p < 85:
+		return 128 + r.Intn(385) // 128–512 B
+	case p < 97:
+		return 1024 + r.Intn(1025) // 1–2 KB
+	default:
+		return 4096 + r.Intn(4097) // 4–8 KB
+	}
+}
+
+// expGap draws a Poisson inter-arrival gap for the given per-worker
+// rate (arrivals/sec).
+func expGap(r *rng.MWC, rate float64) time.Duration {
+	u := float64(r.Next64()>>11) / float64(uint64(1)<<53)
+	if u <= 0 {
+		u = 1.0 / float64(uint64(1)<<53)
+	}
+	return time.Duration(-math.Log(u) / rate * float64(time.Second))
+}
+
+// freeBatch returns a batch of foreign pointers through the configured
+// cross-free route.
+func (w *worker) freeBatch(b []heap.Ptr) error {
+	for _, p := range b {
+		var err error
+		if w.mode == FreeRemote {
+			err = w.sh.RemoteFree(p)
+		} else {
+			err = w.sh.Free(p)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sendCross hands the accumulated batch to the neighbor, or frees it
+// locally if the neighbor's inbox is saturated — the handoff must never
+// block, or two full inboxes would deadlock the ring of workers.
+func (w *worker) sendCross() error {
+	b := w.cross
+	w.cross = make([]heap.Ptr, 0, crossBatch)
+	select {
+	case w.out <- b:
+		return nil
+	default:
+		return w.freeBatch(b)
+	}
+}
+
+// session serves one arrival: allocate, touch, and free a skewed mix of
+// objects, draining any cross-freed batches that showed up meanwhile.
+func (w *worker) session(cfg *Config, ptrs []heap.Ptr) error {
+	n := cfg.SessionObjects
+	ptrs = ptrs[:0]
+	for i := 0; i < n; i++ {
+		p, err := w.mag.Malloc(skewedSize(w.r))
+		if err != nil {
+			return fmt.Errorf("worker %d malloc: %w", w.id, err)
+		}
+		// The access leg: every object is written and read back, so a
+		// placement bug surfaces as a data mismatch, not just a stat.
+		if err := w.mem.Store64(uint64(p), uint64(p)^0xd1e); err != nil {
+			return fmt.Errorf("worker %d store: %w", w.id, err)
+		}
+		v, err := w.mem.Load64(uint64(p))
+		if err != nil {
+			return fmt.Errorf("worker %d load: %w", w.id, err)
+		}
+		if v != uint64(p)^0xd1e {
+			return fmt.Errorf("worker %d: object %#x read back %#x", w.id, p, v)
+		}
+		ptrs = append(ptrs, p)
+	}
+	select {
+	case b := <-w.inbox:
+		if err := w.freeBatch(b); err != nil {
+			return err
+		}
+	default:
+	}
+	if cfg.ErrorRate > 0 && float64(w.r.Intn(1<<20))/(1<<20) < cfg.ErrorRate {
+		// One double free (the victim is freed again below — exactly
+		// one of the two may win) and one wild interior free.
+		victim := ptrs[w.r.Intn(len(ptrs))]
+		if err := w.freeBatch([]heap.Ptr{victim, victim + 3}); err != nil {
+			return err
+		}
+	}
+	crossN := int(cfg.CrossFraction * float64(n))
+	for i, p := range ptrs {
+		if i < crossN {
+			w.cross = append(w.cross, p)
+			if len(w.cross) >= crossBatch {
+				if err := w.sendCross(); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		if err := w.mag.Free(p); err != nil {
+			return fmt.Errorf("worker %d free: %w", w.id, err)
+		}
+	}
+	return nil
+}
+
+// run is one worker's lifetime: the paced session loop, then (after
+// every worker has stopped producing) a drain of the inbox and the
+// magazine teardown.
+func (w *worker) run(cfg *Config, quota int64, sessions *sync.WaitGroup, errOut *error, errMu *sync.Mutex) {
+	fail := func(err error) {
+		errMu.Lock()
+		if *errOut == nil {
+			*errOut = err
+		}
+		errMu.Unlock()
+	}
+	// Rate is the mean arrival rate including burst mass: a burst
+	// emits BurstLen sessions per gap draw, so draws are spaced
+	// burstFactor wider to keep the long-run mean at Rate — bursts
+	// redistribute arrivals into clumps, they do not overload the run.
+	burstFactor := 1.0
+	if cfg.BurstProb > 0 {
+		burstFactor = 1 + cfg.BurstProb*float64(cfg.BurstLen-1)
+	}
+	drawRate := cfg.Rate / float64(cfg.Workers) / burstFactor
+	ptrs := make([]heap.Ptr, 0, cfg.SessionObjects)
+	next := time.Now()
+	burst := 0
+	for s := int64(0); s < quota; s++ {
+		arrival := time.Now()
+		if cfg.Rate > 0 {
+			if burst > 0 {
+				burst--
+			} else {
+				if cfg.BurstProb > 0 && float64(w.r.Intn(1<<20))/(1<<20) < cfg.BurstProb {
+					burst = cfg.BurstLen - 1
+				}
+				next = next.Add(expGap(w.r, drawRate))
+			}
+			if d := time.Until(next); d > 0 {
+				time.Sleep(d)
+			}
+			arrival = next
+		}
+		if err := w.session(cfg, ptrs); err != nil {
+			fail(err)
+			break
+		}
+		w.hist.Record(time.Since(arrival).Nanoseconds())
+	}
+	if len(w.cross) > 0 {
+		if err := w.sendCross(); err != nil {
+			fail(err)
+		}
+	}
+	sessions.Done()
+	// Producers may still be handing batches over; the inbox is closed
+	// by the driver once every worker has passed the barrier above.
+	for b := range w.inbox {
+		if err := w.freeBatch(b); err != nil {
+			fail(err)
+		}
+	}
+	w.mag.Close()
+}
+
+func (cfg *Config) setDefaults() error {
+	if cfg.Sessions <= 0 {
+		return fmt.Errorf("serve: Sessions must be positive")
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 4
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = cfg.Shards
+	}
+	if cfg.HeapSize <= 0 {
+		cfg.HeapSize = cfg.Shards * 32 << 20
+	}
+	if cfg.SessionObjects <= 0 {
+		cfg.SessionObjects = 16
+	}
+	if cfg.CrossFraction < 0 || cfg.CrossFraction > 1 {
+		return fmt.Errorf("serve: CrossFraction %v outside [0, 1]", cfg.CrossFraction)
+	}
+	if cfg.CrossFraction == 0 {
+		cfg.CrossFraction = 0.25
+	}
+	if cfg.BurstLen <= 0 {
+		cfg.BurstLen = 32
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	return nil
+}
+
+// Run executes the soak and grades it. Any allocator error, data
+// mismatch, or post-run CheckInvariants failure fails the run.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.setDefaults(); err != nil {
+		return nil, err
+	}
+	sh, err := core.NewSharded(cfg.Shards, core.Options{
+		HeapSize:   cfg.HeapSize,
+		Seed:       cfg.Seed,
+		Concurrent: true,
+		RemoteRing: cfg.FreeMode == FreeRemote,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	workers := make([]*worker, cfg.Workers)
+	for i := range workers {
+		mag, err := sh.NewMagazine()
+		if err != nil {
+			return nil, err
+		}
+		workers[i] = &worker{
+			id:    i,
+			sh:    sh,
+			mag:   mag,
+			mem:   sh.Mem(),
+			r:     rng.NewSeeded(cfg.Seed + uint64(i)*0x9e3779b97f4a7c15 + 1),
+			mode:  cfg.FreeMode,
+			inbox: make(chan []heap.Ptr, 8),
+			cross: make([]heap.Ptr, 0, crossBatch),
+		}
+	}
+	for i, w := range workers {
+		w.out = workers[(i+1)%len(workers)].inbox
+	}
+
+	var (
+		sessions sync.WaitGroup
+		all      sync.WaitGroup
+		runErr   error
+		errMu    sync.Mutex
+	)
+	per := cfg.Sessions / int64(cfg.Workers)
+	start := time.Now()
+	for i, w := range workers {
+		quota := per
+		if i == 0 {
+			quota += cfg.Sessions % int64(cfg.Workers)
+		}
+		sessions.Add(1)
+		all.Add(1)
+		go func(w *worker, quota int64) {
+			defer all.Done()
+			w.run(&cfg, quota, &sessions, &runErr, &errMu)
+		}(w, quota)
+	}
+	sessions.Wait()
+	for _, w := range workers {
+		close(w.inbox)
+	}
+	all.Wait()
+	elapsed := time.Since(start)
+	if runErr != nil {
+		return nil, runErr
+	}
+	if err := sh.CheckInvariants(); err != nil {
+		return nil, fmt.Errorf("serve: post-soak invariant violation: %w", err)
+	}
+
+	res := &Result{
+		Sessions: cfg.Sessions,
+		Elapsed:  elapsed,
+		Hist:     &Histogram{},
+		Stats:    *sh.Stats(),
+	}
+	for _, w := range workers {
+		res.Hist.Merge(&w.hist)
+	}
+	res.SessionsPerSec = float64(cfg.Sessions) / elapsed.Seconds()
+	res.P50 = res.Hist.Quantile(0.50)
+	res.P99 = res.Hist.Quantile(0.99)
+	res.P999 = res.Hist.Quantile(0.999)
+	var threshold uint64
+	for s := 0; s < sh.Shards(); s++ {
+		for c := 0; c < core.NumClasses; c++ {
+			_, maxInUse := sh.Shard(s).ClassSlots(c)
+			threshold += uint64(maxInUse)
+		}
+	}
+	if threshold > 0 {
+		res.FullnessEnd = float64(res.Stats.LiveObjects) / float64(threshold)
+	}
+	return res, nil
+}

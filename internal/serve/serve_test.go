@@ -1,0 +1,211 @@
+package serve
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"diehard/internal/rng"
+)
+
+func TestHistogramBuckets(t *testing.T) {
+	// Bucket boundaries are monotone and exhaustive: every value maps
+	// into a bucket whose [low, next-low) range contains it.
+	for _, v := range []uint64{0, 1, 15, 16, 17, 255, 256, 1 << 20, 1<<20 + 3, 1 << 40, math.MaxInt64} {
+		i := bucketOf(v)
+		if i < 0 || i >= histBuckets {
+			t.Fatalf("bucketOf(%d) = %d out of range", v, i)
+		}
+		if lo := bucketLow(i); lo > v {
+			t.Fatalf("bucketLow(%d) = %d > value %d", i, lo, v)
+		}
+		if i+1 < histBuckets {
+			if hi := bucketLow(i + 1); v >= hi {
+				t.Fatalf("value %d at bucket %d crosses next boundary %d", v, i, hi)
+			}
+		}
+	}
+	for i := 1; i < histBuckets; i++ {
+		if bucketLow(i) < bucketLow(i-1) {
+			t.Fatalf("bucket lows not monotone at %d", i)
+		}
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	// Against an exact sorted sample: every quantile must land within
+	// one sub-bucket's relative error of the true order statistic.
+	r := rng.NewSeeded(7)
+	var h Histogram
+	samples := make([]int64, 20000)
+	for i := range samples {
+		v := int64(r.Intn(1_000_000)) + int64(r.Intn(1000))*int64(r.Intn(1000))
+		samples[i] = v
+		h.Record(v)
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	if h.Count() != uint64(len(samples)) {
+		t.Fatalf("count %d, want %d", h.Count(), len(samples))
+	}
+	if h.Max() != samples[len(samples)-1] {
+		t.Fatalf("max %d, want %d", h.Max(), samples[len(samples)-1])
+	}
+	for _, q := range []float64{0.10, 0.50, 0.90, 0.99, 0.999} {
+		got := h.Quantile(q)
+		want := samples[int(q*float64(len(samples)))]
+		if want == 0 {
+			continue
+		}
+		rel := math.Abs(float64(got)-float64(want)) / float64(want)
+		if rel > 1.0/histSub+0.01 {
+			t.Fatalf("q%.3f: got %d, want %d (rel err %.3f)", q, got, want, rel)
+		}
+	}
+	if h.Quantile(1) != h.Max() {
+		t.Fatalf("q1 %d != max %d", h.Quantile(1), h.Max())
+	}
+	var a, b Histogram
+	for i, v := range samples {
+		if i%2 == 0 {
+			a.Record(v)
+		} else {
+			b.Record(v)
+		}
+	}
+	a.Merge(&b)
+	if a.Count() != h.Count() || a.Max() != h.Max() || a.Quantile(0.5) != h.Quantile(0.5) {
+		t.Fatal("merge does not reproduce the unified histogram")
+	}
+	var empty Histogram
+	if empty.Quantile(0.99) != 0 {
+		t.Fatal("empty histogram quantile not 0")
+	}
+}
+
+// soak runs a small configured soak and applies the common grade:
+// completion, zero leftover fullness, sane percentile ordering.
+func soak(t *testing.T, cfg Config) *Result {
+	t.Helper()
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sessions != cfg.Sessions {
+		t.Fatalf("served %d sessions, want %d", res.Sessions, cfg.Sessions)
+	}
+	if got := res.Hist.Count(); got != uint64(cfg.Sessions) {
+		t.Fatalf("histogram holds %d samples, want %d", got, cfg.Sessions)
+	}
+	if cfg.ErrorRate == 0 && res.FullnessEnd != 0 {
+		// Only assertable on clean soaks: an injected double free that
+		// straddles a reallocation is indistinguishable from a valid
+		// free (here as in the paper's allocator) and can skew the
+		// app-level live count by one either way. CheckInvariants
+		// (inside Run) is exact in both cases.
+		t.Fatalf("soak leaked: end fullness %v (live %d)", res.FullnessEnd, res.Stats.LiveObjects)
+	}
+	if res.P50 > res.P99 || res.P99 > res.P999 || res.P999 > res.Hist.Max() {
+		t.Fatalf("percentiles not monotone: p50=%d p99=%d p999=%d max=%d",
+			res.P50, res.P99, res.P999, res.Hist.Max())
+	}
+	if res.SessionsPerSec <= 0 {
+		t.Fatalf("throughput %v", res.SessionsPerSec)
+	}
+	return res
+}
+
+func TestServeSaturationSync(t *testing.T) {
+	res := soak(t, Config{
+		Shards:   4,
+		Workers:  4,
+		Sessions: 8000,
+		Seed:     11,
+		FreeMode: FreeSync,
+	})
+	if res.Stats.RemoteFrees != 0 {
+		t.Fatalf("sync mode used the remote ring: %d", res.Stats.RemoteFrees)
+	}
+	if res.Stats.IgnoredFrees != 0 {
+		t.Fatalf("clean soak ignored %d frees", res.Stats.IgnoredFrees)
+	}
+}
+
+func TestServeSaturationRemote(t *testing.T) {
+	res := soak(t, Config{
+		Shards:   4,
+		Workers:  4,
+		Sessions: 8000,
+		Seed:     12,
+		FreeMode: FreeRemote,
+	})
+	if res.Stats.RemoteFrees == 0 {
+		t.Fatal("remote mode never used the ring")
+	}
+}
+
+func TestServeInjectedErrorsStayIgnorable(t *testing.T) {
+	res := soak(t, Config{
+		Shards:    2,
+		Workers:   4,
+		Sessions:  6000,
+		Seed:      13,
+		FreeMode:  FreeRemote,
+		ErrorRate: 0.25,
+	})
+	// Each injection is one double free and one wild free; both must
+	// surface as §4.3 ignores, never as corruption (soak already
+	// checked invariants and leak-freedom).
+	if res.Stats.IgnoredFrees == 0 {
+		t.Fatal("error injection produced no ignored frees")
+	}
+}
+
+func TestServeOpenLoopPoissonBursty(t *testing.T) {
+	res := soak(t, Config{
+		Shards:    2,
+		Workers:   2,
+		Sessions:  2000,
+		Seed:      14,
+		Rate:      200_000, // fast enough that the test stays sub-second
+		BurstProb: 0.05,
+		BurstLen:  16,
+		FreeMode:  FreeRemote,
+	})
+	// Open-loop latency includes queueing delay from the scheduled
+	// arrival; it can only exceed pure service time.
+	if res.P999 < res.P50 {
+		t.Fatalf("open-loop tail %d below median %d", res.P999, res.P50)
+	}
+}
+
+func TestServeConfigValidation(t *testing.T) {
+	if _, err := Run(Config{}); err == nil {
+		t.Fatal("zero Sessions accepted")
+	}
+	if _, err := Run(Config{Sessions: 1, CrossFraction: 1.5}); err == nil {
+		t.Fatal("CrossFraction > 1 accepted")
+	}
+}
+
+func TestServeMillionSessionSoak(t *testing.T) {
+	// The acceptance soak: a million-session closed-loop run across
+	// both free modes' heaps would take minutes under -race, so it is
+	// skipped in -short (CI runs the seconds-long smoke via cmd/serve
+	// instead).
+	if testing.Short() {
+		t.Skip("million-session soak skipped in -short")
+	}
+	res := soak(t, Config{
+		Shards:   4,
+		Workers:  8,
+		Sessions: 1_000_000,
+		Seed:     15,
+		FreeMode: FreeRemote,
+	})
+	if res.Stats.RemoteFrees == 0 {
+		t.Fatal("soak never exercised the remote ring")
+	}
+	t.Logf("1M sessions in %v: %.0f sessions/s, p50=%dns p99=%dns p999=%dns, %d remote frees over %d drains, %d CAS retries",
+		res.Elapsed, res.SessionsPerSec, res.P50, res.P99, res.P999,
+		res.Stats.RemoteFrees, res.Stats.RemoteDrains, res.Stats.CASRetries)
+}
