@@ -1,0 +1,249 @@
+// Command heal runs the self-healing supervisor (internal/heal) under
+// the standard planned fault schedule and records the grade — MTBF with
+// healing off vs on — into the same JSON baseline cmd/serve writes:
+//
+//	go run ./cmd/heal -label heal -out BENCH_serve.json
+//
+// Two pairs are recorded: the supervisor's own restart-cycle campaign
+// (cycles between invariant failures, unhealed vs healed) and the
+// serve-embedded fault soak (sessions between token corruptions,
+// unmitigated vs mitigated by the countermeasures a healed supervisor
+// converged to). With -smoke it instead runs a tiny deterministic
+// schedule, asserts the healed MTBF is at least 2x the unhealed
+// baseline with both culprits convicted exactly, and writes nothing —
+// safe for 1-CPU CI hosts, whose numbers must never overwrite a
+// multicore recording (the provenance guard cmd/serve uses).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"diehard/internal/heal"
+	"diehard/internal/serve"
+)
+
+// Run is one labeled measurement set, schema-compatible with cmd/serve
+// so both commands merge into one BENCH_serve.json.
+type Run struct {
+	Date    string             `json:"date"`
+	Go      string             `json:"go"`
+	CPUs    int                `json:"cpus,omitempty"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// File is the on-disk schema of BENCH_serve.json.
+type File struct {
+	Runs map[string]Run `json:"runs"`
+}
+
+// schedule is the standard planted fault schedule: site 7 overflows 24
+// bytes past its 48-byte object every 3rd cycle, site 29 is freed
+// prematurely and written through the stale pointer every 4th.
+func schedule() heal.Schedule {
+	return heal.Schedule{
+		Sites:        48,
+		ObjectSize:   48,
+		OverflowSite: 7, OverflowReach: 24, OverflowEvery: 3,
+		DanglingSite: 29, DanglingEvery: 4,
+	}
+}
+
+func main() {
+	var (
+		label  = flag.String("label", "heal", "label for this measurement set")
+		out    = flag.String("out", "BENCH_serve.json", "output file (merged in place)")
+		force  = flag.Bool("force", false, "allow a 1-CPU rerun to overwrite an entry recorded on a multicore host")
+		smoke  = flag.Bool("smoke", false, "run the tiny CI schedule (healed MTBF >= 2x unhealed, exact culprits) and write nothing")
+		cycles = flag.Int("cycles", 960, "supervisor cycles per run")
+	)
+	flag.Parse()
+
+	if *smoke {
+		runSmoke()
+		return
+	}
+
+	file, err := readFile(*out)
+	if err != nil && !os.IsNotExist(err) {
+		fatal(fmt.Errorf("%s: %w", *out, err))
+	}
+	if run, ok := file.Runs[*label]; ok && run.CPUs > 1 && runtime.NumCPU() == 1 && !*force {
+		fatal(fmt.Errorf("label %q in %s was recorded with %d CPUs; rerunning on 1 CPU would overwrite the multicore numbers (pass -force to do it anyway)",
+			*label, *out, run.CPUs))
+	}
+
+	cfg := heal.Config{
+		Seed:        0x4EA1,
+		Schedule:    schedule(),
+		Cycles:      *cycles,
+		EpochCycles: 80,
+	}
+	base, err := heal.Run(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	cfg.Heal = true
+	healed, err := heal.Run(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	metrics := map[string]float64{
+		"heal_mtbf_before":          base.MTBF,
+		"heal_mtbf_after":           healed.MTBF,
+		"heal_mtbf_ratio":           healed.MTBF / base.MTBF,
+		"heal_failures_before":      float64(base.Failures),
+		"heal_failures_after":       float64(healed.Failures),
+		"heal_onset_cycle":          float64(healed.OnsetCycle),
+		"heal_mitigated_cycle":      float64(healed.MitigatedCycle),
+		"heal_restarts_to_mitigate": float64(healed.RestartsOnsetToMitigation),
+		"heal_quarantined_frees":    float64(healed.Quarantined),
+		"heal_min_check_cadence":    float64(healed.MinCadence),
+	}
+	fmt.Printf("supervisor MTBF  unhealed %8.1f cycles (%d failures)  healed %8.1f cycles (%d failures)  ratio %.1fx\n",
+		base.MTBF, base.Failures, healed.MTBF, healed.Failures, healed.MTBF/base.MTBF)
+	fmt.Printf("timeline: onset cycle %d, mitigated cycle %d, %d restarts between (live countermeasures)\n",
+		healed.OnsetCycle, healed.MitigatedCycle, healed.RestartsOnsetToMitigation)
+
+	// The serve embedding: the same fault geometry in the open-loop
+	// soak's session loop, mitigated by the countermeasures the healed
+	// supervisor converged to.
+	sch := schedule()
+	plan := &serve.FaultPlan{
+		ObjectSize:     sch.ObjectSize,
+		OverflowObject: 3, OverflowReach: sch.OverflowReach, OverflowEvery: 2,
+		DanglingObject: 9, DanglingEvery: 2,
+	}
+	scfg := serve.Config{
+		Shards:   1,
+		Workers:  1, // injected writes race any concurrent slot owner by design
+		HeapSize: 1 << 20,
+		Sessions: 50_000,
+		Seed:     0x4EA1,
+		Faults:   plan,
+	}
+	sbase, err := serve.Run(scfg)
+	if err != nil {
+		fatal(err)
+	}
+	scfg.Mitigate = mitFromHealed(healed, plan)
+	smit, err := serve.Run(scfg)
+	if err != nil {
+		fatal(err)
+	}
+	metrics["heal_serve_mtbf_sessions_before"] = sbase.MTBFSessions
+	metrics["heal_serve_mtbf_sessions_after"] = smit.MTBFSessions
+	metrics["heal_serve_corruptions_before"] = float64(sbase.Corruptions)
+	metrics["heal_serve_corruptions_after"] = float64(smit.Corruptions)
+	metrics["heal_serve_quarantined_frees"] = float64(smit.QuarantinedFrees)
+	fmt.Printf("serve MTBF       unmitigated %6.1f sessions (%d corruptions)  mitigated %8.1f sessions (%d corruptions)\n",
+		sbase.MTBFSessions, sbase.Corruptions, smit.MTBFSessions, smit.Corruptions)
+
+	if file.Runs == nil {
+		file.Runs = map[string]Run{}
+	}
+	file.Runs[*label] = Run{
+		Date:    time.Now().UTC().Format("2006-01-02"),
+		Go:      runtime.Version(),
+		CPUs:    runtime.NumCPU(),
+		Metrics: metrics,
+	}
+	enc, err := json.MarshalIndent(&file, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*out, append(enc, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("recorded as %q in %s\n", *label, *out)
+}
+
+// serveMit adapts the supervisor's converged countermeasures to the
+// serve soak's object-index site space.
+type serveMit struct {
+	pads map[int]int
+	quar map[int]bool
+}
+
+func (m serveMit) Pad(site int) int          { return m.pads[site] }
+func (m serveMit) Quarantined(site int) bool { return m.quar[site] }
+
+// mitFromHealed translates the healed run's verdict into the fault
+// soak's site space: the supervisor convicted cyclic allocation sites,
+// the soak plants the same bug classes at fixed object indices, so the
+// pad learned for the overflow culprit moves to the soak's overflow
+// object and likewise for the quarantine.
+func mitFromHealed(res *heal.Result, plan *serve.FaultPlan) serve.Mitigator {
+	m := serveMit{pads: map[int]int{}, quar: map[int]bool{}}
+	if res.Overflow != nil {
+		if pad := res.PadTable[res.Overflow.Culprit]; pad > 0 {
+			m.pads[plan.OverflowObject] = pad
+		}
+	}
+	if res.Dangling != nil && len(res.QuarantineSites) > 0 {
+		m.quar[plan.DanglingObject] = true
+	}
+	return m
+}
+
+// runSmoke is the CI gate: a tiny deterministic schedule must convict
+// exactly the planted culprits, apply both countermeasures without a
+// restart in between, and at least double the MTBF. Writes nothing.
+func runSmoke() {
+	cfg := heal.Config{
+		Seed:        0x4EA1,
+		Schedule:    schedule(),
+		Cycles:      240,
+		EpochCycles: 80,
+	}
+	base, err := heal.Run(cfg)
+	if err != nil {
+		fatal(fmt.Errorf("smoke baseline: %w", err))
+	}
+	cfg.Heal = true
+	healed, err := heal.Run(cfg)
+	if err != nil {
+		fatal(fmt.Errorf("smoke healed: %w", err))
+	}
+	fmt.Printf("smoke MTBF unhealed %.1f (%d failures) -> healed %.1f (%d failures)\n",
+		base.MTBF, base.Failures, healed.MTBF, healed.Failures)
+	if base.Failures == 0 {
+		fatal(fmt.Errorf("smoke: baseline never failed; schedule is not biting"))
+	}
+	if healed.MTBF < 2*base.MTBF {
+		fatal(fmt.Errorf("smoke: healed MTBF %.1f < 2x unhealed %.1f", healed.MTBF, base.MTBF))
+	}
+	sch := schedule()
+	if healed.Overflow == nil || healed.Overflow.Culprit != sch.OverflowSite {
+		fatal(fmt.Errorf("smoke: overflow culprit %+v, want site %d", healed.Overflow, sch.OverflowSite))
+	}
+	if healed.Dangling == nil || healed.Dangling.Culprit != sch.DanglingSite {
+		fatal(fmt.Errorf("smoke: dangling culprit %+v, want site %d", healed.Dangling, sch.DanglingSite))
+	}
+	if healed.RestartsOnsetToMitigation != 0 {
+		fatal(fmt.Errorf("smoke: %d restarts between onset and mitigation; countermeasures must be live",
+			healed.RestartsOnsetToMitigation))
+	}
+	fmt.Println("heal smoke passed")
+}
+
+func readFile(path string) (File, error) {
+	f := File{Runs: map[string]Run{}}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return f, err
+	}
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return f, err
+	}
+	return f, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "heal: %v\n", err)
+	os.Exit(1)
+}

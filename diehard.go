@@ -36,6 +36,7 @@ import (
 	"diehard/internal/analysis"
 	"diehard/internal/core"
 	"diehard/internal/detect"
+	"diehard/internal/heal"
 	"diehard/internal/heap"
 	"diehard/internal/libc"
 	"diehard/internal/replicate"
@@ -98,6 +99,12 @@ type HeapOptions struct {
 	// heap check every that many allocations; 0 leaves barriers to
 	// explicit HeapCheck calls.
 	HeapCheckEvery int
+	// HeapCheckMin, with HeapCheckEvery, makes the barrier cadence
+	// adaptive (DESIGN.md §13): after a barrier interval in which any
+	// audit recorded fresh evidence the next check fires HeapCheckMin
+	// allocations later, and clean intervals double the cadence back
+	// toward HeapCheckEvery. 0 keeps the fixed cadence.
+	HeapCheckMin int
 }
 
 // Heap is a DieHard randomized heap. Built with HeapOptions.Concurrent,
@@ -129,7 +136,10 @@ func NewHeap(opts HeapOptions) (*Heap, error) {
 		if opts.RemoteFreeRing {
 			return nil, fmt.Errorf("diehard: RemoteFreeRing cannot batch past canary detection (DetectCanaries)")
 		}
-		dh, err := detect.New(copts, detect.Options{HeapCheckEvery: opts.HeapCheckEvery})
+		dh, err := detect.New(copts, detect.Options{
+			HeapCheckEvery: opts.HeapCheckEvery,
+			HeapCheckMin:   opts.HeapCheckMin,
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -412,4 +422,42 @@ type TriageResult = detect.TriageResult
 // away (Exterminator's insight, applied to the DieHard substrate).
 func Triage(kind DetectKind, reports []*DetectionReport) *TriageResult {
 	return detect.Triage(kind, reports)
+}
+
+// EvidenceAccumulator is the streaming, goroutine-safe counterpart of
+// Triage: it ingests evidence windows as a long-running service produces
+// them and answers culprit verdicts at any moment. Mergeable across
+// campaign replicas with byte-identical results at any worker count.
+type EvidenceAccumulator = detect.Accumulator
+
+// HealSchedule is a planned fault schedule for the self-healing
+// supervisor: cyclic allocation sites with a planted overflow culprit
+// and a planted dangling-write culprit.
+type HealSchedule = heal.Schedule
+
+// HealConfig configures a supervised run (DESIGN.md §13).
+type HealConfig = heal.Config
+
+// HealResult is one supervised run's grade sheet: MTBF, the onset →
+// countermeasure timeline, verdicts, and the installed pad/quarantine
+// tables.
+type HealResult = heal.Result
+
+// HealCampaignResult aggregates replicated supervised runs with a
+// deterministic verdict hash.
+type HealCampaignResult = heal.CampaignResult
+
+// Heal runs the self-healing supervisor: a detection heap cycles
+// through the schedule's allocation program, triage evidence
+// accumulates across heap-check barriers and epoch restarts, and when a
+// culprit site crosses the confidence bar a live countermeasure —
+// per-site overallocation padding for overflow culprits, per-site free
+// quarantine for dangling culprits — is installed without a restart.
+func Heal(cfg HealConfig) (*HealResult, error) { return heal.Run(cfg) }
+
+// HealCampaign runs replicated supervised runs with derived seeds on a
+// worker pool and merges their verdicts; the result (including its
+// VerdictHash) is byte-identical at any worker count.
+func HealCampaign(cfg HealConfig, replicas, workers int) (*HealCampaignResult, error) {
+	return heal.RunCampaign(cfg, replicas, workers)
 }

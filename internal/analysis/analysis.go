@@ -111,6 +111,33 @@ func ExpectedProbes(fullness float64) float64 {
 	return 1 / (1 - fullness)
 }
 
+// QuarantineFullnessShift is the probe-cost multiplier the free
+// quarantine (DESIGN.md §13) imposes on a size class. Each of the q
+// quarantined slots keeps its bitmap bit set and its occupancy unit
+// reserved, so the probe stream sees fullness raised by q/slots at any
+// live-object load, and the class saturates at slots/M - q live objects
+// instead of slots/M. At that capacity load the quarantined class pays
+// ExpectedProbes(1/M) = M/(M-1) per allocation where the unquarantined
+// class at the same load would pay 1/(1 - 1/M + q/slots); the ratio is
+// exactly
+//
+//	shift = 1 + M·q / (slots·(M-1))
+//
+// — e.g. holding 16 of 128 slots at M = 2 costs 25% more probes, the
+// price of keeping a dangling culprit's slots out of reuse. Panics when
+// q exceeds the slots/M occupancy threshold: the quarantine would then
+// consume the class's entire allocatable capacity, and the cap must be
+// lowered instead.
+func QuarantineFullnessShift(slots int, m float64, q int) float64 {
+	if slots <= 0 || m <= 1 || q < 0 {
+		panic(fmt.Sprintf("analysis: quarantine shift of %d held in %d slots at M=%v out of range", q, slots, m))
+	}
+	if float64(q) > float64(slots)/m {
+		panic(fmt.Sprintf("analysis: %d quarantined slots exceed a %d-slot class's 1/%v occupancy threshold", q, slots, m))
+	}
+	return 1 + m*float64(q)/(float64(slots)*(m-1))
+}
+
 // ExpectedBatchProbes is the expected total probe count of a magazine
 // refill that claims batch slots from a class of total slots with live
 // already occupied (DESIGN.md §11). Claims are made as drawn, so the

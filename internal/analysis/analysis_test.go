@@ -263,6 +263,42 @@ func TestExpectedProbes(t *testing.T) {
 	}
 }
 
+func TestQuarantineFullnessShift(t *testing.T) {
+	// No held slots: no shift.
+	if got := QuarantineFullnessShift(128, 2, 0); got != 1 {
+		t.Errorf("QuarantineFullnessShift(128, 2, 0) = %v, want 1", got)
+	}
+	// DESIGN.md §13 worked example: 16 of 128 slots held at M=2 cost 25%.
+	if got, want := QuarantineFullnessShift(128, 2, 16), 1.25; math.Abs(got-want) > 1e-12 {
+		t.Errorf("QuarantineFullnessShift(128, 2, 16) = %v, want %v", got, want)
+	}
+	// The shift is the ratio of the probe expectations at the quarantined
+	// class's capacity load: M/(M-1) held vs 1/(1 - 1/M + q/slots) free.
+	slots, m, q := 4096, 2.0, 512
+	want := ExpectedProbes(1/m) / ExpectedProbes(1/m-float64(q)/float64(slots))
+	if got := QuarantineFullnessShift(slots, m, q); math.Abs(got-want) > 1e-12 {
+		t.Errorf("QuarantineFullnessShift(%d, %v, %d) = %v, want ratio %v", slots, m, q, got, want)
+	}
+	// Overprovisioning dilutes the cost: more slack, smaller shift.
+	if QuarantineFullnessShift(128, 4, 16) >= QuarantineFullnessShift(128, 2, 16) {
+		t.Error("raising M did not shrink the quarantine shift")
+	}
+	for _, bad := range []struct {
+		slots int
+		m     float64
+		q     int
+	}{{0, 2, 1}, {128, 1, 1}, {128, 2, -1}, {128, 2, 65}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("QuarantineFullnessShift(%d, %v, %d) did not panic", bad.slots, bad.m, bad.q)
+				}
+			}()
+			QuarantineFullnessShift(bad.slots, bad.m, bad.q)
+		}()
+	}
+}
+
 func TestExpectedBatchProbes(t *testing.T) {
 	// A batch of one is exactly the single-malloc expectation.
 	for _, tc := range []struct{ total, live int }{{1000, 500}, {1200, 1000}, {64, 0}} {

@@ -67,6 +67,9 @@ const (
 	DefaultHeapSize = 384 << 20
 	// DefaultM is the default heap expansion factor.
 	DefaultM = 2.0
+	// DefaultQuarantineCap is the quarantine FIFO bound when
+	// Options.FreeFilter is set without an explicit QuarantineCap.
+	DefaultQuarantineCap = 64
 )
 
 // Options configures a DieHard heap. The zero value selects the paper's
@@ -145,6 +148,43 @@ type Options struct {
 	// winner: the goroutine that set (or cleared) the slot's bit is the
 	// one that runs the hook, outside any lock.
 	OnFree func(p heap.Ptr, slotSize int)
+	// SizeAdjust, when non-nil, is consulted at the top of every Malloc
+	// with the (normalized, positive) requested size and may return a
+	// larger size to allocate instead — the per-site overallocation-
+	// padding hook of the self-healing supervisor (internal/heal,
+	// DESIGN.md §13). Returns smaller than the request are ignored: the
+	// program was promised at least what it asked for. The adjusted size
+	// is what the allocator serves, counts, and reports to OnAlloc, so a
+	// padded object's slack is canary-audited like any other. The
+	// callback runs on every allocating goroutine with no synchronization
+	// from the heap; concurrent heaps must install a goroutine-safe
+	// callback (e.g. one reading an atomically published table). Nil
+	// costs one pointer check per Malloc.
+	SizeAdjust func(size int) int
+	// FreeFilter, when non-nil, is consulted on every Free of a live,
+	// correctly aligned small-object slot. Returning true diverts the
+	// free into the heap's quarantine FIFO — the delayed-reuse
+	// countermeasure for dangling-pointer culprits (DESIGN.md §13): the
+	// slot keeps its bitmap bit and its occupancy reservation, so the
+	// probe stream never re-issues it, and stale writes land on memory no
+	// new owner holds. Quarantined slots are actually released — bit
+	// cleared, counters updated, OnFree fired — when the FIFO exceeds
+	// QuarantineCap (oldest first) or at FlushQuarantine. Exactly-one-
+	// winner free semantics are preserved: the release's CAS-clear
+	// remains the single arbiter, so racing frees of a quarantined
+	// pointer just enqueue twice and all but one release counts an
+	// IgnoredFree. Requires the lock-free engine. Magazine-buffered and
+	// remote-ring frees bypass the filter (they batch past per-pointer
+	// interception); callers route quarantinable frees through Heap.Free
+	// or ShardedHeap.Free. Like SizeAdjust, the callback itself must be
+	// goroutine-safe on concurrent heaps; nil costs one pointer check per
+	// Free.
+	FreeFilter func(p heap.Ptr, slotSize int) bool
+	// QuarantineCap bounds the quarantine FIFO (default 64): pushing past
+	// the cap releases the oldest held slot. Larger caps hold freed slots
+	// out of reuse longer at the cost of occupancy — the fullness shift
+	// analysis.QuarantineFullnessShift prices.
+	QuarantineCap int
 }
 
 func (o *Options) withDefaults() Options {
@@ -157,6 +197,9 @@ func (o *Options) withDefaults() Options {
 	}
 	if v.AdaptiveInitial == 0 {
 		v.AdaptiveInitial = 256 << 10
+	}
+	if v.QuarantineCap <= 0 {
+		v.QuarantineCap = DefaultQuarantineCap
 	}
 	return v
 }
@@ -328,6 +371,15 @@ type Heap struct {
 
 	remote  *freeRing  // remote-free ring (Options.RemoteRing), nil otherwise
 	drainMu sync.Mutex // serializes ring drains: the single-consumer side
+
+	// Quarantine FIFO (Options.FreeFilter): held slots keep their bitmap
+	// bit and occupancy reservation until released oldest-first. The
+	// mutex guards only the FIFO bookkeeping — releases run the normal
+	// lock-free clear outside it. quarHead indexes the logical front;
+	// the backing array is compacted when the dead prefix dominates.
+	quarMu     sync.Mutex
+	quarantine []heap.Ptr
+	quarHead   int
 }
 
 var _ heap.Allocator = (*Heap)(nil)
@@ -398,6 +450,9 @@ func newHeap(opts Options, space *vmem.Space) (*Heap, error) {
 			return nil, fmt.Errorf("diehard: RemoteRing cannot batch past per-operation observation hooks")
 		}
 		h.remote = newFreeRing(remoteRingSize)
+	}
+	if o.FreeFilter != nil && !h.lockfree {
+		return nil, fmt.Errorf("diehard: FreeFilter quarantine requires the lock-free engine (not LockedHeap/RandomFill)")
 	}
 	if h.space == nil {
 		h.space = vmem.NewSpace()
@@ -556,6 +611,11 @@ func (h *Heap) Malloc(size int) (heap.Ptr, error) {
 	}
 	if size == 0 {
 		size = 1 // malloc(0) returns a distinct pointer, as in C
+	}
+	if h.opts.SizeAdjust != nil {
+		if padded := h.opts.SizeAdjust(size); padded > size {
+			size = padded
+		}
 	}
 	if size > MaxObjectSize {
 		return h.allocateLargeObject(size)
@@ -999,6 +1059,16 @@ func (h *Heap) Free(p heap.Ptr) error {
 		h.addStat(&h.stats.IgnoredFrees, 1) // misaligned interior pointer: ignore
 		return nil
 	}
+	if h.opts.FreeFilter != nil && sub.getAtomic(local) && h.opts.FreeFilter(p, cl.size) {
+		// Quarantine divert: the slot stays marked allocated (bit set,
+		// occupancy reserved), so the probe stream cannot re-issue it.
+		// The liveness pre-check only filters obviously dead pointers
+		// cheaply; the release's CAS-clear remains the one arbiter of
+		// racing frees, so a stale read here just enqueues a duplicate
+		// that loses (and is counted an IgnoredFree) at release time.
+		h.quarantineHold(p)
+		return nil
+	}
 	if h.lockfree {
 		if h.atomicStats {
 			// CAS release: of any set of racing frees of this pointer,
@@ -1033,6 +1103,106 @@ func (h *Heap) Free(p heap.Ptr) error {
 		h.opts.OnFree(p, cl.size)
 	}
 	return nil
+}
+
+// quarantineHold enqueues a filtered free (Options.FreeFilter) into the
+// FIFO, releasing the oldest held slot first when the cap is reached so
+// the quarantine's occupancy debt stays bounded at QuarantineCap. Only
+// the queue bookkeeping runs under the mutex; the eviction's bit-clear
+// happens outside it on the normal lock-free path.
+func (h *Heap) quarantineHold(p heap.Ptr) {
+	h.addStat(&h.stats.Quarantined, 1)
+	var evict heap.Ptr
+	var evicting bool
+	h.quarMu.Lock()
+	if len(h.quarantine)-h.quarHead >= h.opts.QuarantineCap {
+		evict = h.quarantine[h.quarHead]
+		h.quarHead++
+		evicting = true
+	}
+	h.quarantine = append(h.quarantine, p)
+	if h.quarHead > 64 && h.quarHead*2 >= len(h.quarantine) {
+		// Compact the consumed prefix so the backing array stays
+		// proportional to the live queue, amortized O(1) per enqueue.
+		n := copy(h.quarantine, h.quarantine[h.quarHead:])
+		h.quarantine = h.quarantine[:n]
+		h.quarHead = 0
+	}
+	h.quarMu.Unlock()
+	if evicting {
+		h.releaseHeld(evict)
+	}
+}
+
+// releaseHeld performs the deferred free of a quarantined slot: the
+// normal clear path of Free, minus the filter (a released slot must not
+// re-enter the quarantine it just left). Exactly one release of any set
+// of duplicate enqueues wins the CAS-clear; the rest count IgnoredFrees,
+// preserving §4.3's double-free accounting across the deferral. OnFree
+// fires here — not at divert time — so a detection layer re-arms its
+// canary exactly when the slot truly rejoins free space.
+func (h *Heap) releaseHeld(p heap.Ptr) bool {
+	cl, sub, local := h.find(p)
+	if cl == nil {
+		// Unreachable for pointers the divert path resolved, kept for
+		// defense in depth.
+		h.addStat(&h.stats.IgnoredFrees, 1)
+		return false
+	}
+	if h.atomicStats {
+		if !sub.casClear(local) {
+			h.addStat(&h.stats.IgnoredFrees, 1)
+			return false
+		}
+		atomic.AddInt64(&cl.inUse, -1)
+	} else {
+		if !sub.get(local) {
+			h.addStat(&h.stats.IgnoredFrees, 1)
+			return false
+		}
+		sub.clear(local)
+		cl.inUse--
+	}
+	h.addStat(&h.stats.WorkUnits, heap.WorkBitmap)
+	h.addStat(&h.stats.QuarantineOut, 1)
+	h.countFree(cl.size)
+	if h.opts.OnFree != nil {
+		h.opts.OnFree(p, cl.size)
+	}
+	return true
+}
+
+// FlushQuarantine releases every held slot oldest-first and returns how
+// many actually freed (duplicates of already-released slots are ignored,
+// not counted). Callers flush before retiring a FreeFilter or before
+// occupancy-sensitive audits that expect quarantined slots returned to
+// free space.
+func (h *Heap) FlushQuarantine() int {
+	released := 0
+	for {
+		h.quarMu.Lock()
+		if h.quarHead >= len(h.quarantine) {
+			h.quarantine = h.quarantine[:0]
+			h.quarHead = 0
+			h.quarMu.Unlock()
+			return released
+		}
+		p := h.quarantine[h.quarHead]
+		h.quarHead++
+		h.quarMu.Unlock()
+		if h.releaseHeld(p) {
+			released++
+		}
+	}
+}
+
+// QuarantineLen reports the number of entries currently held in the
+// quarantine FIFO (duplicate enqueues included).
+func (h *Heap) QuarantineLen() int {
+	h.quarMu.Lock()
+	n := len(h.quarantine) - h.quarHead
+	h.quarMu.Unlock()
+	return n
 }
 
 // find locates the size class, subregion, and slot index containing p in

@@ -317,8 +317,30 @@ func (sh *ShardedHeap) Stats() *heap.Stats {
 		agg.CASRetries += atomic.LoadUint64(&st.CASRetries)
 		agg.RemoteFrees += atomic.LoadUint64(&st.RemoteFrees)
 		agg.RemoteDrains += atomic.LoadUint64(&st.RemoteDrains)
+		agg.Quarantined += atomic.LoadUint64(&st.Quarantined)
+		agg.QuarantineOut += atomic.LoadUint64(&st.QuarantineOut)
 	}
 	return &agg
+}
+
+// FlushQuarantine releases every shard's quarantined slots (oldest-first
+// per shard) and returns the total actually freed.
+func (sh *ShardedHeap) FlushQuarantine() int {
+	released := 0
+	for _, s := range sh.shards {
+		released += s.FlushQuarantine()
+	}
+	return released
+}
+
+// QuarantineLen reports the total entries held across all shards'
+// quarantine FIFOs.
+func (sh *ShardedHeap) QuarantineLen() int {
+	n := 0
+	for _, s := range sh.shards {
+		n += s.QuarantineLen()
+	}
+	return n
 }
 
 // Name identifies the allocator in experiment reports.

@@ -135,6 +135,15 @@ type Options struct {
 	// HeapCheckEvery, when positive, runs an automatic HeapCheck every
 	// that many allocations — the heap-check barrier of the engine.
 	HeapCheckEvery int
+	// HeapCheckMin, when positive (and below HeapCheckEvery), makes the
+	// barrier cadence adaptive (DESIGN.md §13): a barrier that finds
+	// fresh evidence tightens the interval to HeapCheckMin — errors
+	// cluster, and a tight cadence localizes damage to a narrow
+	// allocation window — and every clean barrier doubles it until it
+	// relaxes back to HeapCheckEvery. Zero keeps the fixed cadence;
+	// with a fixed cadence the barrier schedule is exactly the modulo
+	// schedule of PR 4, so recorded campaign hashes are unaffected.
+	HeapCheckMin int
 	// MaxEvidence caps the evidence log (default 1024); further findings
 	// are counted in Report.Dropped.
 	MaxEvidence int
@@ -160,16 +169,20 @@ type Detector struct {
 	space *vmem.Space
 	opts  Options
 
-	pat      [CanaryBytes]byte
-	words    [CanaryBytes]uint64 // canary64 for each addr&7 phase
-	clock    int
-	objects  map[heap.Ptr]objRec
-	freed    map[heap.Ptr]freedRec
-	evidence []Evidence
-	dropped  int
-	checks   int
-	seen     map[heap.Ptr]bool // uninit dedup by address
-	buf      []byte            // audit/refill scratch
+	pat       [CanaryBytes]byte
+	words     [CanaryBytes]uint64 // canary64 for each addr&7 phase
+	clock     int
+	objects   map[heap.Ptr]objRec
+	freed     map[heap.Ptr]freedRec
+	evidence  []Evidence
+	dropped   int
+	checks    int
+	found     int               // cumulative evidence ever recorded (survives TakeEvidence)
+	lastFound int               // found at the previous automatic barrier
+	cadence   int               // current barrier interval (= HeapCheckEvery when fixed)
+	nextCheck int               // clock value that triggers the next automatic barrier
+	seen      map[heap.Ptr]bool // uninit dedup by address
+	buf       []byte            // audit/refill scratch
 }
 
 // Heap couples a DieHard core heap with its attached Detector. The
@@ -195,11 +208,18 @@ func New(copts core.Options, dopts Options) (*Heap, error) {
 	if dopts.MaxEvidence == 0 {
 		dopts.MaxEvidence = 1024
 	}
+	if dopts.HeapCheckMin < 0 || (dopts.HeapCheckMin > 0 && dopts.HeapCheckMin > dopts.HeapCheckEvery) {
+		// The second clause also rejects a floor without a ceiling
+		// (HeapCheckEvery = 0): there is no schedule to adapt.
+		return nil, fmt.Errorf("detect: HeapCheckMin %d must lie in [0, HeapCheckEvery=%d]", dopts.HeapCheckMin, dopts.HeapCheckEvery)
+	}
 	d := &Detector{
-		opts:    dopts,
-		objects: make(map[heap.Ptr]objRec),
-		freed:   make(map[heap.Ptr]freedRec),
-		seen:    make(map[heap.Ptr]bool),
+		opts:      dopts,
+		cadence:   dopts.HeapCheckEvery,
+		nextCheck: dopts.HeapCheckEvery,
+		objects:   make(map[heap.Ptr]objRec),
+		freed:     make(map[heap.Ptr]freedRec),
+		seen:      make(map[heap.Ptr]bool),
 	}
 	copts.OnAlloc = d.onAlloc
 	copts.OnFree = d.onFree
@@ -276,6 +296,7 @@ func (d *Detector) canary32(addr heap.Ptr) uint32 { return uint32(d.words[addr&7
 
 // record appends evidence, respecting the cap.
 func (d *Detector) record(ev Evidence) {
+	d.found++
 	if len(d.evidence) >= d.opts.MaxEvidence {
 		d.dropped++
 		return
@@ -384,8 +405,28 @@ func (d *Detector) onAlloc(p heap.Ptr, req, slot int) {
 		}
 	}
 	d.objects[p] = objRec{site: site, req: req, slot: slot, large: large}
-	if d.opts.HeapCheckEvery > 0 && d.clock%d.opts.HeapCheckEvery == 0 {
+	if d.opts.HeapCheckEvery > 0 && d.clock >= d.nextCheck {
+		// With a fixed cadence this fires at exactly the modulo schedule
+		// (clock = k·HeapCheckEvery): the clock advances one allocation
+		// at a time and barriers never allocate, so clock == nextCheck
+		// whenever the guard passes.
 		d.HeapCheck()
+		if d.opts.HeapCheckMin > 0 {
+			// Adapt on evidence from *any* audit point since the last
+			// barrier — free, reuse, load, or this barrier itself. Errors
+			// cluster, so fresh evidence anywhere argues for tighter
+			// barriers; a clean interval argues for backing off.
+			if d.found > d.lastFound {
+				d.cadence = d.opts.HeapCheckMin
+			} else if d.cadence < d.opts.HeapCheckEvery {
+				d.cadence *= 2
+				if d.cadence > d.opts.HeapCheckEvery {
+					d.cadence = d.opts.HeapCheckEvery
+				}
+			}
+		}
+		d.lastFound = d.found
+		d.nextCheck = d.clock + d.cadence
 	}
 }
 
@@ -615,6 +656,28 @@ func (d *Detector) Report() *Report {
 		Evidence: append([]Evidence(nil), d.evidence...),
 	}
 }
+
+// TakeEvidence drains the evidence log: the accumulated records (and the
+// overflow count the MaxEvidence cap dropped) are returned and the log
+// resets. This is the supervisor's export path (internal/heal): evidence
+// streams out window by window into an Accumulator instead of growing —
+// and saturating — one per-detector log across a long-running service.
+func (d *Detector) TakeEvidence() (evs []Evidence, dropped int) {
+	evs = d.evidence
+	dropped = d.dropped
+	d.evidence = nil
+	d.dropped = 0
+	return evs, dropped
+}
+
+// Cadence reports the current automatic barrier interval: HeapCheckEvery
+// when the cadence is fixed, and the adaptive interval in
+// [HeapCheckMin, HeapCheckEvery] when HeapCheckMin engages it.
+func (d *Detector) Cadence() int { return d.cadence }
+
+// Clock reports the allocation index the next allocation will receive —
+// the detector's site-numbering clock.
+func (d *Detector) Clock() int { return d.clock }
 
 // checkedMem is the canary-auditing Memory view.
 type checkedMem struct {

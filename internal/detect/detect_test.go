@@ -309,6 +309,95 @@ func TestAutomaticHeapCheckBarrier(t *testing.T) {
 	}
 }
 
+// TestAdaptiveHeapCheckCadence: with HeapCheckMin set, a barrier that
+// follows fresh evidence tightens the cadence to the floor, and clean
+// barrier intervals double it back toward HeapCheckEvery.
+func TestAdaptiveHeapCheckCadence(t *testing.T) {
+	h, err := New(core.Options{HeapSize: 12 << 20, Seed: 5},
+		Options{HeapCheckEvery: 16, HeapCheckMin: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := h.Detector().Cadence(); got != 16 {
+		t.Fatalf("initial cadence %d, want HeapCheckEvery", got)
+	}
+	p, err := h.Malloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Free(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Mem().Store64(p, 0xF00D); err != nil { // dangling write
+		t.Fatal(err)
+	}
+	churn := func(n int) {
+		t.Helper()
+		for i := 0; i < n; i++ {
+			q, err := h.Malloc(8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := h.Free(q); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	churn(16) // cross the first barrier with the evidence on the books
+	if got := h.Detector().Cadence(); got != 2 {
+		t.Fatalf("cadence after evidence = %d, want floor 2", got)
+	}
+	// Clean intervals: exponential backoff 2 -> 4 -> 8 -> 16, capped.
+	churn(64)
+	if got := h.Detector().Cadence(); got != 16 {
+		t.Fatalf("cadence after clean churn = %d, want back at HeapCheckEvery", got)
+	}
+	// The tightened stretch ran MORE barriers than the fixed schedule
+	// would have over the same clock span.
+	if checks := h.Detector().Report().Checks; checks <= 80/16 {
+		t.Fatalf("only %d checks over ~80 allocations; cadence never tightened", checks)
+	}
+}
+
+// TestFixedCadenceUnchanged: HeapCheckMin = 0 preserves the exact PR-4
+// modulo schedule — one barrier per HeapCheckEvery allocations, evidence
+// or not — so recorded golden output hashes cannot move.
+func TestFixedCadenceUnchanged(t *testing.T) {
+	h, err := New(core.Options{HeapSize: 12 << 20, Seed: 5}, Options{HeapCheckEvery: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 35; i++ {
+		q, err := h.Malloc(8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := h.Free(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if checks := h.Detector().Report().Checks; checks != 3 {
+		t.Fatalf("%d barriers over 35 allocations, want exactly 3 (clock 10, 20, 30)", checks)
+	}
+	if got := h.Detector().Cadence(); got != 10 {
+		t.Fatalf("fixed cadence drifted to %d", got)
+	}
+}
+
+// TestHeapCheckMinValidation pins the option's rejection surface.
+func TestHeapCheckMinValidation(t *testing.T) {
+	if _, err := New(core.Options{HeapSize: 12 << 20}, Options{HeapCheckMin: -1}); err == nil {
+		t.Error("negative HeapCheckMin accepted")
+	}
+	if _, err := New(core.Options{HeapSize: 12 << 20}, Options{HeapCheckEvery: 8, HeapCheckMin: 9}); err == nil {
+		t.Error("HeapCheckMin above HeapCheckEvery accepted")
+	}
+	if _, err := New(core.Options{HeapSize: 12 << 20}, Options{HeapCheckMin: 4}); err == nil {
+		// A floor without a ceiling has no schedule to adapt.
+		t.Error("HeapCheckMin without HeapCheckEvery accepted")
+	}
+}
+
 func TestLargeObjectLifecycle(t *testing.T) {
 	h := newDetectHeap(t, 13)
 	p, err := h.Malloc(core.MaxObjectSize + 1000)

@@ -81,6 +81,8 @@ type Stats struct {
 	CASRetries     uint64 // lock-free CAS replays (probe-stream/occupancy/refill losses)
 	RemoteFrees    uint64 // frees routed through the remote-free ring (counted at drain)
 	RemoteDrains   uint64 // non-empty ring drain batches (mean batch = RemoteFrees/RemoteDrains)
+	Quarantined    uint64 // frees intercepted into the quarantine FIFO (enqueues, duplicates included)
+	QuarantineOut  uint64 // quarantine releases actually applied (bit cleared; duplicates count IgnoredFrees)
 	Collections    uint64 // GC only
 }
 

@@ -97,6 +97,13 @@ func (h *Histogram) Quantile(q float64) int64 {
 	if rank >= h.total {
 		rank = h.total - 1
 	}
+	if rank == h.total-1 {
+		// The rank-th order statistic IS the largest sample, which is
+		// tracked exactly — on sparse runs (fewer than 1/(1-q) samples,
+		// e.g. p999 of a short soak) every high quantile degenerates to
+		// this case and the bucket midpoint would misreport it.
+		return h.max
+	}
 	var seen uint64
 	for i, c := range h.counts {
 		seen += c

@@ -81,6 +81,53 @@ type Config struct {
 	// free and one wild free through the cross-free path. Both are
 	// DieHard-ignorable; the soak asserts they stay that way.
 	ErrorRate float64
+	// Faults, when set, embeds a planned fault schedule in every
+	// worker's session loop (the supervisor-facing soak of DESIGN.md
+	// §13): object sizes become fixed so the per-object index is a
+	// stable allocation site, session objects are token-verified at
+	// free, and corrupted tokens are counted (Result.Corruptions) rather
+	// than failing the run. Mutually exclusive with ErrorRate, whose
+	// injected double frees would trip the verification.
+	Faults *FaultPlan
+	// Mitigate, when set with Faults, consults the supervisor's live
+	// countermeasure table: per-object-index overallocation pads applied
+	// at malloc and per-index free quarantine holding frees in a
+	// worker-local delayed-reuse FIFO. heal.Mitigations implements it.
+	Mitigate Mitigator
+	// QuarantineDepth bounds each worker's held-free FIFO (default 32);
+	// pushing past it frees the oldest held object. All held objects are
+	// freed at worker teardown, so FullnessEnd still measures drift.
+	QuarantineDepth int
+}
+
+// Mitigator is the live countermeasure view a fault-scheduled soak
+// consults: Pad is extra bytes to over-allocate for an object index,
+// Quarantined whether its frees are diverted into delayed reuse.
+// Implementations must be safe for concurrent use by all workers.
+type Mitigator interface {
+	Pad(site int) int
+	Quarantined(site int) bool
+}
+
+// FaultPlan is a planned per-worker fault schedule, indexed by the
+// object's position within a session — the identity that is stable
+// across sessions, workers, and layouts. The injected writes simulate
+// application bugs: they go straight to memory, bypassing the
+// allocator, exactly as a buggy C program would.
+type FaultPlan struct {
+	// ObjectSize is the fixed request size for every session object
+	// (default 48; faults need deterministic geometry).
+	ObjectSize int
+	// OverflowObject, when >= 0, writes OverflowReach bytes past its
+	// requested end on every OverflowEvery-th session of each worker.
+	OverflowObject int
+	OverflowReach  int
+	OverflowEvery  int64
+	// DanglingObject, when >= 0, is freed during its session and written
+	// through the stale pointer after the *next* session's allocations
+	// have had a chance to recycle the slot.
+	DanglingObject int
+	DanglingEvery  int64
 }
 
 // Result is the grade sheet of one soak.
@@ -97,6 +144,14 @@ type Result struct {
 	// drift from the empty start. A leak-free soak ends at 0.
 	FullnessEnd float64
 	Stats       heap.Stats
+	// Corruptions counts session objects whose token failed verification
+	// at free (Faults runs only); MTBFSessions is sessions per
+	// corruption, the soak's mean-sessions-between-failures grade.
+	// QuarantinedFrees counts frees the workers held in delayed-reuse
+	// FIFOs on the Mitigator's orders.
+	Corruptions      int64
+	MTBFSessions     float64
+	QuarantinedFrees int64
 }
 
 const crossBatch = 64
@@ -112,6 +167,13 @@ type worker struct {
 	inbox chan []heap.Ptr
 	out   chan []heap.Ptr // the next worker's inbox
 	cross []heap.Ptr      // outgoing batch under accumulation
+
+	// Fault-schedule state (cfg.Faults runs only).
+	sessionN    int64      // sessions served, the fault schedule's clock
+	stale       heap.Ptr   // prematurely freed pointer awaiting its stale write
+	held        []heap.Ptr // worker-local delayed-reuse FIFO (Mitigator quarantine)
+	corruptions int64
+	quarFrees   int64
 }
 
 // skewedSize draws from the session size mix: mostly small objects,
@@ -173,11 +235,23 @@ func (w *worker) sendCross() error {
 
 // session serves one arrival: allocate, touch, and free a skewed mix of
 // objects, draining any cross-freed batches that showed up meanwhile.
+// With cfg.Faults, sizes are fixed (plus any Mitigator pad), the planned
+// faults are injected, and every object's token is verified at free.
 func (w *worker) session(cfg *Config, ptrs []heap.Ptr) error {
 	n := cfg.SessionObjects
+	fp := cfg.Faults
 	ptrs = ptrs[:0]
 	for i := 0; i < n; i++ {
-		p, err := w.mag.Malloc(skewedSize(w.r))
+		size := 0
+		if fp != nil {
+			size = fp.ObjectSize
+			if cfg.Mitigate != nil {
+				size += cfg.Mitigate.Pad(i)
+			}
+		} else {
+			size = skewedSize(w.r)
+		}
+		p, err := w.mag.Malloc(size)
 		if err != nil {
 			return fmt.Errorf("worker %d malloc: %w", w.id, err)
 		}
@@ -194,6 +268,35 @@ func (w *worker) session(cfg *Config, ptrs []heap.Ptr) error {
 			return fmt.Errorf("worker %d: object %#x read back %#x", w.id, p, v)
 		}
 		ptrs = append(ptrs, p)
+	}
+	if fp != nil {
+		w.sessionN++
+		if w.stale != heap.Null {
+			// The stale write lands a full allocation phase after the
+			// premature free: the slot may belong to a fresh object now —
+			// unless quarantine held it out of the probe stream. Write
+			// errors are part of the fault, not of the harness.
+			_ = w.mem.WriteBytes(uint64(w.stale), staleJunk[:])
+			w.stale = heap.Null
+		}
+		if fp.OverflowObject >= 0 && fp.OverflowEvery > 0 && w.sessionN%fp.OverflowEvery == 0 {
+			// Past the *requested* end: a pad enlarges the slot under the
+			// object without changing where the buggy write lands.
+			base := uint64(ptrs[fp.OverflowObject]) + uint64(fp.ObjectSize)
+			junk := make([]byte, fp.OverflowReach)
+			for i := range junk {
+				junk[i] = 0xEE
+			}
+			_ = w.mem.WriteBytes(base, junk)
+		}
+		if fp.DanglingObject >= 0 && fp.DanglingEvery > 0 && w.sessionN%fp.DanglingEvery == 0 {
+			p := ptrs[fp.DanglingObject]
+			w.stale = p
+			ptrs[fp.DanglingObject] = heap.Null
+			if err := w.freeFaulted(cfg, fp.DanglingObject, p); err != nil {
+				return err
+			}
+		}
 	}
 	select {
 	case b := <-w.inbox:
@@ -212,6 +315,15 @@ func (w *worker) session(cfg *Config, ptrs []heap.Ptr) error {
 	}
 	crossN := int(cfg.CrossFraction * float64(n))
 	for i, p := range ptrs {
+		if p == heap.Null {
+			continue // prematurely freed by the fault schedule
+		}
+		if fp != nil {
+			if err := w.freeFaulted(cfg, i, p); err != nil {
+				return err
+			}
+			continue
+		}
 		if i < crossN {
 			w.cross = append(w.cross, p)
 			if len(w.cross) >= crossBatch {
@@ -224,6 +336,37 @@ func (w *worker) session(cfg *Config, ptrs []heap.Ptr) error {
 		if err := w.mag.Free(p); err != nil {
 			return fmt.Errorf("worker %d free: %w", w.id, err)
 		}
+	}
+	return nil
+}
+
+// staleJunk is the byte pattern a stale write smears over a freed
+// object's first word.
+var staleJunk = [8]byte{0xDD, 0xDD, 0xDD, 0xDD, 0xDD, 0xDD, 0xDD, 0xDD}
+
+// freeFaulted retires one object of a fault-scheduled session: verify
+// its token (a mismatch is a corruption — the invariant failure MTBF
+// counts — never a run failure), then either free it or, when the
+// Mitigator quarantines its index, push it onto the worker's delayed-
+// reuse FIFO so the slot stays out of the probe stream.
+func (w *worker) freeFaulted(cfg *Config, i int, p heap.Ptr) error {
+	if v, err := w.mem.Load64(uint64(p)); err != nil || v != uint64(p)^0xd1e {
+		w.corruptions++
+	}
+	if cfg.Mitigate != nil && cfg.Mitigate.Quarantined(i) {
+		w.quarFrees++
+		w.held = append(w.held, p)
+		if len(w.held) > cfg.QuarantineDepth {
+			oldest := w.held[0]
+			w.held = w.held[1:]
+			if err := w.mag.Free(oldest); err != nil {
+				return fmt.Errorf("worker %d quarantine release: %w", w.id, err)
+			}
+		}
+		return nil
+	}
+	if err := w.mag.Free(p); err != nil {
+		return fmt.Errorf("worker %d free: %w", w.id, err)
 	}
 	return nil
 }
@@ -286,6 +429,15 @@ func (w *worker) run(cfg *Config, quota int64, sessions *sync.WaitGroup, errOut 
 			fail(err)
 		}
 	}
+	// Release the delayed-reuse FIFO before the magazine closes, so
+	// FullnessEnd measures drift, not quarantine inventory.
+	for _, p := range w.held {
+		if err := w.mag.Free(p); err != nil {
+			fail(fmt.Errorf("worker %d teardown release: %w", w.id, err))
+			break
+		}
+	}
+	w.held = nil
 	w.mag.Close()
 }
 
@@ -316,6 +468,34 @@ func (cfg *Config) setDefaults() error {
 	}
 	if cfg.Seed == 0 {
 		cfg.Seed = 1
+	}
+	if cfg.QuarantineDepth <= 0 {
+		cfg.QuarantineDepth = 32
+	}
+	if cfg.Faults != nil {
+		if cfg.ErrorRate > 0 {
+			return fmt.Errorf("serve: Faults and ErrorRate are mutually exclusive (injected double frees would trip token verification)")
+		}
+		f := *cfg.Faults // defaults must not mutate the caller's plan
+		if f.ObjectSize == 0 {
+			f.ObjectSize = 48
+		}
+		if f.ObjectSize < 8 || f.ObjectSize > core.MaxObjectSize {
+			return fmt.Errorf("serve: FaultPlan.ObjectSize %d outside [8, %d]", f.ObjectSize, core.MaxObjectSize)
+		}
+		if f.OverflowObject >= cfg.SessionObjects || f.DanglingObject >= cfg.SessionObjects {
+			return fmt.Errorf("serve: fault object index beyond SessionObjects %d", cfg.SessionObjects)
+		}
+		if f.OverflowObject >= 0 && (f.OverflowReach <= 0 || f.OverflowEvery <= 0) {
+			return fmt.Errorf("serve: OverflowObject set but OverflowReach/OverflowEvery not positive")
+		}
+		if f.DanglingObject >= 0 && f.DanglingEvery <= 0 {
+			return fmt.Errorf("serve: DanglingObject set but DanglingEvery not positive")
+		}
+		if f.OverflowObject >= 0 && f.OverflowObject == f.DanglingObject {
+			return fmt.Errorf("serve: overflow and dangling faults share object %d", f.OverflowObject)
+		}
+		cfg.Faults = &f
 	}
 	return nil
 }
@@ -398,6 +578,11 @@ func Run(cfg Config) (*Result, error) {
 	}
 	for _, w := range workers {
 		res.Hist.Merge(&w.hist)
+		res.Corruptions += w.corruptions
+		res.QuarantinedFrees += w.quarFrees
+	}
+	if cfg.Faults != nil {
+		res.MTBFSessions = float64(cfg.Sessions) / float64(max(int64(1), res.Corruptions))
 	}
 	res.SessionsPerSec = float64(cfg.Sessions) / elapsed.Seconds()
 	res.P50 = res.Hist.Quantile(0.50)

@@ -82,6 +82,95 @@ func TestHistogramQuantiles(t *testing.T) {
 	}
 }
 
+func TestHistogramEmptyMerge(t *testing.T) {
+	// Merging histograms of workers that served nothing (a quota split
+	// can starve trailing workers on tiny runs) must be an exact no-op.
+	var a, b Histogram
+	a.Merge(&b)
+	if a.Count() != 0 || a.Max() != 0 || a.Quantile(0.5) != 0 {
+		t.Fatal("empty-into-empty merge produced samples")
+	}
+	a.Record(100)
+	a.Record(200)
+	before := [3]int64{a.Quantile(0.5), a.Quantile(0.999), a.Max()}
+	a.Merge(&b)
+	if a.Count() != 2 {
+		t.Fatalf("count %d after empty merge, want 2", a.Count())
+	}
+	if after := [3]int64{a.Quantile(0.5), a.Quantile(0.999), a.Max()}; after != before {
+		t.Fatalf("empty merge moved quantiles: %v -> %v", before, after)
+	}
+	// And the mirror: folding a populated histogram into a zero-value
+	// one (the driver's merge loop starts from an empty Result.Hist).
+	b.Merge(&a)
+	if b.Count() != 2 || b.Max() != 200 {
+		t.Fatalf("populated-into-empty merge lost samples: count %d max %d", b.Count(), b.Max())
+	}
+}
+
+func TestHistogramTopOverflowBucket(t *testing.T) {
+	// The largest representable samples land in the top buckets and are
+	// counted, not dropped; the exact max survives quantization.
+	var h Histogram
+	huge := []int64{math.MaxInt64, math.MaxInt64 - 1, math.MaxInt64 / 2, 1}
+	for _, v := range huge {
+		h.Record(v)
+	}
+	if h.Count() != uint64(len(huge)) {
+		t.Fatalf("count %d, want %d", h.Count(), len(huge))
+	}
+	if h.Max() != math.MaxInt64 {
+		t.Fatalf("max %d, want MaxInt64", h.Max())
+	}
+	if got := h.Quantile(1); got != math.MaxInt64 {
+		t.Fatalf("q1 = %d, want exact MaxInt64", got)
+	}
+	if got := h.Quantile(0.99); got != math.MaxInt64 {
+		t.Fatalf("q.99 of 4 samples = %d, want the exact max (rank lands on the final sample)", got)
+	}
+	// A sum over the counters must see every recorded sample — the top
+	// bucket is a real bucket, not an overflow discard.
+	var sum uint64
+	for _, c := range h.counts {
+		sum += c
+	}
+	if sum != h.Count() {
+		t.Fatalf("bucket sum %d != count %d", sum, h.Count())
+	}
+}
+
+func TestHistogramSparseHighQuantiles(t *testing.T) {
+	// With fewer than 1/(1-q) samples the q-quantile IS the maximum;
+	// the histogram must report it exactly (it tracks max un-quantized),
+	// not as a log-bucket midpoint that can sit ~6% off.
+	var h Histogram
+	// 500 samples: p999 rank = floor(0.999*500) = 499 = the last sample.
+	for i := int64(1); i <= 499; i++ {
+		h.Record(i * 1000)
+	}
+	h.Record(123_456_789) // a max that is NOT a bucket boundary
+	if got := h.Quantile(0.999); got != 123_456_789 {
+		t.Fatalf("sparse p999 = %d, want exact max 123456789", got)
+	}
+	// Two samples: the p50 rank lands on the larger one — exact, again.
+	var two Histogram
+	two.Record(10)
+	two.Record(999_999)
+	if got := two.Quantile(0.5); got != 999_999 {
+		t.Fatalf("two-sample p50 = %d, want exact 999999", got)
+	}
+	// Dense case unaffected: with 2000 samples p50 stays a bucket
+	// estimate within the documented relative error.
+	var dense Histogram
+	for i := int64(1); i <= 2000; i++ {
+		dense.Record(i)
+	}
+	got, want := dense.Quantile(0.5), int64(1000)
+	if rel := math.Abs(float64(got-want)) / float64(want); rel > 1.0/histSub+0.01 {
+		t.Fatalf("dense p50 = %d, want ~%d", got, want)
+	}
+}
+
 // soak runs a small configured soak and applies the common grade:
 // completion, zero leftover fullness, sane percentile ordering.
 func soak(t *testing.T, cfg Config) *Result {
@@ -185,6 +274,85 @@ func TestServeConfigValidation(t *testing.T) {
 	if _, err := Run(Config{Sessions: 1, CrossFraction: 1.5}); err == nil {
 		t.Fatal("CrossFraction > 1 accepted")
 	}
+	plan := func() *FaultPlan {
+		return &FaultPlan{OverflowObject: 3, OverflowReach: 24, OverflowEvery: 2,
+			DanglingObject: 9, DanglingEvery: 2}
+	}
+	if _, err := Run(Config{Sessions: 1, Faults: plan(), ErrorRate: 0.1}); err == nil {
+		t.Fatal("Faults + ErrorRate accepted")
+	}
+	bad := []func(*FaultPlan){
+		func(f *FaultPlan) { f.ObjectSize = 4 },
+		func(f *FaultPlan) { f.OverflowObject = 16 }, // beyond SessionObjects
+		func(f *FaultPlan) { f.OverflowReach = 0 },
+		func(f *FaultPlan) { f.DanglingEvery = 0 },
+		func(f *FaultPlan) { f.DanglingObject = 3 }, // collides with overflow
+	}
+	for i, mutate := range bad {
+		f := plan()
+		mutate(f)
+		if _, err := Run(Config{Sessions: 1, Faults: f}); err == nil {
+			t.Fatalf("case %d: invalid FaultPlan accepted", i)
+		}
+	}
+}
+
+// staticMit is a fixed Mitigator for tests: the countermeasures a
+// supervisor would have installed, applied from session one.
+type staticMit struct {
+	pads map[int]int
+	quar map[int]bool
+}
+
+func (m staticMit) Pad(site int) int          { return m.pads[site] }
+func (m staticMit) Quarantined(site int) bool { return m.quar[site] }
+
+// TestServeFaultScheduleMTBF embeds the planned fault schedule in the
+// soak and grades the mitigated run against the unmitigated baseline on
+// MTBF-in-sessions. Workers=1: the injected overflow/stale writes are
+// genuine data races against any concurrent slot owner by design, so
+// the multi-worker story lives in the metadata-level race battery
+// (internal/heal), not here.
+func TestServeFaultScheduleMTBF(t *testing.T) {
+	plan := &FaultPlan{
+		OverflowObject: 3, OverflowReach: 24, OverflowEvery: 2,
+		DanglingObject: 9, DanglingEvery: 2,
+	}
+	cfg := Config{
+		Shards:   1,
+		Workers:  1,
+		HeapSize: 1 << 20,
+		Sessions: 2000,
+		Seed:     21,
+		Faults:   plan,
+	}
+	base := soak(t, cfg)
+	if base.Corruptions < 5 {
+		t.Fatalf("unmitigated schedule produced only %d corruptions; faults are not biting", base.Corruptions)
+	}
+	if want := float64(cfg.Sessions) / float64(base.Corruptions); base.MTBFSessions != want {
+		t.Fatalf("MTBFSessions = %v, want %v", base.MTBFSessions, want)
+	}
+	if base.QuarantinedFrees != 0 {
+		t.Fatalf("no Mitigator, yet %d frees quarantined", base.QuarantinedFrees)
+	}
+
+	cfg.Mitigate = staticMit{
+		pads: map[int]int{plan.OverflowObject: plan.OverflowReach + 8},
+		quar: map[int]bool{plan.DanglingObject: true},
+	}
+	healed := soak(t, cfg)
+	if healed.Corruptions != 0 {
+		t.Errorf("mitigated run still corrupted %d tokens", healed.Corruptions)
+	}
+	if healed.QuarantinedFrees == 0 {
+		t.Error("quarantine never held a free despite the Mitigator's orders")
+	}
+	if healed.MTBFSessions < 5*base.MTBFSessions {
+		t.Errorf("mitigated MTBF %v < 5x baseline %v", healed.MTBFSessions, base.MTBFSessions)
+	}
+	t.Logf("MTBF sessions: unmitigated %.1f (%d corruptions) -> mitigated %.1f (%d corruptions, %d held frees)",
+		base.MTBFSessions, base.Corruptions, healed.MTBFSessions, healed.Corruptions, healed.QuarantinedFrees)
 }
 
 func TestServeMillionSessionSoak(t *testing.T) {
