@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"diehard/internal/heal"
+	"diehard/internal/obs"
 	"diehard/internal/serve"
 )
 
@@ -55,16 +56,26 @@ func schedule() heal.Schedule {
 
 func main() {
 	var (
-		label  = flag.String("label", "heal", "label for this measurement set")
-		out    = flag.String("out", "BENCH_serve.json", "output file (merged in place)")
-		force  = flag.Bool("force", false, "allow a 1-CPU rerun to overwrite an entry recorded on a multicore host")
-		smoke  = flag.Bool("smoke", false, "run the tiny CI schedule (healed MTBF >= 2x unhealed, exact culprits) and write nothing")
-		cycles = flag.Int("cycles", 960, "supervisor cycles per run")
+		label   = flag.String("label", "heal", "label for this measurement set")
+		out     = flag.String("out", "BENCH_serve.json", "output file (merged in place)")
+		force   = flag.Bool("force", false, "allow a 1-CPU rerun to overwrite an entry recorded on a multicore host")
+		smoke   = flag.Bool("smoke", false, "run the tiny CI schedule (healed MTBF >= 2x unhealed, exact culprits) and write nothing")
+		cycles  = flag.Int("cycles", 960, "supervisor cycles per run")
+		withObs = flag.Bool("obs", false, "attach the telemetry plane to the healed run and dump its metric tree and trace tail as JSON to stdout")
 	)
 	flag.Parse()
 
+	var (
+		reg *obs.Registry
+		rec *obs.Recorder
+	)
+	if *withObs {
+		reg = obs.NewRegistry()
+		rec = obs.NewRecorder(4096)
+	}
+
 	if *smoke {
-		runSmoke()
+		runSmoke(reg, rec)
 		return
 	}
 
@@ -88,6 +99,7 @@ func main() {
 		fatal(err)
 	}
 	cfg.Heal = true
+	cfg.Obs, cfg.Trace = reg, rec
 	healed, err := heal.Run(cfg)
 	if err != nil {
 		fatal(err)
@@ -160,6 +172,28 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("recorded as %q in %s\n", *label, *out)
+	if reg != nil {
+		dumpObs(reg, rec)
+	}
+}
+
+// obsDoc is the -obs stdout dump, the same shape cmd/serve emits: the
+// full metric tree plus the tail of the merged trace timeline.
+type obsDoc struct {
+	Metrics []obs.MetricPoint `json:"metrics"`
+	Trace   []obs.Event       `json:"trace"`
+}
+
+func dumpObs(reg *obs.Registry, rec *obs.Recorder) {
+	doc := obsDoc{Metrics: reg.Snapshot().Metrics, Trace: rec.Tail(256)}
+	if doc.Trace == nil {
+		doc.Trace = []obs.Event{}
+	}
+	enc, err := json.MarshalIndent(&doc, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	os.Stdout.Write(append(enc, '\n'))
 }
 
 // serveMit adapts the supervisor's converged countermeasures to the
@@ -193,7 +227,7 @@ func mitFromHealed(res *heal.Result, plan *serve.FaultPlan) serve.Mitigator {
 // runSmoke is the CI gate: a tiny deterministic schedule must convict
 // exactly the planted culprits, apply both countermeasures without a
 // restart in between, and at least double the MTBF. Writes nothing.
-func runSmoke() {
+func runSmoke(reg *obs.Registry, rec *obs.Recorder) {
 	cfg := heal.Config{
 		Seed:        0x4EA1,
 		Schedule:    schedule(),
@@ -205,6 +239,7 @@ func runSmoke() {
 		fatal(fmt.Errorf("smoke baseline: %w", err))
 	}
 	cfg.Heal = true
+	cfg.Obs, cfg.Trace = reg, rec
 	healed, err := heal.Run(cfg)
 	if err != nil {
 		fatal(fmt.Errorf("smoke healed: %w", err))
@@ -227,6 +262,30 @@ func runSmoke() {
 	if healed.RestartsOnsetToMitigation != 0 {
 		fatal(fmt.Errorf("smoke: %d restarts between onset and mitigation; countermeasures must be live",
 			healed.RestartsOnsetToMitigation))
+	}
+	if reg != nil {
+		for _, m := range []string{"detect.canary_audits", "heal.evidence_windows", "heal.cycle_ns"} {
+			if v, ok := reg.Get(m); !ok || v == 0 {
+				fatal(fmt.Errorf("smoke obs: metric %s missing or zero (v=%v ok=%v)", m, v, ok))
+			}
+		}
+		evs := rec.Snapshot()
+		if len(evs) == 0 {
+			fatal(fmt.Errorf("smoke obs: flight recorder captured nothing"))
+		}
+		seen := map[string]bool{}
+		for i, e := range evs {
+			if i > 0 && evs[i-1].Seq >= e.Seq {
+				fatal(fmt.Errorf("smoke obs: trace out of order at %d", i))
+			}
+			seen[e.Kind] = true
+		}
+		for _, k := range []string{"evidence", "barrier", "countermeasure"} {
+			if !seen[k] {
+				fatal(fmt.Errorf("smoke obs: no %q events in the supervisor trace", k))
+			}
+		}
+		dumpObs(reg, rec)
 	}
 	fmt.Println("heal smoke passed")
 }

@@ -19,10 +19,13 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"runtime"
 	"time"
 
+	"diehard/internal/obs"
 	"diehard/internal/serve"
 )
 
@@ -50,11 +53,25 @@ func main() {
 		sessions = flag.Int64("sessions", 400_000, "sessions per recorded soak")
 		shards   = flag.Int("shards", 8, "heap shards")
 		workers  = flag.Int("workers", 8, "worker goroutines")
+		withObs  = flag.Bool("obs", false, "attach the telemetry plane (metrics registry + flight recorder) and dump a JSON snapshot to stdout; with -smoke, also gate the acceptance shape")
+		httpAddr = flag.String("http", "", "serve /metrics, /trace, and /debug/pprof on this address while the soaks run (implies -obs)")
 	)
 	flag.Parse()
 
+	var (
+		reg *obs.Registry
+		rec *obs.Recorder
+	)
+	if *withObs || *httpAddr != "" {
+		reg = obs.NewRegistry()
+		rec = obs.NewRecorder(4096)
+	}
+	if *httpAddr != "" {
+		go serveHTTP(*httpAddr, reg, rec)
+	}
+
 	if *smoke {
-		runSmoke()
+		runSmoke(reg, rec)
 		return
 	}
 
@@ -72,6 +89,8 @@ func main() {
 		Workers:  *workers,
 		Sessions: *sessions,
 		Seed:     0x5e44e,
+		Obs:      reg,
+		Trace:    rec,
 	}
 	metrics := map[string]float64{}
 	record := func(name string, res *serve.Result) {
@@ -134,6 +153,63 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("recorded as %q in %s\n", *label, *out)
+	if reg != nil {
+		dumpObs(reg, rec)
+	}
+}
+
+// serveHTTP exposes the live telemetry plane while the soaks run:
+// /metrics and /trace render the registry and the merged flight-
+// recorder timeline as JSON, /debug/pprof the usual Go profiles. The
+// process exits with the soaks; point a scraper at it during long
+// recorded runs.
+func serveHTTP(addr string, reg *obs.Registry, rec *obs.Recorder) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc, err := json.Marshal(reg.Snapshot())
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Write(enc)
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc, err := rec.TraceJSON()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Write(enc)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	if err := http.ListenAndServe(addr, mux); err != nil {
+		fmt.Fprintf(os.Stderr, "serve: http: %v\n", err)
+	}
+}
+
+// obsDoc is the -obs stdout dump: the full metric tree plus the tail
+// of the merged trace timeline.
+type obsDoc struct {
+	Metrics []obs.MetricPoint `json:"metrics"`
+	Trace   []obs.Event       `json:"trace"`
+}
+
+func dumpObs(reg *obs.Registry, rec *obs.Recorder) {
+	doc := obsDoc{Metrics: reg.Snapshot().Metrics, Trace: rec.Tail(256)}
+	if doc.Trace == nil {
+		doc.Trace = []obs.Event{}
+	}
+	enc, err := json.MarshalIndent(&doc, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	os.Stdout.Write(append(enc, '\n'))
 }
 
 // runSmoke is the CI gate: a deterministic seconds-long soak in each
@@ -141,7 +217,7 @@ func main() {
 // fails otherwise), zero leftover fullness, and a p99 under a ceiling
 // generous enough for a loaded 1-CPU runner yet low enough to catch a
 // pathological drain stall (seconds-scale tail).
-func runSmoke() {
+func runSmoke(reg *obs.Registry, rec *obs.Recorder) {
 	const p99Ceiling = 250 * time.Millisecond
 	for _, mode := range []struct {
 		name string
@@ -172,7 +248,61 @@ func runSmoke() {
 			fatal(fmt.Errorf("smoke remote: ring never used"))
 		}
 	}
+	if reg != nil {
+		smokeObs(reg, rec)
+	}
 	fmt.Println("serve smoke passed")
+}
+
+// smokeObs is the telemetry acceptance gate: a short mitigated
+// fault-scheduled soak with the full plane attached must leave live
+// metrics from at least four layers (vmem, core, serve, heal) in the
+// registry and a non-empty, stamp-ordered merged trace — then the
+// snapshot is dumped so CI logs carry the evidence.
+func smokeObs(reg *obs.Registry, rec *obs.Recorder) {
+	plan := &serve.FaultPlan{
+		OverflowObject: 3, OverflowReach: 24, OverflowEvery: 2,
+		DanglingObject: 9, DanglingEvery: 2,
+	}
+	_, err := serve.Run(serve.Config{
+		Shards:   2,
+		Workers:  2,
+		HeapSize: 2 << 20,
+		Sessions: 4000,
+		Seed:     0x5e44e,
+		FreeMode: serve.FreeRemote,
+		Faults:   plan,
+		Mitigate: serve.StaticMitigator(
+			map[int]int{plan.OverflowObject: plan.OverflowReach + 8},
+			map[int]bool{plan.DanglingObject: true},
+		),
+		Obs:   reg,
+		Trace: rec,
+	})
+	if err != nil {
+		fatal(fmt.Errorf("smoke obs: %w", err))
+	}
+	for _, m := range []string{"vmem.loads", "core.mallocs", "serve.sessions", "heal.quarantined_frees"} {
+		v, ok := reg.Get(m)
+		if !ok {
+			fatal(fmt.Errorf("smoke obs: metric %s missing from registry", m))
+		}
+		if v == 0 && m != "heal.corruptions" {
+			fatal(fmt.Errorf("smoke obs: metric %s reads 0 after the soak", m))
+		}
+	}
+	evs := rec.Snapshot()
+	if len(evs) == 0 {
+		fatal(fmt.Errorf("smoke obs: flight recorder captured nothing"))
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i-1].Seq >= evs[i].Seq {
+			fatal(fmt.Errorf("smoke obs: merged trace out of order at %d", i))
+		}
+	}
+	dumpObs(reg, rec)
+	fmt.Printf("smoke obs    %d metrics, %d trace events, timeline ordered\n",
+		len(reg.Snapshot().Metrics), len(evs))
 }
 
 func readFile(path string) (File, error) {

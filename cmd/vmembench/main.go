@@ -24,6 +24,7 @@ import (
 	"diehard/internal/detect"
 	"diehard/internal/exps"
 	"diehard/internal/heap"
+	"diehard/internal/obs"
 	"diehard/internal/replicate"
 	"diehard/internal/rng"
 	"diehard/internal/vmem"
@@ -185,6 +186,23 @@ func main() {
 			fatal(err)
 		}
 		results[fmt.Sprintf("magazine_malloc_pair_w%d", w)] = ns
+	}
+
+	// Flight-recorder overhead (internal/obs): the magazine threshold
+	// workload with the trace ring detached (off — the disabled path is
+	// one nil-check branch per instrumented site, gated against the
+	// plain magazine number by -smoke) and attached (on — two atomic
+	// adds plus three plain stores per event, the full tracing price).
+	for _, on := range []bool{false, true} {
+		ns, err := benchMallocPairObs(on)
+		if err != nil {
+			fatal(err)
+		}
+		name := "obs_malloc_pair_off"
+		if on {
+			name = "obs_malloc_pair_on"
+		}
+		results[name] = ns
 	}
 
 	// Cross-worker free churn, synchronous vs remote-free rings
@@ -558,6 +576,52 @@ func benchMallocPairMagazine(workers int) (float64, error) {
 	})
 }
 
+// benchMallocPairObs is benchMallocPairMagazine's single-worker
+// workload with the flight recorder wired: enabled=false sets a nil
+// ring on both the heap and the magazine — the zero-value disabled
+// recorder, whose entire hot-path cost is one predictable branch per
+// instrumented site — and enabled=true attaches a real 4096-slot ring,
+// so the pair prices the seqlock emit protocol itself. Same heap
+// geometry, seed, and op count as the magazine series, so the three
+// numbers difference cleanly.
+func benchMallocPairObs(enabled bool) (float64, error) {
+	var ring *obs.Ring
+	if enabled {
+		ring = obs.NewRecorder(4096).Ring(0)
+	}
+	h, err := core.New(core.Options{HeapSize: 48 << 20, Seed: 1, Trace: ring})
+	if err != nil {
+		return 0, err
+	}
+	_, maxInUse := h.ClassSlots(core.ClassFor(64))
+	per := maxInUse - 2*core.MagazineMaxCap
+	mag, err := h.NewMagazine()
+	if err != nil {
+		return 0, err
+	}
+	mag.SetTrace(ring)
+	ptrs := make([]heap.Ptr, per)
+	for i := range ptrs {
+		if ptrs[i], err = mag.Malloc(64); err != nil {
+			return 0, err
+		}
+	}
+	r := rng.NewSeeded(2)
+	const ops = 200_000
+	return benchWorkers(1, ops, func(_, i int) error {
+		j := r.Intn(len(ptrs))
+		if err := mag.Free(ptrs[j]); err != nil {
+			return err
+		}
+		p, err := mag.Malloc(64)
+		if err != nil {
+			return err
+		}
+		ptrs[j] = p
+		return nil
+	})
+}
+
 // benchCrossFreePair measures the cross-worker free protocol: workers
 // form a ring over one sharded heap with remote-free rings enabled;
 // each round a worker allocates a batch of 64 B objects through its
@@ -695,6 +759,35 @@ func runSmoke() {
 	fmt.Printf("ratio remote/sync cross-free    %8.3f (bound 1.05)\n", crossRatio)
 	if crossRatio > 1.05 {
 		fatal(fmt.Errorf("remote-free cross-worker churn is %.1f%% slower than synchronous frees (bound: 5%%)", (crossRatio-1)*100))
+	}
+	// The telemetry plane must be free when disabled: the magazine hot
+	// path with a nil trace ring — every instrumented site reduced to
+	// one predictable branch — must stay within 2% of the plain
+	// magazine number. Best-of-5 back to back in this process; on a
+	// ~20 ns op the bound is sub-nanosecond, so only a real hot-path
+	// regression (an allocation, a call, an atomic) can trip it.
+	bestOf := func(n int, f func() (float64, error)) float64 {
+		bestNs := math.Inf(1)
+		for i := 0; i < n; i++ {
+			ns, err := f()
+			if err != nil {
+				fatal(err)
+			}
+			if ns < bestNs {
+				bestNs = ns
+			}
+		}
+		return bestNs
+	}
+	magBest := bestOf(5, func() (float64, error) { return benchMallocPairMagazine(1) })
+	obsOff := bestOf(5, func() (float64, error) { return benchMallocPairObs(false) })
+	obsOn := bestOf(3, func() (float64, error) { return benchMallocPairObs(true) })
+	obsRatio := obsOff / magBest
+	fmt.Printf("obs_malloc_pair_off             %8.2f ns/op\n", obsOff)
+	fmt.Printf("obs_malloc_pair_on              %8.2f ns/op\n", obsOn)
+	fmt.Printf("ratio obs-off/magazine          %8.3f (bound 1.02)\n", obsRatio)
+	if obsRatio > 1.02 {
+		fatal(fmt.Errorf("disabled flight recorder costs %.1f%% on the magazine hot path (bound: 2%%)", (obsRatio-1)*100))
 	}
 }
 

@@ -39,6 +39,7 @@ import (
 	"diehard/internal/heal"
 	"diehard/internal/heap"
 	"diehard/internal/libc"
+	"diehard/internal/obs"
 	"diehard/internal/replicate"
 	"diehard/internal/vmem"
 )
@@ -105,6 +106,14 @@ type HeapOptions struct {
 	// allocations later, and clean intervals double the cadence back
 	// toward HeapCheckEvery. 0 keeps the fixed cadence.
 	HeapCheckMin int
+	// Trace attaches a flight-recorder ring (DESIGN.md §14): the heap
+	// emits one fixed-size binary event per malloc, free, quarantine
+	// hold, and invariant barrier — and, with DetectCanaries, per
+	// evidence record and heap check. Tracing consumes no randomness
+	// and never alters placement, so traced and untraced runs with the
+	// same seed are byte-identical; nil (the default) leaves the hot
+	// path at a single predictable branch.
+	Trace *ObsRing
 }
 
 // Heap is a DieHard randomized heap. Built with HeapOptions.Concurrent,
@@ -131,6 +140,7 @@ func NewHeap(opts HeapOptions) (*Heap, error) {
 		Concurrent: opts.Concurrent,
 		LockedHeap: opts.LockedHeap,
 		RemoteRing: opts.RemoteFreeRing,
+		Trace:      opts.Trace,
 	}
 	if opts.DetectCanaries {
 		if opts.RemoteFreeRing {
@@ -139,6 +149,7 @@ func NewHeap(opts HeapOptions) (*Heap, error) {
 		dh, err := detect.New(copts, detect.Options{
 			HeapCheckEvery: opts.HeapCheckEvery,
 			HeapCheckMin:   opts.HeapCheckMin,
+			Trace:          opts.Trace,
 		})
 		if err != nil {
 			return nil, err
@@ -212,8 +223,21 @@ func (h *Heap) SizeOf(p Ptr) (int, bool) { return h.h.SizeOf(p) }
 // run can be reproduced exactly.
 func (h *Heap) Seed() uint64 { return h.h.Seed() }
 
-// Stats reports allocator activity counters.
-func (h *Heap) Stats() heap.Stats { return *h.h.Stats() }
+// Stats reports allocator activity counters. On a Concurrent heap the
+// snapshot is read atomically, so it is safe while other goroutines
+// allocate.
+func (h *Heap) Stats() heap.Stats { return h.h.StatsSnapshot() }
+
+// PublishMetrics registers the heap's counters as core.* gauges in the
+// registry (DESIGN.md §14); with DetectCanaries the detect.* gauges
+// are registered too. Gauges pull atomically from the live Stats, so
+// the registry can be snapshot while the heap serves.
+func (h *Heap) PublishMetrics(reg *ObsRegistry, labels ...ObsLabel) {
+	h.h.PublishMetrics(reg, labels...)
+	if h.det != nil {
+		h.det.PublishMetrics(reg)
+	}
+}
 
 // Magazine is a per-worker allocation front end over a lock-free heap:
 // it holds pre-claimed slots per hot size class and buffers frees, so
@@ -374,6 +398,35 @@ func (nullWriter) Write(p []byte) (int, error) { return len(p), nil }
 // Discard is an io.Writer that drops output; convenient for programs
 // run only for their side effects in examples and tests.
 var Discard io.Writer = nullWriter{}
+
+// The unified telemetry plane (DESIGN.md §14): one metrics registry
+// every layer publishes typed counters, pull-gauges, and latency
+// histograms into, and one flight recorder of per-worker lock-free
+// trace rings merged on demand into a stamp-ordered timeline. All
+// handles are nil-safe — a nil registry or ring disables telemetry at
+// the cost of one predictable branch per instrumented site.
+type (
+	// ObsRegistry is the metric tree; build with NewObsRegistry.
+	ObsRegistry = obs.Registry
+	// ObsLabel is one name=value metric dimension.
+	ObsLabel = obs.Label
+	// ObsRecorder owns the Lamport stamp counter and the trace rings;
+	// build with NewRecorder.
+	ObsRecorder = obs.Recorder
+	// ObsRing is one worker's trace ring, obtained from a recorder.
+	ObsRing = obs.Ring
+	// ObsEvent is one decoded trace record of the merged timeline.
+	ObsEvent = obs.Event
+	// ObsHistogram is the shared fixed-bucket log-scale histogram.
+	ObsHistogram = obs.Histogram
+)
+
+// NewObsRegistry returns an empty metrics registry.
+func NewObsRegistry() *ObsRegistry { return obs.NewRegistry() }
+
+// NewRecorder builds a flight recorder whose per-worker rings hold
+// ringSlots events each (rounded up to a power of two, minimum 16).
+func NewRecorder(ringSlots int) *ObsRecorder { return obs.NewRecorder(ringSlots) }
 
 // ObjectRecord is one live object's identity and contents hash in a
 // heap snapshot.

@@ -49,6 +49,7 @@ import (
 	"sync/atomic"
 
 	"diehard/internal/heap"
+	"diehard/internal/obs"
 	"diehard/internal/rng"
 	"diehard/internal/vmem"
 )
@@ -185,6 +186,17 @@ type Options struct {
 	// out of reuse longer at the cost of occupancy — the fullness shift
 	// analysis.QuarantineFullnessShift prices.
 	QuarantineCap int
+	// Trace, when non-nil, is the heap's flight-recorder ring
+	// (internal/obs): malloc, free, remote-free tickets, ring drains,
+	// quarantine holds, and invariant barriers emit one fixed-size
+	// stamped event each. Tracing observes the engine without steering
+	// it — no RNG draw is consumed and no placement changes, so golden
+	// campaign hashes are byte-identical with tracing on. Nil (the zero
+	// value) costs exactly one pointer check per instrumented site, the
+	// same discipline as the TLB hook; unlike OnAlloc/OnFree, the ring
+	// is lock-free and multi-producer, so traced heaps may stay
+	// Concurrent and keep RemoteRing.
+	Trace *obs.Ring
 }
 
 func (o *Options) withDefaults() Options {
@@ -380,6 +392,11 @@ type Heap struct {
 	quarMu     sync.Mutex
 	quarantine []heap.Ptr
 	quarHead   int
+
+	// trace is the flight-recorder ring (Options.Trace, or installed
+	// later via SetTrace). Nil = disabled; every emit site guards with
+	// its own nil check so the disabled hot path is one branch.
+	trace *obs.Ring
 }
 
 var _ heap.Allocator = (*Heap)(nil)
@@ -438,6 +455,7 @@ func newHeap(opts Options, space *vmem.Space) (*Heap, error) {
 		atomicStats: o.Concurrent,
 		lockfree:    !o.LockedHeap && !o.RandomFill,
 		large:       make(map[heap.Ptr]largeObject),
+		trace:       o.Trace,
 	}
 	if o.RemoteRing {
 		if !o.Concurrent {
@@ -729,6 +747,9 @@ func (h *Heap) mallocLockFree(c, size int) (heap.Ptr, error) {
 	h.addStat(&h.stats.WorkUnits,
 		heap.WorkSizeClass+uint64(probes)*heap.WorkProbe+heap.WorkBitmap)
 	h.countMalloc(size, cl.size)
+	if h.trace != nil {
+		h.trace.Emit(obs.EvMalloc, ptr)
+	}
 	if h.opts.OnAlloc != nil {
 		h.opts.OnAlloc(ptr, size, cl.size)
 	}
@@ -949,6 +970,9 @@ func (h *Heap) mallocLocked(c, size int) (heap.Ptr, error) {
 	h.addStat(&h.stats.WorkUnits,
 		heap.WorkSizeClass+uint64(probes)*heap.WorkProbe+heap.WorkBitmap)
 	h.countMalloc(size, cl.size)
+	if h.trace != nil {
+		h.trace.Emit(obs.EvMalloc, ptr)
+	}
 	if h.opts.OnAlloc != nil {
 		h.opts.OnAlloc(ptr, size, cl.size)
 	}
@@ -1053,6 +1077,9 @@ func (h *Heap) Free(p heap.Ptr) error {
 		}
 		h.addStat(&h.stats.WorkUnits, heap.WorkMmap)
 		h.countFree(usable)
+		if h.trace != nil {
+			h.trace.Emit(obs.EvFree, p)
+		}
 		return nil
 	}
 	if (p-sub.base)&cl.mask != 0 {
@@ -1099,6 +1126,9 @@ func (h *Heap) Free(p heap.Ptr) error {
 	}
 	h.addStat(&h.stats.WorkUnits, heap.WorkBitmap)
 	h.countFree(cl.size)
+	if h.trace != nil {
+		h.trace.Emit(obs.EvFree, p)
+	}
 	if h.opts.OnFree != nil {
 		h.opts.OnFree(p, cl.size)
 	}
@@ -1112,6 +1142,9 @@ func (h *Heap) Free(p heap.Ptr) error {
 // happens outside it on the normal lock-free path.
 func (h *Heap) quarantineHold(p heap.Ptr) {
 	h.addStat(&h.stats.Quarantined, 1)
+	if h.trace != nil {
+		h.trace.Emit(obs.EvQuarantine, p)
+	}
 	var evict heap.Ptr
 	var evicting bool
 	h.quarMu.Lock()
@@ -1166,6 +1199,9 @@ func (h *Heap) releaseHeld(p heap.Ptr) bool {
 	h.addStat(&h.stats.WorkUnits, heap.WorkBitmap)
 	h.addStat(&h.stats.QuarantineOut, 1)
 	h.countFree(cl.size)
+	if h.trace != nil {
+		h.trace.Emit(obs.EvFree, p)
+	}
 	if h.opts.OnFree != nil {
 		h.opts.OnFree(p, cl.size)
 	}
@@ -1445,6 +1481,7 @@ func (h *Heap) LargeObjects() int {
 func (h *Heap) CheckInvariants() error {
 	h.DrainMagazines()
 	h.drainRemote(-1)
+	inUse := 0
 	for c := range h.classes {
 		cl := &h.classes[c]
 		cl.mu.Lock()
@@ -1453,8 +1490,81 @@ func (h *Heap) CheckInvariants() error {
 		if err != nil {
 			return err
 		}
+		inUse += int(atomic.LoadInt64(&cl.inUse))
+	}
+	// Counter cross-check (atomic snapshot, not direct field reads — the
+	// StatsSnapshot discipline): at a post-drain barrier the aggregate
+	// counters must balance exactly. Mallocs − Frees = LiveObjects by
+	// construction of every count path, so a torn or unsynchronized
+	// update surfaces here; and the bitmap population just verified per
+	// class must equal the live small objects plus quarantined holds
+	// (held slots keep their bit) when large objects are added in.
+	st := h.StatsSnapshot()
+	if st.Mallocs-st.Frees != st.LiveObjects {
+		return fmt.Errorf("stats: mallocs %d - frees %d != live objects %d",
+			st.Mallocs, st.Frees, st.LiveObjects)
+	}
+	h.largeMu.Lock()
+	large := len(h.large)
+	h.largeMu.Unlock()
+	if uint64(inUse+large) != st.LiveObjects {
+		return fmt.Errorf("stats: class occupancy %d + large %d != live objects %d",
+			inUse, large, st.LiveObjects)
+	}
+	if h.trace != nil {
+		h.trace.Emit(obs.EvBarrier, st.LiveObjects)
 	}
 	return nil
+}
+
+// SetTrace installs (or removes, with nil) the flight-recorder ring.
+// Install before the heap is shared between goroutines, or at a
+// quiescent point: the field itself is not synchronized, by design —
+// the disabled path must stay one plain nil check.
+func (h *Heap) SetTrace(r *obs.Ring) { h.trace = r }
+
+// StatsSnapshot returns a consistent-at-quiescence copy of the
+// counters: atomically loaded for Concurrent heaps (a direct
+// `*h.Stats()` copy races with the atomic writers), a plain copy for
+// sequential ones.
+func (h *Heap) StatsSnapshot() heap.Stats {
+	if h.atomicStats {
+		return h.stats.SnapshotAtomic()
+	}
+	return h.stats
+}
+
+// PublishMetrics registers the heap's counters as gauges in reg under
+// the core.* namespace. Gauges pull atomically at snapshot time, so a
+// live scrape of a Concurrent heap is race-free; the usual quiescent-
+// exactness contract applies to cross-counter consistency. Labels
+// (e.g. shard=N) distinguish multiple heaps in one registry.
+func (h *Heap) PublishMetrics(reg *obs.Registry, labels ...obs.Label) {
+	if reg == nil {
+		return
+	}
+	type g struct {
+		name string
+		f    *uint64
+	}
+	for _, m := range []g{
+		{"core.mallocs", &h.stats.Mallocs},
+		{"core.frees", &h.stats.Frees},
+		{"core.failed_mallocs", &h.stats.FailedMallocs},
+		{"core.ignored_frees", &h.stats.IgnoredFrees},
+		{"core.live_objects", &h.stats.LiveObjects},
+		{"core.live_bytes", &h.stats.LiveBytes},
+		{"core.peak_live_bytes", &h.stats.PeakLiveBytes},
+		{"core.probes", &h.stats.Probes},
+		{"core.cas_retries", &h.stats.CASRetries},
+		{"core.remote_frees", &h.stats.RemoteFrees},
+		{"core.remote_drains", &h.stats.RemoteDrains},
+		{"core.quarantined", &h.stats.Quarantined},
+		{"core.quarantine_released", &h.stats.QuarantineOut},
+	} {
+		f := m.f
+		reg.Gauge(m.name, func() float64 { return float64(atomic.LoadUint64(f)) }, labels...)
+	}
 }
 
 func (cl *sizeClass) checkLocked(c int) error {

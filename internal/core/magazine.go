@@ -31,6 +31,7 @@ import (
 	"sync/atomic"
 
 	"diehard/internal/heap"
+	"diehard/internal/obs"
 	"diehard/internal/rng"
 )
 
@@ -95,7 +96,18 @@ type Magazine struct {
 	h       *Heap        // single-heap mode: the pinned heap
 	sh      *ShardedHeap // sharded mode: refills re-route by occupancy
 	classes [NumClasses]classMagazine
+
+	// trace is the worker's flight-recorder ring (SetTrace): magazine
+	// mallocs, frees, refills, and flushes emit stamped events. The
+	// magazine's single-owner contract makes the ring effectively
+	// single-producer, so its timeline is strictly ordered. Nil = one
+	// predictable branch per operation, the disabled-path contract.
+	trace *obs.Ring
 }
+
+// SetTrace installs (or removes, with nil) the flight-recorder ring
+// for this magazine's events. Call from the owner goroutine.
+func (m *Magazine) SetTrace(r *obs.Ring) { m.trace = r }
 
 // NewMagazine returns a per-worker magazine over this heap. The heap
 // must run the lock-free engine (LockedHeap and RandomFill heaps
@@ -169,6 +181,9 @@ func (m *Magazine) Malloc(size int) (heap.Ptr, error) {
 	cm.next++
 	cm.pendingMallocs++
 	cm.pendingReq += uint64(size)
+	if m.trace != nil {
+		m.trace.Emit(obs.EvMalloc, p)
+	}
 	return p, nil
 }
 
@@ -206,6 +221,9 @@ func (m *Magazine) Free(p heap.Ptr) error {
 	c := int(sub.shift) - minObjectShift
 	cm := &m.classes[c]
 	cm.free = append(cm.free, magFree{sub: sub, local: int32(local), shard: shard})
+	if m.trace != nil {
+		m.trace.Emit(obs.EvFree, p)
+	}
 	if len(cm.free) >= cm.cap {
 		m.flushFrees(c, cm, false)
 	}
@@ -253,6 +271,9 @@ func (m *Magazine) refill(c int, cm *classMagazine) error {
 	cm.owner = owner
 	cm.slots = cm.slots[:got]
 	cm.next = 0
+	if m.trace != nil {
+		m.trace.Emit(obs.EvRefill, uint64(got))
+	}
 	return nil
 }
 
@@ -290,6 +311,9 @@ func (m *Magazine) publishMallocs(c int, cm *classMagazine) {
 func (m *Magazine) flushFrees(c int, cm *classMagazine, sync bool) {
 	if len(cm.free) == 0 {
 		return
+	}
+	if m.trace != nil {
+		m.trace.Emit(obs.EvFlush, uint64(len(cm.free)))
 	}
 	if m.sh == nil {
 		// Single-heap magazines have exactly one owner: count wins and

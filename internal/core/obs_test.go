@@ -1,0 +1,262 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"diehard/internal/heap"
+	"diehard/internal/obs"
+	"diehard/internal/rng"
+)
+
+// TestObsTracePlacementUnchanged pins the flight recorder's zero-cost
+// contract on the allocation protocol: tracing draws nothing from the
+// placement RNG, so a traced heap and an untraced heap with the same
+// seed produce byte-identical layouts.
+func TestObsTracePlacementUnchanged(t *testing.T) {
+	rec := obs.NewRecorder(1 << 12)
+	traced := testHeap(t, Options{Seed: 0xD1FF, Trace: rec.Ring(7)})
+	plain := testHeap(t, Options{Seed: 0xD1FF})
+	buildWorkload(t, traced)
+	buildWorkload(t, plain)
+	sa, err := traced.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := plain.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := DiffSnapshots(sa, sb); len(d) != 0 {
+		t.Fatalf("tracing perturbed placement: %v", d)
+	}
+
+	evs := rec.Snapshot()
+	if len(evs) == 0 {
+		t.Fatal("recorder captured nothing")
+	}
+	kinds := map[string]int{}
+	for i, e := range evs {
+		if e.Worker != 7 {
+			t.Fatalf("event %d on worker %d, ring is 7", i, e.Worker)
+		}
+		if i > 0 && evs[i-1].Seq >= e.Seq {
+			t.Fatalf("stamps not strictly increasing at %d", i)
+		}
+		kinds[e.Kind]++
+	}
+	st := traced.StatsSnapshot()
+	if uint64(kinds["malloc"]) != st.Mallocs {
+		t.Errorf("traced %d mallocs, stats say %d", kinds["malloc"], st.Mallocs)
+	}
+	if uint64(kinds["free"]) != st.Frees {
+		t.Errorf("traced %d frees, stats say %d", kinds["free"], st.Frees)
+	}
+}
+
+// TestObsTraceMagazineRemoteEvents drives the batched front ends with
+// rings attached and asserts each protocol layer shows up in the merged
+// timeline under its own event kind.
+func TestObsTraceMagazineRemoteEvents(t *testing.T) {
+	rec := obs.NewRecorder(1 << 12)
+	sh, err := NewSharded(2, Options{HeapSize: 2 << 20, Seed: 41, RemoteRing: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh.AttachRecorder(rec, 100)
+	mag, err := sh.NewMagazine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mag.SetTrace(rec.Ring(0))
+
+	var ptrs []heap.Ptr
+	for i := 0; i < 256; i++ {
+		p, err := mag.Malloc(64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ptrs = append(ptrs, p)
+	}
+	for i, p := range ptrs {
+		if i%2 == 0 {
+			if err := sh.RemoteFree(p); err != nil {
+				t.Fatal(err)
+			}
+		} else if err := mag.Free(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mag.Close()
+	if err := sh.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+
+	kinds := map[string]int{}
+	for _, e := range rec.Snapshot() {
+		kinds[e.Kind]++
+	}
+	for _, k := range []string{"malloc", "free", "refill", "flush", "remote_free", "drain", "barrier"} {
+		if kinds[k] == 0 {
+			t.Errorf("no %q events in the timeline (saw %v)", k, kinds)
+		}
+	}
+	if kinds["remote_free"] != len(ptrs)/2 {
+		t.Errorf("traced %d remote frees, enqueued %d", kinds["remote_free"], len(ptrs)/2)
+	}
+}
+
+// TestObsTraceRaceBattery is the acceptance battery: eight workers
+// hammer a traced sharded heap through magazines and the remote-free
+// rings while a reader goroutine continuously merges the rings, then
+// the final Snapshot must still be stamp-ordered and CheckInvariants
+// must hold.
+func TestObsTraceRaceBattery(t *testing.T) {
+	const (
+		workers = 8
+		rounds  = 60
+		batch   = 24
+	)
+	rec := obs.NewRecorder(512)
+	sh, err := NewSharded(4, Options{HeapSize: 4 << 20, Seed: 43, RemoteRing: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh.AttachRecorder(rec, 100)
+
+	stop := make(chan struct{})
+	var reader sync.WaitGroup
+	reader.Add(1)
+	go func() {
+		defer reader.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			evs := rec.Snapshot()
+			for i := 1; i < len(evs); i++ {
+				if evs[i-1].Seq >= evs[i].Seq {
+					t.Errorf("live snapshot out of order at %d", i)
+					return
+				}
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			mag, err := sh.NewMagazine()
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			defer mag.Close()
+			mag.SetTrace(rec.Ring(w))
+			r := rng.NewSeeded(uint64(2000 + w))
+			for round := 0; round < rounds; round++ {
+				ptrs := make([]heap.Ptr, batch)
+				for i := range ptrs {
+					p, err := mag.Malloc(16 << (r.Intn(3) * 2))
+					if err != nil {
+						errs[w] = err
+						return
+					}
+					ptrs[i] = p
+				}
+				for _, p := range ptrs {
+					if r.Intn(2) == 0 {
+						err = sh.RemoteFree(p)
+					} else {
+						err = mag.Free(p)
+					}
+					if err != nil {
+						errs[w] = err
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	reader.Wait()
+	for w, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", w, err)
+		}
+	}
+	if err := sh.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	evs := rec.Snapshot()
+	if len(evs) == 0 {
+		t.Fatal("battery left no trace")
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i-1].Seq >= evs[i].Seq {
+			t.Fatalf("final snapshot out of order at %d", i)
+		}
+	}
+}
+
+// TestObsStatsSnapshotRace scrapes StatsSnapshot (and the registry
+// gauges built on it) continuously while workers allocate — the racy
+// *h.Stats() copy this satellite replaced would trip the race detector
+// here.
+func TestObsStatsSnapshotRace(t *testing.T) {
+	h := testHeap(t, Options{HeapSize: 1 << 20, Seed: 47, Concurrent: true})
+	reg := obs.NewRegistry()
+	h.PublishMetrics(reg)
+
+	stop := make(chan struct{})
+	var reader sync.WaitGroup
+	reader.Add(1)
+	go func() {
+		defer reader.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			st := h.StatsSnapshot()
+			if st.Frees > st.Mallocs {
+				t.Errorf("snapshot tore: frees %d > mallocs %d", st.Frees, st.Mallocs)
+				return
+			}
+			reg.Snapshot()
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 400; i++ {
+				p, err := h.Malloc(32)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if err := h.Free(p); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	reader.Wait()
+
+	if v, ok := reg.Get("core.mallocs"); !ok || v != 1600 {
+		t.Fatalf("core.mallocs gauge = %v (ok=%v), want 1600", v, ok)
+	}
+}

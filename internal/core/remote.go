@@ -28,6 +28,7 @@ import (
 	"sync/atomic"
 
 	"diehard/internal/heap"
+	"diehard/internal/obs"
 )
 
 // remoteRingSize is the per-heap ring capacity (a power of two). Sized
@@ -137,6 +138,9 @@ func (h *Heap) RemoteFree(p heap.Ptr) error {
 	if !r.enqueue(p) {
 		return h.Free(p) // owner is behind; apply in place rather than wait
 	}
+	if h.trace != nil {
+		h.trace.Emit(obs.EvRemoteFree, p)
+	}
 	return nil
 }
 
@@ -220,6 +224,9 @@ func (h *Heap) drainRemoteLocked(want int) int {
 	if total > 0 {
 		h.addStat(&h.stats.RemoteFrees, uint64(total))
 		h.addStat(&h.stats.RemoteDrains, 1)
+		if h.trace != nil {
+			h.trace.Emit(obs.EvDrain, uint64(total))
+		}
 	}
 	if want >= 0 {
 		return int(wins[want])

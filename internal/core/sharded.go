@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"diehard/internal/heap"
+	"diehard/internal/obs"
 	"diehard/internal/rng"
 	"diehard/internal/vmem"
 )
@@ -56,6 +57,11 @@ type ShardedHeap struct {
 
 	magMu     sync.Mutex // guards the magazine registry, not the magazines
 	magazines map[*Magazine]struct{}
+
+	// trace is the router's own flight-recorder ring (AttachRecorder):
+	// steal-routing decisions emit here, while each shard's engine
+	// events go to that shard's ring. Nil = disabled, one branch.
+	trace *obs.Ring
 }
 
 // routeWindow is how many small-object mallocs reuse one occupancy
@@ -175,6 +181,11 @@ func (sh *ShardedHeap) Malloc(size int) (heap.Ptr, error) {
 	p, err := best.Malloc(size)
 	if err == nil {
 		sh.route[c].Store(uint64(idx)<<32 | (routeWindow - 1))
+		if sh.trace != nil {
+			// One event per routing decision (not per malloc): the new
+			// sticky shard for this class.
+			sh.trace.Emit(obs.EvSteal, uint64(idx)<<32|uint64(c))
+		}
 		return p, nil
 	}
 	if !errors.Is(err, heap.ErrOutOfMemory) {
@@ -321,6 +332,71 @@ func (sh *ShardedHeap) Stats() *heap.Stats {
 		agg.QuarantineOut += atomic.LoadUint64(&st.QuarantineOut)
 	}
 	return &agg
+}
+
+// StatsSnapshot returns the aggregate counters by value — the same
+// atomic aggregation as Stats, under the name the rest of the stack
+// uses for race-safe counter reads.
+func (sh *ShardedHeap) StatsSnapshot() heap.Stats { return *sh.Stats() }
+
+// AttachRecorder wires the flight recorder through the sharded heap:
+// shard i emits its engine events (malloc/free/drain/quarantine/
+// barrier) on rec.Ring(base+i), and the router emits steal decisions
+// on rec.Ring(base+Shards()). Call before the heap is shared between
+// goroutines; a nil recorder detaches everything.
+func (sh *ShardedHeap) AttachRecorder(rec *obs.Recorder, base int) {
+	for i, s := range sh.shards {
+		if rec == nil {
+			s.SetTrace(nil)
+		} else {
+			s.SetTrace(rec.Ring(base + i))
+		}
+	}
+	if rec == nil {
+		sh.trace = nil
+	} else {
+		sh.trace = rec.Ring(base + len(sh.shards))
+	}
+}
+
+// PublishMetrics registers the aggregate counters as core.* gauges in
+// reg, plus a per-shard core.live_objects{shard=N} breakdown. Gauges
+// aggregate atomically at snapshot time, so live scrapes are
+// race-free.
+func (sh *ShardedHeap) PublishMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	type g struct {
+		name string
+		f    func(*heap.Stats) uint64
+	}
+	for _, m := range []g{
+		{"core.mallocs", func(st *heap.Stats) uint64 { return st.Mallocs }},
+		{"core.frees", func(st *heap.Stats) uint64 { return st.Frees }},
+		{"core.failed_mallocs", func(st *heap.Stats) uint64 { return st.FailedMallocs }},
+		{"core.ignored_frees", func(st *heap.Stats) uint64 { return st.IgnoredFrees }},
+		{"core.live_objects", func(st *heap.Stats) uint64 { return st.LiveObjects }},
+		{"core.live_bytes", func(st *heap.Stats) uint64 { return st.LiveBytes }},
+		{"core.probes", func(st *heap.Stats) uint64 { return st.Probes }},
+		{"core.cas_retries", func(st *heap.Stats) uint64 { return st.CASRetries }},
+		{"core.remote_frees", func(st *heap.Stats) uint64 { return st.RemoteFrees }},
+		{"core.remote_drains", func(st *heap.Stats) uint64 { return st.RemoteDrains }},
+		{"core.quarantined", func(st *heap.Stats) uint64 { return st.Quarantined }},
+		{"core.quarantine_released", func(st *heap.Stats) uint64 { return st.QuarantineOut }},
+	} {
+		field := m.f
+		reg.Gauge(m.name, func() float64 {
+			st := sh.StatsSnapshot()
+			return float64(field(&st))
+		})
+	}
+	for i, s := range sh.shards {
+		shard := s
+		reg.Gauge("core.shard_live_objects", func() float64 {
+			return float64(atomic.LoadUint64(&shard.stats.LiveObjects))
+		}, obs.Label{Name: "shard", Value: fmt.Sprint(i)})
+	}
 }
 
 // FlushQuarantine releases every shard's quarantined slots (oldest-first

@@ -59,6 +59,7 @@ import (
 
 	"diehard/internal/core"
 	"diehard/internal/heap"
+	"diehard/internal/obs"
 	"diehard/internal/vmem"
 )
 
@@ -147,6 +148,13 @@ type Options struct {
 	// MaxEvidence caps the evidence log (default 1024); further findings
 	// are counted in Report.Dropped.
 	MaxEvidence int
+	// Trace, when non-nil, is the detector's flight-recorder ring
+	// (internal/obs): every recorded Evidence emits one stamped
+	// EvEvidence event carrying the culprit allocation site, and every
+	// heap-check barrier emits an EvBarrier, so corruption shows up on
+	// the same merged timeline as the allocator events around it. Nil
+	// (the zero value) costs one pointer check per site.
+	Trace *obs.Ring
 }
 
 // objRec tracks one live allocation.
@@ -177,6 +185,7 @@ type Detector struct {
 	evidence  []Evidence
 	dropped   int
 	checks    int
+	audits    int               // cumulative canary audits performed (free/reuse/barrier scans)
 	found     int               // cumulative evidence ever recorded (survives TakeEvidence)
 	lastFound int               // found at the previous automatic barrier
 	cadence   int               // current barrier interval (= HeapCheckEvery when fixed)
@@ -297,6 +306,9 @@ func (d *Detector) canary32(addr heap.Ptr) uint32 { return uint32(d.words[addr&7
 // record appends evidence, respecting the cap.
 func (d *Detector) record(ev Evidence) {
 	d.found++
+	if d.opts.Trace != nil {
+		d.opts.Trace.Emit(obs.EvEvidence, uint64(ev.AllocSite))
+	}
 	if len(d.evidence) >= d.opts.MaxEvidence {
 		d.dropped++
 		return
@@ -337,6 +349,7 @@ func (d *Detector) refill(p heap.Ptr, n int) {
 // offset and the damaged span (first to last damaged byte, inclusive).
 // ok is false when the region is intact or unreadable.
 func (d *Detector) audit(p heap.Ptr, n int) (first, span int, ok bool) {
+	d.audits++
 	if cap(d.buf) < n {
 		d.buf = make([]byte, n)
 	}
@@ -584,6 +597,9 @@ func sortedPtrs[V any](m map[heap.Ptr]V) []heap.Ptr {
 func (d *Detector) HeapCheck() int {
 	before := len(d.evidence) + d.dropped
 	d.checks++
+	if d.opts.Trace != nil {
+		d.opts.Trace.Emit(obs.EvBarrier, uint64(d.clock))
+	}
 	for _, p := range sortedPtrs(d.freed) {
 		d.auditFreedSlot(p, d.freed[p], AuditHeapCheck)
 	}
@@ -678,6 +694,30 @@ func (d *Detector) Cadence() int { return d.cadence }
 // Clock reports the allocation index the next allocation will receive —
 // the detector's site-numbering clock.
 func (d *Detector) Clock() int { return d.clock }
+
+// Audits reports the cumulative number of canary audits performed
+// (free-time, reuse-time, and barrier scans).
+func (d *Detector) Audits() int { return d.audits }
+
+// Found reports the cumulative evidence ever recorded, surviving
+// TakeEvidence drains (unlike len(Report().Evidence)).
+func (d *Detector) Found() int { return d.found }
+
+// PublishMetrics registers the detector's counters as detect.* gauges
+// in the registry. The detection engine is sequential by contract, so
+// the gauges read plain fields; scrape from the detector's own
+// goroutine or at quiescence (the supervisor does both).
+func (d *Detector) PublishMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Gauge("detect.canary_audits", func() float64 { return float64(d.audits) })
+	reg.Gauge("detect.heap_checks", func() float64 { return float64(d.checks) })
+	reg.Gauge("detect.evidence", func() float64 { return float64(d.found) })
+	reg.Gauge("detect.evidence_dropped", func() float64 { return float64(d.dropped) })
+	reg.Gauge("detect.cadence", func() float64 { return float64(d.cadence) })
+	reg.Gauge("detect.allocs", func() float64 { return float64(d.clock) })
+}
 
 // checkedMem is the canary-auditing Memory view.
 type checkedMem struct {

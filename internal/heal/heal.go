@@ -46,11 +46,13 @@ import (
 	"hash/fnv"
 	"sort"
 	"sync"
+	"time"
 
 	"diehard/internal/core"
 	"diehard/internal/detect"
 	"diehard/internal/exps"
 	"diehard/internal/heap"
+	"diehard/internal/obs"
 )
 
 // Schedule is a planned fault schedule: the deterministic per-cycle
@@ -113,7 +115,25 @@ type Config struct {
 	// evidence).
 	HeapCheckEvery int
 	HeapCheckMin   int
+	// Obs, when non-nil, receives the supervisor's slice of the unified
+	// metrics tree: heal.* gauges over the run's tally, a heal.cycle_ns
+	// latency histogram, and the detect.* gauges of the live epoch
+	// (re-bound on every restart — the registry's idempotent rebind).
+	// The supervisor is sequential, so scrape from its goroutine or at
+	// quiescence. Purely observational: no timestamps feed the verdicts,
+	// so VerdictHash is unchanged by wiring this.
+	Obs *obs.Registry
+	// Trace, when non-nil, attaches the flight recorder: the supervisor
+	// and its detection heap share ring SupervisorRing — EvEvidence per
+	// recorded canary hit, EvBarrier per heap check, EvCountermeasure
+	// per pad/quarantine installation.
+	Trace *obs.Recorder
 }
+
+// SupervisorRing is the flight-recorder worker id the heal supervisor
+// emits on, disjoint from serve's workers (0..W-1) and shard rings
+// (100+).
+const SupervisorRing = 200
 
 func (c *Config) withDefaults() (Config, error) {
 	v := *c
@@ -216,6 +236,9 @@ type supervisor struct {
 	curSite int
 	ptrs    []heap.Ptr
 	epoch   int
+
+	ring    *obs.Ring      // supervisor + detection-heap trace ring
+	cycleNs *obs.Histogram // per-cycle wall latency (Obs runs only)
 }
 
 // Run executes one supervisor under cfg and returns its Result.
@@ -234,6 +257,18 @@ func Run(cfg Config) (*Result, error) {
 		},
 		ptrs: make([]heap.Ptr, cfg.Schedule.Sites),
 	}
+	s.ring = cfg.Trace.Ring(SupervisorRing)
+	if cfg.Obs != nil {
+		s.cycleNs = &obs.Histogram{}
+		cfg.Obs.Histogram("heal.cycle_ns", s.cycleNs)
+		res := s.res
+		cfg.Obs.Gauge("heal.failures", func() float64 { return float64(res.Failures) })
+		cfg.Obs.Gauge("heal.restarts", func() float64 { return float64(res.Restarts) })
+		cfg.Obs.Gauge("heal.evidence_windows", func() float64 { return float64(res.EvidenceWindows) })
+		cfg.Obs.Gauge("heal.min_cadence", func() float64 { return float64(res.MinCadence) })
+		cfg.Obs.Gauge("heal.pads_installed", func() float64 { return float64(s.mit.PadCount()) })
+		cfg.Obs.Gauge("heal.quarantine_sites", func() float64 { return float64(s.mit.QuarantineCount()) })
+	}
 	if err := s.startEpoch(); err != nil {
 		return nil, err
 	}
@@ -243,8 +278,15 @@ func Run(cfg Config) (*Result, error) {
 				return nil, err
 			}
 		}
+		var t0 time.Time
+		if s.cycleNs != nil {
+			t0 = time.Now()
+		}
 		if err := s.cycle(c); err != nil {
 			return nil, err
+		}
+		if s.cycleNs != nil {
+			s.cycleNs.Record(time.Since(t0).Nanoseconds())
 		}
 	}
 	if err := s.h.CheckInvariants(); err != nil {
@@ -279,11 +321,16 @@ func (s *supervisor) startEpoch() error {
 	h, err := detect.New(copts, detect.Options{
 		HeapCheckEvery: s.cfg.HeapCheckEvery,
 		HeapCheckMin:   s.cfg.HeapCheckMin,
+		Trace:          s.ring,
 	})
 	if err != nil {
 		return err
 	}
 	s.h, s.det, s.mem = h, h.Detector(), h.Memory()
+	// Each epoch's detector re-binds the detect.* gauges, so the tree
+	// always reads the live heap (the dead epoch's tallies persist in
+	// the supervisor's own heal.* gauges and the accumulator).
+	s.det.PublishMetrics(s.cfg.Obs)
 	s.epoch++
 	return nil
 }
@@ -421,6 +468,9 @@ func (s *supervisor) adjudicate(c int) {
 		pad := (v.OverflowLen + s.cfg.PadSlack + 7) &^ 7
 		if s.mit.SetPad(v.Culprit, pad) {
 			s.noteMitigation(c)
+			if s.ring != nil {
+				s.ring.Emit(obs.EvCountermeasure, uint64(v.Culprit))
+			}
 			s.log(Event{Cycle: c, Kind: "pad", Site: v.Culprit,
 				Note: fmt.Sprintf("pad=%dB votes=%d/%d", pad, v.Votes[v.Culprit], v.Detected)})
 		}
@@ -428,6 +478,9 @@ func (s *supervisor) adjudicate(c int) {
 	if v := s.acc.Verdict(detect.KindDangling, s.cfg.ConfidenceBar); v.Culprit >= 0 {
 		if s.mit.SetQuarantine(v.Culprit) {
 			s.noteMitigation(c)
+			if s.ring != nil {
+				s.ring.Emit(obs.EvCountermeasure, uint64(v.Culprit))
+			}
 			s.log(Event{Cycle: c, Kind: "quarantine", Site: v.Culprit,
 				Note: fmt.Sprintf("votes=%d/%d", v.Votes[v.Culprit], v.Detected)})
 		}

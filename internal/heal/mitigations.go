@@ -78,6 +78,11 @@ func (m *Mitigations) SetQuarantine(site int) bool {
 	return true
 }
 
+// PadCount and QuarantineCount report how many countermeasures are in
+// force — race-clean gauges (one atomic pointer load each).
+func (m *Mitigations) PadCount() int        { return len(*m.pads.Load()) }
+func (m *Mitigations) QuarantineCount() int { return len(*m.quar.Load()) }
+
 // PadTable returns a copy of the pad table.
 func (m *Mitigations) PadTable() map[int]int {
 	old := *m.pads.Load()

@@ -86,6 +86,35 @@ type Stats struct {
 	Collections    uint64 // GC only
 }
 
+// SnapshotAtomic returns a copy of st with every field loaded
+// atomically. This is the only correct way to read counters while a
+// goroutine-safe allocator is running: the direct struct copy
+// `*a.Stats()` races with the atomic writers (each field is torn-free
+// here, though the copy as a whole is not a consistent cut — exactness
+// holds at quiescence, e.g. after a drain barrier). Sequential
+// allocators may use either form.
+func (st *Stats) SnapshotAtomic() Stats {
+	return Stats{
+		Mallocs:        atomic.LoadUint64(&st.Mallocs),
+		Frees:          atomic.LoadUint64(&st.Frees),
+		FailedMallocs:  atomic.LoadUint64(&st.FailedMallocs),
+		IgnoredFrees:   atomic.LoadUint64(&st.IgnoredFrees),
+		BytesRequested: atomic.LoadUint64(&st.BytesRequested),
+		BytesAllocated: atomic.LoadUint64(&st.BytesAllocated),
+		LiveObjects:    atomic.LoadUint64(&st.LiveObjects),
+		LiveBytes:      atomic.LoadUint64(&st.LiveBytes),
+		PeakLiveBytes:  atomic.LoadUint64(&st.PeakLiveBytes),
+		WorkUnits:      atomic.LoadUint64(&st.WorkUnits),
+		Probes:         atomic.LoadUint64(&st.Probes),
+		CASRetries:     atomic.LoadUint64(&st.CASRetries),
+		RemoteFrees:    atomic.LoadUint64(&st.RemoteFrees),
+		RemoteDrains:   atomic.LoadUint64(&st.RemoteDrains),
+		Quarantined:    atomic.LoadUint64(&st.Quarantined),
+		QuarantineOut:  atomic.LoadUint64(&st.QuarantineOut),
+		Collections:    atomic.LoadUint64(&st.Collections),
+	}
+}
+
 // Memory is the data-access interface applications use. *vmem.Space
 // implements it directly; the policy runtimes in internal/policies wrap
 // it to add dynamic checks (CCured-like fail-stop) or failure-oblivious

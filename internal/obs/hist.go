@@ -1,0 +1,196 @@
+// Package obs is the telemetry plane shared by every layer of the
+// stack: a metrics registry of named counters, gauges, and histograms
+// snapshot-able as one JSON tree (registry.go), and a flight recorder
+// of per-worker lock-free trace rings merged into one stamped timeline
+// (trace.go). It imports nothing but the standard library, so vmem,
+// core, detect, replicate, serve, and heal can all publish into it
+// without layering cycles. Everything here follows the TLB-hook
+// discipline: the zero value is off, and "off" costs exactly one nil
+// check on the hot path — no allocation, no atomic, no call.
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// Fixed-bucket log-scale histogram (promoted from internal/serve).
+// Recording a sample is one bits.Len64 and a handful of atomic adds —
+// no allocation, no locking — so the measurement cost cannot distort
+// the tail it is measuring. All mutation and all reads are atomic:
+// a histogram being recorded into by worker goroutines can be
+// snapshot mid-run (the /metrics endpoint does) without tearing and
+// without tripping the race detector. The cross-field snapshot is
+// best-effort — counts and total may be offset by in-flight samples —
+// which is the documented consistency model for live scrapes;
+// quiescent reads (after workers join) are exact.
+//
+// Buckets are logarithmic with histSubBits bits of sub-bucket
+// resolution: values below 2^histSubBits get exact buckets, and every
+// power-of-two decade above splits into 2^histSubBits sub-buckets, so
+// the relative quantization error is bounded by 2^-histSubBits
+// (~6% at 4 bits) at every magnitude — tight enough to grade p50/p99/
+// p999 in nanoseconds from microseconds to minutes with one fixed
+// 8 KB counter array.
+
+const (
+	histSubBits = 4
+	histSub     = 1 << histSubBits
+	histBuckets = (64 - histSubBits + 1) * histSub
+)
+
+// Histogram counts non-negative int64 samples (typically latencies in
+// nanoseconds). The zero value is ready to use.
+type Histogram struct {
+	counts [histBuckets]uint64
+	total  uint64
+	max    int64
+}
+
+// bucketOf maps a sample to its bucket index.
+func bucketOf(v uint64) int {
+	if v < histSub {
+		return int(v)
+	}
+	exp := bits.Len64(v) - 1 - histSubBits
+	mantissa := v >> uint(exp) // in [histSub, 2*histSub)
+	return int(uint64(exp+1)*histSub + (mantissa - histSub))
+}
+
+// bucketLow is the smallest sample value mapping to bucket i.
+func bucketLow(i int) uint64 {
+	if i < histSub {
+		return uint64(i)
+	}
+	exp := i/histSub - 1
+	return uint64(histSub+i%histSub) << uint(exp)
+}
+
+// Record adds one sample. Negative samples (a clock anomaly the
+// monotonic reading should preclude) clamp to zero rather than
+// corrupting a bucket index.
+func (h *Histogram) Record(ns int64) {
+	if ns < 0 {
+		ns = 0
+	}
+	atomic.AddUint64(&h.counts[bucketOf(uint64(ns))], 1)
+	atomic.AddUint64(&h.total, 1)
+	for {
+		cur := atomic.LoadInt64(&h.max)
+		if ns <= cur || atomic.CompareAndSwapInt64(&h.max, cur, ns) {
+			return
+		}
+	}
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() uint64 { return atomic.LoadUint64(&h.total) }
+
+// Max returns the largest recorded sample exactly (not quantized).
+func (h *Histogram) Max() int64 { return atomic.LoadInt64(&h.max) }
+
+// Merge folds other's samples into h. Both histograms are read and
+// written atomically, so merging a still-live histogram is safe
+// (samples recorded during the merge may or may not be included).
+func (h *Histogram) Merge(other *Histogram) {
+	var moved uint64
+	for i := range other.counts {
+		if c := atomic.LoadUint64(&other.counts[i]); c != 0 {
+			atomic.AddUint64(&h.counts[i], c)
+			moved += c
+		}
+	}
+	atomic.AddUint64(&h.total, moved)
+	om := atomic.LoadInt64(&other.max)
+	for {
+		cur := atomic.LoadInt64(&h.max)
+		if om <= cur || atomic.CompareAndSwapInt64(&h.max, cur, om) {
+			return
+		}
+	}
+}
+
+// Quantile returns the sample value at quantile q in [0, 1] — the
+// midpoint of the bucket holding the q-th sample, so the result is
+// within one sub-bucket width of the true order statistic. An empty
+// histogram returns 0; q=1 (and more generally the rank of the last
+// sample) returns the exact max — on sparse runs (fewer than 1/(1-q)
+// samples, e.g. p999 of a short soak) every high quantile degenerates
+// to the final order statistic and the bucket midpoint would
+// misreport it.
+func (h *Histogram) Quantile(q float64) int64 {
+	total := atomic.LoadUint64(&h.total)
+	if total == 0 {
+		return 0
+	}
+	max := atomic.LoadInt64(&h.max)
+	if q >= 1 {
+		return max
+	}
+	if q < 0 {
+		q = 0
+	}
+	rank := uint64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	if rank == total-1 {
+		// The rank-th order statistic IS the largest sample, which is
+		// tracked exactly.
+		return max
+	}
+	var seen uint64
+	for i := range h.counts {
+		seen += atomic.LoadUint64(&h.counts[i])
+		if seen > rank {
+			lo := bucketLow(i)
+			hi := lo
+			if i+1 < histBuckets {
+				hi = bucketLow(i+1) - 1
+			}
+			mid := lo + (hi-lo)/2
+			if int64(mid) > max {
+				return max
+			}
+			return int64(mid)
+		}
+	}
+	return max
+}
+
+// Summary condenses a histogram for a metrics snapshot.
+type HistSummary struct {
+	Count uint64  `json:"count"`
+	Max   int64   `json:"max"`
+	P50   int64   `json:"p50"`
+	P99   int64   `json:"p99"`
+	P999  int64   `json:"p999"`
+	Mean  float64 `json:"mean"`
+}
+
+// Summary computes the snapshot quantiles. Like Quantile, reads are
+// atomic and best-effort consistent when the histogram is live.
+func (h *Histogram) Summary() HistSummary {
+	s := HistSummary{
+		Count: h.Count(),
+		Max:   h.Max(),
+		P50:   h.Quantile(0.50),
+		P99:   h.Quantile(0.99),
+		P999:  h.Quantile(0.999),
+	}
+	if s.Count > 0 {
+		var sum float64
+		for i := range h.counts {
+			if c := atomic.LoadUint64(&h.counts[i]); c != 0 {
+				lo := bucketLow(i)
+				hi := lo
+				if i+1 < histBuckets {
+					hi = bucketLow(i+1) - 1
+				}
+				sum += float64(c) * float64(lo+(hi-lo)/2)
+			}
+		}
+		s.Mean = sum / float64(s.Count)
+	}
+	return s
+}

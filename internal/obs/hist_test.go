@@ -1,0 +1,214 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"testing"
+
+	"diehard/internal/rng"
+)
+
+func TestObsHistogramBuckets(t *testing.T) {
+	// Bucket boundaries are monotone and exhaustive: every value maps
+	// into a bucket whose [low, next-low) range contains it.
+	for _, v := range []uint64{0, 1, 15, 16, 17, 255, 256, 1 << 20, 1<<20 + 3, 1 << 40, math.MaxInt64} {
+		i := bucketOf(v)
+		if i < 0 || i >= histBuckets {
+			t.Fatalf("bucketOf(%d) = %d out of range", v, i)
+		}
+		if lo := bucketLow(i); lo > v {
+			t.Fatalf("bucketLow(%d) = %d > value %d", i, lo, v)
+		}
+		if i+1 < histBuckets {
+			if hi := bucketLow(i + 1); v >= hi {
+				t.Fatalf("value %d at bucket %d crosses next boundary %d", v, i, hi)
+			}
+		}
+	}
+	for i := 1; i < histBuckets; i++ {
+		if bucketLow(i) < bucketLow(i-1) {
+			t.Fatalf("bucket lows not monotone at %d", i)
+		}
+	}
+}
+
+func TestObsHistogramQuantiles(t *testing.T) {
+	// Against an exact sorted sample: every quantile must land within
+	// one sub-bucket's relative error of the true order statistic.
+	r := rng.NewSeeded(7)
+	var h Histogram
+	samples := make([]int64, 20000)
+	for i := range samples {
+		v := int64(r.Intn(1_000_000)) + int64(r.Intn(1000))*int64(r.Intn(1000))
+		samples[i] = v
+		h.Record(v)
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	if h.Count() != uint64(len(samples)) {
+		t.Fatalf("count %d, want %d", h.Count(), len(samples))
+	}
+	if h.Max() != samples[len(samples)-1] {
+		t.Fatalf("max %d, want %d", h.Max(), samples[len(samples)-1])
+	}
+	for _, q := range []float64{0.10, 0.50, 0.90, 0.99, 0.999} {
+		got := h.Quantile(q)
+		want := samples[int(q*float64(len(samples)))]
+		if want == 0 {
+			continue
+		}
+		rel := math.Abs(float64(got)-float64(want)) / float64(want)
+		if rel > 1.0/histSub+0.01 {
+			t.Fatalf("q%.3f: got %d, want %d (rel err %.3f)", q, got, want, rel)
+		}
+	}
+	if h.Quantile(1) != h.Max() {
+		t.Fatalf("q1 %d != max %d", h.Quantile(1), h.Max())
+	}
+	var a, b Histogram
+	for i, v := range samples {
+		if i%2 == 0 {
+			a.Record(v)
+		} else {
+			b.Record(v)
+		}
+	}
+	a.Merge(&b)
+	if a.Count() != h.Count() || a.Max() != h.Max() || a.Quantile(0.5) != h.Quantile(0.5) {
+		t.Fatal("merge does not reproduce the unified histogram")
+	}
+	var empty Histogram
+	if empty.Quantile(0.99) != 0 {
+		t.Fatal("empty histogram quantile not 0")
+	}
+}
+
+func TestObsHistogramEmptyMerge(t *testing.T) {
+	// Merging histograms of workers that served nothing (a quota split
+	// can starve trailing workers on tiny runs) must be an exact no-op.
+	var a, b Histogram
+	a.Merge(&b)
+	if a.Count() != 0 || a.Max() != 0 || a.Quantile(0.5) != 0 {
+		t.Fatal("empty-into-empty merge produced samples")
+	}
+	a.Record(100)
+	a.Record(200)
+	before := [3]int64{a.Quantile(0.5), a.Quantile(0.999), a.Max()}
+	a.Merge(&b)
+	if a.Count() != 2 {
+		t.Fatalf("count %d after empty merge, want 2", a.Count())
+	}
+	if after := [3]int64{a.Quantile(0.5), a.Quantile(0.999), a.Max()}; after != before {
+		t.Fatalf("empty merge moved quantiles: %v -> %v", before, after)
+	}
+	// And the mirror: folding a populated histogram into a zero-value
+	// one (the driver's merge loop starts from an empty Result.Hist).
+	b.Merge(&a)
+	if b.Count() != 2 || b.Max() != 200 {
+		t.Fatalf("populated-into-empty merge lost samples: count %d max %d", b.Count(), b.Max())
+	}
+}
+
+func TestObsHistogramTopOverflowBucket(t *testing.T) {
+	// The largest representable samples land in the top buckets and are
+	// counted, not dropped; the exact max survives quantization.
+	var h Histogram
+	huge := []int64{math.MaxInt64, math.MaxInt64 - 1, math.MaxInt64 / 2, 1}
+	for _, v := range huge {
+		h.Record(v)
+	}
+	if h.Count() != uint64(len(huge)) {
+		t.Fatalf("count %d, want %d", h.Count(), len(huge))
+	}
+	if h.Max() != math.MaxInt64 {
+		t.Fatalf("max %d, want MaxInt64", h.Max())
+	}
+	if got := h.Quantile(1); got != math.MaxInt64 {
+		t.Fatalf("q1 = %d, want exact MaxInt64", got)
+	}
+	if got := h.Quantile(0.99); got != math.MaxInt64 {
+		t.Fatalf("q.99 of 4 samples = %d, want the exact max (rank lands on the final sample)", got)
+	}
+	// A sum over the counters must see every recorded sample — the top
+	// bucket is a real bucket, not an overflow discard.
+	var sum uint64
+	for _, c := range h.counts {
+		sum += c
+	}
+	if sum != h.Count() {
+		t.Fatalf("bucket sum %d != count %d", sum, h.Count())
+	}
+}
+
+func TestObsHistogramSparseHighQuantiles(t *testing.T) {
+	// With fewer than 1/(1-q) samples the q-quantile IS the maximum;
+	// the histogram must report it exactly (it tracks max un-quantized),
+	// not as a log-bucket midpoint that can sit ~6% off.
+	var h Histogram
+	// 500 samples: p999 rank = floor(0.999*500) = 499 = the last sample.
+	for i := int64(1); i <= 499; i++ {
+		h.Record(i * 1000)
+	}
+	h.Record(123_456_789) // a max that is NOT a bucket boundary
+	if got := h.Quantile(0.999); got != 123_456_789 {
+		t.Fatalf("sparse p999 = %d, want exact max 123456789", got)
+	}
+	// Two samples: the p50 rank lands on the larger one — exact, again.
+	var two Histogram
+	two.Record(10)
+	two.Record(999_999)
+	if got := two.Quantile(0.5); got != 999_999 {
+		t.Fatalf("two-sample p50 = %d, want exact 999999", got)
+	}
+	// Dense case unaffected: with 2000 samples p50 stays a bucket
+	// estimate within the documented relative error.
+	var dense Histogram
+	for i := int64(1); i <= 2000; i++ {
+		dense.Record(i)
+	}
+	got, want := dense.Quantile(0.5), int64(1000)
+	if rel := math.Abs(float64(got-want)) / float64(want); rel > 1.0/histSub+0.01 {
+		t.Fatalf("dense p50 = %d, want ~%d", got, want)
+	}
+}
+
+func TestObsHistogramConcurrentRecord(t *testing.T) {
+	// The promoted histogram is atomic: concurrent recorders plus a
+	// snapshotting reader must neither lose samples nor trip the race
+	// detector, since /metrics scrapes histograms mid-run.
+	const workers, per = 8, 5000
+	var h Histogram
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				h.Summary() // live scrape while recording
+			}
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Record(int64(w*per + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	if h.Count() != workers*per {
+		t.Fatalf("count %d, want %d", h.Count(), workers*per)
+	}
+	if h.Max() != workers*per-1 {
+		t.Fatalf("max %d, want %d", h.Max(), workers*per-1)
+	}
+	s := h.Summary()
+	if s.Count != workers*per || s.P50 > s.P99 || s.P99 > s.P999 || s.P999 > s.Max {
+		t.Fatalf("summary inconsistent: %+v", s)
+	}
+}

@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+func TestObsRegistrySnapshotJSON(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("core.mallocs")
+	c.Add(41)
+	c.Inc()
+	reg.Gauge("vmem.pages_mapped", func() float64 { return 12 })
+	var h Histogram
+	h.Record(100)
+	h.Record(1000)
+	reg.Histogram("serve.session_ns", &h, Label{"worker", "3"})
+	reg.Counter("core.live_objects", Label{"shard", "0"}).Add(7)
+
+	snap := reg.Snapshot()
+	if len(snap.Metrics) != 4 {
+		t.Fatalf("snapshot holds %d metrics, want 4", len(snap.Metrics))
+	}
+	// Registration order is preserved.
+	if snap.Metrics[0].Name != "core.mallocs" || *snap.Metrics[0].Value != 42 {
+		t.Fatalf("metric 0 = %+v, want core.mallocs=42", snap.Metrics[0])
+	}
+	if snap.Metrics[1].Name != "vmem.pages_mapped" || *snap.Metrics[1].Value != 12 {
+		t.Fatalf("metric 1 = %+v, want vmem.pages_mapped=12", snap.Metrics[1])
+	}
+	if snap.Metrics[2].Hist == nil || snap.Metrics[2].Hist.Count != 2 {
+		t.Fatalf("metric 2 = %+v, want histogram with 2 samples", snap.Metrics[2])
+	}
+	if snap.Metrics[2].Labels["worker"] != "3" {
+		t.Fatalf("labels = %v, want worker=3", snap.Metrics[2].Labels)
+	}
+
+	// The snapshot round-trips through JSON.
+	raw, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back struct {
+		Metrics []MetricPoint `json:"metrics"`
+	}
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Metrics) != 4 || back.Metrics[3].Labels["shard"] != "0" {
+		t.Fatalf("round-trip lost metrics: %s", raw)
+	}
+
+	// Get resolves by name+labels.
+	if v, ok := reg.Get("core.live_objects", Label{"shard", "0"}); !ok || v != 7 {
+		t.Fatalf("Get(core.live_objects{shard=0}) = %v,%v", v, ok)
+	}
+	if _, ok := reg.Get("core.live_objects", Label{"shard", "9"}); ok {
+		t.Fatal("Get found a label set never registered")
+	}
+}
+
+func TestObsRegistryIdempotentAndNilSafe(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Counter("heal.failures")
+	b := reg.Counter("heal.failures")
+	if a != b {
+		t.Fatal("re-registering a counter returned a different instance")
+	}
+	a.Inc()
+	if b.Value() != 1 {
+		t.Fatal("aliased counters diverged")
+	}
+	// Gauge re-registration rebinds (epoch restart republishes a fresh
+	// heap under the same name) without duplicating the entry.
+	reg.Gauge("detect.evidence", func() float64 { return 1 })
+	reg.Gauge("detect.evidence", func() float64 { return 2 })
+	if v, _ := reg.Get("detect.evidence"); v != 2 {
+		t.Fatalf("rebound gauge reads %v, want 2", v)
+	}
+	if n := len(reg.Snapshot().Metrics); n != 2 {
+		t.Fatalf("snapshot holds %d metrics, want 2", n)
+	}
+
+	// A nil registry hands out inert handles: nothing panics, nothing
+	// records — the disabled telemetry path for every layer.
+	var nilReg *Registry
+	c := nilReg.Counter("x")
+	c.Add(5)
+	c.Inc()
+	if c.Value() != 0 {
+		t.Fatal("nil-registry counter recorded")
+	}
+	nilReg.Gauge("y", func() float64 { return 1 })
+	nilReg.Histogram("z", &Histogram{})
+	if s := nilReg.Snapshot(); len(s.Metrics) != 0 {
+		t.Fatal("nil registry produced metrics")
+	}
+	if _, ok := nilReg.Get("x"); ok {
+		t.Fatal("nil registry resolved a metric")
+	}
+}
+
+func TestObsRegistryConcurrent(t *testing.T) {
+	// Registration, counting, and snapshotting from many goroutines:
+	// the registry must stay consistent and race-free (the /metrics
+	// endpoint snapshots while workers publish).
+	reg := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := reg.Counter("shared.counter")
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				if i%100 == 0 {
+					reg.Snapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if v, _ := reg.Get("shared.counter"); v != 8000 {
+		t.Fatalf("shared counter %v, want 8000", v)
+	}
+}

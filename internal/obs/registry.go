@@ -1,0 +1,267 @@
+package obs
+
+import (
+	"encoding/json"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// The metrics registry: one tree every layer publishes into, snapshot
+// as JSON. Names are dotted layer-qualified ("core.mallocs",
+// "vmem.faults", "serve.session_ns"); labels distinguish instances of
+// the same metric ("core.live_objects{shard=2}"). Registration is
+// idempotent per full name: asking for an existing counter returns
+// the same counter, re-registering a gauge replaces its reader — so
+// epoch-restarting supervisors can re-publish a fresh heap under the
+// same names without leaking dead entries.
+//
+// Three metric kinds cover the stack:
+//
+//   - Counter: a monotone atomic uint64 the instrumented code adds to.
+//     Nil-safe (Add on a nil *Counter is a no-op), so layers can hold
+//     one unconditionally and only pay when a registry wired it.
+//   - Gauge: a pull — a func() float64 evaluated at snapshot time,
+//     used to project existing Stats structs (which the layers already
+//     maintain atomically) into the tree without double-counting.
+//   - Histogram: a *Histogram published by reference; the snapshot
+//     records its Summary.
+
+// Label is one name=value metric dimension.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// Counter is a monotone atomic counter. The zero value is usable; a
+// nil *Counter is silently inert so instrumented code never needs to
+// know whether telemetry is wired.
+type Counter struct {
+	v uint64
+}
+
+// Add increments the counter by n. No-op on a nil receiver.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		atomic.AddUint64(&c.v, n)
+	}
+}
+
+// Inc increments the counter by one. No-op on a nil receiver.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 for nil).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return atomic.LoadUint64(&c.v)
+}
+
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHist
+)
+
+type metric struct {
+	name    string // full name with encoded labels — the map key
+	base    string
+	labels  []Label
+	kind    metricKind
+	counter *Counter
+	gauge   func() float64
+	hist    *Histogram
+}
+
+// Registry is the metric tree. The zero value is not usable — build
+// with NewRegistry — but a nil *Registry is: every registration
+// method on nil returns an inert handle, so wiring code can pass an
+// optional registry straight through.
+type Registry struct {
+	mu      sync.Mutex
+	metrics map[string]*metric
+	order   []string // registration order, for stable snapshots
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: map[string]*metric{}}
+}
+
+// fullName encodes name plus sorted labels into the canonical key:
+// name{k1=v1,k2=v2}.
+func fullName(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	ls := make([]Label, len(labels))
+	copy(ls, labels)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Name < ls[j].Name })
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteByte('=')
+		b.WriteString(l.Value)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func (r *Registry) register(m *metric) *metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if old, ok := r.metrics[m.name]; ok {
+		if old.kind == m.kind {
+			// Idempotent: counters return the existing instance,
+			// gauges and histograms rebind to the new source.
+			if m.kind != kindCounter {
+				old.gauge, old.hist = m.gauge, m.hist
+			}
+			return old
+		}
+		// Kind changed under the same name: replace outright.
+		r.metrics[m.name] = m
+		return m
+	}
+	r.metrics[m.name] = m
+	r.order = append(r.order, m.name)
+	return m
+}
+
+// Counter registers (or retrieves) the counter with this name+labels.
+// Returns nil — an inert counter — on a nil registry.
+func (r *Registry) Counter(name string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	m := r.register(&metric{
+		name: fullName(name, labels), base: name, labels: labels,
+		kind: kindCounter, counter: &Counter{},
+	})
+	return m.counter
+}
+
+// Gauge registers fn as a pull gauge, evaluated at each snapshot.
+// fn must be safe to call from the snapshotting goroutine (read its
+// sources atomically if they are written concurrently). No-op on a
+// nil registry.
+func (r *Registry) Gauge(name string, fn func() float64, labels ...Label) {
+	if r == nil {
+		return
+	}
+	r.register(&metric{
+		name: fullName(name, labels), base: name, labels: labels,
+		kind: kindGauge, gauge: fn,
+	})
+}
+
+// Histogram registers h under this name+labels. No-op on a nil
+// registry or nil histogram.
+func (r *Registry) Histogram(name string, h *Histogram, labels ...Label) {
+	if r == nil || h == nil {
+		return
+	}
+	r.register(&metric{
+		name: fullName(name, labels), base: name, labels: labels,
+		kind: kindHist, hist: h,
+	})
+}
+
+// MetricPoint is one snapshot entry. Exactly one of Value (counters
+// and gauges) or Hist is populated.
+type MetricPoint struct {
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  *float64          `json:"value,omitempty"`
+	Hist   *HistSummary      `json:"hist,omitempty"`
+}
+
+// Snapshot is a point-in-time copy of the whole tree, ordered by
+// registration. Counters and histograms are read atomically; gauges
+// are pulled. JSON-marshals to {"metrics": [...]}.
+type Snapshot struct {
+	Metrics []MetricPoint `json:"metrics"`
+}
+
+// Snapshot reads every metric. Safe to call while the instrumented
+// code runs; per-metric values are torn-free, cross-metric skew is
+// bounded by the walk (the documented consistency model). Returns an
+// empty snapshot on a nil registry.
+func (r *Registry) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{Metrics: []MetricPoint{}}
+	}
+	r.mu.Lock()
+	ms := make([]*metric, 0, len(r.order))
+	for _, name := range r.order {
+		ms = append(ms, r.metrics[name])
+	}
+	r.mu.Unlock()
+
+	snap := Snapshot{Metrics: make([]MetricPoint, 0, len(ms))}
+	for _, m := range ms {
+		p := MetricPoint{Name: m.base}
+		if len(m.labels) > 0 {
+			p.Labels = make(map[string]string, len(m.labels))
+			for _, l := range m.labels {
+				p.Labels[l.Name] = l.Value
+			}
+		}
+		switch m.kind {
+		case kindCounter:
+			v := float64(m.counter.Value())
+			p.Value = &v
+		case kindGauge:
+			v := m.gauge()
+			p.Value = &v
+		case kindHist:
+			s := m.hist.Summary()
+			p.Hist = &s
+		}
+		snap.Metrics = append(snap.Metrics, p)
+	}
+	return snap
+}
+
+// Get returns the snapshot value of the named metric (labels encoded
+// as in fullName) and whether it exists. Histograms report their
+// count. Mostly a test and smoke-gate convenience.
+func (r *Registry) Get(name string, labels ...Label) (float64, bool) {
+	if r == nil {
+		return 0, false
+	}
+	r.mu.Lock()
+	m, ok := r.metrics[fullName(name, labels)]
+	r.mu.Unlock()
+	if !ok {
+		return 0, false
+	}
+	switch m.kind {
+	case kindCounter:
+		return float64(m.counter.Value()), true
+	case kindGauge:
+		return m.gauge(), true
+	default:
+		return float64(m.hist.Count()), true
+	}
+}
+
+// MarshalJSON renders the snapshot; the zero snapshot renders as an
+// empty metric list, not null.
+func (s Snapshot) MarshalJSON() ([]byte, error) {
+	type alias Snapshot
+	a := alias(s)
+	if a.Metrics == nil {
+		a.Metrics = []MetricPoint{}
+	}
+	return json.Marshal(a)
+}

@@ -198,9 +198,21 @@ func runPipelined(prog Program, input []byte, opts Options, seeds []uint64, next
 	var output bytes.Buffer
 	restarts := 0
 
+	// Live telemetry: nil-safe counters (a nil registry yields nil
+	// counters, and nil *obs.Counter methods are no-ops), plus a gauge
+	// over the result's depth peak so a mid-run scrape sees the widest
+	// window earned so far.
+	ctrRounds := opts.Obs.Counter("replicate.rounds")
+	ctrKills := opts.Obs.Counter("replicate.kills")
+	ctrRestarts := opts.Obs.Counter("replicate.restarts")
+	opts.Obs.Gauge("replicate.pipeline_depth_peak", func() float64 {
+		return float64(res.PipelineDepthPeak)
+	})
+
 	kill := func(i int) {
 		states[i] = rsKilled
 		reps[i].Killed = true
+		ctrKills.Inc()
 		close(writers[i].kill)
 		writers[i].markDead()
 	}
@@ -231,6 +243,7 @@ func runPipelined(prog Program, input []byte, opts Options, seeds []uint64, next
 				return
 			}
 			restarts++
+			ctrRestarts.Inc()
 			idx := spawn(nextSeed(), true)
 			committed := output.Bytes()
 			ok := true
@@ -259,6 +272,7 @@ func runPipelined(prog Program, input []byte, opts Options, seeds []uint64, next
 
 	for liveCount(states) > 0 {
 		res.Rounds++
+		ctrRounds.Inc()
 		// Round r is every live replica's r-th buffer: channels are
 		// FIFO, and exactly one buffer per replica is consumed per
 		// round, so the receive below blocks only on replicas that have

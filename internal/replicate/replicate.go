@@ -43,6 +43,8 @@ import (
 	"io"
 	"sync"
 
+	"diehard/internal/obs"
+
 	"diehard/internal/core"
 	"diehard/internal/detect"
 	"diehard/internal/heap"
@@ -145,6 +147,13 @@ type Options struct {
 	// turn; each attempt consumes one restart. 0 disables restarts; the
 	// sequential reference voter ignores them.
 	MaxRestarts int
+	// Obs, when non-nil, receives live replicate.* counters while the
+	// pipelined voter runs: vote rounds, kills, restarts, and the peak
+	// adaptive run-ahead window. Purely observational — registration
+	// happens before the first round and the counters are updated from
+	// the voter goroutine only, so scraping mid-run is race-clean. The
+	// sequential reference voter publishes rounds only.
+	Obs *obs.Registry
 	// Detect swaps each replica's random fill for the canary detection
 	// engine (internal/detect): replicas still diverge on uninitialized
 	// reads (their canary patterns derive from their distinct seeds), and

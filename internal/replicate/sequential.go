@@ -1,6 +1,10 @@
 package replicate
 
-import "bytes"
+import (
+	"bytes"
+
+	"diehard/internal/obs"
+)
 
 // The sequential voting engine: the paper's lock-step pipe protocol.
 // Every replica rendezvouses with the voter at each buffer boundary and
@@ -71,9 +75,14 @@ func runSequential(prog Program, input []byte, opts Options, seeds []uint64, res
 
 	states := make([]replicaState, k)
 	var output bytes.Buffer
+	var ctrRounds *obs.Counter
+	if opts.Obs != nil {
+		ctrRounds = opts.Obs.Counter("replicate.rounds")
+	}
 
 	for liveCount(states) > 0 {
 		res.Rounds++
+		ctrRounds.Inc()
 		// Barrier: collect one message from every running replica.
 		msgs := make(map[int]chunk)
 		var ids []int

@@ -1,124 +1,11 @@
 package serve
 
-import "math/bits"
+import "diehard/internal/obs"
 
-// Fixed-bucket log-scale latency histogram. Recording a sample is one
-// bits.Len64 and one slice increment — no allocation, no locking (each
-// worker owns a histogram and the driver merges them after the run), so
-// the measurement cost cannot distort the tail it is measuring.
-//
-// Buckets are logarithmic with histSubBits bits of sub-bucket
-// resolution: values below 2^histSubBits get exact buckets, and every
-// power-of-two decade above splits into 2^histSubBits sub-buckets, so
-// the relative quantization error is bounded by 2^-histSubBits
-// (~6% at 4 bits) at every magnitude — tight enough to grade p50/p99/
-// p999 in nanoseconds from microseconds to minutes with one fixed
-// 8 KB counter array.
-
-const (
-	histSubBits = 4
-	histSub     = 1 << histSubBits
-	histBuckets = (64 - histSubBits + 1) * histSub
-)
-
-// Histogram counts non-negative int64 samples (latencies in
-// nanoseconds). The zero value is ready to use.
-type Histogram struct {
-	counts [histBuckets]uint64
-	total  uint64
-	max    int64
-}
-
-// bucketOf maps a sample to its bucket index.
-func bucketOf(v uint64) int {
-	if v < histSub {
-		return int(v)
-	}
-	exp := bits.Len64(v) - 1 - histSubBits
-	mantissa := v >> uint(exp) // in [histSub, 2*histSub)
-	return int(uint64(exp+1)*histSub + (mantissa - histSub))
-}
-
-// bucketLow is the smallest sample value mapping to bucket i.
-func bucketLow(i int) uint64 {
-	if i < histSub {
-		return uint64(i)
-	}
-	exp := i/histSub - 1
-	return uint64(histSub+i%histSub) << uint(exp)
-}
-
-// Record adds one sample. Negative samples (a clock anomaly the
-// monotonic reading should preclude) clamp to zero rather than
-// corrupting a bucket index.
-func (h *Histogram) Record(ns int64) {
-	if ns < 0 {
-		ns = 0
-	}
-	h.counts[bucketOf(uint64(ns))]++
-	h.total++
-	if ns > h.max {
-		h.max = ns
-	}
-}
-
-// Count returns the number of recorded samples.
-func (h *Histogram) Count() uint64 { return h.total }
-
-// Max returns the largest recorded sample exactly (not quantized).
-func (h *Histogram) Max() int64 { return h.max }
-
-// Merge folds other's samples into h.
-func (h *Histogram) Merge(other *Histogram) {
-	for i, c := range other.counts {
-		h.counts[i] += c
-	}
-	h.total += other.total
-	if other.max > h.max {
-		h.max = other.max
-	}
-}
-
-// Quantile returns the latency at quantile q in [0, 1] — the midpoint
-// of the bucket holding the q-th sample, so the result is within one
-// sub-bucket width of the true order statistic. An empty histogram
-// returns 0; q=1 returns the exact max.
-func (h *Histogram) Quantile(q float64) int64 {
-	if h.total == 0 {
-		return 0
-	}
-	if q >= 1 {
-		return h.max
-	}
-	if q < 0 {
-		q = 0
-	}
-	rank := uint64(q * float64(h.total))
-	if rank >= h.total {
-		rank = h.total - 1
-	}
-	if rank == h.total-1 {
-		// The rank-th order statistic IS the largest sample, which is
-		// tracked exactly — on sparse runs (fewer than 1/(1-q) samples,
-		// e.g. p999 of a short soak) every high quantile degenerates to
-		// this case and the bucket midpoint would misreport it.
-		return h.max
-	}
-	var seen uint64
-	for i, c := range h.counts {
-		seen += c
-		if seen > rank {
-			lo := bucketLow(i)
-			hi := lo
-			if i+1 < histBuckets {
-				hi = bucketLow(i+1) - 1
-			}
-			mid := lo + (hi-lo)/2
-			if int64(mid) > h.max {
-				return h.max
-			}
-			return int64(mid)
-		}
-	}
-	return h.max
-}
+// Histogram is the shared fixed-bucket log-scale latency histogram,
+// promoted to internal/obs (PR 9) so serve, heal, and the metrics
+// registry all grade latency with one implementation. The alias keeps
+// serve's exported surface (Result.Hist, worker histograms) source-
+// compatible; semantics — including the exact-max high-quantile rule
+// from PR 8 — are pinned by the TestObsHistogram* suite in obs.
+type Histogram = obs.Histogram

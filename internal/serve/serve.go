@@ -23,11 +23,13 @@ package serve
 import (
 	"fmt"
 	"math"
+	"strconv"
 	"sync"
 	"time"
 
 	"diehard/internal/core"
 	"diehard/internal/heap"
+	"diehard/internal/obs"
 	"diehard/internal/rng"
 )
 
@@ -98,6 +100,21 @@ type Config struct {
 	// pushing past it frees the oldest held object. All held objects are
 	// freed at worker teardown, so FullnessEnd still measures drift.
 	QuarantineDepth int
+	// Obs, when non-nil, receives the soak's slice of the unified
+	// metrics tree: the shard aggregate and per-shard core.* gauges,
+	// the vmem.* gauges of the shared address space, per-worker
+	// serve.session_ns histograms, a serve.sessions counter, and — on
+	// fault-scheduled runs — heal.corruptions / heal.quarantined_frees
+	// counters. Registration happens before the first session, so the
+	// tree can be scraped live while the soak runs.
+	Obs *obs.Registry
+	// Trace, when non-nil, attaches the flight recorder: worker i
+	// emits on ring i (EvSession latencies, EvQuarantine holds,
+	// EvFault injections) and its magazine traces refills/flushes
+	// there; shard heaps ride rings 100+shard and the steal router
+	// ring 100+Shards (core's malloc/free/drain/steal events). Nil
+	// leaves every hot path at its single disabled-check branch.
+	Trace *obs.Recorder
 }
 
 // Mitigator is the live countermeasure view a fault-scheduled soak
@@ -108,6 +125,23 @@ type Mitigator interface {
 	Pad(site int) int
 	Quarantined(site int) bool
 }
+
+// StaticMitigator returns a fixed Mitigator over the given pad and
+// quarantine tables — the countermeasures a supervisor would have
+// installed, applied from session one. Nil maps are empty tables.
+// Useful for smoke gates and tests that need a mitigated soak without
+// running the heal loop.
+func StaticMitigator(pads map[int]int, quar map[int]bool) Mitigator {
+	return staticMitigator{pads: pads, quar: quar}
+}
+
+type staticMitigator struct {
+	pads map[int]int
+	quar map[int]bool
+}
+
+func (m staticMitigator) Pad(site int) int          { return m.pads[site] }
+func (m staticMitigator) Quarantined(site int) bool { return m.quar[site] }
 
 // FaultPlan is a planned per-worker fault schedule, indexed by the
 // object's position within a session — the identity that is stable
@@ -156,6 +190,13 @@ type Result struct {
 
 const crossBatch = 64
 
+// shardRingBase is the flight-recorder worker-id convention: serve
+// workers own rings 0..Workers-1, shard heap i rides ring
+// shardRingBase+i, and the steal router ring shardRingBase+Shards —
+// so a merged timeline attributes every event unambiguously. (The
+// heal supervisor uses ring 200; see cmd/heal.)
+const shardRingBase = 100
+
 type worker struct {
 	id    int
 	sh    *core.ShardedHeap
@@ -174,6 +215,12 @@ type worker struct {
 	held        []heap.Ptr // worker-local delayed-reuse FIFO (Mitigator quarantine)
 	corruptions int64
 	quarFrees   int64
+
+	// Telemetry handles; all nil-safe, so the zero worker is silent.
+	ring       *obs.Ring    // flight-recorder ring (worker id = w.id)
+	ctrSess    *obs.Counter // serve.sessions
+	ctrCorrupt *obs.Counter // heal.corruptions (Faults runs)
+	ctrQuar    *obs.Counter // heal.quarantined_frees (Faults runs)
 }
 
 // skewedSize draws from the session size mix: mostly small objects,
@@ -277,6 +324,9 @@ func (w *worker) session(cfg *Config, ptrs []heap.Ptr) error {
 			// unless quarantine held it out of the probe stream. Write
 			// errors are part of the fault, not of the harness.
 			_ = w.mem.WriteBytes(uint64(w.stale), staleJunk[:])
+			if w.ring != nil {
+				w.ring.Emit(obs.EvFault, uint64(w.stale))
+			}
 			w.stale = heap.Null
 		}
 		if fp.OverflowObject >= 0 && fp.OverflowEvery > 0 && w.sessionN%fp.OverflowEvery == 0 {
@@ -288,6 +338,9 @@ func (w *worker) session(cfg *Config, ptrs []heap.Ptr) error {
 				junk[i] = 0xEE
 			}
 			_ = w.mem.WriteBytes(base, junk)
+			if w.ring != nil {
+				w.ring.Emit(obs.EvFault, base)
+			}
 		}
 		if fp.DanglingObject >= 0 && fp.DanglingEvery > 0 && w.sessionN%fp.DanglingEvery == 0 {
 			p := ptrs[fp.DanglingObject]
@@ -352,9 +405,14 @@ var staleJunk = [8]byte{0xDD, 0xDD, 0xDD, 0xDD, 0xDD, 0xDD, 0xDD, 0xDD}
 func (w *worker) freeFaulted(cfg *Config, i int, p heap.Ptr) error {
 	if v, err := w.mem.Load64(uint64(p)); err != nil || v != uint64(p)^0xd1e {
 		w.corruptions++
+		w.ctrCorrupt.Inc()
 	}
 	if cfg.Mitigate != nil && cfg.Mitigate.Quarantined(i) {
 		w.quarFrees++
+		w.ctrQuar.Inc()
+		if w.ring != nil {
+			w.ring.Emit(obs.EvQuarantine, uint64(p))
+		}
 		w.held = append(w.held, p)
 		if len(w.held) > cfg.QuarantineDepth {
 			oldest := w.held[0]
@@ -414,7 +472,12 @@ func (w *worker) run(cfg *Config, quota int64, sessions *sync.WaitGroup, errOut 
 			fail(err)
 			break
 		}
-		w.hist.Record(time.Since(arrival).Nanoseconds())
+		lat := time.Since(arrival).Nanoseconds()
+		w.hist.Record(lat)
+		if w.ring != nil {
+			w.ring.Emit(obs.EvSession, uint64(lat))
+		}
+		w.ctrSess.Inc()
 	}
 	if len(w.cross) > 0 {
 		if err := w.sendCross(); err != nil {
@@ -516,22 +579,45 @@ func Run(cfg Config) (*Result, error) {
 		return nil, err
 	}
 
+	// Telemetry wiring before the first session, so both surfaces can
+	// be scraped live: shard heaps and the steal router ride rings
+	// shardRingBase+i, workers ride rings 0..Workers-1, and the whole
+	// stack publishes into one registry tree (all nil-safe — a nil
+	// Obs/Trace costs one predictable branch per instrumented site).
+	sh.AttachRecorder(cfg.Trace, shardRingBase)
+	sh.PublishMetrics(cfg.Obs)
+	sh.Mem().PublishMetrics(cfg.Obs)
+	ctrSess := cfg.Obs.Counter("serve.sessions")
+	var ctrCorrupt, ctrQuar *obs.Counter
+	if cfg.Faults != nil {
+		ctrCorrupt = cfg.Obs.Counter("heal.corruptions")
+		ctrQuar = cfg.Obs.Counter("heal.quarantined_frees")
+	}
+
 	workers := make([]*worker, cfg.Workers)
 	for i := range workers {
 		mag, err := sh.NewMagazine()
 		if err != nil {
 			return nil, err
 		}
+		ring := cfg.Trace.Ring(i)
+		mag.SetTrace(ring)
 		workers[i] = &worker{
-			id:    i,
-			sh:    sh,
-			mag:   mag,
-			mem:   sh.Mem(),
-			r:     rng.NewSeeded(cfg.Seed + uint64(i)*0x9e3779b97f4a7c15 + 1),
-			mode:  cfg.FreeMode,
-			inbox: make(chan []heap.Ptr, 8),
-			cross: make([]heap.Ptr, 0, crossBatch),
+			id:         i,
+			sh:         sh,
+			mag:        mag,
+			mem:        sh.Mem(),
+			r:          rng.NewSeeded(cfg.Seed + uint64(i)*0x9e3779b97f4a7c15 + 1),
+			mode:       cfg.FreeMode,
+			inbox:      make(chan []heap.Ptr, 8),
+			cross:      make([]heap.Ptr, 0, crossBatch),
+			ring:       ring,
+			ctrSess:    ctrSess,
+			ctrCorrupt: ctrCorrupt,
+			ctrQuar:    ctrQuar,
 		}
+		cfg.Obs.Histogram("serve.session_ns", &workers[i].hist,
+			obs.Label{Name: "worker", Value: strconv.Itoa(i)})
 	}
 	for i, w := range workers {
 		w.out = workers[(i+1)%len(workers)].inbox
@@ -574,7 +660,7 @@ func Run(cfg Config) (*Result, error) {
 		Sessions: cfg.Sessions,
 		Elapsed:  elapsed,
 		Hist:     &Histogram{},
-		Stats:    *sh.Stats(),
+		Stats:    sh.StatsSnapshot(),
 	}
 	for _, w := range workers {
 		res.Hist.Merge(&w.hist)

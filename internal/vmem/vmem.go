@@ -47,6 +47,8 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"diehard/internal/obs"
 )
 
 // PageSize is the size of a simulated page in bytes, matching the x86
@@ -382,6 +384,64 @@ func (s *Space) Stats() *Stats {
 		}
 	}
 	return &s.stats
+}
+
+// StatsSnapshot returns a copy of the counters with every field loaded
+// atomically and the shared-mode access cells summed in WITHOUT
+// draining them — unlike Stats, it never mutates the space, so it is
+// safe to call from a metrics scrape while accessing goroutines run
+// (per-counter values are torn-free; cross-counter skew is bounded by
+// the walk). Quiescent calls are exact.
+func (s *Space) StatsSnapshot() Stats {
+	snap := Stats{
+		Loads:       atomic.LoadUint64(&s.stats.Loads),
+		Stores:      atomic.LoadUint64(&s.stats.Stores),
+		TLBHits:     atomic.LoadUint64(&s.stats.TLBHits),
+		TLBMisses:   atomic.LoadUint64(&s.stats.TLBMisses),
+		TLB2Misses:  atomic.LoadUint64(&s.stats.TLB2Misses),
+		PagesMapped: atomic.LoadUint64(&s.stats.PagesMapped),
+		PagesPeak:   atomic.LoadUint64(&s.stats.PagesPeak),
+		PagesDirty:  atomic.LoadUint64(&s.stats.PagesDirty),
+		Faults:      atomic.LoadUint64(&s.stats.Faults),
+	}
+	if s.cells != nil {
+		for i := range s.cells {
+			snap.Loads += s.cells[i].loads.Load()
+			snap.Stores += s.cells[i].stores.Load()
+		}
+	}
+	return snap
+}
+
+// PublishMetrics registers the space's counters as vmem.* gauges in
+// the registry (internal/obs — the telemetry leaf below every layer,
+// so the memory system importing it creates no cycle). Each gauge
+// pulls one StatsSnapshot field at scrape time, so live scrapes are
+// race-free under StatsShared.
+func (s *Space) PublishMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	type g struct {
+		name string
+		f    func(*Stats) uint64
+	}
+	for _, m := range []g{
+		{"vmem.loads", func(st *Stats) uint64 { return st.Loads }},
+		{"vmem.stores", func(st *Stats) uint64 { return st.Stores }},
+		{"vmem.tlb_hits", func(st *Stats) uint64 { return st.TLBHits }},
+		{"vmem.tlb_misses", func(st *Stats) uint64 { return st.TLBMisses }},
+		{"vmem.pages_mapped", func(st *Stats) uint64 { return st.PagesMapped }},
+		{"vmem.pages_peak", func(st *Stats) uint64 { return st.PagesPeak }},
+		{"vmem.pages_dirty", func(st *Stats) uint64 { return st.PagesDirty }},
+		{"vmem.faults", func(st *Stats) uint64 { return st.Faults }},
+	} {
+		field := m.f
+		reg.Gauge(m.name, func() float64 {
+			st := s.StatsSnapshot()
+			return float64(field(&st))
+		})
+	}
 }
 
 // PageGranularBulk marks this memory's bulk operations as page-granular:
