@@ -269,6 +269,22 @@ func main() {
 		})
 	}
 
+	// Generation-tag overhead (DESIGN.md §15): the same steady-state
+	// churn through the fat-pointer API on a GenTags detection heap —
+	// every free CASes the slot's generation odd→even before the bitmap
+	// clear, every malloc bumps it even→odd after the claim, on top of
+	// the full canary audit work above. Compare
+	// gentag_overhead_malloc_pair_48B against
+	// detect_overhead_malloc_pair_48B for the temporal-safety tax over
+	// the canary tier alone.
+	{
+		ns, err := benchDetectPair(true)
+		if err != nil {
+			fatal(err)
+		}
+		results["gentag_overhead_malloc_pair_48B"] = ns
+	}
+
 	// Concurrent load/store throughput through one shared space: the
 	// lock-free radix path under StatsShared accounting, workers on
 	// disjoint page ranges.
@@ -703,6 +719,71 @@ func benchCrossFreePair(workers int, remote bool) (float64, error) {
 	return float64(wall.Nanoseconds()) / float64(workers*rounds*batch), nil
 }
 
+// benchDetectPair measures the steady-state free/malloc pair on a
+// detection heap filled to the class-64 threshold with 48 B requests
+// (16 bytes of audited slack per free). gen=false is the canary tier:
+// thin pointers through Free/Malloc, slack audit plus canary re-arm per
+// free, audit-on-reuse per malloc. gen=true runs the identical churn on
+// a GenTags heap through the fat-pointer API, so each pair additionally
+// pays the generation CAS on free, the tag bump on claim, and the
+// side-array read that validates the fat pointer. Same geometry, seed,
+// and request size, so the two numbers difference into the
+// temporal-safety tax.
+func benchDetectPair(gen bool) (float64, error) {
+	dh, err := detect.New(core.Options{HeapSize: 48 << 20, Seed: 1, GenTags: gen}, detect.Options{})
+	if err != nil {
+		return 0, err
+	}
+	_, maxInUse := dh.ClassSlots(core.ClassFor(48))
+	r := rng.NewSeeded(2)
+	if gen {
+		fps := make([]heap.FatPtr, maxInUse)
+		for i := range fps {
+			fp, err := dh.MallocFat(48)
+			if err != nil {
+				return 0, err
+			}
+			fps[i] = fp
+		}
+		return bench(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				j := r.Intn(len(fps))
+				ok, err := dh.FreeFat(fps[j])
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !ok {
+					b.Fatal("live fat pointer rejected")
+				}
+				fp, err := dh.MallocFat(48)
+				if err != nil {
+					b.Fatal(err)
+				}
+				fps[j] = fp
+			}
+		}), nil
+	}
+	ptrs := make([]heap.Ptr, maxInUse)
+	for i := range ptrs {
+		p, err := dh.Malloc(48)
+		if err != nil {
+			return 0, err
+		}
+		ptrs[i] = p
+	}
+	return bench(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			j := r.Intn(len(ptrs))
+			_ = dh.Free(ptrs[j])
+			p, err := dh.Malloc(48)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ptrs[j] = p
+		}
+	}), nil
+}
+
 // runSmoke is the CI perf gate: the lock-free engine's single-worker
 // malloc pair must stay within 15% of the locked reference engine, and
 // the magazine front end within 10% of the raw lock-free path, on the
@@ -789,6 +870,16 @@ func runSmoke() {
 	if obsRatio > 1.02 {
 		fatal(fmt.Errorf("disabled flight recorder costs %.1f%% on the magazine hot path (bound: 2%%)", (obsRatio-1)*100))
 	}
+	// Generation-tag tax, informational only (DESIGN.md §15): the
+	// gen-checked fat-pointer pair against the canary-checked pair on
+	// the identical 48 B threshold churn. Printed so CI logs track the
+	// trend; deliberately ungated — the deterministic temporal tier is
+	// priced, not bounded, and nothing is written.
+	canaryNs := bestOf(3, func() (float64, error) { return benchDetectPair(false) })
+	genNs := bestOf(3, func() (float64, error) { return benchDetectPair(true) })
+	fmt.Printf("detect_overhead_malloc_pair_48B %8.2f ns/op\n", canaryNs)
+	fmt.Printf("gentag_overhead_malloc_pair_48B %8.2f ns/op\n", genNs)
+	fmt.Printf("ratio gen-checked/canary-checked %7.3f (informational, no bound)\n", genNs/canaryNs)
 }
 
 // readFile loads an existing baseline file; a missing file returns the

@@ -100,6 +100,18 @@ type HeapOptions struct {
 	// heap check every that many allocations; 0 leaves barriers to
 	// explicit HeapCheck calls.
 	HeapCheckEvery int
+	// GenTags equips every slot with a generation counter in a side
+	// array next to the bitmap (DESIGN.md §15): MallocFat returns fat
+	// (address, generation) pointers, and FreeFat/RemoteFreeFat reject a
+	// free whose tag went stale — a double free is caught exactly, even
+	// when it straddles a reallocation, where the thin-pointer §4.3
+	// ignore semantics are probabilistic. Tags live outside user memory,
+	// so placement and data are byte-identical to an untagged heap with
+	// the same seed; the thin Malloc/Free API keeps working alongside.
+	// Requires the lock-free engine (incompatible with LockedHeap and
+	// ReplicatedMode); composes with DetectCanaries, where GenMemory
+	// adds the generation check to every accessor.
+	GenTags bool
 	// HeapCheckMin, with HeapCheckEvery, makes the barrier cadence
 	// adaptive (DESIGN.md §13): after a barrier interval in which any
 	// audit recorded fresh evidence the next check fires HeapCheckMin
@@ -125,6 +137,7 @@ type HeapOptions struct {
 // scalable multi-worker front end with occupancy-aware shard routing.
 type Heap struct {
 	h   *core.Heap
+	dh  *detect.Heap // non-nil with DetectCanaries
 	det *detect.Detector
 	mem heap.Memory // canary-checking view with DetectCanaries, else the raw space
 }
@@ -140,6 +153,7 @@ func NewHeap(opts HeapOptions) (*Heap, error) {
 		Concurrent: opts.Concurrent,
 		LockedHeap: opts.LockedHeap,
 		RemoteRing: opts.RemoteFreeRing,
+		GenTags:    opts.GenTags,
 		Trace:      opts.Trace,
 	}
 	if opts.DetectCanaries {
@@ -154,7 +168,7 @@ func NewHeap(opts HeapOptions) (*Heap, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &Heap{h: dh.Heap, det: dh.Detector(), mem: dh.Memory()}, nil
+		return &Heap{h: dh.Heap, dh: dh, det: dh.Detector(), mem: dh.Memory()}, nil
 	}
 	h, err := core.New(copts)
 	if err != nil {
@@ -180,6 +194,47 @@ func (h *Heap) Free(p Ptr) error { return h.h.Free(p) }
 // The §4.3 ignore semantics are unchanged: of any set of racing frees
 // of the same object, exactly one wins.
 func (h *Heap) RemoteFree(p Ptr) error { return h.h.RemoteFree(p) }
+
+// FatPtr is a generation-tagged fat pointer: the simulated address plus
+// the generation the slot carried when it was issued (HeapOptions.
+// GenTags). The zero value is the null fat pointer.
+type FatPtr = heap.FatPtr
+
+// MallocFat allocates like Malloc and returns the fat pointer carrying
+// the slot's fresh generation (GenTags heaps only).
+func (h *Heap) MallocFat(size int) (FatPtr, error) { return h.h.MallocFat(size) }
+
+// FreeFat releases an allocation through its fat pointer: the free is
+// accepted only while the tag is current, so a stale free — a double
+// free, even one straddling a reallocation — is rejected deterministically
+// and counted (Stats().StaleFrees), never mistaken for the new
+// incarnation's free. Misaligned interior addresses are ignored as in
+// Free. accepted reports whether this call released the object.
+func (h *Heap) FreeFat(fp FatPtr) (accepted bool, err error) { return h.h.FreeFat(fp) }
+
+// RemoteFreeFat is FreeFat through the remote-free ring (RemoteFreeRing
+// heaps): the tag travels with the address and the owner's drain
+// arbitrates, so deferral cannot turn a stale free into a valid one.
+func (h *Heap) RemoteFreeFat(fp FatPtr) (accepted bool, err error) { return h.h.RemoteFreeFat(fp) }
+
+// CheckGen reports whether fp is still current — the temporal validity
+// test a program can apply before using a stored fat pointer.
+func (h *Heap) CheckGen(fp FatPtr) bool { return h.h.CheckGen(fp) }
+
+// GenCheckedMemory is the generation-checked data-access view of a
+// DetectCanaries+GenTags heap: every accessor — word, byte, and bulk —
+// verifies the fat pointer's tag, records stale-access Evidence when it
+// is dead, and then forwards to the canary-checked view.
+type GenCheckedMemory = detect.GenMemory
+
+// GenMemory returns the generation-checked view; nil unless the heap
+// was built with both DetectCanaries and GenTags.
+func (h *Heap) GenMemory() *GenCheckedMemory {
+	if h.dh == nil || !h.h.GenTagged() {
+		return nil
+	}
+	return h.dh.GenMemory()
+}
 
 // Calloc allocates zeroed memory for n objects of size bytes.
 func (h *Heap) Calloc(n, size int) (Ptr, error) { return heap.Calloc(h.h, n, size) }
@@ -458,11 +513,14 @@ type DetectionReport = detect.Report
 // DetectKind classifies detected errors.
 type DetectKind = detect.Kind
 
-// Detected error kinds.
+// Detected error kinds. KindStaleFree and KindStaleAccess are the
+// generation tier's deterministic findings (GenTags heaps).
 const (
-	KindOverflow = detect.KindOverflow
-	KindDangling = detect.KindDangling
-	KindUninit   = detect.KindUninit
+	KindOverflow    = detect.KindOverflow
+	KindDangling    = detect.KindDangling
+	KindUninit      = detect.KindUninit
+	KindStaleFree   = detect.KindStaleFree
+	KindStaleAccess = detect.KindStaleAccess
 )
 
 // TriageResult is the cross-layout culprit adjudication.

@@ -350,3 +350,50 @@ func SimUninitDetect(trials, bits, replicas int, seed uint64) float64 {
 	}
 	return float64(detected) / float64(trials)
 }
+
+// GenTagAliasProb is the aliasing probability of a W-bit *wrapping*
+// generation tag (DESIGN.md §15): a stale fat pointer falsely validates
+// against its recycled slot exactly when the slot's generation word
+// advanced by a multiple of 2^W since the tag was issued. Modeling the
+// advance d as uniform on [1, D] — D the maximum transitions a slot can
+// accumulate over the exposure window — exactly floor(D / 2^W) of those
+// advances alias, so
+//
+//	P[alias] = floor(D / 2^W) / D
+//
+// — identically zero while D < 2^W, and approaching 2^-W from below as
+// D grows. The implemented tier never enters the wrapping regime: a
+// free at the 32-bit ceiling retires the slot (sentinel word, never
+// reissued, Stats.Retired) instead of wrapping, so its realized
+// aliasing probability is exactly zero at any D. This closed form
+// quantifies what a narrower tag, or a wrap-permissive implementation,
+// would admit; SimGenTagAlias and the bracket test pin it.
+func GenTagAliasProb(bits, maxAdvance int) float64 {
+	if bits <= 0 || bits > 64 || maxAdvance <= 0 {
+		panic(fmt.Sprintf("analysis: gen tag alias with %d bits over %d advances out of range", bits, maxAdvance))
+	}
+	if bits >= 63 {
+		return 0 // 2^W exceeds any representable advance count
+	}
+	period := int(uint64(1) << uint(bits))
+	return float64(maxAdvance/period) / float64(maxAdvance)
+}
+
+// SimGenTagAlias is the Monte Carlo counterpart of GenTagAliasProb:
+// draw the generation advance uniformly on [1, maxAdvance] and count
+// the draws congruent to 0 mod 2^bits — the wrapped-tag collisions.
+func SimGenTagAlias(trials, bits, maxAdvance int, seed uint64) float64 {
+	if bits <= 0 || bits > 63 || maxAdvance <= 0 {
+		panic(fmt.Sprintf("analysis: gen tag alias sim with %d bits over %d advances out of range", bits, maxAdvance))
+	}
+	r := rng.NewSeeded(seed)
+	mask := (uint64(1) << uint(bits)) - 1
+	aliased := 0
+	for t := 0; t < trials; t++ {
+		d := 1 + r.Uintn(uint64(maxAdvance))
+		if d&mask == 0 {
+			aliased++
+		}
+	}
+	return float64(aliased) / float64(trials)
+}

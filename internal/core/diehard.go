@@ -129,6 +129,23 @@ type Options struct {
 	// the class lock, and replicated-mode heaps are per-replica
 	// sequential anyway.
 	LockedHeap bool
+	// GenTags attaches a generation counter to every small-object slot
+	// (DESIGN.md §15): a per-subregion side array next to the bitmap, so
+	// — like every other piece of DieHard metadata — tags live outside
+	// user memory and object placement is byte-identical to an untagged
+	// heap. The counter's parity encodes liveness (odd = allocated, even
+	// = free): every claim bumps even→odd after winning its bitmap CAS,
+	// and every free arbitrates by CAS-ing the counter odd→even *before*
+	// clearing the bit, which makes the generation word — not the bitmap
+	// bit — the single §4.3 arbiter of racing frees on tagged heaps.
+	// MallocFat issues fat pointers (addr, generation) and FreeFat
+	// rejects any whose generation is stale, turning the double free that
+	// straddles a reallocation — undetectable in any pure bitmap
+	// allocator (§12) — into a deterministic Stats.StaleFrees rejection.
+	// A slot reaching the generation ceiling is retired (bit held set
+	// forever, counted in Stats.Retired) so the 32-bit tag can never wrap
+	// into a false "valid". Requires the lock-free engine.
+	GenTags bool
 	// OnAlloc, when non-nil, is invoked after every successful
 	// allocation with the object's address, the requested size, and the
 	// size of the backing slot (the size-class object size, or the
@@ -149,6 +166,13 @@ type Options struct {
 	// winner: the goroutine that set (or cleared) the slot's bit is the
 	// one that runs the hook, outside any lock.
 	OnFree func(p heap.Ptr, slotSize int)
+	// OnStaleFree, when non-nil, is invoked whenever a generation-tagged
+	// free (FreeFat) is rejected because the pointer's generation no
+	// longer matches the slot's — the deterministic temporal-safety
+	// signal a detection engine records as evidence. Like OnAlloc/OnFree
+	// it runs unsynchronized on the freeing goroutine; hooked heaps are
+	// confined to one goroutine and cannot combine with RemoteRing.
+	OnStaleFree func(p heap.Ptr, gen uint64)
 	// SizeAdjust, when non-nil, is consulted at the top of every Malloc
 	// with the (normalized, positive) requested size and may return a
 	// larger size to allocate instead — the per-site overallocation-
@@ -235,6 +259,13 @@ type subregion struct {
 	base  uint64
 	slots int
 	bits  []uint64 // allocation bitmap: one bit per slot, segregated metadata
+	// gens is the per-slot generation word (Options.GenTags, DESIGN.md
+	// §15), nil on untagged heaps. Parity encodes liveness (odd =
+	// allocated): claims bump after winning the bitmap CAS, frees CAS
+	// odd→even before clearing the bit — on tagged heaps this word, not
+	// the bit, arbitrates racing frees. Segregated metadata like the
+	// bitmap: heap writes cannot reach it, and placement is unchanged.
+	gens  []uint32
 	cl    *sizeClass
 	shift uint
 }
@@ -344,6 +375,7 @@ type largeObject struct {
 	size      int    // requested (usable) size
 	mapBase   uint64 // start of the guarded mapping
 	mapLength int    // total mapped length including guard pages
+	gen       uint64 // GenTags: per-heap monotonic issue counter (odd, never wraps)
 }
 
 // pageIndex resolves a page number to its subregion in O(1): the
@@ -374,6 +406,7 @@ type Heap struct {
 	large     map[heap.Ptr]largeObject
 	largeRand rng.MWC // fill stream for large objects; under largeMu
 	largeBuf  []byte  // under largeMu
+	largeGen  uint64  // GenTags issue counter for large objects; under largeMu
 
 	idxMu   sync.Mutex // serializes pageIdx publication
 	pageIdx atomic.Pointer[pageIndex]
@@ -464,13 +497,16 @@ func newHeap(opts Options, space *vmem.Space) (*Heap, error) {
 		if !h.lockfree {
 			return nil, fmt.Errorf("diehard: RemoteRing requires the lock-free engine (not LockedHeap/RandomFill)")
 		}
-		if o.OnAlloc != nil || o.OnFree != nil {
+		if o.OnAlloc != nil || o.OnFree != nil || o.OnStaleFree != nil {
 			return nil, fmt.Errorf("diehard: RemoteRing cannot batch past per-operation observation hooks")
 		}
 		h.remote = newFreeRing(remoteRingSize)
 	}
 	if o.FreeFilter != nil && !h.lockfree {
 		return nil, fmt.Errorf("diehard: FreeFilter quarantine requires the lock-free engine (not LockedHeap/RandomFill)")
+	}
+	if o.GenTags && !h.lockfree {
+		return nil, fmt.Errorf("diehard: GenTags requires the lock-free engine (not LockedHeap/RandomFill)")
 	}
 	if h.space == nil {
 		h.space = vmem.NewSpace()
@@ -556,6 +592,9 @@ func (h *Heap) addSubregion(c, slots int) error {
 		bits:  make([]uint64, (slots+63)/64),
 		cl:    cl,
 		shift: cl.shift,
+	}
+	if h.opts.GenTags {
+		sub.gens = make([]uint32, slots)
 	}
 	h.indexSubregion(sub, base, uint64(slots)<<cl.shift)
 	next := &classRegions{totalSlots: slots}
@@ -719,6 +758,7 @@ func (h *Heap) mallocLockFree(c, size int) (heap.Ptr, error) {
 			// commit plainly and claim without fences.
 			cl.randState = st
 			sub.set(local)
+			h.genClaim(sub, local)
 			cl.mallocs++
 			break
 		}
@@ -733,6 +773,10 @@ func (h *Heap) mallocLockFree(c, size int) (heap.Ptr, error) {
 			continue
 		}
 		if sub.casSet(local) {
+			// The generation bump needs no CAS: the slot's word is only
+			// ever advanced even→odd by its casSet winner (us), and frees
+			// reject even words, so the word is quiescent until we bump.
+			h.genClaim(sub, local)
 			atomic.AddUint64(&cl.mallocs, 1)
 			break
 		}
@@ -1019,11 +1063,20 @@ func (h *Heap) allocateLargeObject(size int) (heap.Ptr, error) {
 		h.addStat(&h.stats.FailedMallocs, 1)
 		return heap.Null, err
 	}
-	h.large[base] = largeObject{
+	lo := largeObject{
 		size:      size,
 		mapBase:   base - vmem.PageSize,
 		mapLength: (npages + 2) * vmem.PageSize,
 	}
+	if h.opts.GenTags {
+		// Large objects carry a 64-bit monotonic generation (always odd,
+		// like every issued tag): at one allocation per nanosecond the
+		// counter would take centuries to wrap, so large tags need no
+		// retirement scheme.
+		lo.gen = h.largeGen*2 + 1
+		h.largeGen++
+	}
+	h.large[base] = lo
 	var fillErr error
 	if h.opts.RandomFill {
 		fillErr = h.fillRandom(&h.largeRand, &h.largeBuf, base, size)
@@ -1059,31 +1112,33 @@ func (h *Heap) Free(p heap.Ptr) error {
 		}
 		delete(h.large, p) // delete-first: exactly one racing free wins
 		h.largeMu.Unlock()
-		usable := (lo.mapLength/vmem.PageSize - 2) * vmem.PageSize
-		if h.opts.OnFree != nil {
-			// Fire while the guarded mapping is still live, so a
-			// detection hook can audit the trailing-page slack that
-			// disappears with the unmap (the large-object canary gap).
-			h.opts.OnFree(p, usable)
-		}
-		if err := h.space.Unmap(lo.mapBase, lo.mapLength); err != nil {
-			// Cannot happen unless internal state is corrupt; re-list
-			// the object so accounting stays consistent and the free
-			// can be retried.
-			h.largeMu.Lock()
-			h.large[p] = lo
-			h.largeMu.Unlock()
-			return err
-		}
-		h.addStat(&h.stats.WorkUnits, heap.WorkMmap)
-		h.countFree(usable)
-		if h.trace != nil {
-			h.trace.Emit(obs.EvFree, p)
-		}
-		return nil
+		return h.finishLargeFree(p, lo)
 	}
 	if (p-sub.base)&cl.mask != 0 {
 		h.addStat(&h.stats.IgnoredFrees, 1) // misaligned interior pointer: ignore
+		return nil
+	}
+	if sub.gens != nil {
+		// Tagged heap (DESIGN.md §15): the generation word is the free
+		// arbiter. The transition runs *before* the quarantine filter so
+		// that exactly one free per incarnation ever reaches the filter —
+		// held slots sit bit-set with an even generation, and duplicate
+		// frees lose here (so the quarantine FIFO never holds duplicates
+		// on tagged heaps, and a release's bit-clear can never race a
+		// reallocated slot).
+		switch h.genFreePlain(sub, local) {
+		case genLose:
+			h.addStat(&h.stats.IgnoredFrees, 1) // double free: ignore
+			return nil
+		case genRetireOut:
+			h.addStat(&h.stats.Retired, 1)
+			return nil
+		}
+		if h.opts.FreeFilter != nil && h.opts.FreeFilter(p, cl.size) {
+			h.quarantineHold(p)
+			return nil
+		}
+		h.genFinishFree(cl, sub, local, p)
 		return nil
 	}
 	if h.opts.FreeFilter != nil && sub.getAtomic(local) && h.opts.FreeFilter(p, cl.size) {
@@ -1131,6 +1186,34 @@ func (h *Heap) Free(p heap.Ptr) error {
 	}
 	if h.opts.OnFree != nil {
 		h.opts.OnFree(p, cl.size)
+	}
+	return nil
+}
+
+// finishLargeFree completes the free of a large object after the caller
+// removed it from the table (delete-first under largeMu, so exactly one
+// racing free reaches here): hook, unmap, accounting.
+func (h *Heap) finishLargeFree(p heap.Ptr, lo largeObject) error {
+	usable := (lo.mapLength/vmem.PageSize - 2) * vmem.PageSize
+	if h.opts.OnFree != nil {
+		// Fire while the guarded mapping is still live, so a
+		// detection hook can audit the trailing-page slack that
+		// disappears with the unmap (the large-object canary gap).
+		h.opts.OnFree(p, usable)
+	}
+	if err := h.space.Unmap(lo.mapBase, lo.mapLength); err != nil {
+		// Cannot happen unless internal state is corrupt; re-list
+		// the object so accounting stays consistent and the free
+		// can be retried.
+		h.largeMu.Lock()
+		h.large[p] = lo
+		h.largeMu.Unlock()
+		return err
+	}
+	h.addStat(&h.stats.WorkUnits, heap.WorkMmap)
+	h.countFree(usable)
+	if h.trace != nil {
+		h.trace.Emit(obs.EvFree, p)
 	}
 	return nil
 }
@@ -1478,7 +1561,23 @@ func (h *Heap) LargeObjects() int {
 // LiveObjects counters and exact FreeSlots walks at the barrier. Like
 // the popcount comparison, draining requires the magazines' owner
 // goroutines to be quiescent.
-func (h *Heap) CheckInvariants() error {
+func (h *Heap) CheckInvariants() error { return h.checkInvariants(0) }
+
+// CheckInvariantsSlack is CheckInvariants with the documented §12
+// allowance for UNTAGGED heaps under deliberate double-free injection:
+// a double free whose second half lands after the slot was reallocated
+// or magazine-pre-claimed is indistinguishable from a valid free in any
+// bitmap allocator, so each such straddle can skew the Mallocs/Frees/
+// LiveObjects ledger by one against the (always exact) bitmap
+// population. The structural invariants — per-class popcount == inUse,
+// bitmap/metadata consistency — take NO slack; only the two aggregate
+// stats cross-checks tolerate an absolute skew of at most `slack`
+// (callers pass their injected double-free count). Generation-tagged
+// heaps never need this: the gens CAS rejects the straddling half as
+// stale (DESIGN.md §15), so tagged callers use the exact barrier.
+func (h *Heap) CheckInvariantsSlack(slack uint64) error { return h.checkInvariants(slack) }
+
+func (h *Heap) checkInvariants(slack uint64) error {
 	h.DrainMagazines()
 	h.drainRemote(-1)
 	inUse := 0
@@ -1500,14 +1599,14 @@ func (h *Heap) CheckInvariants() error {
 	// class must equal the live small objects plus quarantined holds
 	// (held slots keep their bit) when large objects are added in.
 	st := h.StatsSnapshot()
-	if st.Mallocs-st.Frees != st.LiveObjects {
+	if skew := int64(st.Mallocs-st.Frees) - int64(st.LiveObjects); absSkew(skew) > slack {
 		return fmt.Errorf("stats: mallocs %d - frees %d != live objects %d",
 			st.Mallocs, st.Frees, st.LiveObjects)
 	}
 	h.largeMu.Lock()
 	large := len(h.large)
 	h.largeMu.Unlock()
-	if uint64(inUse+large) != st.LiveObjects {
+	if skew := int64(inUse+large) - int64(st.LiveObjects); absSkew(skew) > slack {
 		return fmt.Errorf("stats: class occupancy %d + large %d != live objects %d",
 			inUse, large, st.LiveObjects)
 	}
@@ -1515,6 +1614,13 @@ func (h *Heap) CheckInvariants() error {
 		h.trace.Emit(obs.EvBarrier, st.LiveObjects)
 	}
 	return nil
+}
+
+func absSkew(d int64) uint64 {
+	if d < 0 {
+		return uint64(-d)
+	}
+	return uint64(d)
 }
 
 // SetTrace installs (or removes, with nil) the flight-recorder ring.
@@ -1561,6 +1667,8 @@ func (h *Heap) PublishMetrics(reg *obs.Registry, labels ...obs.Label) {
 		{"core.remote_drains", &h.stats.RemoteDrains},
 		{"core.quarantined", &h.stats.Quarantined},
 		{"core.quarantine_released", &h.stats.QuarantineOut},
+		{"core.stale_frees", &h.stats.StaleFrees},
+		{"core.retired_slots", &h.stats.Retired},
 	} {
 		f := m.f
 		reg.Gauge(m.name, func() float64 { return float64(atomic.LoadUint64(f)) }, labels...)
@@ -1575,6 +1683,29 @@ func (cl *sizeClass) checkLocked(c int) error {
 		slots += sub.slots
 		for w := range sub.bits {
 			pop += bits.OnesCount64(atomic.LoadUint64(&sub.bits[w]))
+		}
+		// Tagged heaps: a clear bit means the slot's generation word is
+		// even (free parity) — clears only follow a won odd→even
+		// transition, and claims bump back to odd before any free can
+		// race. (The converse does not hold: a bit-set slot may carry an
+		// even word while quarantined after a won transition, or the odd
+		// retirement sentinel.) Exact at quiescence, like the popcount.
+		if sub.gens != nil {
+			for w := range sub.bits {
+				word := atomic.LoadUint64(&sub.bits[w])
+				lim := sub.slots - w*64
+				if lim > 64 {
+					lim = 64
+				}
+				for b := 0; b < lim; b++ {
+					if word&(1<<uint(b)) != 0 {
+						continue
+					}
+					if g := atomic.LoadUint32(&sub.gens[w*64+b]); g&1 != 0 {
+						return fmt.Errorf("class %d: free slot %d has odd generation %#x", c, w*64+b, g)
+					}
+				}
+			}
 		}
 		// Bits beyond the slot count must be zero.
 		if tail := sub.slots & 63; tail != 0 {

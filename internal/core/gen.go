@@ -1,0 +1,440 @@
+package core
+
+// Generation-tagged slots (Options.GenTags, DESIGN.md §15): the
+// deterministic temporal-safety tier.
+//
+// Every small-object slot carries a 32-bit generation word in a side
+// array next to the allocation bitmap — segregated metadata, so heap
+// writes cannot reach it and placement is byte-identical to an untagged
+// heap. The word's parity encodes liveness: odd = allocated, even =
+// free. Every transition bumps the word by one:
+//
+//   - a claim (malloc probe win, magazine refill) bumps even→odd
+//     *after* winning its bitmap CAS — no CAS needed, because frees
+//     reject even words and claims only follow a cleared bit, so the
+//     word is quiescent between the bitmap win and the bump;
+//   - a free CASes odd→even *before* the bitmap clear. On tagged heaps
+//     this CAS, not the bitmap bit, is the single §4.3 arbiter: of any
+//     set of racing frees of one incarnation — synchronous, magazine-
+//     flushed, quarantine-diverted, or remote-ring-drained — exactly
+//     one wins the transition, and the winner's bit-clear can never
+//     fail or land on a reallocated slot.
+//
+// MallocFat returns a fat pointer (addr, generation); FreeFat rejects
+// any fat pointer whose generation no longer matches the slot — which
+// makes the double free that straddles a reallocation, provably
+// invisible to a pure bitmap allocator (§12), a deterministic
+// Stats.StaleFrees rejection with an OnStaleFree evidence callback.
+//
+// Wraparound cannot produce a false "valid": a free that would push the
+// 32-bit word into the ceiling band instead CASes it to the retirement
+// sentinel — the slot keeps its bit and its occupancy unit forever, is
+// never re-issued, and counts in Stats.Retired (not Frees, so
+// Mallocs − Frees == LiveObjects still balances). The aliasing
+// probability a *wrapping* tag would admit is quantified in
+// internal/analysis (GenTagAliasProb); this implementation's answer to
+// it is exactly zero. Large objects carry a 64-bit monotonic counter
+// that cannot wrap on any physical timescale.
+
+import (
+	"errors"
+	"sync/atomic"
+
+	"diehard/internal/heap"
+	"diehard/internal/obs"
+)
+
+const (
+	// genRetired is the retirement sentinel: odd (so the slot reads as
+	// allocated-parity forever) and never issued as a tag.
+	genRetired = ^uint32(0) // 0xFFFFFFFF
+	// genRetireAt is the retirement band: a free of a slot whose word is
+	// at or above it retires the slot instead of recycling it. The
+	// largest tag ever issued is therefore genRetireAt+1 = 0xFFFFFFF1
+	// (the claim after the last even word below the band), strictly
+	// below genRetired — no uint32 addition on any path can wrap.
+	genRetireAt = uint32(0xFFFFFFF0)
+)
+
+// ErrNotGenTagged is returned by the fat-pointer API on heaps built
+// without Options.GenTags.
+var ErrNotGenTagged = errors.New("diehard: heap built without Options.GenTags")
+
+// genOutcome is the result of a generation free-transition attempt.
+type genOutcome int
+
+const (
+	genWin       genOutcome = iota // transition won: caller owns the release
+	genLose                        // stale or double free: reject
+	genRetireOut                   // slot retired at the generation ceiling
+)
+
+// genClaim bumps the slot's generation even→odd after a won bitmap
+// claim. No-op on untagged heaps (one nil check on the malloc path).
+func (h *Heap) genClaim(sub *subregion, local int) {
+	if sub.gens == nil {
+		return
+	}
+	if h.atomicStats {
+		atomic.AddUint32(&sub.gens[local], 1)
+	} else {
+		sub.gens[local]++
+	}
+}
+
+// genFreePlain arbitrates an untagged free of slot local on a tagged
+// heap: CAS the word odd→even (or into retirement at the ceiling).
+// genLose means the slot is already free, retired, or lost to a racing
+// free — the §4.3 ignore.
+func (h *Heap) genFreePlain(sub *subregion, local int) genOutcome {
+	g := &sub.gens[local]
+	if !h.atomicStats {
+		cur := *g
+		switch {
+		case cur&1 == 0 || cur == genRetired:
+			return genLose
+		case cur >= genRetireAt:
+			*g = genRetired
+			return genRetireOut
+		default:
+			*g = cur + 1
+			return genWin
+		}
+	}
+	for {
+		cur := atomic.LoadUint32(g)
+		if cur&1 == 0 || cur == genRetired {
+			return genLose
+		}
+		if cur >= genRetireAt {
+			if atomic.CompareAndSwapUint32(g, cur, genRetired) {
+				return genRetireOut
+			}
+			continue
+		}
+		if atomic.CompareAndSwapUint32(g, cur, cur+1) {
+			return genWin
+		}
+	}
+}
+
+// genFreeFat arbitrates a fat free: the transition additionally demands
+// the slot's word equal the fat pointer's tag, so a stale pointer —
+// freed, reallocated, quarantined, or retired since issue — loses
+// deterministically. want has been validated odd and below genRetired.
+func (h *Heap) genFreeFat(sub *subregion, local int, want uint32) genOutcome {
+	g := &sub.gens[local]
+	if !h.atomicStats {
+		cur := *g
+		switch {
+		case cur != want:
+			return genLose
+		case cur >= genRetireAt:
+			*g = genRetired
+			return genRetireOut
+		default:
+			*g = cur + 1
+			return genWin
+		}
+	}
+	for {
+		cur := atomic.LoadUint32(g)
+		if cur != want {
+			return genLose
+		}
+		if cur >= genRetireAt {
+			if atomic.CompareAndSwapUint32(g, cur, genRetired) {
+				return genRetireOut
+			}
+			continue
+		}
+		if atomic.CompareAndSwapUint32(g, cur, cur+1) {
+			return genWin
+		}
+	}
+}
+
+// genFinishFree applies the release a won free transition granted: the
+// bit-clear cannot fail (clears only follow won transitions, and claims
+// need a cleared bit first), so no arbitration remains.
+func (h *Heap) genFinishFree(cl *sizeClass, sub *subregion, local int, p heap.Ptr) {
+	if h.atomicStats {
+		sub.casClear(local)
+		atomic.AddInt64(&cl.inUse, -1)
+	} else {
+		sub.clear(local)
+		cl.inUse--
+	}
+	h.addStat(&h.stats.WorkUnits, heap.WorkBitmap)
+	h.countFree(cl.size)
+	if h.trace != nil {
+		h.trace.Emit(obs.EvFree, p)
+	}
+	if h.opts.OnFree != nil {
+		h.opts.OnFree(p, cl.size)
+	}
+}
+
+// noteStaleFree records a rejected stale free: counter, trace event,
+// and the OnStaleFree evidence hook.
+func (h *Heap) noteStaleFree(p heap.Ptr, gen uint64) {
+	h.addStat(&h.stats.StaleFrees, 1)
+	if h.trace != nil {
+		h.trace.Emit(obs.EvStaleFree, p)
+	}
+	if h.opts.OnStaleFree != nil {
+		h.opts.OnStaleFree(p, gen)
+	}
+}
+
+// genValidTag reports whether g could ever have been issued as a tag:
+// odd, nonzero, below the retirement sentinel, and within 32 bits for
+// small objects. Anything else is stale by construction.
+func genValidTag(g uint64) bool {
+	return g&1 == 1 && g == uint64(uint32(g)) && uint32(g) != genRetired
+}
+
+// GenTagged reports whether the heap issues generation-tagged pointers.
+func (h *Heap) GenTagged() bool { return h.opts.GenTags }
+
+// GenOf returns the current generation of the slot or large object
+// containing p. ok is false on untagged heaps and for addresses outside
+// the heap. A free slot reports its (even) resting generation — which is
+// exactly what makes CheckGen on a stale fat pointer return false.
+func (h *Heap) GenOf(p heap.Ptr) (uint64, bool) {
+	_, sub, local := h.find(p)
+	if sub != nil {
+		if sub.gens == nil {
+			return 0, false
+		}
+		if h.atomicStats {
+			return uint64(atomic.LoadUint32(&sub.gens[local])), true
+		}
+		return uint64(sub.gens[local]), true
+	}
+	if !h.opts.GenTags {
+		return 0, false
+	}
+	h.largeMu.Lock()
+	lo, ok := h.large[p]
+	h.largeMu.Unlock()
+	if !ok {
+		return 0, false
+	}
+	return lo.gen, true
+}
+
+// CheckGen reports whether fp is current: its tag equals the containing
+// slot's generation word right now, and that word is a live (odd,
+// unretired) tag the allocator could have issued — so a forged even tag
+// cannot validate against a free slot, and the retirement sentinel
+// validates nothing. This is the deterministic temporal validity test
+// the generation-checked memory view (internal/detect) runs on every
+// access.
+func (h *Heap) CheckGen(fp heap.FatPtr) bool {
+	g, ok := h.GenOf(fp.Addr)
+	if !ok || g != fp.Gen || g&1 != 1 {
+		return false
+	}
+	// Small-object words are 32-bit; only their sentinel is excluded
+	// (large-object generations are 64-bit monotonic and never retire).
+	if g == uint64(uint32(g)) && uint32(g) == genRetired {
+		_, sub, _ := h.find(fp.Addr)
+		if sub != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// SetGen overwrites the generation word of the small-object slot at p —
+// a test seam for wraparound and retirement drills (the analysis-layer
+// bracket tests drive a slot to the ceiling without 2³¹ free/malloc
+// round trips). gen must be a tag the allocator could have issued (odd,
+// not the retirement sentinel); the slot must be a live, aligned,
+// tagged small object. Returns the fat pointer carrying the new tag.
+func (h *Heap) SetGen(p heap.Ptr, gen uint32) (heap.FatPtr, bool) {
+	if gen&1 == 0 || gen == genRetired {
+		return heap.FatPtr{}, false
+	}
+	cl, sub, local := h.find(p)
+	if cl == nil || sub.gens == nil || (p-sub.base)&cl.mask != 0 {
+		return heap.FatPtr{}, false
+	}
+	if h.atomicStats {
+		atomic.StoreUint32(&sub.gens[local], gen)
+	} else {
+		sub.gens[local] = gen
+	}
+	return heap.FatPtr{Addr: p, Gen: uint64(gen)}, true
+}
+
+// MallocFat allocates like Malloc and returns the fat pointer carrying
+// the slot's freshly bumped generation. The read is race-free: the
+// address has not escaped yet, so nothing can free (and re-bump) it.
+func (h *Heap) MallocFat(size int) (heap.FatPtr, error) {
+	if !h.opts.GenTags {
+		return heap.FatPtr{}, ErrNotGenTagged
+	}
+	p, err := h.Malloc(size)
+	if err != nil {
+		return heap.FatPtr{}, err
+	}
+	g, _ := h.GenOf(p)
+	return heap.FatPtr{Addr: p, Gen: g}, nil
+}
+
+// FreeFat releases a generation-tagged allocation. accepted reports
+// whether this call won the release (or retired the slot): a stale tag
+// — the slot freed, reallocated, quarantined, or retired since fp was
+// issued — is rejected with accepted == false, counted in
+// Stats.StaleFrees, and reported through OnStaleFree. Of racing FreeFat
+// calls with the same fat pointer, exactly one is accepted: the
+// generation CAS arbitrates, deterministically, even when the loser
+// arrives after the slot was reallocated — the case a pure bitmap free
+// cannot distinguish (§12). Misaligned interior pointers keep the plain
+// §4.3 ignore (Stats.IgnoredFrees): they are spatial, not temporal,
+// errors.
+func (h *Heap) FreeFat(fp heap.FatPtr) (accepted bool, err error) {
+	if !h.opts.GenTags {
+		return false, ErrNotGenTagged
+	}
+	p := fp.Addr
+	if p == heap.Null {
+		return true, nil // free(NULL) is a no-op in C
+	}
+	cl, sub, local := h.find(p)
+	if cl == nil {
+		// Large object, or nothing at all. A fat pointer resolving to no
+		// live object is stale by construction (fat pointers are only
+		// issued by MallocFat): the freed-large-object double free lands
+		// here deterministically.
+		h.largeMu.Lock()
+		lo, ok := h.large[p]
+		if !ok || lo.gen != fp.Gen {
+			h.largeMu.Unlock()
+			h.noteStaleFree(p, fp.Gen)
+			return false, nil
+		}
+		delete(h.large, p) // delete-first: exactly one racing free wins
+		h.largeMu.Unlock()
+		return true, h.finishLargeFree(p, lo)
+	}
+	if (p-sub.base)&cl.mask != 0 {
+		h.addStat(&h.stats.IgnoredFrees, 1) // misaligned interior pointer: ignore
+		return false, nil
+	}
+	if !genValidTag(fp.Gen) {
+		h.noteStaleFree(p, fp.Gen)
+		return false, nil
+	}
+	switch h.genFreeFat(sub, local, uint32(fp.Gen)) {
+	case genLose:
+		h.noteStaleFree(p, fp.Gen)
+		return false, nil
+	case genRetireOut:
+		h.addStat(&h.stats.Retired, 1)
+		return true, nil
+	}
+	if h.opts.FreeFilter != nil && h.opts.FreeFilter(p, cl.size) {
+		// Quarantine divert after the won transition: the held slot sits
+		// bit-set with an even generation, so stale accesses and stale
+		// frees during the hold are detected, and the eventual release
+		// is the slot's sole bit-clearer.
+		h.quarantineHold(p)
+		return true, nil
+	}
+	h.genFinishFree(cl, sub, local, p)
+	return true, nil
+}
+
+// RemoteFreeFat releases fp through the remote-free ring, carrying the
+// generation in the ring cell so the owner's drain runs the same
+// gen-checked arbitration FreeFat does — a stale fat pointer is
+// rejected (Stats.StaleFrees) at drain time, after any reallocation the
+// deferral allowed. Everything the ring cannot defer falls back to the
+// synchronous FreeFat. accepted == true for an enqueued free means
+// "queued": the verdict lands in the owner's counters at its next
+// drain.
+func (h *Heap) RemoteFreeFat(fp heap.FatPtr) (accepted bool, err error) {
+	if !h.opts.GenTags {
+		return false, ErrNotGenTagged
+	}
+	if fp.Addr == heap.Null {
+		return true, nil
+	}
+	r := h.remote
+	if r == nil {
+		return h.FreeFat(fp)
+	}
+	cl, sub, _ := h.find(fp.Addr)
+	if cl == nil || (fp.Addr-sub.base)&cl.mask != 0 {
+		return h.FreeFat(fp) // large, foreign, or interior: the unbatched path decides
+	}
+	if !r.enqueue(fp.Addr, fp.Gen) {
+		return h.FreeFat(fp) // owner is behind; apply in place rather than wait
+	}
+	if h.trace != nil {
+		h.trace.Emit(obs.EvRemoteFree, fp.Addr)
+	}
+	return true, nil
+}
+
+// MallocFat allocates from the emptiest shard (the Malloc routing) and
+// returns the fat pointer with the owning shard's generation.
+func (sh *ShardedHeap) MallocFat(size int) (heap.FatPtr, error) {
+	p, err := sh.Malloc(size)
+	if err != nil {
+		return heap.FatPtr{}, err
+	}
+	s := sh.owner(p)
+	if s == nil || !s.opts.GenTags {
+		return heap.FatPtr{}, ErrNotGenTagged
+	}
+	g, _ := s.GenOf(p)
+	return heap.FatPtr{Addr: p, Gen: g}, nil
+}
+
+// FreeFat routes fp to its owning shard's gen-checked free. A fat
+// pointer owned by no shard is stale by construction (its large object
+// was already freed) and rejected.
+func (sh *ShardedHeap) FreeFat(fp heap.FatPtr) (bool, error) {
+	if fp.Addr == heap.Null {
+		return true, nil
+	}
+	if s := sh.owner(fp.Addr); s != nil {
+		return s.FreeFat(fp)
+	}
+	atomic.AddUint64(&sh.stats.StaleFrees, 1)
+	return false, nil
+}
+
+// RemoteFreeFat routes fp to its owning shard's ring with the
+// generation attached, exactly as ShardedHeap.RemoteFree routes plain
+// pointers.
+func (sh *ShardedHeap) RemoteFreeFat(fp heap.FatPtr) (bool, error) {
+	if fp.Addr == heap.Null {
+		return true, nil
+	}
+	if s := sh.owner(fp.Addr); s != nil {
+		return s.RemoteFreeFat(fp)
+	}
+	atomic.AddUint64(&sh.stats.StaleFrees, 1)
+	return false, nil
+}
+
+// GenOf resolves p's current generation through its owning shard.
+func (sh *ShardedHeap) GenOf(p heap.Ptr) (uint64, bool) {
+	if s := sh.owner(p); s != nil {
+		return s.GenOf(p)
+	}
+	return 0, false
+}
+
+// CheckGen reports whether fp is current in its owning shard.
+func (sh *ShardedHeap) CheckGen(fp heap.FatPtr) bool {
+	if s := sh.owner(fp.Addr); s != nil {
+		return s.CheckGen(fp)
+	}
+	return false
+}

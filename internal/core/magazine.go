@@ -317,40 +317,76 @@ func (m *Magazine) flushFrees(c int, cm *classMagazine, sync bool) {
 	}
 	if m.sh == nil {
 		// Single-heap magazines have exactly one owner: count wins and
-		// §4.3 ignores straight through, no per-shard accounting.
-		wins, ignored := 0, 0
-		if m.h.atomicStats {
-			for _, e := range cm.free {
-				if e.sub.casClear(int(e.local)) {
+		// §4.3 ignores straight through, no per-shard accounting. On
+		// tagged heaps (DESIGN.md §15) the generation word arbitrates
+		// each buffered free before its bit-clear, exactly as the
+		// synchronous path does.
+		wins, ignored, retired := 0, 0, 0
+		for _, e := range cm.free {
+			local := int(e.local)
+			if e.sub.gens != nil {
+				switch m.h.genFreePlain(e.sub, local) {
+				case genWin:
+					if m.h.atomicStats {
+						e.sub.casClear(local)
+					} else {
+						e.sub.clear(local)
+					}
 					wins++
-				} else {
+				case genRetireOut:
+					retired++
+				default:
 					ignored++
 				}
+				continue
 			}
-		} else {
-			for _, e := range cm.free {
-				if local := int(e.local); e.sub.get(local) {
-					e.sub.clear(local)
+			if m.h.atomicStats {
+				if e.sub.casClear(local) {
 					wins++
 				} else {
 					ignored++
 				}
+			} else if e.sub.get(local) {
+				e.sub.clear(local)
+				wins++
+			} else {
+				ignored++
 			}
 		}
 		m.h.finishBatchedFrees(c, wins, ignored)
+		if retired > 0 {
+			m.h.addStat(&m.h.stats.Retired, uint64(retired))
+		}
 		cm.free = cm.free[:0]
 		return
 	}
 	wins := make([]int, len(m.sh.shards))
 	ignored := make([]int, len(m.sh.shards))
+	var retired []int
 	for _, e := range cm.free {
 		if !sync {
 			if s := m.sh.shards[e.shard]; s != cm.owner && s.remote != nil &&
-				s.remote.enqueue(e.sub.base+uint64(e.local)<<e.sub.shift) {
+				s.remote.enqueue(e.sub.base+uint64(e.local)<<e.sub.shift, 0) {
 				continue // the foreign owner will clear it at its next drain
 			}
 		}
-		if e.sub.casClear(int(e.local)) { // shards are always concurrent
+		local := int(e.local)
+		if e.sub.gens != nil {
+			switch m.sh.shards[e.shard].genFreePlain(e.sub, local) {
+			case genWin:
+				e.sub.casClear(local)
+				wins[e.shard]++
+			case genRetireOut:
+				if retired == nil {
+					retired = make([]int, len(m.sh.shards))
+				}
+				retired[e.shard]++
+			default:
+				ignored[e.shard]++
+			}
+			continue
+		}
+		if e.sub.casClear(local) { // shards are always concurrent
 			wins[e.shard]++
 		} else {
 			ignored[e.shard]++
@@ -359,6 +395,9 @@ func (m *Magazine) flushFrees(c int, cm *classMagazine, sync bool) {
 	for i, s := range m.sh.shards {
 		if wins[i] != 0 || ignored[i] != 0 {
 			s.finishBatchedFrees(c, wins[i], ignored[i])
+		}
+		if retired != nil && retired[i] != 0 {
+			s.addStat(&s.stats.Retired, uint64(retired[i]))
 		}
 	}
 	cm.free = cm.free[:0]
@@ -393,8 +432,28 @@ func (m *Magazine) returnClaims(c int, cm *classMagazine) {
 	owner := cm.owner
 	cl := &owner.classes[c]
 	wins := 0
+	retired := 0
 	for _, p := range cm.slots[cm.next:] {
 		_, sub, local := owner.find(p)
+		if sub.gens != nil {
+			// Tagged heap: the refill's claim bumped the slot odd, so the
+			// return is a normal generation free-transition. A wild free
+			// that stole the slot already transitioned it (and gave the
+			// unit back); the lose branch skips it exactly as the
+			// bit-test does below.
+			switch owner.genFreePlain(sub, local) {
+			case genWin:
+				if owner.atomicStats {
+					sub.casClear(local)
+				} else {
+					sub.clear(local)
+				}
+				wins++
+			case genRetireOut:
+				retired++
+			}
+			continue
+		}
 		if owner.atomicStats {
 			if sub.casClear(local) {
 				wins++
@@ -403,6 +462,11 @@ func (m *Magazine) returnClaims(c int, cm *classMagazine) {
 			sub.clear(local)
 			wins++
 		}
+	}
+	if retired > 0 {
+		// Retired slots keep their bit and their occupancy unit forever;
+		// they were never served, so nothing else is counted.
+		owner.addStat(&owner.stats.Retired, uint64(retired))
 	}
 	// Only winners release occupancy: a pre-claimed slot stolen by a
 	// wild free already gave its unit back at that free's flush.
@@ -576,6 +640,7 @@ func (h *Heap) magazineRefill(c, want int, out *[]heap.Ptr, scratch *[]int32) (i
 			// mallocLocked's specialized inner loop.
 			sub := regs.subs[0]
 			bitsW := sub.bits
+			gensW := sub.gens
 			base, shift := sub.base, cl.shift
 			for len(idxs) < got {
 				if probes >= probeCap {
@@ -598,6 +663,9 @@ func (h *Heap) magazineRefill(c, want int, out *[]heap.Ptr, scratch *[]int32) (i
 				// Claim as drawn, so each draw probes the bitmap state
 				// its unbatched twin would see.
 				bitsW[w] |= bit
+				if gensW != nil {
+					gensW[local]++ // tagged claim bump, sequential engine
+				}
 				idxs = append(idxs, int32(local))
 				slots = append(slots, base+uint64(local)<<shift)
 			}
@@ -627,6 +695,7 @@ func (h *Heap) magazineRefill(c, want int, out *[]heap.Ptr, scratch *[]int32) (i
 					}
 					sub.set(local)
 				}
+				h.genClaim(sub, local)
 				idxs = append(idxs, int32(idx))
 				slots = append(slots, sub.base+uint64(local)<<cl.shift)
 			}
@@ -634,12 +703,13 @@ func (h *Heap) magazineRefill(c, want int, out *[]heap.Ptr, scratch *[]int32) (i
 		if overflowed {
 			// Metadata-accounting failure (the same astronomically
 			// unlikely guard the unbatched loop carries): undo and
-			// release everything this refill holds.
-			h.undoClaims(regs, idxs)
+			// release everything this refill holds. Claims that retired
+			// at undo keep their occupancy unit.
+			retired := h.undoClaims(regs, idxs)
 			if h.atomicStats {
-				atomic.AddInt64(&cl.inUse, -int64(got))
+				atomic.AddInt64(&cl.inUse, -int64(got-retired))
 			} else {
-				cl.inUse -= int64(got)
+				cl.inUse -= int64(got - retired)
 			}
 			return 0, &heap.CorruptionError{Detail: "diehard: no free slot found below fill threshold"}
 		}
@@ -653,8 +723,10 @@ func (h *Heap) magazineRefill(c, want int, out *[]heap.Ptr, scratch *[]int32) (i
 			break
 		}
 		// A racing consumer advanced the stream: this batch's draws are
-		// no longer the stream prefix, so un-claim and replay.
-		h.undoClaims(regs, idxs)
+		// no longer the stream prefix, so un-claim and replay. A claim
+		// that retired at undo keeps its unit; shrink the batch so the
+		// replay's claims still balance the original reservation.
+		got -= h.undoClaims(regs, idxs)
 		replays++
 		backoffSpin(replays, uint32(b.State()))
 	}
@@ -671,13 +743,31 @@ func (h *Heap) magazineRefill(c, want int, out *[]heap.Ptr, scratch *[]int32) (i
 
 // undoClaims releases the bitmap bits of an abandoned refill attempt,
 // resolving each claim's class-wide index against the region list the
-// claims were made under.
-func (h *Heap) undoClaims(regs *classRegions, idxs []int32) {
+// claims were made under. On tagged heaps each undo is a generation
+// free-transition (the claim bumped the slot odd): a wild free that
+// stole the claim in the meantime already transitioned it, and a slot
+// at the generation ceiling retires — the returned count tells the
+// caller how many occupancy units stay permanently consumed.
+func (h *Heap) undoClaims(regs *classRegions, idxs []int32) int {
 	single := len(regs.subs) == 1
+	retired := 0
 	for _, idx := range idxs {
 		sub, local := regs.subs[0], int(idx)
 		if !single {
 			sub, local = regs.locate(int(idx))
+		}
+		if sub.gens != nil {
+			switch h.genFreePlain(sub, local) {
+			case genWin:
+				if h.atomicStats {
+					sub.casClear(local)
+				} else {
+					sub.clear(local)
+				}
+			case genRetireOut:
+				retired++
+			}
+			continue
 		}
 		if h.atomicStats {
 			sub.casClear(local)
@@ -685,4 +775,8 @@ func (h *Heap) undoClaims(regs *classRegions, idxs []int32) {
 			sub.clear(local)
 		}
 	}
+	if retired > 0 {
+		h.addStat(&h.stats.Retired, uint64(retired))
+	}
+	return retired
 }

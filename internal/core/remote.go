@@ -40,11 +40,15 @@ const remoteRingSize = 1024
 // freeCell is one ring slot. seq is the Vyukov sequence word that hands
 // the cell between producers and the consumer: a producer may claim the
 // cell when seq == pos (its ticket), publishes with seq = pos+1, and the
-// consumer recycles it with seq = pos+mask+1. addr is plain: the seq
-// store/load pair orders it.
+// consumer recycles it with seq = pos+mask+1. addr and gen are plain:
+// the seq store/load pair orders them. gen 0 marks an untagged free
+// (plain RemoteFree, or any free on an untagged heap — issued tags are
+// never 0); a nonzero gen carries a fat pointer's tag to the owner's
+// gen-checked drain.
 type freeCell struct {
 	seq  atomic.Uint64
 	addr uint64
+	gen  uint64
 }
 
 // freeRing is a bounded multi-producer ring with a single locked
@@ -71,10 +75,11 @@ func newFreeRing(size int) *freeRing {
 	return r
 }
 
-// enqueue publishes addr to the ring; false means the ring is full and
-// the caller should free synchronously. Lock-free: a failed CAS means a
-// racing producer took the ticket and progressed.
-func (r *freeRing) enqueue(addr uint64) bool {
+// enqueue publishes addr (with its generation tag, or 0 for untagged
+// frees) to the ring; false means the ring is full and the caller
+// should free synchronously. Lock-free: a failed CAS means a racing
+// producer took the ticket and progressed.
+func (r *freeRing) enqueue(addr, gen uint64) bool {
 	for {
 		pos := r.enqPos.Load()
 		cell := &r.cells[pos&r.mask]
@@ -82,6 +87,7 @@ func (r *freeRing) enqueue(addr uint64) bool {
 		case d == 0:
 			if r.enqPos.CompareAndSwap(pos, pos+1) {
 				cell.addr = addr
+				cell.gen = gen
 				cell.seq.Store(pos + 1)
 				return true
 			}
@@ -95,16 +101,16 @@ func (r *freeRing) enqueue(addr uint64) bool {
 // dequeue takes the oldest published entry. Single consumer: the caller
 // holds drainMu. false means the ring is empty (or the next producer has
 // a ticket but has not published yet — it will be seen next drain).
-func (r *freeRing) dequeue() (uint64, bool) {
+func (r *freeRing) dequeue() (addr, gen uint64, ok bool) {
 	pos := r.deqPos.Load()
 	cell := &r.cells[pos&r.mask]
 	if int64(cell.seq.Load())-int64(pos+1) < 0 {
-		return 0, false
+		return 0, 0, false
 	}
-	addr := cell.addr
+	addr, gen = cell.addr, cell.gen
 	cell.seq.Store(pos + r.mask + 1)
 	r.deqPos.Store(pos + 1)
-	return addr, true
+	return addr, gen, true
 }
 
 // empty is the unlocked fast check drain sites use to skip the mutex:
@@ -135,7 +141,7 @@ func (h *Heap) RemoteFree(p heap.Ptr) error {
 	if cl == nil || (p-sub.base)&cl.mask != 0 {
 		return h.Free(p) // large, foreign, or interior: the unbatched path decides
 	}
-	if !r.enqueue(p) {
+	if !r.enqueue(p, 0) {
 		return h.Free(p) // owner is behind; apply in place rather than wait
 	}
 	if h.trace != nil {
@@ -195,9 +201,10 @@ func (h *Heap) tryDrainRemote() {
 func (h *Heap) drainRemoteLocked(want int) int {
 	r := h.remote
 	var wins, ignored [NumClasses]int32
+	stale, retired := 0, 0
 	total := 0
 	for total <= int(r.mask) {
-		addr, ok := r.dequeue()
+		addr, gen, ok := r.dequeue()
 		if !ok {
 			break
 		}
@@ -210,6 +217,40 @@ func (h *Heap) drainRemoteLocked(want int) int {
 			continue
 		}
 		c := int(sub.shift) - minObjectShift
+		if sub.gens != nil {
+			// Tagged heap (DESIGN.md §15): the generation word arbitrates
+			// here exactly as it does on the synchronous paths — a fat
+			// entry whose tag went stale during the deferral (including
+			// across a reallocation) is rejected, not mistaken for the
+			// new incarnation's free.
+			var out genOutcome
+			if gen != 0 {
+				if !genValidTag(gen) {
+					out = genLose
+				} else {
+					out = h.genFreeFat(sub, local, uint32(gen))
+				}
+			} else {
+				out = h.genFreePlain(sub, local)
+			}
+			switch out {
+			case genWin:
+				sub.casClear(local)
+				wins[c]++
+			case genRetireOut:
+				retired++
+			default:
+				if gen != 0 {
+					stale++
+					if h.trace != nil {
+						h.trace.Emit(obs.EvStaleFree, addr)
+					}
+				} else {
+					ignored[c]++
+				}
+			}
+			continue
+		}
 		if sub.casClear(local) {
 			wins[c]++
 		} else {
@@ -220,6 +261,12 @@ func (h *Heap) drainRemoteLocked(want int) int {
 		if wins[c] != 0 || ignored[c] != 0 {
 			h.finishBatchedFrees(c, int(wins[c]), int(ignored[c]))
 		}
+	}
+	if stale > 0 {
+		h.addStat(&h.stats.StaleFrees, uint64(stale))
+	}
+	if retired > 0 {
+		h.addStat(&h.stats.Retired, uint64(retired))
 	}
 	if total > 0 {
 		h.addStat(&h.stats.RemoteFrees, uint64(total))

@@ -26,18 +26,18 @@ func TestRemoteRingUnit(t *testing.T) {
 		t.Fatal("fresh ring not empty")
 	}
 	for i := uint64(0); i < 8; i++ {
-		if !r.enqueue(0x1000 + i) {
+		if !r.enqueue(0x1000+i, 0) {
 			t.Fatalf("enqueue %d refused below capacity", i)
 		}
 	}
-	if r.enqueue(0xdead) {
+	if r.enqueue(0xdead, 0) {
 		t.Fatal("enqueue accepted into a full ring")
 	}
 	if r.empty() {
 		t.Fatal("full ring reported empty")
 	}
 	for i := uint64(0); i < 8; i++ {
-		addr, ok := r.dequeue()
+		addr, _, ok := r.dequeue()
 		if !ok {
 			t.Fatalf("dequeue %d found empty ring", i)
 		}
@@ -45,17 +45,17 @@ func TestRemoteRingUnit(t *testing.T) {
 			t.Fatalf("dequeue %d = %#x; want FIFO %#x", i, addr, 0x1000+i)
 		}
 	}
-	if _, ok := r.dequeue(); ok {
+	if _, _, ok := r.dequeue(); ok {
 		t.Fatal("dequeue from drained ring succeeded")
 	}
-	// A second lap reuses recycled cells.
+	// A second lap reuses recycled cells; generation tags ride along.
 	for i := uint64(0); i < 8; i++ {
-		if !r.enqueue(0x2000 + i) {
+		if !r.enqueue(0x2000+i, 2*i+1) {
 			t.Fatalf("lap-2 enqueue %d refused", i)
 		}
 	}
-	if addr, ok := r.dequeue(); !ok || addr != 0x2000 {
-		t.Fatalf("lap-2 dequeue = %#x, %v; want %#x, true", addr, ok, 0x2000)
+	if addr, gen, ok := r.dequeue(); !ok || addr != 0x2000 || gen != 1 {
+		t.Fatalf("lap-2 dequeue = %#x, gen %d, %v; want %#x, 1, true", addr, gen, ok, 0x2000)
 	}
 }
 
@@ -394,14 +394,17 @@ func TestRemoteCrossFreeRaceBattery(t *testing.T) {
 		popcountVsInUse(t, sh.Shard(i))
 	}
 	st := sh.Stats()
-	// Counter tolerance: exactly-one-winner holds per set-epoch of a
-	// bit, but an injected double free that straddles a reallocation
-	// (first free drained, slot re-claimed, second free lands on the
-	// new occupant — or on a magazine pre-claim) is indistinguishable
-	// from a valid free, in this allocator as in the paper's. Each
-	// injected double can therefore skew the app-level Frees and
-	// LiveObjects counters by at most one; the metadata invariants
-	// above (CheckInvariants, popcount == inUse) are exact regardless.
+	// Counter tolerance — UNTAGGED heaps only (§12 caveat): exactly-one-
+	// winner holds per set-epoch of a bit, but an injected double free
+	// that straddles a reallocation (first free drained, slot re-claimed,
+	// second free lands on the new occupant — or on a magazine pre-claim)
+	// is indistinguishable from a valid free, in this allocator as in the
+	// paper's. Each injected double can therefore skew the app-level
+	// Frees and LiveObjects counters by at most one; the metadata
+	// invariants above (CheckInvariants, popcount == inUse) are exact
+	// regardless. Generation-tagged heaps (§15) close exactly this gap —
+	// TestRemoteCrossFreeFatBatteryExact below runs the same battery with
+	// zero tolerance.
 	tol := doubles.Load()
 	if live := int64(st.LiveObjects); live < -int64(tol) || live > int64(tol) {
 		t.Errorf("LiveObjects = %d after all batches freed; want |live| <= %d doubles", live, tol)
@@ -420,4 +423,117 @@ func TestRemoteCrossFreeRaceBattery(t *testing.T) {
 		st.RemoteFrees, st.RemoteDrains,
 		float64(st.RemoteFrees)/float64(max(st.RemoteDrains, 1)),
 		doubles.Load(), wilds.Load(), st.IgnoredFrees)
+}
+
+// TestRemoteCrossFreeFatBatteryExact is the gen-tagged (§15) twin of the
+// battery above with ZERO counter tolerance: the generation word
+// arbitrates every free, so an injected double that straddles a
+// reallocation — the case the untagged battery must tolerate — is a
+// deterministic StaleFrees rejection. Every counter is asserted exactly:
+// one accepted free per fat pointer, two stale rejections per injected
+// double (of the three racing attempts on one incarnation, exactly one
+// wins the generation CAS), one IgnoredFrees per misaligned wild, one
+// StaleFrees per foreign fat pointer.
+func TestRemoteCrossFreeFatBatteryExact(t *testing.T) {
+	const (
+		workers = 4
+		shards  = 4
+		rounds  = 120
+		batch   = 32
+	)
+	sh, err := NewSharded(shards, Options{
+		HeapSize: shards * 12 << 20, Seed: 31, RemoteRing: true, GenTags: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chans := make([]chan []heap.FatPtr, workers)
+	for i := range chans {
+		chans[i] = make(chan []heap.FatPtr, 4)
+	}
+	var doubles, misaligned, foreign atomic.Uint64
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := rng.NewSeeded(uint64(2000 + w))
+			sizes := []int{16, 64, 64, 256, 1024}
+			for round := 0; round < rounds; round++ {
+				fps := make([]heap.FatPtr, batch)
+				for i := range fps {
+					fp, err := sh.MallocFat(sizes[r.Intn(len(sizes))])
+					if err != nil {
+						errs[w] = err
+						return
+					}
+					fps[i] = fp
+				}
+				chans[(w+1)%workers] <- fps
+				for _, fp := range <-chans[w] {
+					if _, err := sh.RemoteFreeFat(fp); err != nil {
+						errs[w] = err
+						return
+					}
+					switch r.Intn(16) {
+					case 0: // racing double free: remote and sync routes at once
+						doubles.Add(1)
+						_, _ = sh.RemoteFreeFat(fp)
+						_, _ = sh.FreeFat(fp)
+					case 1: // wild in-heap free: misaligned interior pointer
+						misaligned.Add(1)
+						_, _ = sh.RemoteFreeFat(heap.FatPtr{Addr: fp.Addr + 3, Gen: fp.Gen})
+					case 2: // foreign fat pointer: owned by no shard
+						foreign.Add(1)
+						_, _ = sh.FreeFat(heap.FatPtr{
+							Addr: 0xdead0000 + uint64(r.Intn(1<<12)), Gen: 0x99,
+						})
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", w, err)
+		}
+	}
+	if err := sh.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < shards; i++ {
+		popcountVsInUse(t, sh.Shard(i))
+	}
+	st := sh.Stats()
+	want := uint64(workers * rounds * batch)
+	if st.Frees != want {
+		t.Errorf("Frees = %d; want exactly %d (one accepted free per fat pointer, no tolerance)",
+			st.Frees, want)
+	}
+	if st.LiveObjects != 0 {
+		t.Errorf("LiveObjects = %d; want exactly 0", st.LiveObjects)
+	}
+	// Each double adds two losing attempts on an incarnation with one
+	// winner; each foreign fat free resolves to no live object. Both are
+	// temporal errors: stale, with evidence — never silently absorbed.
+	if wantStale := 2*doubles.Load() + foreign.Load(); st.StaleFrees != wantStale {
+		t.Errorf("StaleFrees = %d; want exactly %d (2×%d doubles + %d foreign)",
+			st.StaleFrees, wantStale, doubles.Load(), foreign.Load())
+	}
+	// Misaligned interior pointers are spatial errors and keep the plain
+	// §4.3 ignore — also exact on a tagged heap.
+	if st.IgnoredFrees != misaligned.Load() {
+		t.Errorf("IgnoredFrees = %d; want exactly %d misaligned wilds",
+			st.IgnoredFrees, misaligned.Load())
+	}
+	if st.Retired != 0 {
+		t.Errorf("Retired = %d; want 0 (generations nowhere near the ceiling)", st.Retired)
+	}
+	if st.RemoteFrees == 0 {
+		t.Error("RemoteFrees = 0: the battery never exercised the ring")
+	}
+	t.Logf("exact battery: %d frees, %d stale, %d ignored over %d remote drains",
+		st.Frees, st.StaleFrees, st.IgnoredFrees, st.RemoteDrains)
 }

@@ -311,6 +311,7 @@ func (sh *ShardedHeap) Mem() *vmem.Space { return sh.space }
 func (sh *ShardedHeap) Stats() *heap.Stats {
 	agg := heap.Stats{
 		IgnoredFrees: atomic.LoadUint64(&sh.stats.IgnoredFrees),
+		StaleFrees:   atomic.LoadUint64(&sh.stats.StaleFrees),
 	}
 	for _, s := range sh.shards {
 		st := s.Stats()
@@ -330,6 +331,8 @@ func (sh *ShardedHeap) Stats() *heap.Stats {
 		agg.RemoteDrains += atomic.LoadUint64(&st.RemoteDrains)
 		agg.Quarantined += atomic.LoadUint64(&st.Quarantined)
 		agg.QuarantineOut += atomic.LoadUint64(&st.QuarantineOut)
+		agg.StaleFrees += atomic.LoadUint64(&st.StaleFrees)
+		agg.Retired += atomic.LoadUint64(&st.Retired)
 	}
 	return &agg
 }
@@ -384,6 +387,8 @@ func (sh *ShardedHeap) PublishMetrics(reg *obs.Registry) {
 		{"core.remote_drains", func(st *heap.Stats) uint64 { return st.RemoteDrains }},
 		{"core.quarantined", func(st *heap.Stats) uint64 { return st.Quarantined }},
 		{"core.quarantine_released", func(st *heap.Stats) uint64 { return st.QuarantineOut }},
+		{"core.stale_frees", func(st *heap.Stats) uint64 { return st.StaleFrees }},
+		{"core.retired_slots", func(st *heap.Stats) uint64 { return st.Retired }},
 	} {
 		field := m.f
 		reg.Gauge(m.name, func() float64 {
@@ -460,10 +465,21 @@ func (sh *ShardedHeap) DrainMagazines() {
 // CheckInvariants verifies every shard's segregated metadata, draining
 // this heap's registered magazines first so pre-claimed slots and
 // buffered frees cannot masquerade as live objects.
-func (sh *ShardedHeap) CheckInvariants() error {
+func (sh *ShardedHeap) CheckInvariants() error { return sh.checkInvariants(0) }
+
+// CheckInvariantsSlack is CheckInvariants with Heap.CheckInvariantsSlack's
+// §12 ledger allowance for untagged heaps under double-free injection;
+// structural invariants stay exact on every shard. Each shard is granted
+// the full allowance — the caller cannot know which shard a straddling
+// double landed on.
+func (sh *ShardedHeap) CheckInvariantsSlack(slack uint64) error {
+	return sh.checkInvariants(slack)
+}
+
+func (sh *ShardedHeap) checkInvariants(slack uint64) error {
 	sh.DrainMagazines()
 	for i, s := range sh.shards {
-		if err := s.CheckInvariants(); err != nil {
+		if err := s.checkInvariants(slack); err != nil {
 			return fmt.Errorf("shard %d: %w", i, err)
 		}
 	}

@@ -79,6 +79,15 @@ const (
 	KindDangling Kind = "dangling write"
 	// KindUninit is a read of never-written allocated memory.
 	KindUninit Kind = "uninitialized read"
+	// KindStaleFree is a free of a generation-tagged pointer whose tag no
+	// longer matches its slot — a double or dangling free, rejected
+	// deterministically by the core (DESIGN.md §15).
+	KindStaleFree Kind = "stale free"
+	// KindStaleAccess is a load or store through a generation-tagged
+	// pointer whose tag no longer matches its slot: a temporal-safety
+	// violation caught at the access, deterministically, before (or
+	// without) any canary fingerprint.
+	KindStaleAccess Kind = "stale access"
 )
 
 // AuditPoint names where the detector observed the damage.
@@ -93,6 +102,14 @@ const (
 	AuditHeapCheck AuditPoint = "heapcheck"
 	// AuditLoad is the canary-match check on the checked Memory view.
 	AuditLoad AuditPoint = "load"
+	// AuditStore is the freed-slot check on the checked Memory view's
+	// store paths: a byte stored into a tracked freed slot is a dangling
+	// write caught as it happens, not at the next reuse audit.
+	AuditStore AuditPoint = "store"
+	// AuditGen is the generation-tag check (DESIGN.md §15): the core's
+	// stale-free rejection and the generation-checked memory view's
+	// per-access validity test both report here.
+	AuditGen AuditPoint = "gencheck"
 )
 
 // Evidence is one detected violation with enough context to debug it:
@@ -191,7 +208,18 @@ type Detector struct {
 	cadence   int               // current barrier interval (= HeapCheckEvery when fixed)
 	nextCheck int               // clock value that triggers the next automatic barrier
 	seen      map[heap.Ptr]bool // uninit dedup by address
+	stored    map[heap.Ptr]bool // dangling-store dedup by address
+	genSeen   map[genKey]bool   // stale free/access dedup by (addr, generation)
 	buf       []byte            // audit/refill scratch
+}
+
+// genKey dedups generation evidence per incarnation: a second stale
+// free or a second stale access through the same fat pointer is the
+// same program error, but the same address under a *new* dead tag is a
+// fresh one.
+type genKey struct {
+	addr heap.Ptr
+	gen  uint64
 }
 
 // Heap couples a DieHard core heap with its attached Detector. The
@@ -229,9 +257,12 @@ func New(copts core.Options, dopts Options) (*Heap, error) {
 		objects:   make(map[heap.Ptr]objRec),
 		freed:     make(map[heap.Ptr]freedRec),
 		seen:      make(map[heap.Ptr]bool),
+		stored:    make(map[heap.Ptr]bool),
+		genSeen:   make(map[genKey]bool),
 	}
 	copts.OnAlloc = d.onAlloc
 	copts.OnFree = d.onFree
+	copts.OnStaleFree = d.onStaleFree
 	h, err := core.New(copts)
 	if err != nil {
 		return nil, err
@@ -326,6 +357,11 @@ func (d *Detector) forgetUninit(p heap.Ptr, n int) {
 	for addr := range d.seen {
 		if addr >= p && addr < p+heap.Ptr(n) {
 			delete(d.seen, addr)
+		}
+	}
+	for addr := range d.stored {
+		if addr >= p && addr < p+heap.Ptr(n) {
+			delete(d.stored, addr)
 		}
 	}
 }
@@ -727,9 +763,27 @@ type checkedMem struct {
 
 var _ heap.Memory = (*checkedMem)(nil)
 
-func (m *checkedMem) Load8(addr uint64) (byte, error) { return m.s.Load8(addr) }
+// Load8 audits the loaded byte: a canary-byte match inside a live
+// object's requested bytes is an uninitialized read. The per-byte
+// false-positive probability is 2^-8 — far weaker than the word checks,
+// but the alternative is the gap this closes: byte-wise parsers (the
+// most common real access pattern for string data) previously bypassed
+// detection entirely.
+func (m *checkedMem) Load8(addr uint64) (byte, error) {
+	v, err := m.s.Load8(addr)
+	if err == nil && v == m.d.pat[addr&7] {
+		m.d.noteUninit(addr, 1)
+	}
+	return v, err
+}
 
-func (m *checkedMem) Store8(addr uint64, v byte) error { return m.s.Store8(addr, v) }
+// Store8 checks the destination before writing: a store into a tracked
+// freed slot is a dangling write, reported at the store itself (the
+// reuse audit would find only the fingerprint, one owner later).
+func (m *checkedMem) Store8(addr uint64, v byte) error {
+	m.d.noteDanglingStore(addr, 1)
+	return m.s.Store8(addr, v)
+}
 
 // Load32 audits the loaded word: a 32-bit canary match inside a live
 // object is an uninitialized read with false-positive probability 2^-32.
@@ -755,18 +809,46 @@ func (m *checkedMem) Load64(addr uint64) (uint64, error) {
 
 func (m *checkedMem) Store64(addr uint64, v uint64) error { return m.s.Store64(addr, v) }
 
-// ReadBytes forwards without auditing: bulk reads are staging copies,
-// not value uses, and auditing them would double-count the word loads
-// that follow. (The libc string scans go through FindByte, likewise
-// unaudited.)
-func (m *checkedMem) ReadBytes(addr uint64, b []byte) error { return m.s.ReadBytes(addr, b) }
+// ReadBytes audits the copied range as a whole: a bulk read whose every
+// byte is still intact canary is a value use of never-written memory
+// (a partially written range is not flagged — the word loads that
+// follow a staging copy audit those exactly, without double counting).
+func (m *checkedMem) ReadBytes(addr uint64, b []byte) error {
+	err := m.s.ReadBytes(addr, b)
+	if err == nil && len(b) > 0 && m.d.rangeIsCanary(addr, len(b)) {
+		m.d.noteUninit(addr, len(b))
+	}
+	return err
+}
 
 func (m *checkedMem) WriteBytes(addr uint64, b []byte) error { return m.s.WriteBytes(addr, b) }
 
 func (m *checkedMem) Memset(addr uint64, v byte, n int) error { return m.s.Memset(addr, v, n) }
 
-func (m *checkedMem) MemMove(dst, src uint64, n int) error { return m.s.MemMove(dst, src, n) }
+// MemMove audits the source before the copy runs (an overlapping move
+// may destroy it): a wholly-canary source inside a live object means
+// the program is propagating uninitialized bytes.
+func (m *checkedMem) MemMove(dst, src uint64, n int) error {
+	if n > 0 && m.d.rangeIsCanary(src, n) {
+		m.d.noteUninit(src, n)
+	}
+	return m.s.MemMove(dst, src, n)
+}
 
+// FindByte audits the bytes the scan actually visited — a libc-style
+// strlen/memchr over memory that is all still canary is a read of
+// uninitialized string data, the byte-wise sweep the word checks could
+// never see.
 func (m *checkedMem) FindByte(addr uint64, c byte, limit int) (int, bool, error) {
-	return m.s.FindByte(addr, c, limit)
+	n, found, err := m.s.FindByte(addr, c, limit)
+	if err == nil {
+		visited := limit
+		if found {
+			visited = n + 1
+		}
+		if visited > 0 && m.d.rangeIsCanary(addr, visited) {
+			m.d.noteUninit(addr, visited)
+		}
+	}
+	return n, found, err
 }

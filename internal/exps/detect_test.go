@@ -55,6 +55,28 @@ func TestDetectionTableAcceptance(t *testing.T) {
 		if c.Multiplier != 2 {
 			continue
 		}
+		switch c.Policy {
+		case PolicyGenTag:
+			// The deterministic tier's headline: generation tags reject
+			// every stale free/access and never fire on a live object,
+			// so dangling precision and recall are exactly 1 — not
+			// thresholds, identities.
+			if c.Precision != 1.0 || c.Recall != 1.0 {
+				t.Errorf("gentag dangling precision %.3f recall %.3f; want exactly 1.0 (%+v)",
+					c.Precision, c.Recall, c)
+			}
+			continue
+		case PolicyReplicated:
+			// Three random-fill replicas: a clean read stream never
+			// diverges, an uninit read diverges with overwhelming
+			// probability (Theorem 3); at these trial counts that is
+			// exact too.
+			if c.Precision != 1.0 || c.Recall != 1.0 {
+				t.Errorf("replicated uninit precision %.3f recall %.3f; want 1.0 (%+v)",
+					c.Precision, c.Recall, c)
+			}
+			continue
+		}
 		switch c.Error {
 		case DetectOverflow:
 			if c.Precision < 0.99 {

@@ -41,6 +41,35 @@ const (
 // DetectErrors lists the campaign's error types in table order.
 var DetectErrors = []DetectError{DetectOverflow, DetectDangling, DetectUninit}
 
+// DetectPolicy names the detection tier a cell grades (DESIGN.md §15's
+// three-tier story): the canary engine's probabilistic fingerprints,
+// the generation tags' deterministic temporal checks, or the replicated
+// random-fill divergence vote of the paper's own replicated mode.
+type DetectPolicy string
+
+const (
+	// PolicyProbabilistic is the canary engine (internal/detect): errors
+	// are caught when they damage a fingerprint, at the closed-form rates
+	// the analysis package quantifies.
+	PolicyProbabilistic DetectPolicy = "probabilistic"
+	// PolicyGenTag is the generation-tagged tier: stale frees and stale
+	// accesses are rejected deterministically by the tag check, so its
+	// dangling precision and recall are exactly 1.
+	PolicyGenTag DetectPolicy = "gentag"
+	// PolicyReplicated is the replicated vote: the same program runs on
+	// independently seeded random-fill replicas, and a read whose values
+	// diverge across replicas exposes uninitialized data (Theorem 3's
+	// mechanism, realized sequentially).
+	PolicyReplicated DetectPolicy = "replicated"
+)
+
+// DetectPolicies lists the campaign's policy tiers in table order.
+var DetectPolicies = []DetectPolicy{PolicyProbabilistic, PolicyGenTag, PolicyReplicated}
+
+// detectReplicas is the replicated tier's vote size, the paper's
+// recommended three.
+const detectReplicas = 3
+
 // Injection geometry of the overflow plan. MinSize 60 with delta 32
 // pushes the victim into the next-smaller size class, so the program's
 // full-size writes always cross the victim's slack (guaranteed canary
@@ -100,8 +129,14 @@ func (p *DetectParams) defaults() {
 	}
 }
 
-// DetectCell is one (error type, multiplier) entry of the table.
+// DetectCell is one (policy, error type, multiplier) entry of the
+// table.
 type DetectCell struct {
+	// Policy is the detection tier the cell grades. Probabilistic cells
+	// are the original campaign; the gentag and replicated cells grade
+	// the deterministic tiers of DESIGN.md §15 on the errors they
+	// target (dangling and uninit respectively).
+	Policy     DetectPolicy
 	Error      DetectError
 	Multiplier float64
 	Trials     int
@@ -253,6 +288,129 @@ func hasKind(r *detect.Report, k detect.Kind) bool {
 	return false
 }
 
+// runGenTagTrial executes one generation-tagged trial: the campaign
+// workload driven through the fat-pointer API and the GenMemory view.
+// An injected trial frees the victim prematurely but keeps its fat
+// pointer in the ring, so the program's later read, rewrite, and free
+// of the victim are stale accesses and a stale free. Detection is
+// deterministic — the tag check cannot miss a dead pointer (recall 1)
+// and cannot fire on a live one (precision 1) — which is the point the
+// cell's exact 1.0 columns record.
+func runGenTagTrial(p DetectParams, mult float64, layoutSeed uint64, victim int) (detectTrialOut, error) {
+	dh, err := detect.New(
+		core.Options{HeapSize: p.HeapSize, M: mult, Seed: layoutSeed, GenTags: true},
+		detect.Options{},
+	)
+	if err != nil {
+		return detectTrialOut{}, err
+	}
+	gm := dh.GenMemory()
+	ring := make([]heap.FatPtr, p.Live)
+	reqs := make([]int, p.Live)
+	for i := 0; i < p.Allocs; i++ {
+		slot := i % p.Live
+		if fp := ring[slot]; fp.Addr != heap.Null {
+			if _, err := gm.Load64(fp, 0); err != nil {
+				return detectTrialOut{}, err
+			}
+			if err := gm.Memset(fp, 0, byte(0x60+i%8), reqs[slot]); err != nil {
+				return detectTrialOut{}, err
+			}
+			// A stale free returns accepted=false, not an error: the
+			// program plows on, exactly like a real double free under
+			// this tier.
+			if _, err := dh.FreeFat(fp); err != nil {
+				return detectTrialOut{}, err
+			}
+		}
+		size := detectWorkloadSize(i)
+		fp, err := dh.MallocFat(size)
+		if err != nil {
+			return detectTrialOut{}, err
+		}
+		if err := gm.Memset(fp, 0, byte(0x40+i%8), size); err != nil {
+			return detectTrialOut{}, err
+		}
+		if i == victim {
+			// The injected error: the object dies now, but its fat
+			// pointer stays in the ring for the revisit.
+			if ok, err := dh.FreeFat(fp); !ok || err != nil {
+				return detectTrialOut{}, fmt.Errorf("exps: premature free rejected: %v, %v", ok, err)
+			}
+		}
+		ring[slot] = fp
+		reqs[slot] = size
+	}
+	dh.Detector().HeapCheck()
+	rep := dh.Detector().Report()
+	return detectTrialOut{
+		injected: victim >= 0,
+		detected: hasKind(rep, detect.KindStaleFree) || hasKind(rep, detect.KindStaleAccess),
+		evidence: len(rep.Evidence),
+	}, nil
+}
+
+// recordingMem captures the value stream of the program's Load64 reads
+// so replicated runs can be compared position by position.
+type recordingMem struct {
+	heap.Memory
+	vals []uint64
+}
+
+func (m *recordingMem) Load64(addr uint64) (uint64, error) {
+	v, err := m.Memory.Load64(addr)
+	if err == nil {
+		m.vals = append(m.vals, v)
+	}
+	return v, err
+}
+
+// runReplicatedTrial executes one replicated-tier trial: the same
+// campaign program runs to completion on detectReplicas independently
+// seeded random-fill core heaps, and the replicas' read streams are
+// compared position by position. The program's own writes are
+// deterministic, so clean replicas read byte-identical values; a read
+// of never-initialized memory returns each replica's private random
+// fill and the position diverges — Theorem 3's voting mechanism,
+// realized sequentially.
+func runReplicatedTrial(p DetectParams, mult float64, trialSeed uint64, victim int) (detectTrialOut, error) {
+	streams := make([][]uint64, detectReplicas)
+	for k := 0; k < detectReplicas; k++ {
+		h, err := core.New(core.Options{
+			HeapSize:   p.HeapSize,
+			M:          mult,
+			Seed:       DeriveSeed(trialSeed, 0x5E0+k),
+			RandomFill: true,
+		})
+		if err != nil {
+			return detectTrialOut{}, err
+		}
+		rm := &recordingMem{Memory: h.Mem()}
+		if err := runDetectWorkload(h, rm, p.Allocs, p.Live, victim); err != nil {
+			return detectTrialOut{}, err
+		}
+		if k > 0 && len(rm.vals) != len(streams[0]) {
+			return detectTrialOut{}, fmt.Errorf("exps: replica read streams diverged in length (%d vs %d)",
+				len(rm.vals), len(streams[0]))
+		}
+		streams[k] = rm.vals
+	}
+	diverged := 0
+	for i := range streams[0] {
+		for k := 1; k < detectReplicas; k++ {
+			if streams[k][i] != streams[0][i] {
+				diverged++
+				break
+			}
+		}
+	}
+	return detectTrialOut{
+		injected: victim >= 0,
+		detected: diverged > 0,
+		evidence: diverged,
+	}, nil
+}
+
 // RunDetectionTable grades the canary detection engine against planned
 // fault injection: for every error type and heap multiplier, half the
 // trials carry an injected error with known ground truth and half are
@@ -279,20 +437,46 @@ func RunDetectionTable(params DetectParams, workers int) (*DetectionTable, error
 		return nil, err
 	}
 	type cellSpec struct {
-		kind DetectError
-		mult float64
+		policy DetectPolicy
+		kind   DetectError
+		mult   float64
 	}
 	var specs []cellSpec
+	// Probabilistic cells come first and keep the original spec order,
+	// so the global trial index g — and with it DeriveSeed(p.Seed, g) —
+	// of every pre-existing cell is unchanged and its OutputHash stays
+	// pinned to the PR-4 recording. The deterministic tiers append after
+	// with fresh indices.
 	for _, m := range p.Multipliers {
 		for _, k := range DetectErrors {
-			specs = append(specs, cellSpec{kind: k, mult: m})
+			specs = append(specs, cellSpec{policy: PolicyProbabilistic, kind: k, mult: m})
 		}
+	}
+	for _, m := range p.Multipliers {
+		specs = append(specs, cellSpec{policy: PolicyGenTag, kind: DetectDangling, mult: m})
+	}
+	for _, m := range p.Multipliers {
+		specs = append(specs, cellSpec{policy: PolicyReplicated, kind: DetectUninit, mult: m})
 	}
 	outs, err := mapTrials(len(specs)*p.Trials, workers, func(g int) (detectTrialOut, error) {
 		spec := specs[g/p.Trials]
 		t := g % p.Trials
 		trialSeed := DeriveSeed(p.Seed, g)
 		injected := t%2 == 1
+		switch spec.policy {
+		case PolicyGenTag:
+			victim := -1
+			if injected {
+				victim = int(DeriveSeed(trialSeed, 0xFA7) % uint64(p.Allocs-p.Live))
+			}
+			return runGenTagTrial(p, spec.mult, DeriveSeed(trialSeed, 0), victim)
+		case PolicyReplicated:
+			victim := -1
+			if injected {
+				victim = int(DeriveSeed(trialSeed, 0xBEEF) % uint64(p.Allocs-p.Live))
+			}
+			return runReplicatedTrial(p, spec.mult, trialSeed, victim)
+		}
 		var (
 			oplan      *fault.OverflowPlan
 			dplan      *fault.DanglingPlan
@@ -357,7 +541,7 @@ func RunDetectionTable(params DetectParams, workers int) (*DetectionTable, error
 
 	table := &DetectionTable{Params: p}
 	for ci, spec := range specs {
-		cell := DetectCell{Error: spec.kind, Multiplier: spec.mult, Trials: p.Trials}
+		cell := DetectCell{Policy: spec.policy, Error: spec.kind, Multiplier: spec.mult, Trials: p.Trials}
 		h := fnv.New64a()
 		var lenSum int
 		for t := 0; t < p.Trials; t++ {

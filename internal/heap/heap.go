@@ -25,6 +25,23 @@ type Ptr = uint64
 // Null is the simulated null pointer. Address zero is never mapped.
 const Null Ptr = 0
 
+// FatPtr is a generation-tagged pointer (DESIGN.md §15): the address
+// plus the generation the slot carried when this pointer was issued.
+// A heap built with generation tags hands these out from MallocFat and
+// verifies the tag on FreeFat and on every access through a
+// generation-checked Memory view, so a stale pointer — one whose slot
+// has since been freed or reallocated — is detected deterministically
+// rather than probabilistically.
+//
+// Gen is 64-bit so large objects can carry a never-wrapping per-heap
+// counter; small-object slots store 32-bit tags (zero-extended here)
+// with a retirement scheme that makes wraparound impossible (§15).
+// The zero value (Gen 0) is never issued for a live object.
+type FatPtr struct {
+	Addr Ptr
+	Gen  uint64
+}
+
 // ErrOutOfMemory is returned by Malloc when the allocator cannot satisfy
 // the request. DieHard returns it when a size class reaches its 1/M
 // threshold (§4.2: "At threshold: no more memory").
@@ -83,6 +100,8 @@ type Stats struct {
 	RemoteDrains   uint64 // non-empty ring drain batches (mean batch = RemoteFrees/RemoteDrains)
 	Quarantined    uint64 // frees intercepted into the quarantine FIFO (enqueues, duplicates included)
 	QuarantineOut  uint64 // quarantine releases actually applied (bit cleared; duplicates count IgnoredFrees)
+	StaleFrees     uint64 // generation-tagged frees rejected because the tag was stale (DESIGN.md §15)
+	Retired        uint64 // slots permanently retired at the generation ceiling (never reused, held live)
 	Collections    uint64 // GC only
 }
 
@@ -111,6 +130,8 @@ func (st *Stats) SnapshotAtomic() Stats {
 		RemoteDrains:   atomic.LoadUint64(&st.RemoteDrains),
 		Quarantined:    atomic.LoadUint64(&st.Quarantined),
 		QuarantineOut:  atomic.LoadUint64(&st.QuarantineOut),
+		StaleFrees:     atomic.LoadUint64(&st.StaleFrees),
+		Retired:        atomic.LoadUint64(&st.Retired),
 		Collections:    atomic.LoadUint64(&st.Collections),
 	}
 }

@@ -66,6 +66,7 @@ const (
 	EvQuarantine
 	EvSession
 	EvFault
+	EvStaleFree
 )
 
 var kindNames = [...]string{
@@ -83,6 +84,7 @@ var kindNames = [...]string{
 	EvQuarantine:     "quarantine",
 	EvSession:        "session",
 	EvFault:          "fault",
+	EvStaleFree:      "stale_free",
 }
 
 func (k Kind) String() string {

@@ -80,9 +80,22 @@ type Config struct {
 	// FreeMode routes those cross-worker frees (default FreeSync).
 	FreeMode FreeMode
 	// ErrorRate is the per-session probability of injecting one double
-	// free and one wild free through the cross-free path. Both are
-	// DieHard-ignorable; the soak asserts they stay that way.
+	// free and one wild free through the cross-free path. On untagged
+	// heaps both are DieHard-ignorable; on GenTags runs the double free
+	// is rejected exactly (StaleFrees) and the wild free ignored exactly
+	// (IgnoredFrees) — Result.DoubleFrees/WildFrees record the injected
+	// ground truth the tests balance against.
 	ErrorRate float64
+	// GenTags runs the soak on a generation-tagged heap (DESIGN.md §15):
+	// sessions allocate through the fat-pointer API — unbatched, since
+	// magazines batch the thin protocol — local frees go through
+	// ShardedHeap.FreeFat and cross-worker frees through FreeFat or
+	// RemoteFreeFat per FreeMode, each carrying its tag to the owner's
+	// gen-checked arbiter. Free accounting becomes exact: a double free
+	// that straddles a reallocation is still caught. Mutually exclusive
+	// with Faults (the token-verified fault soak is a thin-pointer
+	// magazine workload).
+	GenTags bool
 	// Faults, when set, embeds a planned fault schedule in every
 	// worker's session loop (the supervisor-facing soak of DESIGN.md
 	// §13): object sizes become fixed so the per-object index is a
@@ -186,6 +199,11 @@ type Result struct {
 	Corruptions      int64
 	MTBFSessions     float64
 	QuarantinedFrees int64
+	// DoubleFrees and WildFrees count the ErrorRate injections actually
+	// performed — the ground truth a GenTags soak balances exactly
+	// against Stats.StaleFrees and Stats.IgnoredFrees.
+	DoubleFrees int64
+	WildFrees   int64
 }
 
 const crossBatch = 64
@@ -208,6 +226,13 @@ type worker struct {
 	inbox chan []heap.Ptr
 	out   chan []heap.Ptr // the next worker's inbox
 	cross []heap.Ptr      // outgoing batch under accumulation
+
+	// Fat-pointer analogs of the cross-free plumbing (GenTags runs).
+	inboxFat chan []heap.FatPtr
+	outFat   chan []heap.FatPtr
+	crossFat []heap.FatPtr
+	doubles  int64 // ErrorRate double frees injected
+	wilds    int64 // ErrorRate wild frees injected
 
 	// Fault-schedule state (cfg.Faults runs only).
 	sessionN    int64      // sessions served, the fault schedule's clock
@@ -277,6 +302,37 @@ func (w *worker) sendCross() error {
 		return nil
 	default:
 		return w.freeBatch(b)
+	}
+}
+
+// freeBatchFat is freeBatch for fat pointers: every free carries its
+// generation to the owner's arbiter. A rejected free (a stale tag) is
+// an expected outcome on error-injected runs, not a harness error — the
+// stats balance asserts the exact count afterwards.
+func (w *worker) freeBatchFat(b []heap.FatPtr) error {
+	for _, fp := range b {
+		var err error
+		if w.mode == FreeRemote {
+			_, err = w.sh.RemoteFreeFat(fp)
+		} else {
+			_, err = w.sh.FreeFat(fp)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sendCrossFat is sendCross for fat pointers.
+func (w *worker) sendCrossFat() error {
+	b := w.crossFat
+	w.crossFat = make([]heap.FatPtr, 0, crossBatch)
+	select {
+	case w.outFat <- b:
+		return nil
+	default:
+		return w.freeBatchFat(b)
 	}
 }
 
@@ -365,6 +421,8 @@ func (w *worker) session(cfg *Config, ptrs []heap.Ptr) error {
 		if err := w.freeBatch([]heap.Ptr{victim, victim + 3}); err != nil {
 			return err
 		}
+		w.doubles++
+		w.wilds++
 	}
 	crossN := int(cfg.CrossFraction * float64(n))
 	for i, p := range ptrs {
@@ -387,6 +445,72 @@ func (w *worker) session(cfg *Config, ptrs []heap.Ptr) error {
 			continue
 		}
 		if err := w.mag.Free(p); err != nil {
+			return fmt.Errorf("worker %d free: %w", w.id, err)
+		}
+	}
+	return nil
+}
+
+// sessionGen serves one arrival on a generation-tagged heap: the same
+// allocate/touch/free shape as session, but every object travels as a
+// fat pointer and every free carries its tag — so an ErrorRate double
+// free is rejected exactly (the session's own later free of the victim
+// becomes the stale replay) and a wild interior free is ignored
+// exactly, whichever FreeMode routes them and whoever the slot belongs
+// to by then.
+func (w *worker) sessionGen(cfg *Config, fat []heap.FatPtr) error {
+	n := cfg.SessionObjects
+	fat = fat[:0]
+	for i := 0; i < n; i++ {
+		fp, err := w.sh.MallocFat(skewedSize(w.r))
+		if err != nil {
+			return fmt.Errorf("worker %d malloc: %w", w.id, err)
+		}
+		if err := w.mem.Store64(uint64(fp.Addr), uint64(fp.Addr)^0xd1e); err != nil {
+			return fmt.Errorf("worker %d store: %w", w.id, err)
+		}
+		v, err := w.mem.Load64(uint64(fp.Addr))
+		if err != nil {
+			return fmt.Errorf("worker %d load: %w", w.id, err)
+		}
+		if v != uint64(fp.Addr)^0xd1e {
+			return fmt.Errorf("worker %d: object %#x read back %#x", w.id, fp.Addr, v)
+		}
+		fat = append(fat, fp)
+	}
+	select {
+	case b := <-w.inboxFat:
+		if err := w.freeBatchFat(b); err != nil {
+			return err
+		}
+	default:
+	}
+	if cfg.ErrorRate > 0 && float64(w.r.Intn(1<<20))/(1<<20) < cfg.ErrorRate {
+		victim := fat[w.r.Intn(len(fat))]
+		// The double's first free wins; the session's later free of the
+		// victim replays a dead tag and must lose, even if the slot has
+		// been reallocated by then. The wild free reuses the victim's
+		// live tag on a misaligned interior address.
+		if err := w.freeBatchFat([]heap.FatPtr{victim, {Addr: victim.Addr + 3, Gen: victim.Gen}}); err != nil {
+			return err
+		}
+		w.doubles++
+		w.wilds++
+	}
+	crossN := int(cfg.CrossFraction * float64(n))
+	for i, fp := range fat {
+		if i < crossN {
+			w.crossFat = append(w.crossFat, fp)
+			if len(w.crossFat) >= crossBatch {
+				if err := w.sendCrossFat(); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		// Local frees are synchronous FreeFat — the gen-mode stand-in
+		// for the magazine's local route.
+		if _, err := w.sh.FreeFat(fp); err != nil {
 			return fmt.Errorf("worker %d free: %w", w.id, err)
 		}
 	}
@@ -450,6 +574,10 @@ func (w *worker) run(cfg *Config, quota int64, sessions *sync.WaitGroup, errOut 
 	}
 	drawRate := cfg.Rate / float64(cfg.Workers) / burstFactor
 	ptrs := make([]heap.Ptr, 0, cfg.SessionObjects)
+	var fat []heap.FatPtr
+	if cfg.GenTags {
+		fat = make([]heap.FatPtr, 0, cfg.SessionObjects)
+	}
 	next := time.Now()
 	burst := 0
 	for s := int64(0); s < quota; s++ {
@@ -468,7 +596,13 @@ func (w *worker) run(cfg *Config, quota int64, sessions *sync.WaitGroup, errOut 
 			}
 			arrival = next
 		}
-		if err := w.session(cfg, ptrs); err != nil {
+		var err error
+		if cfg.GenTags {
+			err = w.sessionGen(cfg, fat)
+		} else {
+			err = w.session(cfg, ptrs)
+		}
+		if err != nil {
 			fail(err)
 			break
 		}
@@ -484,11 +618,23 @@ func (w *worker) run(cfg *Config, quota int64, sessions *sync.WaitGroup, errOut 
 			fail(err)
 		}
 	}
+	if len(w.crossFat) > 0 {
+		if err := w.sendCrossFat(); err != nil {
+			fail(err)
+		}
+	}
 	sessions.Done()
-	// Producers may still be handing batches over; the inbox is closed
-	// by the driver once every worker has passed the barrier above.
+	// Producers may still be handing batches over; the inboxes are
+	// closed by the driver once every worker has passed the barrier
+	// above. (Only one of the two carries traffic; the other closes
+	// empty.)
 	for b := range w.inbox {
 		if err := w.freeBatch(b); err != nil {
+			fail(err)
+		}
+	}
+	for b := range w.inboxFat {
+		if err := w.freeBatchFat(b); err != nil {
 			fail(err)
 		}
 	}
@@ -539,6 +685,9 @@ func (cfg *Config) setDefaults() error {
 		if cfg.ErrorRate > 0 {
 			return fmt.Errorf("serve: Faults and ErrorRate are mutually exclusive (injected double frees would trip token verification)")
 		}
+		if cfg.GenTags {
+			return fmt.Errorf("serve: Faults and GenTags are mutually exclusive (the fault soak is a thin-pointer magazine workload)")
+		}
 		f := *cfg.Faults // defaults must not mutate the caller's plan
 		if f.ObjectSize == 0 {
 			f.ObjectSize = 48
@@ -574,6 +723,7 @@ func Run(cfg Config) (*Result, error) {
 		Seed:       cfg.Seed,
 		Concurrent: true,
 		RemoteRing: cfg.FreeMode == FreeRemote,
+		GenTags:    cfg.GenTags,
 	})
 	if err != nil {
 		return nil, err
@@ -611,6 +761,8 @@ func Run(cfg Config) (*Result, error) {
 			mode:       cfg.FreeMode,
 			inbox:      make(chan []heap.Ptr, 8),
 			cross:      make([]heap.Ptr, 0, crossBatch),
+			inboxFat:   make(chan []heap.FatPtr, 8),
+			crossFat:   make([]heap.FatPtr, 0, crossBatch),
 			ring:       ring,
 			ctrSess:    ctrSess,
 			ctrCorrupt: ctrCorrupt,
@@ -621,6 +773,7 @@ func Run(cfg Config) (*Result, error) {
 	}
 	for i, w := range workers {
 		w.out = workers[(i+1)%len(workers)].inbox
+		w.outFat = workers[(i+1)%len(workers)].inboxFat
 	}
 
 	var (
@@ -646,13 +799,30 @@ func Run(cfg Config) (*Result, error) {
 	sessions.Wait()
 	for _, w := range workers {
 		close(w.inbox)
+		close(w.inboxFat)
 	}
 	all.Wait()
 	elapsed := time.Since(start)
 	if runErr != nil {
 		return nil, runErr
 	}
-	if err := sh.CheckInvariants(); err != nil {
+	var doubles int64
+	for _, w := range workers {
+		doubles += w.doubles
+	}
+	if cfg.ErrorRate > 0 && !cfg.GenTags {
+		// §12 caveat, priced exactly: on an untagged heap an injected
+		// double free whose second half straddles a reallocation (or a
+		// magazine pre-claim) is indistinguishable from a valid free, so
+		// the aggregate Mallocs/Frees/LiveObjects ledger may skew by up
+		// to one per injected double. Structural invariants take no
+		// slack. GenTags closes this gap (DESIGN.md §15): tagged runs —
+		// the else branch — use the exact barrier even under injection,
+		// because the gens CAS rejects every straddling half as stale.
+		if err := sh.CheckInvariantsSlack(uint64(doubles)); err != nil {
+			return nil, fmt.Errorf("serve: post-soak invariant violation: %w", err)
+		}
+	} else if err := sh.CheckInvariants(); err != nil {
 		return nil, fmt.Errorf("serve: post-soak invariant violation: %w", err)
 	}
 
@@ -666,6 +836,8 @@ func Run(cfg Config) (*Result, error) {
 		res.Hist.Merge(&w.hist)
 		res.Corruptions += w.corruptions
 		res.QuarantinedFrees += w.quarFrees
+		res.DoubleFrees += w.doubles
+		res.WildFrees += w.wilds
 	}
 	if cfg.Faults != nil {
 		res.MTBFSessions = float64(cfg.Sessions) / float64(max(int64(1), res.Corruptions))
